@@ -1,0 +1,155 @@
+// Ablation C — interception-level marshaling costs.
+//
+// Explains the Table 1 asymmetry between platforms: the CQoS stub's
+// abstract-request → DII conversion on CORBA (an NVList deep copy before the
+// GIOP marshal) versus the RMI stream's single-pass encode; plus the DSI
+// Any-extraction copy on the server side, and the wire-size gap between the
+// aligned CDR format and the compact JRMP format.
+#include <benchmark/benchmark.h>
+
+#include "platform/corba/cdr.h"
+#include "platform/corba/giop.h"
+#include "platform/rmi/jrmp.h"
+
+namespace cqos::bench {
+namespace {
+
+ValueList typical_params() {
+  return {Value(std::int64_t{123456789}), Value("set_balance parameter"),
+          Value(2.5), Value(Bytes(64, 0xab))};
+}
+
+PiggybackMap typical_pb() {
+  return {{"cq.id", Value(std::int64_t{42})}, {"cq.prio", Value(5)}};
+}
+
+// Static stub path on CORBA: one-pass GIOP/CDR encode.
+void BM_CorbaStaticEncode(benchmark::State& state) {
+  ValueList params = typical_params();
+  PiggybackMap pb = typical_pb();
+  for (auto _ : state) {
+    corba::RequestBody body;
+    body.reply_to = "cli/orbcli0";
+    body.object_key = "Bank_agent_poa_1/Bank_CQoS_Skeleton";
+    body.operation = "set_balance";
+    body.service_context = pb;
+    body.params = params;
+    benchmark::DoNotOptimize(corba::encode_request(1, body));
+  }
+}
+BENCHMARK(BM_CorbaStaticEncode);
+
+// DII path: NVList population (Any insertion deep copies) then marshal.
+void BM_CorbaDiiEncode(benchmark::State& state) {
+  ValueList params = typical_params();
+  PiggybackMap pb = typical_pb();
+  for (auto _ : state) {
+    // Model CorbaRequest::add_in_arg: named-value list with copied Anys.
+    std::vector<std::pair<std::string, Value>> nvlist;
+    nvlist.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      nvlist.emplace_back("arg" + std::to_string(i), params[i]);
+    }
+    corba::RequestBody body;
+    body.reply_to = "cli/orbcli0";
+    body.object_key = "Bank_agent_poa_1/Bank_CQoS_Skeleton";
+    body.operation = "set_balance";
+    body.service_context = pb;
+    for (auto& nv : nvlist) body.params.push_back(nv.second);
+    benchmark::DoNotOptimize(corba::encode_request(1, body));
+  }
+}
+BENCHMARK(BM_CorbaDiiEncode);
+
+// RMI stub path: single-pass stream encode.
+void BM_RmiEncode(benchmark::State& state) {
+  ValueList params = typical_params();
+  PiggybackMap pb = typical_pb();
+  for (auto _ : state) {
+    rmi::CallBody body;
+    body.reply_to = "cli/rmicli0";
+    body.target = "Bank_CQoS_Skeleton_1";
+    body.method = "set_balance";
+    body.piggyback = pb;
+    body.params = params;
+    benchmark::DoNotOptimize(rmi::encode_call(1, body));
+  }
+}
+BENCHMARK(BM_RmiEncode);
+
+// Server side: static decode vs DSI decode (+ Any extraction copy).
+void BM_CorbaDecode(benchmark::State& state, bool dsi) {
+  corba::RequestBody body;
+  body.reply_to = "cli/orbcli0";
+  body.object_key = "poa/Obj";
+  body.operation = "set_balance";
+  body.service_context = typical_pb();
+  body.params = typical_params();
+  Bytes frame = corba::encode_request(1, body);
+  for (auto _ : state) {
+    ByteReader r(frame);
+    corba::read_frame(r);
+    corba::RequestBody decoded = corba::decode_request_body(r);
+    if (dsi) {
+      ValueList extracted = decoded.params;  // Any extraction copy
+      benchmark::DoNotOptimize(extracted);
+    } else {
+      ValueList moved = std::move(decoded.params);
+      benchmark::DoNotOptimize(moved);
+    }
+  }
+}
+void BM_CorbaStaticDecode(benchmark::State& state) {
+  BM_CorbaDecode(state, false);
+}
+void BM_CorbaDsiDecode(benchmark::State& state) { BM_CorbaDecode(state, true); }
+BENCHMARK(BM_CorbaStaticDecode);
+BENCHMARK(BM_CorbaDsiDecode);
+
+void BM_RmiDecode(benchmark::State& state) {
+  rmi::CallBody body;
+  body.reply_to = "cli/rmicli0";
+  body.target = "Obj";
+  body.method = "set_balance";
+  body.piggyback = typical_pb();
+  body.params = typical_params();
+  Bytes frame = rmi::encode_call(1, body);
+  for (auto _ : state) {
+    ByteReader r(frame);
+    rmi::read_header(r);
+    benchmark::DoNotOptimize(rmi::decode_call_body(r));
+  }
+}
+BENCHMARK(BM_RmiDecode);
+
+// Wire-size comparison printed once at the end of the run.
+void BM_WireSizes(benchmark::State& state) {
+  corba::RequestBody greq;
+  greq.reply_to = "cli/orbcli0";
+  greq.object_key = "Bank_agent_poa_1/Bank_CQoS_Skeleton";
+  greq.operation = "set_balance";
+  greq.service_context = typical_pb();
+  greq.params = typical_params();
+  Bytes giop = corba::encode_request(1, greq);
+
+  rmi::CallBody jreq;
+  jreq.reply_to = "cli/rmicli0";
+  jreq.target = "Bank_CQoS_Skeleton_1";
+  jreq.method = "set_balance";
+  jreq.piggyback = typical_pb();
+  jreq.params = typical_params();
+  Bytes jrmp = rmi::encode_call(1, jreq);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(giop.size());
+    benchmark::DoNotOptimize(jrmp.size());
+  }
+  state.counters["giop_bytes"] = static_cast<double>(giop.size());
+  state.counters["jrmp_bytes"] = static_cast<double>(jrmp.size());
+}
+BENCHMARK(BM_WireSizes)->Iterations(1);
+
+}  // namespace
+}  // namespace cqos::bench
+
+BENCHMARK_MAIN();

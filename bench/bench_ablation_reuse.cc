@@ -1,0 +1,59 @@
+// Ablation B — request-structure reuse (paper §5: "reuse of the request data
+// structures to avoid object creation" was one of the implementation
+// optimizations).
+//
+// The same RMI deployment driven through a stub with the request pool on and
+// off. The delta is the allocation + reset cost per call.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace cqos::bench {
+namespace {
+
+void BM_Calls(benchmark::State& state, bool reuse) {
+  sim::ClusterOptions opts;
+  opts.platform = sim::PlatformKind::kRmi;
+  opts.num_replicas = 1;
+  opts.net = bench_net();
+  opts.servant_factory = [] {
+    return std::make_shared<sim::BankAccountServant>();
+  };
+  sim::Cluster cluster(opts);
+  CqosStub::Options stub_opts;
+  stub_opts.reuse_requests = reuse;
+  auto client = cluster.make_client(stub_opts);
+  sim::BankAccountStub account(client->stub_ptr());
+  account.set_balance(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(account.get_balance());
+  }
+}
+
+void BM_RequestReuse_On(benchmark::State& state) { BM_Calls(state, true); }
+void BM_RequestReuse_Off(benchmark::State& state) { BM_Calls(state, false); }
+
+BENCHMARK(BM_RequestReuse_On)->Iterations(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RequestReuse_Off)->Iterations(800)->Unit(benchmark::kMillisecond);
+
+// Isolated: just the acquire/release path of the stub-facing structures.
+void BM_RequestAllocation_Fresh(benchmark::State& state) {
+  for (auto _ : state) {
+    auto req = std::make_shared<Request>("obj", "get_balance", ValueList{});
+    benchmark::DoNotOptimize(req);
+  }
+}
+void BM_RequestAllocation_Reset(benchmark::State& state) {
+  auto req = std::make_shared<Request>("obj", "get_balance", ValueList{});
+  for (auto _ : state) {
+    req->reset("obj", "get_balance", {});
+    benchmark::DoNotOptimize(req);
+  }
+}
+BENCHMARK(BM_RequestAllocation_Fresh);
+BENCHMARK(BM_RequestAllocation_Reset);
+
+}  // namespace
+}  // namespace cqos::bench
+
+BENCHMARK_MAIN();

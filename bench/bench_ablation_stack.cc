@@ -1,0 +1,85 @@
+// Ablation D — the price of configurability.
+//
+// The paper's design argument is that fine-grain composition (many small
+// micro-protocols, events between them) is affordable. This ablation
+// measures how cost scales with the number of composed micro-protocols:
+// at the Cactus level (handlers per event) and end-to-end (stacked
+// pass-through micro-protocols on a live deployment).
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "cactus/composite.h"
+#include "cqos/events.h"
+
+namespace cqos::bench {
+namespace {
+
+// Cactus level: synchronous raise with N bound handlers.
+void BM_RaiseWithNHandlers(benchmark::State& state) {
+  cactus::CompositeProtocol proto;
+  const int handlers = static_cast<int>(state.range(0));
+  std::int64_t sink = 0;
+  for (int i = 0; i < handlers; ++i) {
+    proto.bind("ev", "h" + std::to_string(i),
+               [&sink](cactus::EventContext&) { ++sink; }, i);
+  }
+  for (auto _ : state) {
+    proto.raise("ev");
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["handlers"] = handlers;
+}
+BENCHMARK(BM_RaiseWithNHandlers)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// End-to-end: N stacked pass-through micro-protocols around a live call.
+class PassThrough : public cactus::MicroProtocol {
+ public:
+  explicit PassThrough(int index) : index_(index) {}
+  std::string_view name() const override { return "pass_through"; }
+  void init(cactus::CompositeProtocol& proto) override {
+    // One handler on each hot client event, doing a request touch — the
+    // realistic floor for a micro-protocol that inspects every call.
+    auto touch = [](cactus::EventContext& ctx) {
+      auto inv = ctx.dyn<cqos::InvocationPtr>();
+      benchmark::DoNotOptimize(inv->request->id);
+    };
+    proto.bind(ev::kReadyToSend, "touchSend", touch, -90 + index_);
+    proto.bind(ev::kInvokeSuccess, "touchReply", touch, -90 + index_);
+  }
+
+ private:
+  int index_;
+};
+
+void BM_EndToEndWithNMicroProtocols(benchmark::State& state) {
+  sim::ClusterOptions opts;
+  opts.platform = sim::PlatformKind::kRmi;
+  opts.net = bench_net();
+  opts.servant_factory = [] {
+    return std::make_shared<sim::BankAccountServant>();
+  };
+  sim::Cluster cluster(opts);
+  auto client = cluster.make_client();
+  const int stack = static_cast<int>(state.range(0));
+  for (int i = 0; i < stack; ++i) {
+    client->cactus_client()->add_micro_protocol(
+        std::make_unique<PassThrough>(i));
+  }
+  sim::BankAccountStub account(client->stub_ptr());
+  account.set_balance(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(account.get_balance());
+  }
+  state.counters["micro_protocols"] = stack;
+}
+BENCHMARK(BM_EndToEndWithNMicroProtocols)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(300)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cqos::bench
+
+BENCHMARK_MAIN();

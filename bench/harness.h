@@ -1,0 +1,104 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+//
+// Each bench binary rebuilds one table of the paper's evaluation (§5) on the
+// simulated cluster and prints the same rows the paper reports. Absolute
+// milliseconds differ from the paper's 600 MHz PIII testbed; the claims are
+// about the SHAPE: who is slower, by what factor, and where costs come from.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::bench {
+
+/// Iteration count knob: CQOS_BENCH_PAIRS (default 400 set+get pairs).
+inline int bench_pairs() {
+  if (const char* env = std::getenv("CQOS_BENCH_PAIRS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 400;
+}
+
+/// Network parameters mirroring the testbed's scale: ~100 us one-way base
+/// latency (1 Gbit Ethernet + kernel), small per-byte cost.
+inline net::NetConfig bench_net() {
+  net::NetConfig cfg;
+  cfg.base_latency = us(100);
+  cfg.per_byte = std::chrono::nanoseconds(25);
+  cfg.loopback_latency = us(15);
+  cfg.jitter = 0.03;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+struct PairStats {
+  double set_get_ms = 0;  // mean time for one set_balance+get_balance pair
+  double one_call_ms = 0;
+};
+
+/// The paper's workload: pairs of set_balance()/get_balance() calls.
+/// Runs `reps` repetitions after warmup and reports the fastest repetition's
+/// mean — robust against scheduler noise and process cold-start effects.
+inline PairStats run_pairs(sim::ClientHandle& client, int pairs,
+                           int warmup = 40, int reps = 5) {
+  sim::BankAccountStub account(client.stub_ptr());
+  for (int i = 0; i < warmup; ++i) {
+    account.set_balance(i);
+    (void)account.get_balance();
+  }
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    LatencyRecorder pair_lat;
+    for (int i = 0; i < pairs; ++i) {
+      TimePoint t0 = now();
+      account.set_balance(i);
+      (void)account.get_balance();
+      pair_lat.add(to_ms(now() - t0));
+    }
+    if (rep == 0 || pair_lat.mean() < best) best = pair_lat.mean();
+  }
+  PairStats stats;
+  stats.set_get_ms = best;
+  stats.one_call_ms = stats.set_get_ms / 2.0;
+  return stats;
+}
+
+/// Exercise a throwaway deployment once so code paths, allocator arenas and
+/// thread stacks are warm before the first measured row.
+inline void global_warmup() {
+  sim::ClusterOptions opts;
+  opts.platform = sim::PlatformKind::kCorba;
+  opts.net = bench_net();
+  opts.servant_factory = [] {
+    return std::make_shared<sim::BankAccountServant>();
+  };
+  sim::Cluster cluster(opts);
+  auto client = cluster.make_client();
+  run_pairs(*client, 50, 10, 1);
+}
+
+inline const char* platform_label(sim::PlatformKind kind) {
+  return kind == sim::PlatformKind::kCorba ? "CORBA" : "Java RMI";
+}
+
+inline void print_table_header(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-28s %9s %9s %8s %10s\n", "Configuration", "set+get",
+              "one call", "ohead", "cum ohead");
+}
+
+inline void print_table_row(const std::string& label, const PairStats& stats,
+                            double prev_ms, double base_ms) {
+  std::printf("%-28s %9.3f %9.3f %8.3f %10.3f\n", label.c_str(),
+              stats.set_get_ms, stats.one_call_ms,
+              prev_ms == 0 ? 0.0 : stats.set_get_ms - prev_ms,
+              base_ms == 0 ? 0.0 : stats.set_get_ms - base_ms);
+}
+
+}  // namespace cqos::bench

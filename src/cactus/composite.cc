@@ -1,0 +1,181 @@
+#include "cactus/composite.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/priority.h"
+
+namespace cqos::cactus {
+
+CompositeProtocol::CompositeProtocol(Options opts) : opts_(std::move(opts)) {
+  if (opts_.use_thread_pool) {
+    pool_ = std::make_unique<PriorityThreadPool>(opts_.pool_threads,
+                                                 opts_.name + "-pool");
+  }
+}
+
+CompositeProtocol::~CompositeProtocol() { stop(); }
+
+void CompositeProtocol::add_protocol(std::unique_ptr<MicroProtocol> mp) {
+  MicroProtocol* raw = mp.get();
+  {
+    std::scoped_lock lk(mu_);
+    protocols_.push_back(std::move(mp));
+  }
+  // init() outside the lock: it will call bind(), which takes the lock.
+  raw->init(*this);
+}
+
+MicroProtocol* CompositeProtocol::find_protocol(std::string_view name) const {
+  std::scoped_lock lk(mu_);
+  for (const auto& mp : protocols_) {
+    if (mp->name() == name) return mp.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CompositeProtocol::protocol_names() const {
+  std::scoped_lock lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(protocols_.size());
+  for (const auto& mp : protocols_) names.emplace_back(mp->name());
+  return names;
+}
+
+CompositeProtocol::EventSlot& CompositeProtocol::slot_locked(
+    std::string_view event) {
+  auto it = events_.find(event);
+  if (it == events_.end()) {
+    it = events_.emplace(std::string(event), EventSlot{std::string(event), {}})
+             .first;
+  }
+  return it->second;
+}
+
+BindingId CompositeProtocol::bind(std::string_view event,
+                                  std::string handler_name, Handler handler,
+                                  int order, std::any static_arg) {
+  std::scoped_lock lk(mu_);
+  EventSlot& slot = slot_locked(event);
+  auto binding = std::make_shared<Binding>(
+      Binding{next_binding_++, order, next_seq_++, std::move(handler_name),
+              std::move(handler), std::move(static_arg)});
+  BindingId id = binding->id;
+  auto pos = std::upper_bound(
+      slot.bindings.begin(), slot.bindings.end(), binding,
+      [](const auto& a, const auto& b) {
+        return std::tie(a->order, a->seq) < std::tie(b->order, b->seq);
+      });
+  slot.bindings.insert(pos, std::move(binding));
+  binding_event_.emplace(id, slot.name);
+  return id;
+}
+
+bool CompositeProtocol::unbind(BindingId id) {
+  std::scoped_lock lk(mu_);
+  auto it = binding_event_.find(id);
+  if (it == binding_event_.end()) return false;
+  EventSlot& slot = slot_locked(it->second);
+  std::erase_if(slot.bindings, [&](const auto& b) { return b->id == id; });
+  binding_event_.erase(it);
+  return true;
+}
+
+std::size_t CompositeProtocol::binding_count(std::string_view event) const {
+  std::scoped_lock lk(mu_);
+  auto it = events_.find(event);
+  return it == events_.end() ? 0 : it->second.bindings.size();
+}
+
+void CompositeProtocol::run_activation(const std::string& event,
+                                       const std::any& dyn) {
+  // Snapshot the bindings so handlers can bind/unbind during execution.
+  std::vector<std::shared_ptr<Binding>> snapshot;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = events_.find(event);
+    if (it == events_.end()) return;
+    snapshot = it->second.bindings;
+  }
+  EventContext ctx(*this, event, dyn);
+  for (const auto& b : snapshot) {
+    ctx.static_arg_ = b->static_arg;
+    try {
+      b->handler(ctx);
+    } catch (const std::exception& e) {
+      CQOS_LOG_ERROR(opts_.name, ": handler '", b->handler_name, "' for '",
+                     event, "' threw: ", e.what());
+    }
+    if (ctx.halted()) break;
+  }
+}
+
+void CompositeProtocol::raise(std::string_view event, std::any dyn,
+                              int priority) {
+  std::string name(event);
+  if (priority == kInheritPriority) {
+    run_activation(name, dyn);
+  } else {
+    PriorityGuard guard(priority);
+    run_activation(name, dyn);
+  }
+}
+
+void CompositeProtocol::raise_async(std::string_view event, std::any dyn,
+                                    int priority) {
+  if (stopped_.load()) return;
+  if (priority == kInheritPriority) priority = current_thread_priority();
+  std::string name(event);
+  auto task = [this, name, dyn = std::move(dyn)] { run_activation(name, dyn); };
+  if (pool_) {
+    pool_->submit(priority, std::move(task));
+    return;
+  }
+  // Unoptimized thread-per-event mode (ablation baseline).
+  std::scoped_lock lk(threads_mu_);
+  if (stopped_.load()) return;
+  spawned_.emplace_back([priority, task = std::move(task)] {
+    PriorityGuard guard(priority);
+    task();
+  });
+}
+
+TimerId CompositeProtocol::raise_delayed(std::string_view event, std::any dyn,
+                                         Duration delay, int priority) {
+  std::string name(event);
+  if (priority == kInheritPriority) priority = current_thread_priority();
+  return timers_.schedule(delay, [this, name, dyn = std::move(dyn), priority] {
+    PriorityGuard guard(priority);
+    // Delayed raises execute handlers on the timer thread context via the
+    // pool to avoid blocking the timer loop.
+    raise_async(name, dyn, priority);
+  });
+}
+
+bool CompositeProtocol::cancel_delayed(TimerId id) {
+  return timers_.cancel(id);
+}
+
+void CompositeProtocol::stop() {
+  if (stopped_.exchange(true)) return;
+  timers_.shutdown();
+  if (pool_) pool_->shutdown();
+  std::vector<std::thread> to_join;
+  {
+    // Swap out under the lock, join outside it: a spawned thread may itself
+    // call raise_async (which takes threads_mu_) while we join.
+    std::scoped_lock lk(threads_mu_);
+    to_join.swap(spawned_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  std::vector<std::unique_ptr<MicroProtocol>> protos;
+  {
+    std::scoped_lock lk(mu_);
+    protos.swap(protocols_);
+  }
+  for (auto& mp : protos) mp->shutdown();
+}
+
+}  // namespace cqos::cactus

@@ -1,0 +1,64 @@
+#include "cactus/thread_pool.h"
+
+#include "common/log.h"
+#include "common/priority.h"
+
+namespace cqos::cactus {
+
+PriorityThreadPool::PriorityThreadPool(int num_threads, std::string name) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  (void)name;
+}
+
+PriorityThreadPool::~PriorityThreadPool() { shutdown(); }
+
+bool PriorityThreadPool::submit(int priority, std::function<void()> task) {
+  {
+    std::scoped_lock lk(mu_);
+    if (shutdown_) return false;
+    queue_.push(Item{priority, next_seq_++, std::move(task)});
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void PriorityThreadPool::shutdown() {
+  {
+    std::scoped_lock lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void PriorityThreadPool::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      // const_cast is safe: we pop immediately after moving the task out.
+      item = std::move(const_cast<Item&>(queue_.top()));
+      queue_.pop();
+    }
+    PriorityGuard guard(item.priority);
+    try {
+      item.task();
+    } catch (const std::exception& e) {
+      CQOS_LOG_ERROR("unhandled exception in pool task: ", e.what());
+    }
+  }
+}
+
+}  // namespace cqos::cactus

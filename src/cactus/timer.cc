@@ -1,0 +1,73 @@
+#include "cactus/timer.h"
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace cqos::cactus {
+
+TimerService::TimerService() : thread_([this] { loop(); }) {}
+
+TimerService::~TimerService() { shutdown(); }
+
+TimerId TimerService::schedule(Duration delay, std::function<void()> fn) {
+  TimerId id;
+  {
+    std::scoped_lock lk(mu_);
+    if (shutdown_) return kInvalidTimer;
+    id = next_id_++;
+    pending_.emplace(now() + delay, Entry{id, std::move(fn)});
+  }
+  cv_.notify_one();
+  return id;
+}
+
+bool TimerService::cancel(TimerId id) {
+  std::scoped_lock lk(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->second.id == id) {
+      pending_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TimerService::shutdown() {
+  {
+    std::scoped_lock lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    pending_.clear();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerService::loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (shutdown_) return;
+    if (pending_.empty()) {
+      cv_.wait(lk, [&] { return shutdown_ || !pending_.empty(); });
+      continue;
+    }
+    auto first = pending_.begin();
+    TimePoint deadline = first->first;
+    if (now() < deadline) {
+      cv_.wait_until(lk, deadline);
+      continue;  // re-evaluate: earlier timer may have been added/cancelled
+    }
+    Entry entry = std::move(first->second);
+    pending_.erase(first);
+    lk.unlock();
+    try {
+      entry.fn();
+    } catch (const std::exception& e) {
+      CQOS_LOG_ERROR("timer callback threw: ", e.what());
+    }
+    lk.lock();
+  }
+}
+
+}  // namespace cqos::cactus

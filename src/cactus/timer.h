@@ -1,0 +1,52 @@
+// Timer service backing Cactus's delayed event raises ("the raise operation
+// also supports a delay argument, which can be used to implement time-driven
+// execution") and their cancellation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace cqos::cactus {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class TimerService {
+ public:
+  TimerService();
+  ~TimerService();
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Run `fn` after `delay`. Returns an id usable with cancel().
+  TimerId schedule(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending timer. Returns true if it had not fired yet.
+  bool cancel(TimerId id);
+
+  void shutdown();
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::function<void()> fn;
+  };
+
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<TimePoint, Entry> pending_;
+  TimerId next_id_ = 1;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cqos::cactus

@@ -1,0 +1,25 @@
+// Time helpers used throughout the library.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cqos {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+inline TimePoint now() { return Clock::now(); }
+
+inline Duration us(std::int64_t n) { return std::chrono::microseconds(n); }
+inline Duration ms(std::int64_t n) { return std::chrono::milliseconds(n); }
+
+inline double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+inline double to_us(Duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace cqos

@@ -1,0 +1,65 @@
+// Error hierarchy shared by every CQoS module.
+//
+// All recoverable failures in the library are reported as exceptions derived
+// from cqos::Error so callers can catch one base type at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cqos {
+
+/// Base class for all errors raised by the CQoS library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed wire data (truncated buffer, bad tag, bad magic, ...).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// A Value was accessed as the wrong runtime type.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("type: " + what) {}
+};
+
+/// A blocking operation did not complete within its deadline.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error("timeout: " + what) {}
+};
+
+/// A remote invocation failed (server crashed, unreachable, or the servant
+/// raised an application exception).
+class InvocationError : public Error {
+ public:
+  explicit InvocationError(const std::string& what)
+      : Error("invocation: " + what) {}
+};
+
+/// A name could not be resolved by the platform naming service.
+class NameNotFound : public Error {
+ public:
+  explicit NameNotFound(const std::string& what)
+      : Error("name not found: " + what) {}
+};
+
+/// Security micro-protocol rejection (integrity violation, access denied,
+/// decryption failure).
+class SecurityError : public Error {
+ public:
+  explicit SecurityError(const std::string& what) : Error("security: " + what) {}
+};
+
+/// Invalid configuration (unknown micro-protocol, bad parameter, conflicting
+/// composition).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+}  // namespace cqos

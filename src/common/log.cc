@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cqos {
+namespace {
+
+LogLevel parse_level() {
+  const char* env = std::getenv("CQOS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+std::mutex g_log_mu;
+
+}  // namespace
+
+LogLevel log_threshold() {
+  static LogLevel level = parse_level();
+  return level;
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::scoped_lock lk(g_log_mu);
+  std::fprintf(stderr, "[cqos %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace cqos

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Controlled by the CQOS_LOG environment variable: error|warn|info|debug.
+// Defaults to warn so tests and benchmarks stay quiet.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cqos {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current threshold (parsed once from CQOS_LOG).
+LogLevel log_threshold();
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level > log_threshold()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_line(level, os.str());
+}
+
+#define CQOS_LOG_ERROR(...) ::cqos::log(::cqos::LogLevel::kError, __VA_ARGS__)
+#define CQOS_LOG_WARN(...) ::cqos::log(::cqos::LogLevel::kWarn, __VA_ARGS__)
+#define CQOS_LOG_INFO(...) ::cqos::log(::cqos::LogLevel::kInfo, __VA_ARGS__)
+#define CQOS_LOG_DEBUG(...) ::cqos::log(::cqos::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace cqos

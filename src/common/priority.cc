@@ -1,0 +1,18 @@
+#include "common/priority.h"
+
+namespace cqos {
+namespace {
+thread_local int g_priority = kNormalPriority;
+}  // namespace
+
+int current_thread_priority() { return g_priority; }
+
+int set_thread_priority(int priority) {
+  if (priority < kMinPriority) priority = kMinPriority;
+  if (priority > kMaxPriority) priority = kMaxPriority;
+  int prev = g_priority;
+  g_priority = priority;
+  return prev;
+}
+
+}  // namespace cqos

@@ -1,0 +1,36 @@
+// Logical thread priority.
+//
+// The paper's timeliness micro-protocols manipulate Java thread priorities.
+// Portable C++ cannot renice arbitrary threads, so CQoS models priority as a
+// thread-local integer that the Cactus runtime honours: async event handlers
+// are scheduled through a priority-ordered pool and, per the paper's runtime
+// change, execute "by a thread with the same priority as the thread that
+// raised the event, unless specified otherwise".
+#pragma once
+
+namespace cqos {
+
+/// Priority scale (larger = more urgent). Mirrors Java's 1..10 with 5 normal.
+inline constexpr int kMinPriority = 1;
+inline constexpr int kNormalPriority = 5;
+inline constexpr int kMaxPriority = 10;
+
+/// Current logical priority of the calling thread.
+int current_thread_priority();
+
+/// Set the calling thread's logical priority; returns the previous value.
+int set_thread_priority(int priority);
+
+/// RAII guard restoring the caller's priority on scope exit.
+class PriorityGuard {
+ public:
+  explicit PriorityGuard(int priority) : prev_(set_thread_priority(priority)) {}
+  ~PriorityGuard() { set_thread_priority(prev_); }
+  PriorityGuard(const PriorityGuard&) = delete;
+  PriorityGuard& operator=(const PriorityGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace cqos

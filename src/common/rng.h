@@ -1,0 +1,34 @@
+// Deterministic PRNG (SplitMix64) for reproducible tests, workloads and
+// simulated network jitter. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+
+namespace cqos {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cqos

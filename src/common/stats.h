@@ -1,0 +1,54 @@
+// Latency statistics accumulator used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cqos {
+
+/// Collects samples (milliseconds) and reports summary statistics.
+class LatencyRecorder {
+ public:
+  void add(double ms) { samples_.push_back(ms); }
+  void merge(const LatencyRecorder& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(idx));
+    auto hi = static_cast<std::size_t>(std::ceil(idx));
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+
+  double min() const {
+    return samples_.empty()
+               ? 0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return samples_.empty()
+               ? 0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace cqos

@@ -1,0 +1,74 @@
+// Small synchronization helpers built on <mutex>/<condition_variable>.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "common/clock.h"
+
+namespace cqos {
+
+/// One-shot gate: set() releases every current and future wait().
+class Gate {
+ public:
+  void set() {
+    {
+      std::scoped_lock lk(mu_);
+      set_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool is_set() const {
+    std::scoped_lock lk(mu_);
+    return set_;
+  }
+
+  void wait() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return set_; });
+  }
+
+  /// Returns false on timeout.
+  bool wait_for(Duration d) {
+    std::unique_lock lk(mu_);
+    return cv_.wait_for(lk, d, [&] { return set_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool set_ = false;
+};
+
+/// Counts down to zero; wait() releases when it reaches zero.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(int count) : count_(count) {}
+
+  void count_down() {
+    std::unique_lock lk(mu_);
+    if (count_ > 0 && --count_ == 0) {
+      lk.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return count_ == 0; });
+  }
+
+  bool wait_for(Duration d) {
+    std::unique_lock lk(mu_);
+    return cv_.wait_for(lk, d, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace cqos

@@ -1,0 +1,26 @@
+#include "cqos/cactus_client.h"
+
+#include "cqos/events.h"
+
+namespace cqos {
+
+CactusClient::CactusClient(std::unique_ptr<ClientQosInterface> qos,
+                           Options opts)
+    : proto_(opts.composite),
+      qos_(std::move(qos)),
+      request_timeout_(opts.request_timeout) {
+  auto holder = proto_.shared().get_or_create<ClientQosHolder>(kClientQosKey);
+  holder->qos = qos_.get();
+  holder->client = this;
+}
+
+CactusClient::~CactusClient() { stop(); }
+
+void CactusClient::cactus_request(const RequestPtr& req) {
+  proto_.raise(ev::kNewRequest, req);
+  if (!req->wait(request_timeout_)) {
+    req->complete(false, Value(), "cqos: request timed out");
+  }
+}
+
+}  // namespace cqos

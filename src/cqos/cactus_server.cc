@@ -1,0 +1,38 @@
+#include "cqos/cactus_server.h"
+
+#include "cqos/events.h"
+
+namespace cqos {
+
+CactusServer::CactusServer(std::unique_ptr<ServerQosInterface> qos,
+                           Options opts)
+    : proto_(opts.composite),
+      qos_(std::move(qos)),
+      process_timeout_(opts.process_timeout) {
+  auto holder = proto_.shared().get_or_create<ServerQosHolder>(kServerQosKey);
+  holder->qos = qos_.get();
+  holder->server = this;
+}
+
+CactusServer::~CactusServer() { stop(); }
+
+void CactusServer::process_request(const RequestPtr& req) {
+  proto_.raise(ev::kNewServerRequest, req);
+  if (!req->wait(process_timeout_)) {
+    req->complete(false, Value(), "cqos: server-side processing timed out");
+  }
+  // The reply is (about to be) sent back to the client; let scheduling
+  // micro-protocols release queued work.
+  proto_.raise_async(ev::kRequestReturned, req);
+}
+
+Value CactusServer::handle_control(const std::string& control,
+                                   ValueList args) {
+  auto msg = std::make_shared<ControlMsg>();
+  msg->control = control;
+  msg->args = std::move(args);
+  proto_.raise(ev::ctl(control), msg);
+  return msg->reply;
+}
+
+}  // namespace cqos

@@ -1,0 +1,82 @@
+// Cactus server (paper §2.3.2): the server-side composite protocol. The CQoS
+// skeleton notifies it of incoming invocations via cactus_invoke(); control
+// messages from peer replicas (PassiveRep forwarding, TotalOrder ordering
+// info) arrive through handle_control(), which raises "ctl:<name>" events.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cactus/composite.h"
+#include "common/clock.h"
+#include "cqos/qos_interface.h"
+
+namespace cqos {
+
+class CactusServer;
+
+/// Control message delivered from a peer replica (or a bootstrap client).
+struct ControlMsg {
+  std::string control;
+  ValueList args;
+  /// Handlers may set a reply returned to the sending peer.
+  Value reply;
+};
+using ControlMsgPtr = std::shared_ptr<ControlMsg>;
+
+/// Shared-data holder through which server micro-protocols reach the Cactus
+/// QoS interface and the hosting CactusServer.
+struct ServerQosHolder {
+  ServerQosInterface* qos = nullptr;
+  CactusServer* server = nullptr;
+};
+inline constexpr const char* kServerQosKey = "cqos.server.holder";
+
+class CactusServer {
+ public:
+  struct Options {
+    cactus::CompositeProtocol::Options composite{.name = "cactus-server",
+                                                 .pool_threads = 4,
+                                                 .use_thread_pool = true};
+    /// Upper bound on one request's server-side processing (covers queueing
+    /// delays introduced by the scheduling micro-protocols).
+    Duration process_timeout = ms(3000);
+  };
+
+  explicit CactusServer(std::unique_ptr<ServerQosInterface> qos)
+      : CactusServer(std::move(qos), Options{}) {}
+  CactusServer(std::unique_ptr<ServerQosInterface> qos, Options opts);
+  ~CactusServer();
+
+  CactusServer(const CactusServer&) = delete;
+  CactusServer& operator=(const CactusServer&) = delete;
+
+  cactus::CompositeProtocol& protocol() { return proto_; }
+  ServerQosInterface& qos() { return *qos_; }
+
+  void add_micro_protocol(std::unique_ptr<cactus::MicroProtocol> mp) {
+    proto_.add_protocol(std::move(mp));
+  }
+
+  /// Blocking: raise newServerRequest, wait until the request has been
+  /// executed (possibly deferred by scheduling micro-protocols), then raise
+  /// requestReturned. Called by the skeleton for client requests and by
+  /// PassiveRep for forwarded requests.
+  void process_request(const RequestPtr& req);
+
+  /// Alias matching the paper's interface name.
+  void cactus_invoke(const RequestPtr& req) { process_request(req); }
+
+  /// Raise the control event for an incoming "__cqos.ctl.<control>" call;
+  /// returns the handler-provided reply value.
+  Value handle_control(const std::string& control, ValueList args);
+
+  void stop() { proto_.stop(); }
+
+ private:
+  cactus::CompositeProtocol proto_;
+  std::unique_ptr<ServerQosInterface> qos_;
+  Duration process_timeout_;
+};
+
+}  // namespace cqos

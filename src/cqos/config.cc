@@ -1,0 +1,361 @@
+#include "cqos/config.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cqos {
+
+// --- MicroProtocolSpec ---------------------------------------------------------
+
+std::string MicroProtocolSpec::param(const std::string& key,
+                                     std::string def) const {
+  auto it = params.find(key);
+  return it == params.end() ? std::move(def) : it->second;
+}
+
+std::int64_t MicroProtocolSpec::param_int(const std::string& key,
+                                          std::int64_t def) const {
+  auto it = params.find(key);
+  if (it == params.end()) return def;
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(it->second.data(),
+                                   it->second.data() + it->second.size(), v);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+    throw ConfigError("parameter '" + key + "' of '" + name +
+                      "' is not an integer: " + it->second);
+  }
+  return v;
+}
+
+double MicroProtocolSpec::param_double(const std::string& key,
+                                       double def) const {
+  auto it = params.find(key);
+  if (it == params.end()) return def;
+  try {
+    std::size_t consumed = 0;
+    double v = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("parameter '" + key + "' of '" + name +
+                      "' is not a number: " + it->second);
+  }
+}
+
+// --- QosConfig parsing -----------------------------------------------------------
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '-' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      throw ConfigError("expected identifier at offset " +
+                        std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Parameter value: everything up to ',' or ')'.
+  std::string value() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    std::string v(text_.substr(start, pos_ - start));
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back())) != 0) {
+      v.pop_back();
+    }
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+MicroProtocolSpec parse_spec(Lexer& lex) {
+  MicroProtocolSpec spec;
+  spec.name = lex.ident();
+  if (lex.consume('(')) {
+    if (!lex.consume(')')) {
+      do {
+        std::string key = lex.ident();
+        if (!lex.consume('=')) {
+          throw ConfigError("expected '=' after parameter '" + key + "' of '" +
+                            spec.name + "'");
+        }
+        spec.params[key] = lex.value();
+      } while (lex.consume(','));
+      if (!lex.consume(')')) {
+        throw ConfigError("expected ')' closing parameters of '" + spec.name +
+                          "'");
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+QosConfig QosConfig::parse(std::string_view text) {
+  QosConfig cfg;
+  Lexer lex(text);
+  while (!lex.done()) {
+    std::string section = lex.ident();
+    if (!lex.consume(':')) {
+      throw ConfigError("expected ':' after section '" + section + "'");
+    }
+    std::vector<MicroProtocolSpec>* target = nullptr;
+    if (section == "client") {
+      target = &cfg.client;
+    } else if (section == "server") {
+      target = &cfg.server;
+    } else {
+      throw ConfigError("unknown section '" + section +
+                        "' (expected client/server)");
+    }
+    if (lex.peek() == ';' || lex.done()) {  // empty section
+      lex.consume(';');
+      continue;
+    }
+    do {
+      target->push_back(parse_spec(lex));
+    } while (lex.consume(','));
+    lex.consume(';');
+  }
+  return cfg;
+}
+
+std::string QosConfig::serialize() const {
+  std::ostringstream os;
+  auto emit = [&os](const char* label,
+                    const std::vector<MicroProtocolSpec>& specs) {
+    os << label << ":";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      os << (i == 0 ? " " : ", ") << specs[i].name;
+      if (!specs[i].params.empty()) {
+        os << "(";
+        bool first = true;
+        for (const auto& [k, v] : specs[i].params) {
+          if (!first) os << ", ";
+          first = false;
+          os << k << "=" << v;
+        }
+        os << ")";
+      }
+    }
+    os << ";\n";
+  };
+  emit("client", client);
+  emit("server", server);
+  return os.str();
+}
+
+QosConfig& QosConfig::add(Side s, std::string name,
+                          std::map<std::string, std::string> params) {
+  auto& target = s == Side::kClient ? client : server;
+  target.push_back(MicroProtocolSpec{std::move(name), std::move(params)});
+  return *this;
+}
+
+// --- validation -------------------------------------------------------------------
+
+namespace {
+
+bool has(const std::vector<MicroProtocolSpec>& specs, std::string_view name) {
+  for (const auto& spec : specs) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+const MicroProtocolSpec* find(const std::vector<MicroProtocolSpec>& specs,
+                              std::string_view name) {
+  for (const auto& spec : specs) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ValidationResult validate(const QosConfig& config) {
+  ValidationResult result;
+  const auto& registry = MicroProtocolRegistry::instance();
+
+  // Every spec must resolve and construct (this checks parameters too).
+  auto check_side = [&](Side side, const char* label) {
+    for (const auto& spec : config.side(side)) {
+      if (!registry.contains(side, spec.name)) {
+        result.errors.push_back(std::string(label) +
+                                ": unknown micro-protocol '" + spec.name + "'");
+        continue;
+      }
+      try {
+        (void)registry.create(side, spec);
+      } catch (const ConfigError& e) {
+        result.errors.push_back(std::string(label) + ": " + spec.name + ": " +
+                                e.what());
+      }
+    }
+  };
+  check_side(Side::kClient, "client");
+  check_side(Side::kServer, "server");
+
+  const auto& c = config.client;
+  const auto& s = config.server;
+
+  // Replication style conflicts and mismatches.
+  if (has(c, "active_rep") && has(c, "passive_rep")) {
+    result.errors.push_back(
+        "client: active_rep and passive_rep are mutually exclusive");
+  }
+  if (has(c, "passive_rep") != has(s, "passive_rep")) {
+    result.warnings.push_back(
+        "passive_rep must be configured on both sides (client assigner + "
+        "server forwarding/dedup)");
+  }
+  if ((has(c, "first_success") || has(c, "majority_vote")) &&
+      !has(c, "active_rep")) {
+    result.warnings.push_back(
+        "client: acceptance micro-protocols (first_success/majority_vote) "
+        "have no effect without active_rep");
+  }
+  if (has(c, "first_success") && has(c, "majority_vote")) {
+    result.errors.push_back(
+        "client: first_success and majority_vote are mutually exclusive");
+  }
+  if (has(s, "total_order") && !has(c, "active_rep")) {
+    result.warnings.push_back(
+        "server: total_order without client-side active_rep orders only the "
+        "requests each replica happens to receive");
+  }
+
+  // One-sided security.
+  for (const char* protocol : {"des_privacy", "integrity"}) {
+    const MicroProtocolSpec* on_client = find(c, protocol);
+    const MicroProtocolSpec* on_server = find(s, protocol);
+    if ((on_client == nullptr) != (on_server == nullptr)) {
+      result.warnings.push_back(std::string(protocol) +
+                                " configured on one side only: all calls "
+                                "will be rejected");
+    } else if (on_client != nullptr && on_server != nullptr &&
+               on_client->param("key") != on_server->param("key")) {
+      result.warnings.push_back(std::string(protocol) +
+                                ": client and server keys differ");
+    }
+  }
+
+  // Scheduler conflicts.
+  int schedulers = (has(s, "queued_sched") ? 1 : 0) +
+                   (has(s, "timed_sched") ? 1 : 0);
+  if (schedulers > 1) {
+    result.errors.push_back(
+        "server: queued_sched and timed_sched are mutually exclusive");
+  }
+
+  return result;
+}
+
+// --- MicroProtocolRegistry -------------------------------------------------------
+
+MicroProtocolRegistry& MicroProtocolRegistry::instance() {
+  static MicroProtocolRegistry registry;
+  return registry;
+}
+
+void MicroProtocolRegistry::add(Side side, const std::string& name,
+                                Factory factory) {
+  std::scoped_lock lk(mu_);
+  factories_[{static_cast<int>(side), name}] = std::move(factory);
+}
+
+bool MicroProtocolRegistry::contains(Side side, const std::string& name) const {
+  std::scoped_lock lk(mu_);
+  return factories_.contains({static_cast<int>(side), name});
+}
+
+std::vector<std::string> MicroProtocolRegistry::names(Side side) const {
+  std::scoped_lock lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, factory] : factories_) {
+    if (key.first == static_cast<int>(side)) out.push_back(key.second);
+  }
+  return out;
+}
+
+std::unique_ptr<cactus::MicroProtocol> MicroProtocolRegistry::create(
+    Side side, const MicroProtocolSpec& spec) const {
+  Factory factory;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = factories_.find({static_cast<int>(side), spec.name});
+    if (it == factories_.end()) {
+      throw ConfigError("unknown " +
+                        std::string(side == Side::kClient ? "client" : "server") +
+                        " micro-protocol: " + spec.name);
+    }
+    factory = it->second;
+  }
+  return factory(spec);
+}
+
+void MicroProtocolRegistry::install(Side side,
+                                    const std::vector<MicroProtocolSpec>& specs,
+                                    cactus::CompositeProtocol& proto) const {
+  for (const auto& spec : specs) {
+    proto.add_protocol(create(side, spec));
+  }
+}
+
+}  // namespace cqos

@@ -1,0 +1,102 @@
+// QoS configuration: which micro-protocols run on each side, with parameters.
+//
+// Customization is done "statically at configuration time ... by using a
+// configuration file that is read by the constructor of the composite
+// protocol" (paper §2.3.3) or dynamically by downloading a matching
+// configuration at startup (see dynamic_config.h). The textual format:
+//
+//     # comment
+//     client: active_rep, majority_vote, des_privacy(key=00112233445566aa)
+//     server: total_order, des_privacy(key=00112233445566aa)
+//
+// Micro-protocol factories are looked up in the MicroProtocolRegistry, the
+// C++ analogue of rControl's dynamic class loading: configurations are data,
+// resolved against the registry at install time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cactus/composite.h"
+
+namespace cqos {
+
+enum class Side { kClient, kServer };
+
+struct MicroProtocolSpec {
+  std::string name;
+  std::map<std::string, std::string> params;
+
+  std::string param(const std::string& key, std::string def = {}) const;
+  std::int64_t param_int(const std::string& key, std::int64_t def) const;
+  double param_double(const std::string& key, double def) const;
+};
+
+struct QosConfig {
+  std::vector<MicroProtocolSpec> client;
+  std::vector<MicroProtocolSpec> server;
+
+  /// Parse the textual format above. Throws ConfigError.
+  static QosConfig parse(std::string_view text);
+
+  /// Round-trippable serialization.
+  std::string serialize() const;
+
+  const std::vector<MicroProtocolSpec>& side(Side s) const {
+    return s == Side::kClient ? client : server;
+  }
+
+  /// Append a spec to one side (builder-style convenience).
+  QosConfig& add(Side s, std::string name,
+                 std::map<std::string, std::string> params = {});
+};
+
+/// Result of statically checking a configuration (the role the paper
+/// assigns to a CactusBuilder-like tool, §2.3.3): errors make the
+/// configuration unusable; warnings flag compositions that are legal but
+/// almost certainly not what was meant.
+struct ValidationResult {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Check every spec against the registry (unknown names, bad parameters —
+/// each factory is actually constructed) and apply composition rules:
+/// mixed replication styles, one-sided security, conflicting schedulers,
+/// acceptance without replication, client/server stack mismatches.
+ValidationResult validate(const QosConfig& config);
+
+class MicroProtocolRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<cactus::MicroProtocol>(
+      const MicroProtocolSpec&)>;
+
+  /// Process-wide registry (populated by register_standard_micro_protocols
+  /// in the micro library; applications may add their own).
+  static MicroProtocolRegistry& instance();
+
+  void add(Side side, const std::string& name, Factory factory);
+  bool contains(Side side, const std::string& name) const;
+  std::vector<std::string> names(Side side) const;
+
+  /// Instantiate one micro-protocol. Throws ConfigError for unknown names.
+  std::unique_ptr<cactus::MicroProtocol> create(
+      Side side, const MicroProtocolSpec& spec) const;
+
+  /// Instantiate and install every spec of `side` into `proto`, in order.
+  void install(Side side, const std::vector<MicroProtocolSpec>& specs,
+               cactus::CompositeProtocol& proto) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::string>, Factory> factories_;
+};
+
+}  // namespace cqos

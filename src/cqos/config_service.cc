@@ -1,0 +1,83 @@
+#include "cqos/config_service.h"
+
+#include "common/error.h"
+#include "cqos/skeleton.h"
+
+namespace cqos {
+
+Value ConfigServiceServant::dispatch(const std::string& method,
+                                     const ValueList& params) {
+  if (method == "put") {
+    const std::string& user = params.at(0).as_string();
+    const std::string& service = params.at(1).as_string();
+    const std::string& text = params.at(2).as_string();
+    (void)QosConfig::parse(text);  // reject malformed configurations
+    std::scoped_lock lk(mu_);
+    table_[{user, service}] = text;
+    return Value(true);
+  }
+  if (method == "get") {
+    const std::string& user = params.at(0).as_string();
+    const std::string& service = params.at(1).as_string();
+    std::scoped_lock lk(mu_);
+    auto it = table_.find({user, service});
+    if (it == table_.end()) it = table_.find({"*", service});
+    if (it == table_.end()) {
+      throw Error("no configuration for [" + user + ", " + service + "]");
+    }
+    return Value(it->second);
+  }
+  if (method == "remove") {
+    const std::string& user = params.at(0).as_string();
+    const std::string& service = params.at(1).as_string();
+    std::scoped_lock lk(mu_);
+    return Value(table_.erase({user, service}) > 0);
+  }
+  throw Error("ConfigService: no such method: " + method);
+}
+
+void ConfigServiceServant::put(const std::string& user,
+                               const std::string& service,
+                               const QosConfig& config) {
+  std::scoped_lock lk(mu_);
+  table_[{user, service}] = config.serialize();
+}
+
+void register_config_service(plat::Platform& platform,
+                             std::shared_ptr<ConfigServiceServant> servant) {
+  platform.register_servant(platform.direct_name(kConfigServiceName),
+                            std::make_shared<DirectServantHandler>(servant),
+                            plat::DispatchMode::kStatic);
+}
+
+namespace {
+std::shared_ptr<plat::ObjectRef> resolve_service(plat::Platform& platform,
+                                                 Duration timeout) {
+  return platform.resolve(platform.direct_name(kConfigServiceName), timeout);
+}
+}  // namespace
+
+void publish_config(plat::Platform& platform, const std::string& user,
+                    const std::string& service, const QosConfig& config,
+                    Duration timeout) {
+  auto ref = resolve_service(platform, timeout);
+  plat::Reply reply = ref->invoke(
+      "put", {Value(user), Value(service), Value(config.serialize())}, {},
+      timeout);
+  if (!reply.ok()) {
+    throw InvocationError("config service put failed: " + reply.error);
+  }
+}
+
+QosConfig fetch_config_for(plat::Platform& platform, const std::string& user,
+                           const std::string& service, Duration timeout) {
+  auto ref = resolve_service(platform, timeout);
+  plat::Reply reply =
+      ref->invoke("get", {Value(user), Value(service)}, {}, timeout);
+  if (!reply.ok()) {
+    throw InvocationError("config service get failed: " + reply.error);
+  }
+  return QosConfig::parse(reply.result.as_string());
+}
+
+}  // namespace cqos

@@ -1,0 +1,60 @@
+// External configuration service (paper §2.3.3).
+//
+// "An external configuration service allows the properties — and thus the
+// configurations — to be defined for all [user,service] pairs without
+// requiring direct manual configuration of protocols."
+//
+// The service is itself an ordinary distributed object: a servant holding a
+// [user, service] -> QosConfig table, registered under a well-known name.
+// Clients and servers fetch their micro-protocol stacks from it at startup;
+// lookups fall back from the exact user to the wildcard user "*".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cqos/config.h"
+#include "cqos/servant.h"
+#include "platform/api.h"
+
+namespace cqos {
+
+/// Well-known object name of the configuration service.
+inline constexpr const char* kConfigServiceName = "CQoSConfigService";
+
+/// The service's servant. Methods (via generic dispatch):
+///   put(user, service, config_text) -> true
+///   get(user, service) -> config_text    (exact, then user "*"; error if
+///                                          neither is defined)
+///   remove(user, service) -> bool
+class ConfigServiceServant : public Servant {
+ public:
+  Value dispatch(const std::string& method, const ValueList& params) override;
+
+  /// Local (in-process) convenience for seeding.
+  void put(const std::string& user, const std::string& service,
+           const QosConfig& config);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, std::string> table_;
+};
+
+/// Register `servant` with `platform` under the well-known name.
+void register_config_service(plat::Platform& platform,
+                             std::shared_ptr<ConfigServiceServant> servant);
+
+/// Publish a configuration for [user, service] through the platform.
+void publish_config(plat::Platform& platform, const std::string& user,
+                    const std::string& service, const QosConfig& config,
+                    Duration timeout);
+
+/// Fetch the configuration for [user, service]. Throws NameNotFound if the
+/// service is unreachable and InvocationError if no configuration is
+/// defined for the pair (or the wildcard user).
+QosConfig fetch_config_for(plat::Platform& platform, const std::string& user,
+                           const std::string& service, Duration timeout);
+
+}  // namespace cqos

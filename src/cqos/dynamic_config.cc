@@ -1,0 +1,43 @@
+#include "cqos/dynamic_config.h"
+
+#include "common/error.h"
+#include "cqos/events.h"
+
+namespace cqos {
+
+void advertise_config(CactusServer& server, const QosConfig& config) {
+  std::string serialized = config.serialize();
+  server.protocol().bind(
+      ev::ctl(kConfigFetchControl), "configServer",
+      [serialized](cactus::EventContext& ctx) {
+        auto msg = ctx.dyn<ControlMsgPtr>();
+        msg->reply = Value(serialized);
+      },
+      cactus::kOrderDefault);
+}
+
+QosConfig fetch_config(plat::Platform& platform, const std::string& object_id,
+                       int replica_index, Duration timeout) {
+  auto ref =
+      platform.resolve(platform.replica_name(object_id, replica_index), timeout);
+  plat::Reply reply =
+      ref->invoke(std::string(ev::kCtlMethodPrefix) + kConfigFetchControl, {},
+                  {}, timeout);
+  if (!reply.ok()) {
+    throw InvocationError("config bootstrap failed: " + reply.error);
+  }
+  if (reply.result.is_null()) {
+    throw ConfigError("server advertises no configuration for " + object_id);
+  }
+  return QosConfig::parse(reply.result.as_string());
+}
+
+void bootstrap_client(CactusClient& client, plat::Platform& platform,
+                      const std::string& object_id, int replica_index,
+                      Duration timeout) {
+  QosConfig config = fetch_config(platform, object_id, replica_index, timeout);
+  MicroProtocolRegistry::instance().install(Side::kClient, config.client,
+                                            client.protocol());
+}
+
+}  // namespace cqos

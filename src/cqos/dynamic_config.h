@@ -1,0 +1,44 @@
+// Dynamic customization (paper §2.3.3): matching client configurations are
+// loaded at execution time rather than compiled in.
+//
+// The paper's Cactus/J prototype boots with the rBoot micro-protocol, which
+// downloads rControl (a Java archive) over a separate TCP connection, and
+// rControl then loads the configured micro-protocols dynamically. Portable
+// C++ cannot load new code safely at runtime, so CQoS preserves the deployed
+// behaviour instead of the mechanism: the server *advertises* its required
+// client configuration as data (the serialized QosConfig), the client fetches
+// it at startup over a control invocation and resolves each micro-protocol
+// name against the in-process MicroProtocolRegistry (the analogue of the
+// already-loaded class path). Updates therefore only need to be made at the
+// server, exactly as in the paper's deployment story.
+#pragma once
+
+#include <string>
+
+#include "cqos/cactus_client.h"
+#include "cqos/cactus_server.h"
+#include "cqos/config.h"
+#include "platform/api.h"
+
+namespace cqos {
+
+/// Control name under which the advertised configuration is served.
+inline constexpr const char* kConfigFetchControl = "cfg_fetch";
+
+/// Bind a control handler on `server` that serves `config` to bootstrapping
+/// clients (the rControl-analogue on the server side).
+void advertise_config(CactusServer& server, const QosConfig& config);
+
+/// Fetch the advertised configuration from replica `replica_index` (1-based)
+/// of `object_id` (the rBoot-analogue on the client side). Throws on
+/// unreachable server or malformed configuration.
+QosConfig fetch_config(plat::Platform& platform, const std::string& object_id,
+                       int replica_index, Duration timeout);
+
+/// Convenience: fetch the configuration and install its client-side
+/// micro-protocols into `client`.
+void bootstrap_client(CactusClient& client, plat::Platform& platform,
+                      const std::string& object_id, int replica_index,
+                      Duration timeout);
+
+}  // namespace cqos

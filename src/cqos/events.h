@@ -1,0 +1,30 @@
+// Event vocabulary of the Cactus client and server (paper Figure 3).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cqos::ev {
+
+// Client-side events.
+inline constexpr std::string_view kNewRequest = "newRequest";
+inline constexpr std::string_view kReadyToSend = "readyToSend";
+inline constexpr std::string_view kInvokeSuccess = "invokeSuccess";
+inline constexpr std::string_view kInvokeFailure = "invokeFailure";
+
+// Server-side events.
+inline constexpr std::string_view kNewServerRequest = "newServerRequest";
+inline constexpr std::string_view kReadyToInvoke = "readyToInvoke";
+inline constexpr std::string_view kInvokeReturn = "invokeReturn";
+inline constexpr std::string_view kRequestReturned = "requestReturned";
+
+/// Control-message events (replica-to-replica coordination): the skeleton
+/// raises "ctl:<name>" when a "__cqos.ctl.<name>" invocation arrives.
+inline std::string ctl(std::string_view name) {
+  return "ctl:" + std::string(name);
+}
+
+/// Method-name prefix for control invocations on the skeleton.
+inline constexpr std::string_view kCtlMethodPrefix = "__cqos.ctl.";
+
+}  // namespace cqos::ev

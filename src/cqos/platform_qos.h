@@ -1,0 +1,100 @@
+// Platform-backed implementations of the Cactus QoS interface.
+//
+// These are the only CQoS components that touch plat::Platform; everything
+// above them (micro-protocols, Cactus client/server) is platform neutral.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cqos/qos_interface.h"
+#include "cqos/servant.h"
+#include "platform/api.h"
+
+namespace cqos {
+
+struct ClientQosOptions {
+  Duration invoke_timeout = ms(1000);
+  Duration resolve_timeout = ms(500);
+  Duration ping_timeout = ms(100);
+  /// Use the platform's dynamic invocation path (DII on CORBA). The CQoS
+  /// stub always does (paper §4.1); turning it off isolates the DII cost in
+  /// bench_ablation_marshal.
+  bool use_dynamic_invocation = true;
+};
+
+/// Client-side interface: resolves replica names through the platform naming
+/// service and issues (dynamic) invocations. `server_names[i]` is the
+/// platform name of replica i — built with Platform::replica_name() for CQoS
+/// deployments or Platform::direct_name() for baseline/bypass setups.
+class PlatformClientQos : public ClientQosInterface {
+ public:
+  PlatformClientQos(plat::Platform& platform, std::string object_id,
+                    std::vector<std::string> server_names,
+                    ClientQosOptions opts = {});
+
+  int num_servers() const override {
+    return static_cast<int>(slots_.size());
+  }
+  void bind(int server) override;
+  ServerStatus server_status(int server) override;
+  ServerStatus probe(int server) override;
+  void mark_failed(int server) override;
+  void invoke_server(Request& req, Invocation& inv) override;
+  std::string description() const override;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::shared_ptr<plat::ObjectRef> ref;
+    ServerStatus status = ServerStatus::kUnknown;
+  };
+
+  std::shared_ptr<plat::ObjectRef> ref_for(int server);
+
+  plat::Platform& platform_;
+  std::string object_id_;
+  ClientQosOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+struct ServerQosOptions {
+  Duration peer_timeout = ms(800);
+  Duration resolve_timeout = ms(500);
+};
+
+/// Server-side interface: native servant invocation plus replica-to-replica
+/// control messaging (used by PassiveRep forwarding and TotalOrder).
+class PlatformServerQos : public ServerQosInterface {
+ public:
+  /// `peer_names[i]` is the platform name of replica i's skeleton (including
+  /// this replica's own, which is never contacted).
+  PlatformServerQos(plat::Platform& platform, std::shared_ptr<Servant> servant,
+                    std::string object_id, std::vector<std::string> peer_names,
+                    int self_index, ServerQosOptions opts = {});
+
+  int num_servers() const override {
+    return static_cast<int>(peer_names_.size());
+  }
+  int replica_index() const override { return self_index_; }
+  const std::string& object_id() const override { return object_id_; }
+  void invoke_servant(Request& req) override;
+  bool peer_call(int peer, const std::string& control, const ValueList& args,
+                 Value* reply) override;
+  std::string description() const override;
+
+ private:
+  plat::Platform& platform_;
+  std::shared_ptr<Servant> servant_;
+  std::string object_id_;
+  std::vector<std::string> peer_names_;
+  int self_index_;
+  ServerQosOptions opts_;
+  std::mutex mu_;
+  std::vector<std::shared_ptr<plat::ObjectRef>> peer_refs_;
+};
+
+}  // namespace cqos

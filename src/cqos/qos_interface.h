@@ -1,0 +1,84 @@
+// The Cactus QoS interface (paper §2.2): the abstraction through which the
+// platform-independent QoS micro-protocols manipulate requests, server
+// connections and the servant, without seeing platform or application
+// details. Server replicas are addressed by index (0..N-1), never by
+// platform identifiers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cqos/request.h"
+
+namespace cqos {
+
+enum class ServerStatus {
+  kRunning,  // bound and believed alive
+  kFailed,   // marked failed (invocation error or failed ping)
+  kUnknown,  // never bound
+};
+
+/// Client-side half: connection management and server invocation.
+class ClientQosInterface {
+ public:
+  virtual ~ClientQosInterface() = default;
+
+  virtual int num_servers() const = 0;
+
+  /// (Re)establish the binding to `server`, clearing any failure mark.
+  /// Throws (NameNotFound/TimeoutError) if the replica cannot be resolved.
+  virtual void bind(int server) = 0;
+
+  virtual ServerStatus server_status(int server) = 0;
+
+  /// Actively probe a replica (liveness ping) and update its cached status.
+  /// Unlike server_status(), this performs a network round trip. Unbound
+  /// replicas are resolved first. Used by the failure-detector
+  /// micro-protocol; the paper notes server_status() "could be extended to
+  /// provide information such as the load conditions on the server".
+  virtual ServerStatus probe(int server) = 0;
+
+  /// Record that `server` is considered crashed (used by PassiveRep's
+  /// primarySelector and by the base invoker on transport failures).
+  virtual void mark_failed(int server) = 0;
+
+  /// Blocking invocation of one replica; outcome lands in `inv`. Transport
+  /// failures mark the server failed and set inv.success = false.
+  virtual void invoke_server(Request& req, Invocation& inv) = 0;
+
+  virtual std::string description() const = 0;
+};
+
+/// Server-side half: servant invocation and replica coordination.
+class ServerQosInterface {
+ public:
+  virtual ~ServerQosInterface() = default;
+
+  virtual int num_servers() const = 0;
+
+  /// This replica's index (0-based).
+  virtual int replica_index() const = 0;
+
+  /// Application object id served by this replica group.
+  virtual const std::string& object_id() const = 0;
+
+  /// Invoke the actual server object with req.params; sets the request's
+  /// completion state (result or application error).
+  virtual void invoke_servant(Request& req) = 0;
+
+  /// Send a control message to a peer replica ("__cqos.ctl.<control>").
+  /// Blocking; returns false if the peer is unreachable.
+  virtual bool peer_send(int peer, const std::string& control,
+                         const ValueList& args) {
+    return peer_call(peer, control, args, nullptr);
+  }
+
+  /// As peer_send(), but also captures the control handler's reply value
+  /// (used by the request-log recovery exchange).
+  virtual bool peer_call(int peer, const std::string& control,
+                         const ValueList& args, Value* reply) = 0;
+
+  virtual std::string description() const = 0;
+};
+
+}  // namespace cqos

@@ -1,0 +1,181 @@
+#include "cqos/request.h"
+
+#include <atomic>
+
+namespace cqos {
+
+std::uint64_t Request::next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Request::Request(std::string object_id_in, std::string method_in,
+                 ValueList params_in)
+    : id(next_id()),
+      object_id(std::move(object_id_in)),
+      method(std::move(method_in)),
+      params(std::move(params_in)) {}
+
+bool Request::complete(bool success, Value result, std::string error) {
+  {
+    std::scoped_lock lk(mu_);
+    if (done_) return false;
+    done_ = true;
+    success_ = success;
+    result_ = std::move(result);
+    error_ = std::move(error);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void Request::stage(bool success, Value result, std::string error) {
+  std::scoped_lock lk(mu_);
+  if (done_) return;
+  success_ = success;
+  result_ = std::move(result);
+  error_ = std::move(error);
+}
+
+void Request::finish() {
+  {
+    std::scoped_lock lk(mu_);
+    if (done_) return;
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Request::staged_success() const {
+  std::scoped_lock lk(mu_);
+  return success_;
+}
+
+Value Request::staged_result() const {
+  std::scoped_lock lk(mu_);
+  return result_;
+}
+
+std::string Request::staged_error() const {
+  std::scoped_lock lk(mu_);
+  return error_;
+}
+
+void Request::set_staged_result(Value v) {
+  std::scoped_lock lk(mu_);
+  if (done_) return;
+  result_ = std::move(v);
+}
+
+bool Request::has_flag(const std::string& flag) const {
+  std::scoped_lock lk(flags_mu_);
+  return flags_.contains(flag);
+}
+
+bool Request::wait(Duration timeout) {
+  std::unique_lock lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return done_; });
+}
+
+bool Request::is_done() const {
+  std::scoped_lock lk(mu_);
+  return done_;
+}
+
+bool Request::succeeded() const {
+  std::scoped_lock lk(mu_);
+  return done_ && success_;
+}
+
+PiggybackMap Request::reply_piggyback() const {
+  std::scoped_lock lk(mu_);
+  return reply_pb_;
+}
+
+void Request::merge_reply_piggyback(const PiggybackMap& pb) {
+  std::scoped_lock lk(mu_);
+  for (const auto& [k, v] : pb) reply_pb_[k] = v;
+}
+
+void Request::set_expected_replies(int n) {
+  std::scoped_lock lk(mu_);
+  expected_replies_ = n;
+}
+
+int Request::expected_replies() const {
+  std::scoped_lock lk(mu_);
+  return expected_replies_;
+}
+
+Request::Counts Request::record_outcome(const Invocation& inv) {
+  std::scoped_lock lk(mu_);
+  if (inv.success) {
+    ++successes_;
+  } else {
+    ++failures_;
+  }
+  return Counts{successes_, failures_, expected_replies_};
+}
+
+void Request::reclassify_success_as_failure() {
+  std::scoped_lock lk(mu_);
+  if (successes_ > 0) {
+    --successes_;
+    ++failures_;
+  }
+}
+
+Request::Counts Request::counts() const {
+  std::scoped_lock lk(mu_);
+  return Counts{successes_, failures_, expected_replies_};
+}
+
+void Request::reset(std::string object_id_in, std::string method_in,
+                    ValueList params_in) {
+  std::scoped_lock lk(mu_, flags_mu_);
+  flags_.clear();
+  id = next_id();
+  object_id = std::move(object_id_in);
+  method = std::move(method_in);
+  params = std::move(params_in);
+  piggyback.clear();
+  forwarded = false;
+  done_ = false;
+  success_ = false;
+  result_ = Value();
+  error_.clear();
+  reply_pb_.clear();
+  expected_replies_ = 1;
+  successes_ = 0;
+  failures_ = 0;
+}
+
+ValueList Request::encode_for_forward() const {
+  ByteWriter pb_writer;
+  encode_piggyback(pb_writer, piggyback);
+  return ValueList{
+      Value(static_cast<std::int64_t>(id)),
+      Value(method),
+      Value(Value::encode_list(params)),
+      Value(std::move(pb_writer).take()),
+  };
+}
+
+RequestPtr Request::decode_forwarded(const std::string& object_id,
+                                     const ValueList& args) {
+  auto req = std::make_shared<Request>();
+  req->id = static_cast<std::uint64_t>(args.at(0).as_i64());
+  req->object_id = object_id;
+  req->method = args.at(1).as_string();
+  req->params = Value::decode_list(args.at(2).as_bytes());
+  ByteReader pb_reader(args.at(3).as_bytes());
+  req->piggyback = decode_piggyback(pb_reader);
+  req->forwarded = true;
+  auto it = req->piggyback.find(pbkey::kPriority);
+  if (it != req->piggyback.end()) {
+    req->priority = static_cast<int>(it->second.as_i64());
+  }
+  return req;
+}
+
+}  // namespace cqos

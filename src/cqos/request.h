@@ -1,0 +1,166 @@
+// Abstract request object (paper §2.2).
+//
+// The CQoS stub converts a method call into a Request — a platform-neutral
+// representation whose parameters are a vector of Values — and the Cactus
+// client/server micro-protocols manipulate it through accessor methods. The
+// piggyback map carries extra CQoS parameters (request id, priority,
+// principal, HMAC, ordering info) across the wire as service contexts.
+//
+// A Request is shared (shared_ptr) between the stub, concurrently executing
+// handler instances (ActiveRep runs one invoker per replica) and late
+// replies; its mutable state is guarded by an internal mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/clock.h"
+#include "common/priority.h"
+#include "common/value.h"
+
+namespace cqos {
+
+class Request;
+using RequestPtr = std::shared_ptr<Request>;
+
+/// One attempted server invocation of a request. ActiveRep creates one per
+/// replica; the acceptance micro-protocols combine their outcomes.
+struct Invocation {
+  RequestPtr request;
+  int server = 0;  // replica index, 0-based
+  bool success = false;
+  /// True when the failure was transport-level (crash/partition/timeout):
+  /// the replica is presumed dead. False failures are application errors
+  /// from a live server and must not trigger failover.
+  bool transport_failure = false;
+  Value result;
+  std::string error;
+  PiggybackMap reply_piggyback;
+};
+using InvocationPtr = std::shared_ptr<Invocation>;
+
+/// Well-known piggyback keys.
+namespace pbkey {
+inline constexpr const char* kRequestId = "cq.id";
+inline constexpr const char* kPriority = "cq.prio";
+inline constexpr const char* kPrincipal = "cq.principal";
+inline constexpr const char* kEncrypted = "cq.enc";
+inline constexpr const char* kHmac = "cq.hmac";
+inline constexpr const char* kForwarded = "cq.fwd";
+}  // namespace pbkey
+
+class Request {
+ public:
+  /// Globally unique id (stamped by the client stub, carried in piggyback).
+  static std::uint64_t next_id();
+
+  Request() = default;
+  Request(std::string object_id, std::string method, ValueList params);
+
+  // --- immutable-ish identification (set before the request enters Cactus) --
+  std::uint64_t id = 0;
+  std::string object_id;
+  std::string method;
+  ValueList params;
+  PiggybackMap piggyback;
+  int priority = kNormalPriority;
+
+  /// Server side: true when this request arrived via replica-to-replica
+  /// forwarding (PassiveRep) rather than from a client; no reply is due.
+  bool forwarded = false;
+
+  // --- completion (guarded) -------------------------------------------------
+
+  /// First-completion wins; later calls are ignored. Returns true when this
+  /// call performed the completion.
+  bool complete(bool success, Value result, std::string error = {});
+
+  /// Server-side two-phase completion: invoke_servant() *stages* the outcome
+  /// so invokeReturn handlers (reply encryption, signing, forwarding) can
+  /// still transform it; the base returnReleaser then finish()es, releasing
+  /// the waiting skeleton thread. stage() after completion is a no-op.
+  void stage(bool success, Value result, std::string error = {});
+  void finish();
+
+  bool staged_success() const;
+  Value staged_result() const;
+  std::string staged_error() const;
+  void set_staged_result(Value v);
+
+  /// One-shot named flag with an action: runs `fn` and returns true exactly
+  /// once per flag name (later calls return false without running fn).
+  /// Concurrent callers block until the first finishes, so post-condition
+  /// state (e.g. encrypted parameters) is visible to everyone. Used by
+  /// handlers that must be idempotent across concurrent ActiveRep
+  /// activations of the same request.
+  template <typename Fn>
+  bool once(const std::string& flag, Fn&& fn) {
+    std::scoped_lock lk(flags_mu_);
+    if (!flags_.insert(flag).second) return false;
+    fn();
+    return true;
+  }
+  bool has_flag(const std::string& flag) const;
+
+  /// Block until complete() was called. Returns false on timeout.
+  bool wait(Duration timeout);
+
+  bool is_done() const;
+  bool succeeded() const;
+  const Value& result() const { return result_; }
+  const std::string& error() const { return error_; }
+  PiggybackMap reply_piggyback() const;
+  void merge_reply_piggyback(const PiggybackMap& pb);
+
+  // --- acceptance bookkeeping (guarded) --------------------------------------
+
+  /// Number of replies (success or failure) the client side expects; set by
+  /// the assigner micro-protocol (1, or N for ActiveRep).
+  void set_expected_replies(int n);
+  int expected_replies() const;
+
+  /// Record an invocation outcome; returns counts after recording.
+  struct Counts {
+    int successes = 0;
+    int failures = 0;
+    int expected = 0;
+  };
+  Counts record_outcome(const Invocation& inv);
+  Counts counts() const;
+
+  /// A reply recorded as a success turned out to be bad (failed integrity
+  /// check, undecryptable): move one success to the failure column before
+  /// re-raising it as invokeFailure.
+  void reclassify_success_as_failure();
+
+  /// Reset for reuse from a stub request pool (ablation: the paper's
+  /// "reuse of the request data structures to avoid object creation").
+  void reset(std::string object_id, std::string method, ValueList params);
+
+  // --- forwarding codec -------------------------------------------------------
+
+  /// Encode (id, method, params, piggyback) for replica-to-replica transfer.
+  ValueList encode_for_forward() const;
+  static RequestPtr decode_forwarded(const std::string& object_id,
+                                     const ValueList& args);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  mutable std::mutex flags_mu_;
+  std::set<std::string> flags_;
+  bool done_ = false;
+  bool success_ = false;
+  Value result_;
+  std::string error_;
+  PiggybackMap reply_pb_;
+  int expected_replies_ = 1;
+  int successes_ = 0;
+  int failures_ = 0;
+};
+
+}  // namespace cqos

@@ -1,0 +1,24 @@
+// Application server-object interface.
+//
+// A Servant implements the object's methods behind a single generic dispatch
+// entry point — the paper's "native Java call to the servant object" done by
+// invoke_servant(). Typed server classes (e.g. the BankAccount example)
+// implement dispatch() the way an IDL-generated skeleton would.
+#pragma once
+
+#include <string>
+
+#include "common/value.h"
+
+namespace cqos {
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// Execute `method` with `params`, returning the result value. Throwing
+  /// any std::exception reports an application error to the client.
+  virtual Value dispatch(const std::string& method, const ValueList& params) = 0;
+};
+
+}  // namespace cqos

@@ -1,0 +1,100 @@
+#include "cqos/skeleton.h"
+
+#include "common/error.h"
+#include "cqos/events.h"
+
+namespace cqos {
+
+CqosSkeleton::CqosSkeleton(std::string object_id,
+                           std::shared_ptr<CactusServer> server)
+    : object_id_(std::move(object_id)), server_(std::move(server)) {}
+
+CqosSkeleton::CqosSkeleton(std::string object_id,
+                           std::shared_ptr<Servant> servant)
+    : object_id_(std::move(object_id)), servant_(std::move(servant)) {}
+
+RequestPtr CqosSkeleton::build_request(const std::string& method,
+                                       ValueList params,
+                                       PiggybackMap piggyback) const {
+  auto req = std::make_shared<Request>();
+  req->object_id = object_id_;
+  req->method = method;
+  req->params = std::move(params);
+  auto id_it = piggyback.find(pbkey::kRequestId);
+  req->id = id_it != piggyback.end()
+                ? static_cast<std::uint64_t>(id_it->second.as_i64())
+                : Request::next_id();
+  auto prio_it = piggyback.find(pbkey::kPriority);
+  if (prio_it != piggyback.end()) {
+    req->priority = static_cast<int>(prio_it->second.as_i64());
+  }
+  req->piggyback = std::move(piggyback);
+  return req;
+}
+
+plat::Reply CqosSkeleton::handle(const std::string& method, ValueList params,
+                                 PiggybackMap piggyback) {
+  plat::Reply reply;
+
+  // Replica-to-replica (and bootstrap) control path.
+  if (method.starts_with(ev::kCtlMethodPrefix)) {
+    if (!server_) {
+      reply.status = plat::ReplyStatus::kAppError;
+      reply.error = "no cactus server attached";
+      return reply;
+    }
+    std::string control = method.substr(ev::kCtlMethodPrefix.size());
+    reply.status = plat::ReplyStatus::kOk;
+    reply.result = server_->handle_control(control, std::move(params));
+    return reply;
+  }
+
+  RequestPtr req = build_request(method, std::move(params), std::move(piggyback));
+
+  if (server_) {
+    server_->cactus_invoke(req);
+  } else {
+    // Bypass: native invocation of the servant.
+    try {
+      Value result = servant_->dispatch(req->method, req->params);
+      req->complete(true, std::move(result));
+    } catch (const std::exception& e) {
+      req->complete(false, Value(), e.what());
+    }
+  }
+
+  if (req->succeeded()) {
+    reply.status = plat::ReplyStatus::kOk;
+    reply.result = req->result();
+  } else {
+    reply.status = plat::ReplyStatus::kAppError;
+    reply.error = req->error();
+  }
+  reply.piggyback = req->reply_piggyback();
+  return reply;
+}
+
+plat::Reply DirectServantHandler::handle(const std::string& method,
+                                         ValueList params,
+                                         PiggybackMap piggyback) {
+  (void)piggyback;
+  plat::Reply reply;
+  try {
+    reply.result = servant_->dispatch(method, params);
+    reply.status = plat::ReplyStatus::kOk;
+  } catch (const std::exception& e) {
+    reply.status = plat::ReplyStatus::kAppError;
+    reply.error = e.what();
+  }
+  return reply;
+}
+
+void register_cqos_skeleton(plat::Platform& platform,
+                            const std::shared_ptr<CqosSkeleton>& skeleton,
+                            int replica_index) {
+  platform.register_servant(
+      platform.replica_name(skeleton->object_id(), replica_index), skeleton,
+      plat::DispatchMode::kDsi);
+}
+
+}  // namespace cqos

@@ -1,0 +1,88 @@
+#include "cqos/stub.h"
+
+#include "common/error.h"
+
+namespace cqos {
+namespace {
+constexpr std::size_t kMaxPooledRequests = 16;
+}  // namespace
+
+CqosStub::CqosStub(std::shared_ptr<CactusClient> client, std::string object_id,
+                   Options opts)
+    : client_(std::move(client)),
+      object_id_(std::move(object_id)),
+      opts_(std::move(opts)) {}
+
+CqosStub::CqosStub(std::shared_ptr<ClientQosInterface> direct,
+                   std::string object_id, Options opts)
+    : direct_(std::move(direct)),
+      object_id_(std::move(object_id)),
+      opts_(std::move(opts)) {}
+
+RequestPtr CqosStub::acquire(const std::string& method, ValueList params) {
+  if (opts_.reuse_requests) {
+    std::scoped_lock lk(pool_mu_);
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      // Only reuse structures no concurrent invocation still references.
+      if (it->use_count() == 1) {
+        RequestPtr req = std::move(*it);
+        pool_.erase(it);
+        req->reset(object_id_, method, std::move(params));
+        return req;
+      }
+    }
+  }
+  auto req = std::make_shared<Request>(object_id_, method, std::move(params));
+  return req;
+}
+
+void CqosStub::release(RequestPtr req) {
+  if (!opts_.reuse_requests) return;
+  std::scoped_lock lk(pool_mu_);
+  if (pool_.size() < kMaxPooledRequests) pool_.push_back(std::move(req));
+}
+
+RequestPtr CqosStub::call_request(const std::string& method,
+                                  ValueList params) {
+  RequestPtr req = acquire(method, std::move(params));
+  req->priority = opts_.priority;
+  if (!opts_.principal.empty()) {
+    req->piggyback[pbkey::kPrincipal] = Value(opts_.principal);
+  }
+
+  if (client_) {
+    client_->cactus_request(req);
+  } else {
+    // Bypass mode: invoke replica 0 directly (still the dynamic invocation
+    // path — the stub has already converted the call to the abstract form).
+    auto inv = std::make_shared<Invocation>();
+    inv->request = req;
+    inv->server = 0;
+    if (direct_->server_status(0) == ServerStatus::kUnknown) {
+      try {
+        direct_->bind(0);
+      } catch (const Error& e) {
+        req->complete(false, Value(), e.what());
+        return req;
+      }
+    }
+    direct_->invoke_server(*req, *inv);
+    req->complete(inv->success, std::move(inv->result), std::move(inv->error));
+    req->merge_reply_piggyback(inv->reply_piggyback);
+  }
+  return req;
+}
+
+Value CqosStub::call(const std::string& method, ValueList params) {
+  RequestPtr req = call_request(method, std::move(params));
+  if (!req->succeeded()) {
+    std::string error = req->error();
+    release(std::move(req));
+    throw InvocationError(object_id_ + "." + method + ": " + error);
+  }
+  Value result = req->result();
+  release(std::move(req));
+  return result;
+}
+
+}  // namespace cqos

@@ -1,0 +1,217 @@
+#include "crypto/des.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace cqos::crypto {
+namespace {
+
+// All tables below are the standard FIPS 46-3 tables, written with 1-based
+// bit positions counted from the most significant bit, as in the standard.
+
+constexpr int kIp[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr int kFp[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr int kExpansion[48] = {32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,
+                                8,  9,  10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+                                16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+                                24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr int kPerm[32] = {16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23,
+                           26, 5, 18, 31, 10, 2,  8,  24, 14, 32, 27,
+                           3,  9, 19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr int kPc1[56] = {57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+                          10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+                          63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+                          14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr int kPc2[48] = {14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+                          23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+                          41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+                          44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr int kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr std::uint8_t kSbox[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+// Apply a 1-based-from-MSB bit permutation: output has `out_bits` bits,
+// bit i of the output (counting from MSB of the out_bits-wide result) is
+// bit table[i] of the `in_bits`-wide input.
+std::uint64_t permute(std::uint64_t in, int in_bits, const int* table,
+                      int out_bits) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < out_bits; ++i) {
+    int src = table[i];  // 1-based from MSB
+    std::uint64_t bit = (in >> (in_bits - src)) & 1;
+    out = (out << 1) | bit;
+  }
+  return out;
+}
+
+std::uint64_t load_be64(const std::uint8_t b[8]) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+  return v;
+}
+
+void store_be64(std::uint64_t v, std::uint8_t b[8]) {
+  for (int i = 7; i >= 0; --i) {
+    b[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+std::uint32_t rotl28(std::uint32_t v, int n) {
+  return ((v << n) | (v >> (28 - n))) & 0x0fffffff;
+}
+
+std::uint32_t f_function(std::uint32_t half, std::uint64_t subkey) {
+  std::uint64_t expanded = permute(half, 32, kExpansion, 48) ^ subkey;
+  std::uint32_t sbox_out = 0;
+  for (int box = 0; box < 8; ++box) {
+    auto six = static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
+    int row = ((six & 0x20) >> 4) | (six & 0x01);
+    int col = (six >> 1) & 0x0f;
+    sbox_out = (sbox_out << 4) | kSbox[box][row * 16 + col];
+  }
+  return static_cast<std::uint32_t>(permute(sbox_out, 32, kPerm, 32));
+}
+
+}  // namespace
+
+Des::Des(std::span<const std::uint8_t> key8) {
+  if (key8.size() != 8) throw Error("DES key must be 8 bytes");
+  std::uint64_t key = load_be64(key8.data());
+  std::uint64_t permuted = permute(key, 64, kPc1, 56);
+  auto c = static_cast<std::uint32_t>((permuted >> 28) & 0x0fffffff);
+  auto d = static_cast<std::uint32_t>(permuted & 0x0fffffff);
+  for (int round = 0; round < 16; ++round) {
+    c = rotl28(c, kShifts[round]);
+    d = rotl28(d, kShifts[round]);
+    std::uint64_t cd = (static_cast<std::uint64_t>(c) << 28) | d;
+    subkeys_[static_cast<std::size_t>(round)] = permute(cd, 56, kPc2, 48);
+  }
+}
+
+std::uint64_t Des::feistel(std::uint64_t block, bool decrypt) const {
+  std::uint64_t ip = permute(block, 64, kIp, 64);
+  auto left = static_cast<std::uint32_t>(ip >> 32);
+  auto right = static_cast<std::uint32_t>(ip & 0xffffffff);
+  for (int round = 0; round < 16; ++round) {
+    std::size_t k = decrypt ? static_cast<std::size_t>(15 - round)
+                            : static_cast<std::size_t>(round);
+    std::uint32_t next = left ^ f_function(right, subkeys_[k]);
+    left = right;
+    right = next;
+  }
+  // Final swap then inverse initial permutation.
+  std::uint64_t preoutput =
+      (static_cast<std::uint64_t>(right) << 32) | left;
+  return permute(preoutput, 64, kFp, 64);
+}
+
+void Des::encrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const {
+  store_be64(feistel(load_be64(in), /*decrypt=*/false), out);
+}
+
+void Des::decrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const {
+  store_be64(feistel(load_be64(in), /*decrypt=*/true), out);
+}
+
+Bytes des_cbc_encrypt(std::span<const std::uint8_t> key8,
+                      std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> plaintext) {
+  if (iv8.size() != 8) throw Error("DES-CBC IV must be 8 bytes");
+  Des des(key8);
+  std::size_t pad = 8 - plaintext.size() % 8;
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(padded.size());
+  std::uint8_t chain[8];
+  std::memcpy(chain, iv8.data(), 8);
+  for (std::size_t off = 0; off < padded.size(); off += 8) {
+    std::uint8_t block[8];
+    for (int i = 0; i < 8; ++i) {
+      block[i] = padded[off + static_cast<std::size_t>(i)] ^ chain[i];
+    }
+    des.encrypt_block(block, &out[off]);
+    std::memcpy(chain, &out[off], 8);
+  }
+  return out;
+}
+
+Bytes des_cbc_decrypt(std::span<const std::uint8_t> key8,
+                      std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> ciphertext) {
+  if (iv8.size() != 8) throw Error("DES-CBC IV must be 8 bytes");
+  if (ciphertext.empty() || ciphertext.size() % 8 != 0) {
+    throw DecodeError("DES-CBC ciphertext not a positive multiple of 8");
+  }
+  Des des(key8);
+  Bytes out(ciphertext.size());
+  std::uint8_t chain[8];
+  std::memcpy(chain, iv8.data(), 8);
+  for (std::size_t off = 0; off < ciphertext.size(); off += 8) {
+    std::uint8_t block[8];
+    des.decrypt_block(&ciphertext[off], block);
+    for (int i = 0; i < 8; ++i) {
+      out[off + static_cast<std::size_t>(i)] = block[i] ^ chain[i];
+    }
+    std::memcpy(chain, &ciphertext[off], 8);
+  }
+  std::uint8_t pad = out.back();
+  if (pad == 0 || pad > 8 || pad > out.size()) {
+    throw DecodeError("DES-CBC bad padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw DecodeError("DES-CBC bad padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace cqos::crypto

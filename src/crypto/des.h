@@ -1,0 +1,42 @@
+// DES block cipher and DES-CBC mode, implemented from scratch (FIPS 46-3).
+//
+// Used by the DesPrivacy micro-protocol to match the paper's confidentiality
+// scheme. DES is cryptographically obsolete; it is implemented here because
+// the paper used it and because the benchmark shape depends on a real block
+// cipher's CPU cost. Do not use for new designs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace cqos::crypto {
+
+/// One DES key schedule. The key is 8 bytes; parity bits are ignored.
+class Des {
+ public:
+  explicit Des(std::span<const std::uint8_t> key8);
+
+  /// Encrypt/decrypt a single 8-byte block.
+  void encrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const;
+  void decrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const;
+
+ private:
+  std::uint64_t feistel(std::uint64_t block, bool decrypt) const;
+
+  std::array<std::uint64_t, 16> subkeys_{};  // 48-bit round keys
+};
+
+/// DES-CBC with PKCS#7 padding. `iv` must be 8 bytes.
+Bytes des_cbc_encrypt(std::span<const std::uint8_t> key8,
+                      std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> plaintext);
+
+/// Throws cqos::DecodeError on bad padding or non-block-aligned input.
+Bytes des_cbc_decrypt(std::span<const std::uint8_t> key8,
+                      std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> ciphertext);
+
+}  // namespace cqos::crypto

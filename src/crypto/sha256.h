@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104), implemented from scratch.
+//
+// Used by the SignedIntegrity micro-protocol as the signature-based integrity
+// scheme described in the paper (a keyed MAC stands in for the prototype's
+// signature since both parties share configuration secrets in CQoS).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace cqos::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace cqos::crypto

@@ -1,0 +1,66 @@
+// AST for the CQoS IDL subset.
+//
+// The paper's prototype generates CQoS stubs and skeletons "from the server
+// IDL description (e.g., CORBA IDL) using our Cactus IDL compiler". This is
+// that compiler: it accepts the subset of OMG IDL the CQoS examples need and
+// emits the typed C++ stub/servant classes that delegate to the generic
+// CqosStub / Servant machinery.
+//
+// Supported subset:
+//   module M { ... };
+//   interface I {
+//     <type> op(in <type> a, in <type> b) raises (SomeError);
+//   };
+//   types: void, boolean, long, long long, double, string,
+//          sequence<octet>, any
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cqos::idl {
+
+enum class Type {
+  kVoid,
+  kBoolean,
+  kI64,     // long / long long
+  kDouble,
+  kString,
+  kBytes,   // sequence<octet>
+  kAny,     // any -> cqos::Value
+};
+
+/// C++ type spelling for a parameter / return value.
+const char* cpp_type(Type t);
+/// IDL spelling (diagnostics).
+const char* idl_type(Type t);
+
+struct Parameter {
+  Type type = Type::kAny;
+  std::string name;
+};
+
+struct Operation {
+  Type return_type = Type::kVoid;
+  std::string name;
+  std::vector<Parameter> params;
+  std::vector<std::string> raises;  // names only; carried into comments
+};
+
+struct Interface {
+  std::string name;
+  std::string module;  // enclosing module name ("" at top level)
+  std::vector<Operation> operations;
+
+  /// Object-id default used by the generated classes: "Module::Name" or
+  /// "Name".
+  std::string qualified_name() const {
+    return module.empty() ? name : module + "::" + name;
+  }
+};
+
+struct Document {
+  std::vector<Interface> interfaces;
+};
+
+}  // namespace cqos::idl

@@ -1,0 +1,214 @@
+#include "idl/codegen.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cqos::idl {
+namespace {
+
+/// Expression converting a generated C++ argument into a cqos::Value.
+std::string to_value_expr(Type t, const std::string& name) {
+  switch (t) {
+    case Type::kVoid:
+      throw ConfigError("idl codegen: void parameter");
+    case Type::kBoolean:
+    case Type::kDouble:
+    case Type::kAny:
+      return "cqos::Value(" + name + ")";
+    case Type::kI64:
+      return "cqos::Value(static_cast<std::int64_t>(" + name + "))";
+    case Type::kString:
+    case Type::kBytes:
+      return "cqos::Value(std::move(" + name + "))";
+  }
+  return {};
+}
+
+/// Expression extracting a typed C++ value from a cqos::Value `expr`.
+std::string from_value_expr(Type t, const std::string& expr) {
+  switch (t) {
+    case Type::kVoid:
+      throw ConfigError("idl codegen: void extraction");
+    case Type::kBoolean:
+      return expr + ".as_bool()";
+    case Type::kI64:
+      return expr + ".as_i64()";
+    case Type::kDouble:
+      return expr + ".as_f64()";
+    case Type::kString:
+      return expr + ".as_string()";
+    case Type::kBytes:
+      return expr + ".as_bytes()";
+    case Type::kAny:
+      return expr;
+  }
+  return {};
+}
+
+/// Pass-by style for parameters in generated signatures.
+std::string param_decl(const Parameter& p) {
+  switch (p.type) {
+    case Type::kString:
+      return "std::string " + p.name;  // by value; moved into the request
+    case Type::kBytes:
+      return "cqos::Bytes " + p.name;
+    case Type::kAny:
+      return "cqos::Value " + p.name;
+    default:
+      return std::string(cpp_type(p.type)) + " " + p.name;
+  }
+}
+
+void emit_operation_comment(std::ostringstream& os, const Operation& op) {
+  os << "  /// IDL: " << idl_type(op.return_type) << " " << op.name << "(";
+  for (std::size_t i = 0; i < op.params.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "in " << idl_type(op.params[i].type) << " " << op.params[i].name;
+  }
+  os << ")";
+  if (!op.raises.empty()) {
+    os << " raises (";
+    for (std::size_t i = 0; i < op.raises.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << op.raises[i];
+    }
+    os << ")";
+  }
+  os << "\n";
+  if (!op.raises.empty()) {
+    os << "  /// Application exceptions surface as cqos::InvocationError.\n";
+  }
+}
+
+void emit_stub(std::ostringstream& os, const Interface& iface) {
+  os << "/// Typed CQoS stub for interface " << iface.qualified_name()
+     << " (generated).\n"
+     << "class " << iface.name << "Stub {\n"
+     << " public:\n"
+     << "  explicit " << iface.name
+     << "Stub(std::shared_ptr<cqos::CqosStub> stub)\n"
+     << "      : stub_(std::move(stub)) {}\n\n";
+  for (const Operation& op : iface.operations) {
+    emit_operation_comment(os, op);
+    os << "  " << cpp_type(op.return_type) << " " << op.name << "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << param_decl(op.params[i]);
+    }
+    os << ") {\n";
+    os << "    cqos::ValueList params__;\n";
+    if (!op.params.empty()) {
+      os << "    params__.reserve(" << op.params.size() << ");\n";
+    }
+    for (const Parameter& p : op.params) {
+      os << "    params__.push_back(" << to_value_expr(p.type, p.name) << ");\n";
+    }
+    if (op.return_type == Type::kVoid) {
+      os << "    stub_->call(\"" << op.name << "\", std::move(params__));\n";
+    } else {
+      os << "    cqos::Value result__ = stub_->call(\"" << op.name
+         << "\", std::move(params__));\n";
+      os << "    return " << from_value_expr(op.return_type, "result__")
+         << ";\n";
+    }
+    os << "  }\n\n";
+  }
+  os << "  cqos::CqosStub& generic() { return *stub_; }\n\n"
+     << " private:\n"
+     << "  std::shared_ptr<cqos::CqosStub> stub_;\n"
+     << "};\n\n";
+}
+
+void emit_servant(std::ostringstream& os, const Interface& iface) {
+  os << "/// Abstract servant base for interface " << iface.qualified_name()
+     << " (generated).\n"
+     << "/// Implement the pure virtual operations; dispatch() adapts them to\n"
+     << "/// the generic cqos::Servant entry point used by the CQoS skeleton.\n"
+     << "class " << iface.name << "ServantBase : public cqos::Servant {\n"
+     << " public:\n"
+     << "  cqos::Value dispatch(const std::string& method__,\n"
+     << "                       const cqos::ValueList& params__) override {\n";
+  for (const Operation& op : iface.operations) {
+    os << "    if (method__ == \"" << op.name << "\") {\n";
+    os << "      if (params__.size() != " << op.params.size() << ") {\n"
+       << "        throw cqos::TypeError(\"" << op.name << ": expected "
+       << op.params.size() << " parameter(s)\");\n"
+       << "      }\n";
+    std::string call = op.name + "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i != 0) call += ", ";
+      call += from_value_expr(op.params[i].type,
+                              "params__[" + std::to_string(i) + "]");
+    }
+    call += ")";
+    if (op.return_type == Type::kVoid) {
+      os << "      " << call << ";\n"
+         << "      return cqos::Value(true);\n";
+    } else if (op.return_type == Type::kAny) {
+      os << "      return " << call << ";\n";
+    } else {
+      os << "      return cqos::Value(" << call << ");\n";
+    }
+    os << "    }\n";
+  }
+  os << "    throw cqos::Error(\"" << iface.name
+     << ": no such method: \" + method__);\n"
+     << "  }\n\n"
+     << " protected:\n";
+  for (const Operation& op : iface.operations) {
+    os << "  virtual " << cpp_type(op.return_type) << " " << op.name << "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i != 0) os << ", ";
+      // Servant side receives decoded values; strings/bytes by const-ref.
+      const Parameter& p = op.params[i];
+      switch (p.type) {
+        case Type::kString:
+          os << "const std::string& " << p.name;
+          break;
+        case Type::kBytes:
+          os << "const cqos::Bytes& " << p.name;
+          break;
+        case Type::kAny:
+          os << "const cqos::Value& " << p.name;
+          break;
+        default:
+          os << cpp_type(p.type) << " " << p.name;
+      }
+    }
+    os << ") = 0;\n";
+  }
+  os << "};\n\n";
+}
+
+}  // namespace
+
+std::string generate_header(const Document& doc, const CodegenOptions& opts) {
+  std::ostringstream os;
+  os << "// Generated by cqos_idlc — do not edit.\n"
+     << "// Typed CQoS stubs and servant bases; see the CQoS README.\n"
+     << "#pragma once\n\n"
+     << "#include <cstdint>\n"
+     << "#include <memory>\n"
+     << "#include <string>\n"
+     << "#include <utility>\n\n"
+     << "#include \"common/error.h\"\n"
+     << "#include \"common/value.h\"\n"
+     << "#include \"cqos/servant.h\"\n"
+     << "#include \"cqos/stub.h\"\n\n";
+
+  for (const Interface& iface : doc.interfaces) {
+    if (!iface.module.empty()) {
+      os << "namespace " << iface.module << " {\n\n";
+    }
+    emit_stub(os, iface);
+    emit_servant(os, iface);
+    if (!iface.module.empty()) {
+      os << "}  // namespace " << iface.module << "\n\n";
+    }
+  }
+  (void)opts;
+  return os.str();
+}
+
+}  // namespace cqos::idl

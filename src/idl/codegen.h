@@ -1,0 +1,21 @@
+// C++ code generator: IDL interfaces -> typed CQoS stubs and servant bases.
+#pragma once
+
+#include <string>
+
+#include "idl/ast.h"
+
+namespace cqos::idl {
+
+struct CodegenOptions {
+  /// Guard/namespace-friendly tag derived from the output name.
+  std::string header_name = "generated";
+};
+
+/// Generate one self-contained C++ header with, for every interface I:
+///   class IStub        — typed client stub wrapping cqos::CqosStub
+///   class IServantBase — abstract servant with a generated dispatch()
+/// Throws ConfigError on identifier clashes with generated names.
+std::string generate_header(const Document& doc, const CodegenOptions& opts);
+
+}  // namespace cqos::idl

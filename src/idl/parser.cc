@@ -1,0 +1,312 @@
+#include "idl/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <set>
+
+#include "common/error.h"
+
+namespace cqos::idl {
+
+const char* cpp_type(Type t) {
+  switch (t) {
+    case Type::kVoid:
+      return "void";
+    case Type::kBoolean:
+      return "bool";
+    case Type::kI64:
+      return "std::int64_t";
+    case Type::kDouble:
+      return "double";
+    case Type::kString:
+      return "std::string";
+    case Type::kBytes:
+      return "cqos::Bytes";
+    case Type::kAny:
+      return "cqos::Value";
+  }
+  return "?";
+}
+
+const char* idl_type(Type t) {
+  switch (t) {
+    case Type::kVoid:
+      return "void";
+    case Type::kBoolean:
+      return "boolean";
+    case Type::kI64:
+      return "long long";
+    case Type::kDouble:
+      return "double";
+    case Type::kString:
+      return "string";
+    case Type::kBytes:
+      return "sequence<octet>";
+    case Type::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  struct Token {
+    enum class Kind { kIdent, kPunct, kEnd } kind = Kind::kEnd;
+    std::string text;
+    int line = 1;
+  };
+
+  const Token& peek() {
+    if (!lookahead_) lookahead_ = scan();
+    return *lookahead_;
+  }
+
+  Token next() {
+    if (lookahead_) {
+      Token t = std::move(*lookahead_);
+      lookahead_.reset();
+      return t;
+    }
+    return scan();
+  }
+
+  [[noreturn]] void fail(const std::string& what, const Token& at) const {
+    throw ConfigError("idl: line " + std::to_string(at.line) + ": " + what +
+                      (at.kind == Token::Kind::kEnd
+                           ? " (at end of input)"
+                           : " (at '" + at.text + "')"));
+  }
+
+ private:
+  Token scan() {
+    skip_ws_and_comments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= src_.size()) return tok;
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) != 0 ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.kind = Token::Kind::kIdent;
+      tok.text = std::string(src_.substr(start, pos_ - start));
+      return tok;
+    }
+    tok.kind = Token::Kind::kPunct;
+    tok.text = std::string(1, c);
+    ++pos_;
+    return tok;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])) != 0) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, src_.size());
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::optional<Token> lookahead_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Document parse_document() {
+    Document doc;
+    parse_definitions(doc, "");
+    auto end = lex_.peek();
+    if (end.kind != Lexer::Token::Kind::kEnd) {
+      lex_.fail("expected 'module' or 'interface'", end);
+    }
+    std::set<std::string> names;
+    for (const auto& iface : doc.interfaces) {
+      if (!names.insert(iface.qualified_name()).second) {
+        throw ConfigError("idl: duplicate interface " + iface.qualified_name());
+      }
+    }
+    return doc;
+  }
+
+ private:
+  void parse_definitions(Document& doc, const std::string& module) {
+    for (;;) {
+      auto tok = lex_.peek();
+      if (tok.kind != Lexer::Token::Kind::kIdent) return;
+      if (tok.text == "module") {
+        lex_.next();
+        std::string name = expect_ident("module name");
+        if (!module.empty()) {
+          throw ConfigError("idl: nested modules are not supported (module " +
+                            name + ")");
+        }
+        expect_punct("{");
+        parse_definitions(doc, name);
+        expect_punct("}");
+        consume_punct(";");
+      } else if (tok.text == "interface") {
+        lex_.next();
+        doc.interfaces.push_back(parse_interface(module));
+      } else {
+        return;
+      }
+    }
+  }
+
+  Interface parse_interface(const std::string& module) {
+    Interface iface;
+    iface.module = module;
+    iface.name = expect_ident("interface name");
+    expect_punct("{");
+    std::set<std::string> op_names;
+    for (;;) {
+      auto tok = lex_.peek();
+      if (tok.kind == Lexer::Token::Kind::kPunct && tok.text == "}") break;
+      Operation op = parse_operation();
+      if (!op_names.insert(op.name).second) {
+        throw ConfigError("idl: interface " + iface.name +
+                          ": duplicate operation " + op.name +
+                          " (overloading is not supported)");
+      }
+      iface.operations.push_back(std::move(op));
+    }
+    expect_punct("}");
+    consume_punct(";");
+    if (iface.operations.empty()) {
+      throw ConfigError("idl: interface " + iface.name + " has no operations");
+    }
+    return iface;
+  }
+
+  Operation parse_operation() {
+    Operation op;
+    op.return_type = parse_type(/*allow_void=*/true);
+    op.name = expect_ident("operation name");
+    expect_punct("(");
+    auto tok = lex_.peek();
+    if (!(tok.kind == Lexer::Token::Kind::kPunct && tok.text == ")")) {
+      for (;;) {
+        Parameter param;
+        auto dir = lex_.peek();
+        if (dir.kind == Lexer::Token::Kind::kIdent && dir.text == "in") {
+          lex_.next();
+        } else if (dir.kind == Lexer::Token::Kind::kIdent &&
+                   (dir.text == "out" || dir.text == "inout")) {
+          lex_.fail("only 'in' parameters are supported", dir);
+        }
+        param.type = parse_type(/*allow_void=*/false);
+        param.name = expect_ident("parameter name");
+        op.params.push_back(std::move(param));
+        auto sep = lex_.next();
+        if (sep.kind == Lexer::Token::Kind::kPunct && sep.text == ",") continue;
+        if (sep.kind == Lexer::Token::Kind::kPunct && sep.text == ")") break;
+        lex_.fail("expected ',' or ')'", sep);
+      }
+    } else {
+      lex_.next();  // ')'
+    }
+    auto raises = lex_.peek();
+    if (raises.kind == Lexer::Token::Kind::kIdent && raises.text == "raises") {
+      lex_.next();
+      expect_punct("(");
+      for (;;) {
+        op.raises.push_back(expect_ident("exception name"));
+        auto sep = lex_.next();
+        if (sep.kind == Lexer::Token::Kind::kPunct && sep.text == ",") continue;
+        if (sep.kind == Lexer::Token::Kind::kPunct && sep.text == ")") break;
+        lex_.fail("expected ',' or ')'", sep);
+      }
+    }
+    expect_punct(";");
+    return op;
+  }
+
+  Type parse_type(bool allow_void) {
+    auto tok = lex_.next();
+    if (tok.kind != Lexer::Token::Kind::kIdent) lex_.fail("expected a type", tok);
+    if (tok.text == "void") {
+      if (!allow_void) lex_.fail("void is only valid as a return type", tok);
+      return Type::kVoid;
+    }
+    if (tok.text == "boolean") return Type::kBoolean;
+    if (tok.text == "double") return Type::kDouble;
+    if (tok.text == "string") return Type::kString;
+    if (tok.text == "any") return Type::kAny;
+    if (tok.text == "long") {
+      auto maybe = lex_.peek();
+      if (maybe.kind == Lexer::Token::Kind::kIdent && maybe.text == "long") {
+        lex_.next();
+      }
+      return Type::kI64;
+    }
+    if (tok.text == "sequence") {
+      expect_punct("<");
+      std::string elem = expect_ident("sequence element type");
+      if (elem != "octet") {
+        throw ConfigError("idl: only sequence<octet> is supported, got sequence<" +
+                          elem + ">");
+      }
+      expect_punct(">");
+      return Type::kBytes;
+    }
+    lex_.fail("unknown type", tok);
+  }
+
+  std::string expect_ident(const char* what) {
+    auto tok = lex_.next();
+    if (tok.kind != Lexer::Token::Kind::kIdent) {
+      lex_.fail(std::string("expected ") + what, tok);
+    }
+    return tok.text;
+  }
+
+  void expect_punct(const std::string& p) {
+    auto tok = lex_.next();
+    if (tok.kind != Lexer::Token::Kind::kPunct || tok.text != p) {
+      lex_.fail("expected '" + p + "'", tok);
+    }
+  }
+
+  void consume_punct(const std::string& p) {
+    auto tok = lex_.peek();
+    if (tok.kind == Lexer::Token::Kind::kPunct && tok.text == p) lex_.next();
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Document parse(std::string_view source) {
+  return Parser(source).parse_document();
+}
+
+}  // namespace cqos::idl

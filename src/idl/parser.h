@@ -1,0 +1,14 @@
+// Recursive-descent parser for the CQoS IDL subset (see ast.h).
+#pragma once
+
+#include <string_view>
+
+#include "idl/ast.h"
+
+namespace cqos::idl {
+
+/// Parse IDL source. Throws cqos::ConfigError with line/column context on
+/// syntax errors, duplicate names, or unsupported constructs.
+Document parse(std::string_view source);
+
+}  // namespace cqos::idl

@@ -1,0 +1,101 @@
+#include "micro/acceptance.h"
+
+#include <algorithm>
+
+namespace cqos::micro {
+
+// --- FirstSuccess --------------------------------------------------------------
+
+void FirstSuccess::init(cactus::CompositeProtocol& proto) {
+  client_holder(proto);  // validate composite kind
+
+  // Successes fall through to the base resultReturner (first reply wins —
+  // which is now guaranteed to be a success). Failures are swallowed until
+  // they are all that is left.
+  proto.bind(
+      ev::kInvokeFailure, "firstSuccessFilter",
+      [](cactus::EventContext& ctx) {
+        auto inv = ctx.dyn<InvocationPtr>();
+        Request::Counts counts = inv->request->counts();
+        if (counts.failures < counts.expected) {
+          ctx.halt();  // other replicas may still succeed
+        }
+        // else: every reply was a failure; let the base report this one.
+      },
+      order::kAcceptance);
+}
+
+std::unique_ptr<cactus::MicroProtocol> FirstSuccess::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<FirstSuccess>();
+}
+
+// --- MajorityVote --------------------------------------------------------------
+
+void MajorityVote::init(cactus::CompositeProtocol& proto) {
+  client_holder(proto);
+  auto state = proto.shared().get_or_create<State>(kStateKey);
+
+  // A request completes with value v once a majority of the expected
+  // replicas returned v, or fails once a majority has become impossible.
+  auto evaluate = [state](cactus::EventContext& ctx) {
+    auto inv = ctx.dyn<InvocationPtr>();
+    RequestPtr req = inv->request;
+    Request::Counts counts = req->counts();
+    const int majority = counts.expected / 2 + 1;
+
+    std::scoped_lock lk(state->mu);
+    if (req->is_done()) {  // e.g. timed out — drop the tally, ignore reply
+      state->tallies.erase(req->id);
+      ctx.halt();
+      return;
+    }
+    auto& tally = state->tallies[req->id];
+    if (inv->success) tally.push_back(inv->result);
+
+    // Best-supported value so far.
+    int best = 0;
+    const Value* best_value = nullptr;
+    for (const Value& candidate : tally) {
+      int votes = static_cast<int>(
+          std::count(tally.begin(), tally.end(), candidate));
+      if (votes > best) {
+        best = votes;
+        best_value = &candidate;
+      }
+    }
+
+    if (best >= majority) {
+      if (req->complete(true, *best_value)) {
+        req->merge_reply_piggyback(inv->reply_piggyback);
+      }
+      state->tallies.erase(req->id);
+      ctx.halt();
+      return;
+    }
+
+    const int outstanding = counts.expected - counts.successes - counts.failures;
+    if (best + outstanding < majority) {
+      req->complete(false, Value(),
+                    "majority_vote: no majority among replies (" +
+                        std::to_string(counts.failures) + "/" +
+                        std::to_string(counts.expected) + " failed)");
+      state->tallies.erase(req->id);
+    }
+    // In all remaining cases: wait for more replies. The base resultReturner
+    // must never complete the request under majority voting.
+    ctx.halt();
+  };
+
+  proto.bind(ev::kInvokeSuccess, "majorityVote", evaluate, order::kAcceptance);
+  proto.bind(ev::kInvokeFailure, "majorityVote", evaluate, order::kAcceptance);
+}
+
+std::unique_ptr<cactus::MicroProtocol> MajorityVote::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<MajorityVote>();
+}
+
+}  // namespace cqos::micro

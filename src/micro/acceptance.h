@@ -1,0 +1,48 @@
+// Acceptance micro-protocols (paper §3.2): when is a replicated request
+// complete and which reply is returned?
+//
+// ClientBase's resultReturner implements the default (first reply, success
+// or failure — the sensible policy for the non-replicated case). These two
+// micro-protocols bind before it on invokeSuccess/invokeFailure:
+//
+//   FirstSuccess — returns the first successful execution; failures are
+//                  swallowed until every replica has failed.
+//   MajorityVote — returns the value agreed by a majority of the non-failed
+//                  replicas; fails when no majority is possible.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class FirstSuccess : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "first_success"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+};
+
+class MajorityVote : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "majority_vote"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  /// Per-request tallies, shared between the success and failure handlers.
+  struct State {
+    std::mutex mu;
+    /// request id -> successful reply values (one per replied replica).
+    std::map<std::uint64_t, std::vector<Value>> tallies;
+  };
+  static constexpr const char* kStateKey = "majority_vote.state";
+};
+
+}  // namespace cqos::micro

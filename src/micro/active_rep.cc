@@ -1,0 +1,40 @@
+#include "micro/active_rep.h"
+
+namespace cqos::micro {
+
+void ActiveRep::init(cactus::CompositeProtocol& proto) {
+  ClientQosHolder& holder = client_holder(proto);
+  ClientQosInterface* qos = holder.qos;
+  const int num_servers = qos->num_servers();
+
+  for (int i = 0; i < num_servers; ++i) {
+    proto.bind(
+        ev::kNewRequest, "actAssigner[" + std::to_string(i) + "]",
+        [num_servers, i](cactus::EventContext& ctx) {
+          auto req = ctx.dyn<RequestPtr>();
+          if (i == 0) {
+            // First instance: declare the full fan-out before any reply can
+            // race the acceptance bookkeeping.
+            req->set_expected_replies(num_servers);
+          }
+          auto inv = std::make_shared<Invocation>();
+          inv->request = req;
+          inv->server = ctx.static_arg<int>();
+          ctx.protocol().raise_async(ev::kReadyToSend, inv);
+          if (i == num_servers - 1) {
+            // Override the base assigner: halt further processing of
+            // newRequest once every replica's invoker has been started.
+            ctx.halt();
+          }
+        },
+        order::kReplicaAssign, std::any(i));
+  }
+}
+
+std::unique_ptr<cactus::MicroProtocol> ActiveRep::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<ActiveRep>();
+}
+
+}  // namespace cqos::micro

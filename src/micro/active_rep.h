@@ -1,0 +1,24 @@
+// ActiveRep micro-protocol (paper §3.2): active replication.
+//
+// The constructor binds one actAssigner instance per replica to newRequest
+// (static argument = replica index). Each instance raises readyToSend
+// *asynchronously*, so the blocking invocations run in parallel on the
+// Cactus thread pool; the last instance halts the event, overriding the base
+// assigner. Acceptance of the replies is left to the configured acceptance
+// micro-protocol (default: base first-reply).
+#pragma once
+
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class ActiveRep : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "active_rep"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+};
+
+}  // namespace cqos::micro

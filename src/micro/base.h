@@ -1,0 +1,75 @@
+// Shared helpers for CQoS micro-protocols.
+#pragma once
+
+#include <memory>
+
+#include "cactus/composite.h"
+#include "common/error.h"
+#include "cqos/cactus_client.h"
+#include "cqos/cactus_server.h"
+#include "cqos/config.h"
+#include "cqos/events.h"
+#include "cqos/request.h"
+
+namespace cqos::micro {
+
+/// Handler-binding orders used across the micro-protocol suite. Smaller runs
+/// earlier; base handlers are at cactus::kOrderLast. Keeping them in one
+/// place makes the composition contract (paper §3.5) auditable.
+namespace order {
+// newRequest / newServerRequest
+inline constexpr int kIntegrityVerify = -60;  // verify before decrypt
+inline constexpr int kPrivacyCrypt = -50;     // decrypt before base handlers
+inline constexpr int kReplicaAssign = -10;    // override base assigner
+
+// readyToSend
+inline constexpr int kPrivacyEncrypt = -50;  // encrypt first
+inline constexpr int kIntegritySign = -40;   // sign the (encrypted) payload
+
+// readyToInvoke
+inline constexpr int kSetPriority = -90;
+// The scheduling gate runs BEFORE order assignment: when service
+// differentiation is configured at the TotalOrder coordinator (the paper's
+// resolution of the ordering-vs-priority conflict, §3.4), low-priority
+// requests are queued before they consume a sequence number, so the total
+// order respects request priorities.
+inline constexpr int kSchedGate = -85;
+inline constexpr int kOrderAssign = -80;
+inline constexpr int kOrderCheck = -70;
+inline constexpr int kAccessCheck = -60;
+inline constexpr int kDedup = -50;
+
+// invokeSuccess / invokeFailure
+inline constexpr int kIntegrityVerifyReply = -60;
+inline constexpr int kPrivacyDecryptReply = -50;
+inline constexpr int kFailover = -10;  // PassiveRep primarySelector
+inline constexpr int kAcceptance = 0;
+
+// invokeReturn
+inline constexpr int kStoreResult = -30;     // dedup cache fill
+inline constexpr int kPrivacyEncryptReply = -20;
+inline constexpr int kIntegritySignReply = -10;
+inline constexpr int kForward = 10;          // PassiveRep forwarding
+inline constexpr int kOrderAdvance = 50;     // TotalOrder checkNext
+inline constexpr int kSchedNotify = 90;      // QueuedSched notifyWaiting
+}  // namespace order
+
+/// Fetch the client QoS holder; throws if the composite is not a Cactus
+/// client (configuration error caught at init time).
+inline ClientQosHolder& client_holder(cactus::CompositeProtocol& proto) {
+  auto holder = proto.shared().get_or_create<ClientQosHolder>(kClientQosKey);
+  if (holder->qos == nullptr) {
+    throw ConfigError("micro-protocol requires a Cactus client composite");
+  }
+  return *holder;
+}
+
+inline ServerQosHolder& server_holder(cactus::CompositeProtocol& proto) {
+  auto holder = proto.shared().get_or_create<ServerQosHolder>(kServerQosKey);
+  if (holder->qos == nullptr) {
+    throw ConfigError("micro-protocol requires a Cactus server composite");
+  }
+  return *holder;
+}
+
+}  // namespace cqos::micro

@@ -1,0 +1,88 @@
+#include "micro/client_base.h"
+
+#include "common/log.h"
+
+namespace cqos::micro {
+
+void ClientBase::init(cactus::CompositeProtocol& proto) {
+  ClientQosHolder& holder = client_holder(proto);
+  ClientQosInterface* qos = holder.qos;
+
+  // assigner: pick the first replica not marked failed.
+  proto.bind(
+      ev::kNewRequest, "assigner",
+      [qos](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        int chosen = -1;
+        for (int i = 0; i < qos->num_servers(); ++i) {
+          if (qos->server_status(i) != ServerStatus::kFailed) {
+            chosen = i;
+            break;
+          }
+        }
+        if (chosen < 0) {
+          req->complete(false, Value(), "all replicas marked failed");
+          return;
+        }
+        req->set_expected_replies(1);
+        auto inv = std::make_shared<Invocation>();
+        inv->request = req;
+        inv->server = chosen;
+        ctx.protocol().raise(ev::kReadyToSend, inv);
+      },
+      cactus::kOrderLast);
+
+  // syncInvoker: issue the (blocking) server invocation.
+  proto.bind(
+      ev::kReadyToSend, "syncInvoker",
+      [qos](cactus::EventContext& ctx) {
+        auto inv = ctx.dyn<InvocationPtr>();
+        RequestPtr req = inv->request;
+        if (qos->server_status(inv->server) == ServerStatus::kUnknown) {
+          try {
+            qos->bind(inv->server);
+          } catch (const Error& e) {
+            inv->success = false;
+            inv->transport_failure = true;
+            inv->error = e.what();
+          }
+        }
+        if (qos->server_status(inv->server) == ServerStatus::kFailed) {
+          if (inv->error.empty()) {
+            inv->success = false;
+            inv->transport_failure = true;
+            inv->error =
+                "server " + std::to_string(inv->server) + " marked failed";
+          }
+        } else {
+          qos->invoke_server(*req, *inv);
+        }
+        req->record_outcome(*inv);
+        ctx.protocol().raise(inv->success ? ev::kInvokeSuccess
+                                          : ev::kInvokeFailure,
+                             inv);
+      },
+      cactus::kOrderLast);
+
+  // resultReturner: default acceptance — first reply completes the request
+  // and releases the waiting client thread.
+  auto result_returner = [](cactus::EventContext& ctx) {
+    auto inv = ctx.dyn<InvocationPtr>();
+    RequestPtr req = inv->request;
+    if (req->complete(inv->success, inv->result, inv->error)) {
+      req->merge_reply_piggyback(inv->reply_piggyback);
+    }
+  };
+  proto.bind(ev::kInvokeSuccess, "resultReturner", result_returner,
+             cactus::kOrderLast);
+  proto.bind(ev::kInvokeFailure, "resultReturner", result_returner,
+             cactus::kOrderLast);
+}
+
+std::unique_ptr<cactus::MicroProtocol> ClientBase::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<ClientBase>();
+}
+
+}  // namespace cqos::micro

@@ -1,0 +1,27 @@
+// ClientBase micro-protocol (paper §3.1): the default client-side behaviour.
+//
+//   assigner       (newRequest, last)  — assign a server, raise readyToSend
+//   syncInvoker    (readyToSend, last) — bind if needed, invoke, raise
+//                                        invokeSuccess/invokeFailure
+//   resultReturner (invokeSuccess/invokeFailure, last) — default acceptance:
+//                                        the first reply (success or failure)
+//                                        completes the request
+//
+// All three bind last so QoS micro-protocols can precede or override them.
+#pragma once
+
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class ClientBase : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "client_base"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  /// Factory for the registry ("client_base", client side, no parameters).
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+};
+
+}  // namespace cqos::micro

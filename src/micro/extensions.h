@@ -1,0 +1,163 @@
+// Extension micro-protocols (paper §3.5): the additions the paper lists as
+// natural extensions of the CQoS suite, implemented with the same event
+// vocabulary as the core protocols.
+//
+//   Retransmit       (client) — tolerate transient network failures by
+//     retrying transport-failed invocations on the same replica ("it would
+//     be easy to add retransmission micro-protocols"). Application errors
+//     are never retried. Composes before PassiveRep's failover: a replica
+//     is only failed over after the retry budget is exhausted.
+//
+//   FailureDetector  (client) — periodic liveness probing of all replicas
+//     ("more rigorous failure detection"): crashed replicas are marked
+//     failed before an invocation has to time out on them, and recovered
+//     replicas are automatically rebound.
+//
+//   LoadBalance      (client) — round-robin assigner across non-failed
+//     replicas (the intro's load-balancing property; the paper suggests
+//     extending server_status() with load information).
+//
+//   ClientCache      (client) — answer read-only methods from a local cache
+//     with a TTL; any non-cacheable (mutating) method invalidates (the
+//     intro's caching property).
+//
+//   RequestLog       (server) — keep a log of executed state-changing
+//     requests and serve it to peers ("request logging, server recovery"):
+//     a recovered replica replays the suffix it missed from a live peer.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/sync.h"
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class Retransmit : public cactus::MicroProtocol {
+ public:
+  /// Parameters: retries=<n> (default 2).
+  explicit Retransmit(int max_retries) : max_retries_(max_retries) {}
+
+  std::string_view name() const override { return "retransmit"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+ private:
+  int max_retries_;
+};
+
+class FailureDetector : public cactus::MicroProtocol {
+ public:
+  /// Parameters: period_ms=<n> (default 50).
+  explicit FailureDetector(Duration period) : period_(period) {}
+  ~FailureDetector() override;
+
+  std::string_view name() const override { return "failure_detector"; }
+  void init(cactus::CompositeProtocol& proto) override;
+  void shutdown() override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+ private:
+  Duration period_;
+  std::atomic<bool> stopped_{false};
+};
+
+class LoadBalance : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "load_balance"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  struct State {
+    std::mutex mu;
+    int next = 0;
+  };
+  static constexpr const char* kStateKey = "load_balance.state";
+};
+
+class ClientCache : public cactus::MicroProtocol {
+ public:
+  /// Parameters: methods=<m1|m2|...> (cacheable reads), ttl_ms (default 100).
+  ClientCache(std::set<std::string> cacheable, Duration ttl)
+      : cacheable_(std::move(cacheable)), ttl_(ttl) {}
+
+  std::string_view name() const override { return "client_cache"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  struct Entry {
+    Value value;
+    TimePoint expires;
+  };
+  struct State {
+    std::mutex mu;
+    /// key: method + encoded params.
+    std::map<std::string, Entry> entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  static constexpr const char* kStateKey = "client_cache.state";
+
+ private:
+  std::set<std::string> cacheable_;
+  Duration ttl_;
+};
+
+class RequestLog : public cactus::MicroProtocol {
+ public:
+  /// Parameters: reads=<m1|m2|...> — methods that do NOT change state and
+  /// are therefore not logged (default: get_balance).
+  explicit RequestLog(std::set<std::string> reads) : reads_(std::move(reads)) {}
+
+  std::string_view name() const override { return "request_log"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  struct LoggedRequest {
+    std::uint64_t id;
+    std::string method;
+    ValueList params;
+  };
+  struct State {
+    std::mutex mu;
+    std::vector<LoggedRequest> log;
+  };
+  static constexpr const char* kStateKey = "request_log.state";
+  static constexpr const char* kSyncControl = "log_sync";
+
+  /// Number of logged (state-changing) requests on this server.
+  static std::size_t log_size(CactusServer& server);
+
+ private:
+  std::set<std::string> reads_;
+};
+
+/// Recovery helper: fetch request-log entries from `peer` starting at
+/// `from` (default: this replica's own log length — the crash-recovery
+/// suffix case, valid when the local log is a prefix of the peer's) and
+/// re-execute them locally through the full server-side event chain.
+/// Pass `from = 0` for anti-entropy when losses are interleaved rather
+/// than a suffix; that mode re-offers every logged request and REQUIRES a
+/// dedup micro-protocol (passive_rep) so already-executed requests are
+/// answered from the result cache instead of re-executing. Returns the
+/// number of requests offered for replay. Throws on unreachable peer.
+std::size_t recover_from_peer(CactusServer& server, int peer,
+                              std::optional<std::size_t> from = std::nullopt);
+
+/// Parse a '|'-separated method list parameter.
+std::set<std::string> parse_method_list(const std::string& value);
+
+}  // namespace cqos::micro

@@ -1,0 +1,196 @@
+#include "micro/passive_rep.h"
+
+#include "common/log.h"
+
+namespace cqos::micro {
+
+// --- client side -----------------------------------------------------------------
+
+void PassiveRepClient::init(cactus::CompositeProtocol& proto) {
+  ClientQosHolder& holder = client_holder(proto);
+  ClientQosInterface* qos = holder.qos;
+
+  // pasAssigner: route to the first replica not marked failed.
+  proto.bind(
+      ev::kNewRequest, "pasAssigner",
+      [qos](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        int primary = -1;
+        for (int i = 0; i < qos->num_servers(); ++i) {
+          if (qos->server_status(i) != ServerStatus::kFailed) {
+            primary = i;
+            break;
+          }
+        }
+        if (primary < 0) {
+          req->complete(false, Value(), "passive_rep: all replicas failed");
+          ctx.halt();
+          return;
+        }
+        req->set_expected_replies(1);
+        auto inv = std::make_shared<Invocation>();
+        inv->request = req;
+        inv->server = primary;
+        ctx.protocol().raise(ev::kReadyToSend, inv);
+        ctx.halt();  // override base assigner
+      },
+      order::kReplicaAssign);
+
+  // primarySelector: transport failure of the primary triggers failover by
+  // re-raising newRequest (same request id, so the new primary's dedup
+  // answers from cache if the request already executed via forwarding).
+  proto.bind(
+      ev::kInvokeFailure, "primarySelector",
+      [qos](cactus::EventContext& ctx) {
+        auto inv = ctx.dyn<InvocationPtr>();
+        if (!inv->transport_failure) return;  // app error: fall through
+        qos->mark_failed(inv->server);
+        for (int i = 0; i < qos->num_servers(); ++i) {
+          if (qos->server_status(i) != ServerStatus::kFailed) {
+            CQOS_LOG_INFO("passive_rep: primary ", inv->server,
+                          " failed, retrying on replica ", i);
+            ctx.protocol().raise(ev::kNewRequest, inv->request);
+            ctx.halt();  // swallow the failure; retry path owns completion
+            return;
+          }
+        }
+        // No replica left: let the base resultReturner report the failure.
+      },
+      order::kFailover);
+}
+
+std::unique_ptr<cactus::MicroProtocol> PassiveRepClient::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<PassiveRepClient>();
+}
+
+// --- server side -----------------------------------------------------------------
+
+void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
+  ServerQosHolder& holder = server_holder(proto);
+  ServerQosInterface* qos = holder.qos;
+  CactusServer* server = holder.server;
+  auto state = proto.shared().get_or_create<State>(kStateKey);
+
+  // dedup: answer duplicates from the cache; wait out in-flight originals.
+  proto.bind(
+      ev::kReadyToInvoke, "pasDedup",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        RequestPtr original;
+        {
+          std::scoped_lock lk(state->mu);
+          auto cached = state->cache.find(req->id);
+          if (cached != state->cache.end()) {
+            const auto& entry = cached->second;
+            req->complete(entry.success, entry.result, entry.error);
+            ctx.halt();
+            return;
+          }
+          auto inflight = state->inflight.find(req->id);
+          if (inflight == state->inflight.end()) {
+            state->inflight.emplace(req->id, req);
+            return;  // first sighting: continue to execution
+          }
+          if (inflight->second == req) {
+            return;  // re-raise of our own parked request, not a duplicate
+          }
+          original = inflight->second;
+        }
+        // Duplicate of a request currently executing: wait for the original
+        // and mirror its outcome.
+        if (original->wait(ms(2000))) {
+          req->complete(original->staged_success(), original->staged_result(),
+                        original->staged_error());
+        } else {
+          req->complete(false, Value(), "passive_rep: original still running");
+        }
+        ctx.halt();
+      },
+      order::kDedup);
+
+  // storeResult: publish the outcome for future duplicates.
+  proto.bind(
+      ev::kInvokeReturn, "pasStoreResult",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        std::scoped_lock lk(state->mu);
+        state->inflight.erase(req->id);
+        if (state->cache.contains(req->id)) return;
+        state->cache.emplace(
+            req->id, State::Cached{req->staged_success(), req->staged_result(),
+                                   req->staged_error()});
+        state->cache_fifo.push_back(req->id);
+        while (state->cache_fifo.size() > state->max_cache) {
+          state->cache.erase(state->cache_fifo.front());
+          state->cache_fifo.pop_front();
+        }
+      },
+      order::kStoreResult);
+
+  // forward: propagate client-originated requests to every backup after
+  // local execution, using ActiveRep's technique — one asynchronous raise
+  // per backup so the (blocking) peer invocations run in parallel — then
+  // wait for the acks before the reply is released. The primary therefore
+  // answers only once the backups are consistent, which is why PassiveRep
+  // costs more than a plain ActiveRep round in Table 2.
+  struct ForwardJob {
+    RequestPtr req;
+    int peer;
+    std::shared_ptr<CountdownLatch> done;
+  };
+  proto.bind(
+      ev::kInvokeReturn, "pasForward",
+      [qos](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        if (req->forwarded) return;  // only the serving replica forwards
+        int backups = 0;
+        for (int peer = 0; peer < qos->num_servers(); ++peer) {
+          if (peer != qos->replica_index()) ++backups;
+        }
+        if (backups == 0) return;
+        auto done = std::make_shared<CountdownLatch>(backups);
+        for (int peer = 0; peer < qos->num_servers(); ++peer) {
+          if (peer == qos->replica_index()) continue;
+          ctx.protocol().raise_async("pas:forward", ForwardJob{req, peer, done});
+        }
+        if (!done->wait_for(ms(2000))) {
+          CQOS_LOG_WARN("passive_rep: not all backups acked request ", req->id);
+        }
+      },
+      order::kForward);
+
+  proto.bind(
+      "pas:forward", "pasForwardSend",
+      [qos](cactus::EventContext& ctx) {
+        auto job = ctx.dyn<ForwardJob>();
+        if (!qos->peer_send(job.peer, kForwardControl,
+                            job.req->encode_for_forward())) {
+          CQOS_LOG_WARN("passive_rep: forward to replica ", job.peer,
+                        " failed");
+        }
+        job.done->count_down();
+      },
+      cactus::kOrderDefault);
+
+  // Control handler: a forwarded request from the serving replica. Execute
+  // it locally (dedup protects against re-execution).
+  proto.bind(
+      ev::ctl(kForwardControl), "pasForwardRecv",
+      [server, qos](cactus::EventContext& ctx) {
+        auto msg = ctx.dyn<ControlMsgPtr>();
+        RequestPtr req = Request::decode_forwarded(qos->object_id(), msg->args);
+        server->process_request(req);
+        msg->reply = Value(req->staged_success());
+      },
+      cactus::kOrderDefault);
+}
+
+std::unique_ptr<cactus::MicroProtocol> PassiveRepServer::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<PassiveRepServer>();
+}
+
+}  // namespace cqos::micro

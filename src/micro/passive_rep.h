@@ -1,0 +1,71 @@
+// PassiveRep micro-protocols (paper §3.2): primary-backup replication.
+//
+// Client side (PassiveRepClient):
+//   pasAssigner     (newRequest)    — overrides the base assigner; assigns
+//                                     the first non-failed replica (primary)
+//   primarySelector (invokeFailure) — overrides the base resultReturner for
+//                                     transport failures: marks the primary
+//                                     failed and re-raises newRequest so the
+//                                     next replica serves the retry. The
+//                                     client thread is released only once a
+//                                     proper result arrives or every replica
+//                                     has failed.
+//
+// Server side (PassiveRepServer):
+//   dedup        (readyToInvoke) — tracks requests already received so a
+//                                  retried or forwarded duplicate does not
+//                                  corrupt server state; duplicates are
+//                                  answered from the result cache
+//   storeResult  (invokeReturn)  — moves the outcome into the result cache
+//   forward      (invokeReturn)  — the replica serving a client request
+//                                  forwards it to all backups in parallel
+//                                  (ActiveRep-style async raises), keeping
+//                                  them consistent
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "common/sync.h"
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class PassiveRepClient : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "passive_rep"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+};
+
+class PassiveRepServer : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "passive_rep"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  /// Shared-data state (exposed for tests).
+  struct State {
+    std::mutex mu;
+    struct Cached {
+      bool success = false;
+      Value result;
+      std::string error;
+    };
+    std::map<std::uint64_t, Cached> cache;
+    std::deque<std::uint64_t> cache_fifo;  // eviction order
+    std::map<std::uint64_t, RequestPtr> inflight;
+    std::size_t max_cache = 1024;
+  };
+  static constexpr const char* kStateKey = "passive_rep.server.state";
+
+  /// Control name used for replica-to-replica request transfer.
+  static constexpr const char* kForwardControl = "pas_forward";
+};
+
+}  // namespace cqos::micro

@@ -1,0 +1,43 @@
+#include "micro/server_base.h"
+
+namespace cqos::micro {
+
+void ServerBase::init(cactus::CompositeProtocol& proto) {
+  ServerQosHolder& holder = server_holder(proto);
+  ServerQosInterface* qos = holder.qos;
+
+  // getParameters: Cactus parameters (id, priority, principal) were already
+  // lifted from the piggyback by the skeleton; this is the extension point
+  // earlier handlers (decryption, integrity) transform the parameters at.
+  proto.bind(
+      ev::kNewServerRequest, "getParameters",
+      [](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        ctx.protocol().raise(ev::kReadyToInvoke, req);
+      },
+      cactus::kOrderLast);
+
+  // invokeServant: the native call into the server object.
+  proto.bind(
+      ev::kReadyToInvoke, "invokeServant",
+      [qos](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        qos->invoke_servant(*req);
+        ctx.protocol().raise(ev::kInvokeReturn, req);
+      },
+      cactus::kOrderLast);
+
+  // returnReleaser: all invokeReturn processing done — release the reply.
+  proto.bind(
+      ev::kInvokeReturn, "returnReleaser",
+      [](cactus::EventContext& ctx) { ctx.dyn<RequestPtr>()->finish(); },
+      cactus::kOrderLast);
+}
+
+std::unique_ptr<cactus::MicroProtocol> ServerBase::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<ServerBase>();
+}
+
+}  // namespace cqos::micro

@@ -1,0 +1,48 @@
+#include "micro/standard.h"
+
+#include <mutex>
+
+#include "cqos/config.h"
+#include "micro/acceptance.h"
+#include "micro/active_rep.h"
+#include "micro/client_base.h"
+#include "micro/extensions.h"
+#include "micro/passive_rep.h"
+#include "micro/security.h"
+#include "micro/server_base.h"
+#include "micro/timeliness.h"
+#include "micro/total_order.h"
+
+namespace cqos::micro {
+
+void register_standard_micro_protocols() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = MicroProtocolRegistry::instance();
+
+    reg.add(Side::kClient, "client_base", &ClientBase::make);
+    reg.add(Side::kClient, "active_rep", &ActiveRep::make);
+    reg.add(Side::kClient, "passive_rep", &PassiveRepClient::make);
+    reg.add(Side::kClient, "first_success", &FirstSuccess::make);
+    reg.add(Side::kClient, "majority_vote", &MajorityVote::make);
+    reg.add(Side::kClient, "des_privacy", &DesPrivacyClient::make);
+    reg.add(Side::kClient, "integrity", &IntegrityClient::make);
+    reg.add(Side::kClient, "retransmit", &Retransmit::make);
+    reg.add(Side::kClient, "failure_detector", &FailureDetector::make);
+    reg.add(Side::kClient, "load_balance", &LoadBalance::make);
+    reg.add(Side::kClient, "client_cache", &ClientCache::make);
+
+    reg.add(Side::kServer, "server_base", &ServerBase::make);
+    reg.add(Side::kServer, "passive_rep", &PassiveRepServer::make);
+    reg.add(Side::kServer, "total_order", &TotalOrder::make);
+    reg.add(Side::kServer, "des_privacy", &DesPrivacyServer::make);
+    reg.add(Side::kServer, "integrity", &IntegrityServer::make);
+    reg.add(Side::kServer, "access_control", &AccessControl::make);
+    reg.add(Side::kServer, "priority_sched", &PrioritySched::make);
+    reg.add(Side::kServer, "queued_sched", &QueuedSched::make);
+    reg.add(Side::kServer, "timed_sched", &TimedSched::make);
+    reg.add(Side::kServer, "request_log", &RequestLog::make);
+  });
+}
+
+}  // namespace cqos::micro

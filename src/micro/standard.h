@@ -1,0 +1,17 @@
+// Registration of the standard micro-protocol suite.
+#pragma once
+
+namespace cqos::micro {
+
+/// Register every standard micro-protocol with
+/// MicroProtocolRegistry::instance(). Idempotent; call once at startup
+/// (Cluster does this automatically).
+///
+/// Client side: client_base, active_rep, passive_rep, first_success,
+///              majority_vote, des_privacy, integrity.
+/// Server side: server_base, passive_rep, total_order, des_privacy,
+///              integrity, access_control, priority_sched, queued_sched,
+///              timed_sched.
+void register_standard_micro_protocols();
+
+}  // namespace cqos::micro

@@ -1,0 +1,178 @@
+#include "micro/timeliness.h"
+
+namespace cqos::micro {
+namespace {
+constexpr int kDefaultHighFloor = kNormalPriority + 1;
+}  // namespace
+
+// --- PrioritySched ----------------------------------------------------------------
+
+void PrioritySched::init(cactus::CompositeProtocol& proto) {
+  server_holder(proto);
+  // setPriority: first handler for readyToInvoke so the priority changes as
+  // early as possible.
+  proto.bind(
+      ev::kReadyToInvoke, "setPriority",
+      [](cactus::EventContext& ctx) {
+        set_thread_priority(ctx.dyn<RequestPtr>()->priority);
+      },
+      order::kSetPriority);
+}
+
+std::unique_ptr<cactus::MicroProtocol> PrioritySched::make(
+    const MicroProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<PrioritySched>();
+}
+
+// --- QueuedSched ------------------------------------------------------------------
+
+void QueuedSched::init(cactus::CompositeProtocol& proto) {
+  server_holder(proto);
+  auto state = proto.shared().get_or_create<State>(kStateKey);
+  const int high_floor = high_floor_;
+
+  // checkPriority: admit high-priority work (and count it); park
+  // low-priority work while high-priority requests are executing.
+  proto.bind(
+      ev::kReadyToInvoke, "checkPriority",
+      [state, high_floor](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        std::scoped_lock lk(state->mu);
+        if (req->priority >= high_floor) {
+          if (state->counted_high.insert(req->id).second) {
+            ++state->high_active;
+          }
+          return;
+        }
+        if (state->high_active > 0) {
+          state->low_waiting.push_back(req);
+          ctx.halt();
+        }
+      },
+      order::kSchedGate);
+
+  // notifyWaiting: bound last to invokeReturn. Uses the modified raise()
+  // that specifies a low thread priority so the wakeup never competes with
+  // the thread returning the high-priority reply.
+  proto.bind(
+      ev::kInvokeReturn, "notifyWaiting",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        bool wake = false;
+        {
+          std::scoped_lock lk(state->mu);
+          auto it = state->counted_high.find(req->id);
+          if (it != state->counted_high.end()) {
+            state->counted_high.erase(it);
+            --state->high_active;
+          }
+          wake = state->high_active == 0 && !state->low_waiting.empty();
+        }
+        if (wake) {
+          ctx.protocol().raise_async(ev::kRequestReturned, req, kMinPriority);
+        }
+      },
+      order::kSchedNotify);
+
+  // wakeupNext: release one waiting low-priority request if still eligible.
+  proto.bind(
+      ev::kRequestReturned, "wakeupNext",
+      [state](cactus::EventContext& ctx) {
+        RequestPtr next;
+        {
+          std::scoped_lock lk(state->mu);
+          if (state->high_active == 0 && !state->low_waiting.empty()) {
+            next = std::move(state->low_waiting.front());
+            state->low_waiting.pop_front();
+          }
+        }
+        if (next) {
+          ctx.protocol().raise_async(ev::kReadyToInvoke, next, next->priority);
+        }
+      },
+      cactus::kOrderDefault);
+}
+
+std::unique_ptr<cactus::MicroProtocol> QueuedSched::make(
+    const MicroProtocolSpec& spec) {
+  return std::make_unique<QueuedSched>(
+      static_cast<int>(spec.param_int("high", kDefaultHighFloor)));
+}
+
+// --- TimedSched -------------------------------------------------------------------
+
+TimedSched::~TimedSched() = default;
+
+void TimedSched::release_one_locked(State& state,
+                                    cactus::CompositeProtocol& proto) {
+  if (state.low_waiting.empty()) return;
+  RequestPtr next = std::move(state.low_waiting.front());
+  state.low_waiting.pop_front();
+  proto.raise_async(ev::kReadyToInvoke, next, next->priority);
+}
+
+void TimedSched::init(cactus::CompositeProtocol& proto) {
+  server_holder(proto);
+  proto_ = &proto;
+  auto state = proto.shared().get_or_create<State>(kStateKey);
+  const int high_floor = high_floor_;
+  const int threshold = threshold_;
+
+  // checkPriority: count high arrivals per period; park low requests unless
+  // the system was quiet in the previous period and is quiet now.
+  proto.bind(
+      ev::kReadyToInvoke, "checkPriority",
+      [state, high_floor, threshold](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        std::scoped_lock lk(state->mu);
+        if (req->priority >= high_floor) {
+          ++state->high_current;
+          return;
+        }
+        if (req->has_flag("ts.released")) return;  // re-raise after release
+        if (state->high_prev == 0 && state->high_current == 0 &&
+            state->low_waiting.empty()) {
+          return;  // idle system: no differentiation needed
+        }
+        state->low_waiting.push_back(req);
+        ctx.halt();
+      },
+      order::kSchedGate);
+
+  // Period tick: rotate the counters and release one low request when the
+  // previous period was below the threshold. Release is tick-driven and one
+  // at a time (paper §3.4) — low-priority throughput is rate-limited to one
+  // request per period while high-priority traffic is present.
+  proto.bind(
+      "ts:tick", "timedTick",
+      [this, state, threshold](cactus::EventContext& ctx) {
+        {
+          std::scoped_lock lk(state->mu);
+          state->high_prev = state->high_current;
+          state->high_current = 0;
+          if (state->high_prev < threshold && !state->low_waiting.empty()) {
+            state->low_waiting.front()->once("ts.released", [] {});
+            release_one_locked(*state, ctx.protocol());
+          }
+        }
+        if (!stopped_.load()) {
+          ctx.protocol().raise_delayed("ts:tick", std::any(true), period_);
+        }
+      },
+      cactus::kOrderDefault);
+
+  proto.raise_delayed("ts:tick", std::any(true), period_);
+}
+
+void TimedSched::shutdown() { stopped_.store(true); }
+
+std::unique_ptr<cactus::MicroProtocol> TimedSched::make(
+    const MicroProtocolSpec& spec) {
+  return std::make_unique<TimedSched>(
+      static_cast<int>(spec.param_int("high", kDefaultHighFloor)),
+      ms(spec.param_int("period_ms", 50)),
+      static_cast<int>(spec.param_int("threshold", 8)));
+}
+
+}  // namespace cqos::micro

@@ -1,0 +1,92 @@
+// Timeliness micro-protocols (paper §3.4): service differentiation.
+//
+// PrioritySched — sets the executing thread's logical priority from the
+//   request priority, as early as possible on readyToInvoke, so all further
+//   event processing (async raises, pool scheduling) runs at that priority.
+//
+// QueuedSched — queues low-priority requests while high-priority requests
+//   are executing:
+//     checkPriority  (readyToInvoke)   — admit or park
+//     notifyWaiting  (invokeReturn, last) — when no high-priority work
+//        remains, raise requestReturned asynchronously at LOW thread
+//        priority (the modified raise() variant) so the wakeup does not
+//        interfere with the returning high-priority reply
+//     wakeupNext     (requestReturned) — release one parked request
+//
+// TimedSched — like QueuedSched, but releases parked low-priority requests
+//   (one at a time) only when the number of high-priority requests that
+//   arrived in the previous period was below a threshold. Parameters:
+//   period_ms (default 50), threshold (default 8), high (priority floor
+//   considered "high", default kNormalPriority+1).
+#pragma once
+
+#include <deque>
+#include <set>
+
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class PrioritySched : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "priority_sched"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+};
+
+class QueuedSched : public cactus::MicroProtocol {
+ public:
+  explicit QueuedSched(int high_floor) : high_floor_(high_floor) {}
+
+  std::string_view name() const override { return "queued_sched"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  struct State {
+    std::mutex mu;
+    int high_active = 0;
+    std::deque<RequestPtr> low_waiting;
+    std::set<std::uint64_t> counted_high;  // ids currently counted as active
+  };
+  static constexpr const char* kStateKey = "queued_sched.state";
+
+ private:
+  int high_floor_;
+};
+
+class TimedSched : public cactus::MicroProtocol {
+ public:
+  TimedSched(int high_floor, Duration period, int threshold)
+      : high_floor_(high_floor), period_(period), threshold_(threshold) {}
+  ~TimedSched() override;
+
+  std::string_view name() const override { return "timed_sched"; }
+  void init(cactus::CompositeProtocol& proto) override;
+  void shutdown() override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  struct State {
+    std::mutex mu;
+    int high_current = 0;  // high arrivals this period
+    int high_prev = 0;     // high arrivals previous period
+    std::deque<RequestPtr> low_waiting;
+  };
+  static constexpr const char* kStateKey = "timed_sched.state";
+
+ private:
+  void release_one_locked(State& state, cactus::CompositeProtocol& proto);
+
+  int high_floor_;
+  Duration period_;
+  int threshold_;
+  cactus::CompositeProtocol* proto_ = nullptr;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cqos::micro

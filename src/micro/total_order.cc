@@ -1,0 +1,139 @@
+#include "micro/total_order.h"
+
+#include "common/log.h"
+
+namespace cqos::micro {
+
+void TotalOrder::init(cactus::CompositeProtocol& proto) {
+  ServerQosHolder& holder = server_holder(proto);
+  ServerQosInterface* qos = holder.qos;
+  auto state = proto.shared().get_or_create<State>(kStateKey);
+  const bool is_coordinator = qos->replica_index() == coordinator_;
+
+  struct MulticastJob {
+    std::uint64_t request_id;
+    std::uint64_t seq;
+    int peer;
+  };
+
+  // assignOrder (coordinator only): allocate the sequence number on first
+  // sight of a request and multicast it to the other replicas.
+  if (is_coordinator) {
+    proto.bind(
+        ev::kReadyToInvoke, "assignOrder",
+        [state, qos](cactus::EventContext& ctx) {
+          auto req = ctx.dyn<RequestPtr>();
+          std::uint64_t seq = 0;
+          {
+            std::scoped_lock lk(state->mu);
+            auto it = state->order.find(req->id);
+            if (it != state->order.end()) return;  // re-raise of parked req
+            seq = state->next_seq_to_assign++;
+            state->order.emplace(req->id, seq);
+          }
+          for (int peer = 0; peer < qos->num_servers(); ++peer) {
+            if (peer == qos->replica_index()) continue;
+            ctx.protocol().raise_async("to:multicast",
+                                       MulticastJob{req->id, seq, peer});
+          }
+        },
+        order::kOrderAssign);
+
+    proto.bind(
+        "to:multicast", "orderMulticast",
+        [qos](cactus::EventContext& ctx) {
+          auto job = ctx.dyn<MulticastJob>();
+          ValueList args{Value(static_cast<std::int64_t>(job.request_id)),
+                         Value(static_cast<std::int64_t>(job.seq))};
+          if (!qos->peer_send(job.peer, kOrderControl, args)) {
+            CQOS_LOG_WARN("total_order: ordering multicast to replica ",
+                          job.peer, " failed");
+          }
+        },
+        cactus::kOrderDefault);
+  }
+
+  // checkOrder (all replicas): only the request whose turn has come may
+  // proceed; everything else parks.
+  proto.bind(
+      ev::kReadyToInvoke, "checkOrder",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        std::scoped_lock lk(state->mu);
+        auto it = state->order.find(req->id);
+        if (it == state->order.end()) {
+          // Ordering info not here yet (non-coordinator raced the control
+          // message). Park by id; the control handler re-raises.
+          state->awaiting_info.emplace(req->id, req);
+          ctx.halt();
+          return;
+        }
+        if (it->second != state->next_seq_to_execute) {
+          state->parked.emplace(it->second, req);
+          ctx.halt();
+          return;
+        }
+        // Its turn: fall through to execution.
+      },
+      order::kOrderCheck);
+
+  // checkNext (all replicas): advance and release the successor.
+  proto.bind(
+      ev::kInvokeReturn, "checkNext",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        RequestPtr next;
+        {
+          std::scoped_lock lk(state->mu);
+          auto it = state->order.find(req->id);
+          if (it == state->order.end()) return;  // not an ordered request
+          if (it->second != state->next_seq_to_execute) return;  // stale
+          ++state->next_seq_to_execute;
+          auto parked = state->parked.find(state->next_seq_to_execute);
+          if (parked != state->parked.end()) {
+            next = std::move(parked->second);
+            state->parked.erase(parked);
+          }
+        }
+        if (next) {
+          ctx.protocol().raise_async(ev::kReadyToInvoke, next,
+                                     next->priority);
+        }
+      },
+      order::kOrderAdvance);
+
+  // Ordering info from the coordinator.
+  proto.bind(
+      ev::ctl(kOrderControl), "orderInfo",
+      [state](cactus::EventContext& ctx) {
+        auto msg = ctx.dyn<ControlMsgPtr>();
+        auto request_id = static_cast<std::uint64_t>(msg->args.at(0).as_i64());
+        auto seq = static_cast<std::uint64_t>(msg->args.at(1).as_i64());
+        RequestPtr release;
+        {
+          std::scoped_lock lk(state->mu);
+          state->order.emplace(request_id, seq);
+          auto it = state->awaiting_info.find(request_id);
+          if (it != state->awaiting_info.end()) {
+            release = std::move(it->second);
+            state->awaiting_info.erase(it);
+          }
+        }
+        if (release) {
+          // Re-raise: checkOrder now finds the seq and either executes or
+          // parks by sequence number.
+          ctx.protocol().raise_async(ev::kReadyToInvoke, release,
+                                     release->priority);
+        }
+        msg->reply = Value(true);
+      },
+      cactus::kOrderDefault);
+}
+
+std::unique_ptr<cactus::MicroProtocol> TotalOrder::make(
+    const MicroProtocolSpec& spec) {
+  return std::make_unique<TotalOrder>(
+      static_cast<int>(spec.param_int("coordinator", 0)));
+}
+
+}  // namespace cqos::micro

@@ -1,0 +1,52 @@
+// TotalOrder micro-protocol (paper §3.2): sequencer-based total ordering of
+// request execution across replicas.
+//
+// The coordinator (replica 0 by convention; configurable) assigns a sequence
+// number to each new request and multicasts (request id, seq) to the other
+// replicas in parallel (ActiveRep-style async raises). Each replica executes
+// requests strictly in sequence order:
+//
+//   assignOrder (readyToInvoke, coordinator) — allocate seq, multicast it
+//   checkOrder  (readyToInvoke, all)         — park the request until its
+//                                              ordering info has arrived and
+//                                              its turn has come
+//   checkNext   (invokeReturn, all)          — advance the sequence and
+//                                              release the next parked request
+//
+// Coordinator failure is not tolerated (as in the paper's prototype).
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class TotalOrder : public cactus::MicroProtocol {
+ public:
+  std::string_view name() const override { return "total_order"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+
+  /// Parameters: coordinator=<replica index> (default 0).
+  explicit TotalOrder(int coordinator = 0) : coordinator_(coordinator) {}
+
+  struct State {
+    std::mutex mu;
+    std::uint64_t next_seq_to_assign = 1;
+    std::uint64_t next_seq_to_execute = 1;
+    std::map<std::uint64_t, std::uint64_t> order;      // request id -> seq
+    std::map<std::uint64_t, RequestPtr> awaiting_info;  // id -> parked (no seq yet)
+    std::map<std::uint64_t, RequestPtr> parked;         // seq -> parked (not its turn)
+  };
+  static constexpr const char* kStateKey = "total_order.state";
+  static constexpr const char* kOrderControl = "to_order";
+
+ private:
+  int coordinator_;
+};
+
+}  // namespace cqos::micro

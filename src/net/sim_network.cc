@@ -1,0 +1,202 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace cqos::net {
+
+// --- Endpoint ---------------------------------------------------------------
+
+std::optional<Message> Endpoint::recv(Duration timeout) {
+  std::unique_lock lk(mu_);
+  TimePoint deadline = now() + timeout;
+  for (;;) {
+    if (closed_) return std::nullopt;
+    if (!inbox_.empty()) {
+      auto first = inbox_.begin();
+      TimePoint ready_at = first->first;
+      if (ready_at <= now()) {
+        Message msg = std::move(first->second);
+        inbox_.erase(first);
+        return msg;
+      }
+      // Wait until the head message matures or the caller's deadline.
+      TimePoint until = std::min(ready_at, deadline);
+      if (until <= now() && ready_at > deadline) return std::nullopt;
+      cv_.wait_until(lk, until);
+    } else {
+      if (now() >= deadline) return std::nullopt;
+      cv_.wait_until(lk, deadline);
+    }
+    if (now() >= deadline && (inbox_.empty() || inbox_.begin()->first > now())) {
+      return std::nullopt;
+    }
+  }
+}
+
+void Endpoint::close() {
+  {
+    std::scoped_lock lk(mu_);
+    closed_ = true;
+    inbox_.clear();
+  }
+  cv_.notify_all();
+}
+
+bool Endpoint::closed() const {
+  std::scoped_lock lk(mu_);
+  return closed_;
+}
+
+void Endpoint::deposit(Message msg) {
+  {
+    std::scoped_lock lk(mu_);
+    if (closed_) return;
+    inbox_.emplace(msg.deliver_at, std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+void Endpoint::clear_inbox() {
+  std::scoped_lock lk(mu_);
+  inbox_.clear();
+}
+
+// --- SimNetwork --------------------------------------------------------------
+
+SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+std::string SimNetwork::host_of(const std::string& endpoint_id) {
+  auto pos = endpoint_id.find('/');
+  return pos == std::string::npos ? endpoint_id : endpoint_id.substr(0, pos);
+}
+
+std::shared_ptr<Endpoint> SimNetwork::create_endpoint(const std::string& id) {
+  std::scoped_lock lk(mu_);
+  if (endpoints_.contains(id)) throw Error("endpoint id already registered: " + id);
+  auto ep = std::make_shared<Endpoint>(id, host_of(id));
+  endpoints_.emplace(id, ep);
+  return ep;
+}
+
+void SimNetwork::remove_endpoint(const std::string& id) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) return;
+    ep = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  ep->close();
+}
+
+Duration SimNetwork::compute_latency(const std::string& from_host,
+                                     const std::string& to_host,
+                                     std::size_t bytes) {
+  Duration lat;
+  if (from_host == to_host) {
+    lat = cfg_.loopback_latency;
+  } else {
+    lat = cfg_.base_latency + cfg_.per_byte * static_cast<std::int64_t>(bytes);
+  }
+  if (cfg_.jitter > 0) {
+    double j = rng_.next_double() * cfg_.jitter;
+    lat += std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(std::chrono::duration<double>(lat).count() * j));
+  }
+  return lat;
+}
+
+bool SimNetwork::send(const std::string& from, const std::string& to,
+                      Bytes payload) {
+  std::shared_ptr<Endpoint> dest;
+  Message msg;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return false;
+
+    std::string from_host = host_of(from);
+    std::string to_host = host_of(to);
+    if (crashed_.contains(to_host) || crashed_.contains(from_host)) return false;
+
+    auto pair = std::minmax(from_host, to_host);
+    if (partitions_.contains({pair.first, pair.second})) return false;
+
+    if (from_host != to_host && cfg_.drop_rate > 0 &&
+        rng_.next_bool(cfg_.drop_rate)) {
+      CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to);
+      return false;
+    }
+
+    dest = it->second;
+    msg.from = from;
+    msg.to = to;
+    msg.deliver_at = now() + compute_latency(from_host, to_host, payload.size());
+    // FIFO per destination: never deliver before an earlier-sent message.
+    auto& clamp = last_deliver_[to];
+    if (msg.deliver_at < clamp) msg.deliver_at = clamp;
+    clamp = msg.deliver_at;
+    msg.seq = next_seq_++;
+    msg.payload = std::move(payload);
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  }
+
+  {
+    std::scoped_lock lk(tap_mu_);
+    if (tap_) tap_(msg);
+  }
+
+  dest->deposit(std::move(msg));
+  return true;
+}
+
+void SimNetwork::crash_host(const std::string& host) {
+  std::vector<std::shared_ptr<Endpoint>> eps;
+  {
+    std::scoped_lock lk(mu_);
+    crashed_.insert(host);
+    for (auto& [id, ep] : endpoints_) {
+      if (ep->host() == host) eps.push_back(ep);
+    }
+  }
+  for (auto& ep : eps) ep->clear_inbox();
+}
+
+void SimNetwork::recover_host(const std::string& host) {
+  std::scoped_lock lk(mu_);
+  crashed_.erase(host);
+}
+
+bool SimNetwork::is_crashed(const std::string& host) const {
+  std::scoped_lock lk(mu_);
+  return crashed_.contains(host);
+}
+
+void SimNetwork::partition(const std::string& host_a, const std::string& host_b) {
+  auto pair = std::minmax(host_a, host_b);
+  std::scoped_lock lk(mu_);
+  partitions_.insert({pair.first, pair.second});
+}
+
+void SimNetwork::heal(const std::string& host_a, const std::string& host_b) {
+  auto pair = std::minmax(host_a, host_b);
+  std::scoped_lock lk(mu_);
+  partitions_.erase({pair.first, pair.second});
+}
+
+void SimNetwork::set_drop_rate(double p) {
+  std::scoped_lock lk(mu_);
+  cfg_.drop_rate = p;
+}
+
+void SimNetwork::set_tap(Tap tap) {
+  std::scoped_lock lk(tap_mu_);
+  tap_ = std::move(tap);
+}
+
+}  // namespace cqos::net

@@ -1,0 +1,150 @@
+// In-process simulated cluster network.
+//
+// Stands in for the paper's testbed (Linux cluster on 1 Gbit Ethernet). Hosts
+// are namespaces in endpoint ids ("hostA/orb", "hostA/client0"); messages
+// between endpoints are delivered after a simulated latency of
+//     base + per_byte * payload_size (+ uniform jitter)
+// or a smaller loopback latency for same-host traffic. Fault injection —
+// host crash/recover, pairwise partitions, probabilistic drop — drives the
+// fault-tolerance tests and examples.
+//
+// Delivery is FIFO per sender/receiver pair (latency is deterministic per
+// size ordering is enforced with a sequence tie-break and monotone clamp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace cqos::net {
+
+struct Message {
+  std::string from;
+  std::string to;
+  Bytes payload;
+  TimePoint deliver_at{};
+  std::uint64_t seq = 0;
+};
+
+struct NetConfig {
+  /// One-way latency between distinct hosts for a zero-byte message.
+  Duration base_latency = us(120);
+  /// Additional latency per payload byte (models wire + serialization DMA).
+  Duration per_byte = std::chrono::nanoseconds(12);
+  /// Latency between endpoints on the same host.
+  Duration loopback_latency = us(15);
+  /// Uniform jitter fraction applied to the computed latency ([0, jitter]).
+  double jitter = 0.05;
+  /// Probability that any inter-host message is silently dropped.
+  double drop_rate = 0.0;
+  /// RNG seed for jitter/drops (deterministic tests).
+  std::uint64_t seed = 42;
+};
+
+class SimNetwork;
+
+/// Receiving side of one registered endpoint.
+class Endpoint {
+ public:
+  Endpoint(std::string id, std::string host) : id_(std::move(id)), host_(std::move(host)) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& host() const { return host_; }
+
+  /// Block until a message is deliverable (its simulated latency elapsed) or
+  /// `timeout` passes. Returns nullopt on timeout or close.
+  std::optional<Message> recv(Duration timeout);
+
+  /// Unblock all receivers; subsequent recv() returns nullopt immediately.
+  void close();
+  bool closed() const;
+
+ private:
+  friend class SimNetwork;
+  void deposit(Message msg);
+  void clear_inbox();
+
+  const std::string id_;
+  const std::string host_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Ordered by (deliver_at, seq).
+  std::multimap<TimePoint, Message> inbox_;
+  bool closed_ = false;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetConfig cfg = {});
+
+  /// Register a new endpoint. Id format "host/service"; the host part drives
+  /// latency and crash semantics. Throws Error if the id is taken.
+  std::shared_ptr<Endpoint> create_endpoint(const std::string& id);
+
+  void remove_endpoint(const std::string& id);
+
+  /// Send `payload` from endpoint `from` to endpoint `to`. Returns false if
+  /// the message was dropped (unknown destination, crashed host, partition,
+  /// or random drop) — senders cannot distinguish these, as on a real
+  /// network.
+  bool send(const std::string& from, const std::string& to, Bytes payload);
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Crash a host: its endpoints stop receiving and their queued messages
+  /// are lost. Messages to a crashed host are dropped.
+  void crash_host(const std::string& host);
+  void recover_host(const std::string& host);
+  bool is_crashed(const std::string& host) const;
+
+  /// Cut connectivity between two hosts (both directions).
+  void partition(const std::string& host_a, const std::string& host_b);
+  void heal(const std::string& host_a, const std::string& host_b);
+
+  void set_drop_rate(double p);
+
+  // --- observation ----------------------------------------------------------
+
+  /// Wire tap invoked (under no internal lock ordering guarantees) for every
+  /// successfully sent message. Used by tests to assert on-the-wire
+  /// properties (e.g. ciphertext only).
+  using Tap = std::function<void(const Message&)>;
+  void set_tap(Tap tap);
+
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+
+  static std::string host_of(const std::string& endpoint_id);
+
+ private:
+  Duration compute_latency(const std::string& from_host,
+                           const std::string& to_host, std::size_t bytes);
+
+  NetConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  std::set<std::string> crashed_;
+  std::set<std::pair<std::string, std::string>> partitions_;  // ordered pair
+  Rng rng_;
+  std::uint64_t next_seq_ = 1;
+  // Per-destination monotone deliver_at clamp: keeps FIFO even with jitter.
+  std::map<std::string, TimePoint> last_deliver_;
+  Tap tap_;
+  std::mutex tap_mu_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace cqos::net

@@ -1,0 +1,108 @@
+// Platform abstraction: the middleware-facing interface CQoS is layered on.
+//
+// Both concrete platforms (the CORBA-like ORB in platform/corba and the
+// RMI-like runtime in platform/rmi) implement these interfaces. CQoS code
+// never touches platform wire formats — only this API — which is exactly the
+// paper's portability claim: the Cactus client/server are platform neutral,
+// and only the thin interceptor glue differs per platform.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/value.h"
+
+namespace cqos::plat {
+
+enum class ReplyStatus {
+  kOk,           // servant returned a result
+  kAppError,     // servant (or an interposed QoS layer) raised an exception
+  kUnreachable,  // no reply: crashed host, partition, timeout
+};
+
+struct Reply {
+  ReplyStatus status = ReplyStatus::kUnreachable;
+  Value result;
+  std::string error;
+  PiggybackMap piggyback;
+
+  bool ok() const { return status == ReplyStatus::kOk; }
+};
+
+/// Client-side handle to a remote object (stub-level view).
+class ObjectRef {
+ public:
+  virtual ~ObjectRef() = default;
+
+  /// The platform's natural invocation path (what a generated static stub
+  /// compiles to). Blocking; never throws for remote failures — they are
+  /// reported in Reply.status.
+  virtual Reply invoke(const std::string& method, const ValueList& params,
+                       const PiggybackMap& piggyback, Duration timeout) = 0;
+
+  /// Dynamic invocation path. On CORBA this is genuine DII: an intermediate
+  /// platform request object is constructed from the abstract request (the
+  /// conversion the paper identifies as the dominant CQoS overhead on
+  /// CORBA). Platforms without a distinct dynamic path (RMI) forward to
+  /// invoke().
+  virtual Reply invoke_dynamic(const std::string& method,
+                               const ValueList& params,
+                               const PiggybackMap& piggyback,
+                               Duration timeout) {
+    return invoke(method, params, piggyback, timeout);
+  }
+
+  /// Liveness probe of the hosting server.
+  virtual bool ping(Duration timeout) = 0;
+
+  virtual std::string description() const = 0;
+};
+
+/// Server-side generic dispatch target. The platform calls handle() for
+/// every incoming request on a registered name (DSI-style single entry
+/// point; this is what makes the CQoS skeleton method-agnostic).
+class ServantHandler {
+ public:
+  virtual ~ServantHandler() = default;
+  virtual Reply handle(const std::string& method, ValueList params,
+                       PiggybackMap piggyback) = 0;
+};
+
+/// How the server-side adapter decodes requests for a registered servant.
+enum class DispatchMode {
+  kStatic,  // generated-skeleton path: one-pass decode straight to values
+  kDsi,     // dynamic-skeleton path: decode to Anys, then convert (CORBA)
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  virtual std::string name() const = 0;  // "corba" | "rmi"
+
+  /// Platform-specific replica naming convention (paper §4): CORBA uses POA
+  /// "<oid>_agent_poa_<i>" with object id "<oid>_CQoS_Skeleton"; RMI uses
+  /// registry name "<oid>_CQoS_Skeleton_<i>". `replica` is 1-based.
+  virtual std::string replica_name(const std::string& object_id,
+                                   int replica) const = 0;
+
+  /// Name for the non-replicated, non-CQoS registration of an object (the
+  /// baseline configurations in Table 1).
+  virtual std::string direct_name(const std::string& object_id) const = 0;
+
+  /// Resolve a name to an object reference via the platform's naming
+  /// service. Throws NameNotFound / TimeoutError.
+  virtual std::shared_ptr<ObjectRef> resolve(const std::string& name,
+                                             Duration timeout) = 0;
+
+  virtual void register_servant(const std::string& name,
+                                std::shared_ptr<ServantHandler> handler,
+                                DispatchMode mode) = 0;
+
+  virtual void unregister_servant(const std::string& name) = 0;
+
+  virtual void shutdown() = 0;
+};
+
+}  // namespace cqos::plat

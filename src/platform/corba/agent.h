@@ -1,0 +1,44 @@
+// Smart agent: the ORB's location service (modeled on Visibroker's osagent,
+// which the paper's prototype used for binding POAs by name).
+//
+// Servers register (poa_name, object_id) -> IOR; clients look the pair up.
+// Runs as a daemon on its own simulated host.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/sim_network.h"
+#include "platform/corba/giop.h"
+
+namespace cqos::corba {
+
+class SmartAgent {
+ public:
+  /// Conventional endpoint id the agent listens on, given its host.
+  static std::string endpoint_for_host(const std::string& host) {
+    return host + "/osagent";
+  }
+
+  SmartAgent(net::SimNetwork& network, const std::string& host);
+  ~SmartAgent();
+
+  SmartAgent(const SmartAgent&) = delete;
+  SmartAgent& operator=(const SmartAgent&) = delete;
+
+  const std::string& endpoint_id() const { return endpoint_->id(); }
+
+  void shutdown();
+
+ private:
+  void loop();
+
+  net::SimNetwork& network_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  std::map<std::pair<std::string, std::string>, Ior> table_;
+  std::thread thread_;
+};
+
+}  // namespace cqos::corba

@@ -1,0 +1,188 @@
+#include "platform/corba/giop.h"
+
+#include "platform/corba/cdr.h"
+
+namespace cqos::corba {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+constexpr std::uint8_t kVersionMajor = 1;
+constexpr std::uint8_t kVersionMinor = 2;
+constexpr std::uint8_t kFlagsLittleEndian = 1;
+constexpr std::size_t kSizeOffset = 8;  // body-size field position
+
+void encode_ior(ByteWriter& w, const Ior& ior) {
+  encode_cdr_string(w, ior.endpoint);
+  encode_cdr_string(w, ior.object_key);
+}
+
+Ior decode_ior(ByteReader& r) {
+  Ior ior;
+  ior.endpoint = decode_cdr_string(r);
+  ior.object_key = decode_cdr_string(r);
+  return ior;
+}
+
+}  // namespace
+
+void begin_frame(ByteWriter& w, MsgType type, std::uint64_t request_id) {
+  w.put_bytes(kMagic);
+  w.put_u8(kVersionMajor);
+  w.put_u8(kVersionMinor);
+  w.put_u8(kFlagsLittleEndian);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u32(0);  // body size, patched by finish_frame
+  w.align(8);
+  w.put_u64(request_id);
+}
+
+void finish_frame(ByteWriter& w) {
+  w.patch_u32(kSizeOffset, static_cast<std::uint32_t>(w.size() - 12));
+}
+
+GiopHeader read_frame(ByteReader& r) {
+  Bytes magic = r.get_bytes(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw DecodeError("bad GIOP magic");
+  }
+  std::uint8_t major = r.get_u8();
+  std::uint8_t minor = r.get_u8();
+  if (major != kVersionMajor || minor != kVersionMinor) {
+    throw DecodeError("unsupported GIOP version");
+  }
+  (void)r.get_u8();  // flags (always little-endian here)
+  GiopHeader h;
+  h.type = static_cast<MsgType>(r.get_u8());
+  std::uint32_t body_size = r.get_u32();
+  r.align(8);
+  h.request_id = r.get_u64();
+  if (body_size + 12 < r.position()) throw DecodeError("GIOP size underflow");
+  return h;
+}
+
+Bytes encode_request(std::uint64_t request_id, const RequestBody& body) {
+  ByteWriter w(256);
+  begin_frame(w, MsgType::kRequest, request_id);
+  encode_cdr_string(w, body.reply_to);
+  encode_cdr_string(w, body.object_key);
+  encode_cdr_string(w, body.operation);
+  encode_service_context(w, body.service_context);
+  w.align(4);
+  w.put_u32(static_cast<std::uint32_t>(body.params.size()));
+  for (const auto& p : body.params) encode_any(w, p);
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+RequestBody decode_request_body(ByteReader& r) {
+  RequestBody body;
+  body.reply_to = decode_cdr_string(r);
+  body.object_key = decode_cdr_string(r);
+  body.operation = decode_cdr_string(r);
+  body.service_context = decode_service_context(r);
+  r.align(4);
+  std::uint32_t n = r.get_u32();
+  if (n > r.remaining()) throw DecodeError("param count too large");
+  body.params.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) body.params.push_back(decode_any(r));
+  return body;
+}
+
+Bytes encode_reply(std::uint64_t request_id, const ReplyBody& body) {
+  ByteWriter w(128);
+  begin_frame(w, MsgType::kReply, request_id);
+  w.put_u8(static_cast<std::uint8_t>(body.status));
+  encode_service_context(w, body.service_context);
+  if (body.status == GiopReplyStatus::kNoException) {
+    encode_any(w, body.result);
+  } else {
+    encode_cdr_string(w, body.error);
+  }
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+ReplyBody decode_reply_body(ByteReader& r) {
+  ReplyBody body;
+  body.status = static_cast<GiopReplyStatus>(r.get_u8());
+  body.service_context = decode_service_context(r);
+  if (body.status == GiopReplyStatus::kNoException) {
+    body.result = decode_any(r);
+  } else {
+    body.error = decode_cdr_string(r);
+  }
+  return body;
+}
+
+Bytes encode_agent_register(std::uint64_t request_id, const std::string& reply_to,
+                            const std::string& poa_name,
+                            const std::string& object_id, const Ior& ior) {
+  ByteWriter w(128);
+  begin_frame(w, MsgType::kAgentRegister, request_id);
+  encode_cdr_string(w, reply_to);
+  encode_cdr_string(w, poa_name);
+  encode_cdr_string(w, object_id);
+  encode_ior(w, ior);
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+Bytes encode_agent_unregister(std::uint64_t request_id,
+                              const std::string& reply_to,
+                              const std::string& poa_name,
+                              const std::string& object_id) {
+  ByteWriter w(96);
+  begin_frame(w, MsgType::kAgentUnregister, request_id);
+  encode_cdr_string(w, reply_to);
+  encode_cdr_string(w, poa_name);
+  encode_cdr_string(w, object_id);
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+Bytes encode_agent_lookup(std::uint64_t request_id, const std::string& reply_to,
+                          const std::string& poa_name,
+                          const std::string& object_id) {
+  ByteWriter w(96);
+  begin_frame(w, MsgType::kAgentLookup, request_id);
+  encode_cdr_string(w, reply_to);
+  encode_cdr_string(w, poa_name);
+  encode_cdr_string(w, object_id);
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+Bytes encode_agent_ack(std::uint64_t request_id, bool ok) {
+  ByteWriter w(32);
+  begin_frame(w, MsgType::kAgentRegisterAck, request_id);
+  w.put_u8(ok ? 1 : 0);
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+Bytes encode_agent_lookup_reply(std::uint64_t request_id, const Ior& ior) {
+  ByteWriter w(96);
+  begin_frame(w, MsgType::kAgentLookupReply, request_id);
+  w.put_u8(ior.valid() ? 1 : 0);
+  if (ior.valid()) encode_ior(w, ior);
+  finish_frame(w);
+  return std::move(w).take();
+}
+
+AgentRequest decode_agent_request(ByteReader& r, MsgType type) {
+  AgentRequest req;
+  req.reply_to = decode_cdr_string(r);
+  req.poa_name = decode_cdr_string(r);
+  req.object_id = decode_cdr_string(r);
+  if (type == MsgType::kAgentRegister) req.ior = decode_ior(r);
+  return req;
+}
+
+bool decode_agent_ack(ByteReader& r) { return r.get_u8() != 0; }
+
+Ior decode_agent_lookup_reply(ByteReader& r) {
+  if (r.get_u8() == 0) return {};
+  return decode_ior(r);
+}
+
+}  // namespace cqos::corba

@@ -1,0 +1,105 @@
+// GIOP-style message framing for the CORBA-like ORB.
+//
+// Layout mirrors GIOP 1.2 in spirit: a 12-byte header (magic "GIOP",
+// version, flags, message type, body size) followed by a CDR body. Message
+// types beyond Request/Reply cover the naming (smart agent) protocol and
+// liveness pings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/value.h"
+
+namespace cqos::corba {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 0,
+  kReply = 1,
+  kPing = 7,
+  kPong = 8,
+  kAgentRegister = 10,
+  kAgentRegisterAck = 11,
+  kAgentLookup = 12,
+  kAgentLookupReply = 13,
+  kAgentUnregister = 14,
+};
+
+/// Interoperable object reference: where the object lives and under which
+/// adapter key it is registered.
+struct Ior {
+  std::string endpoint;    // server ORB endpoint id
+  std::string object_key;  // "<poa_name>/<object_id>"
+
+  bool valid() const { return !endpoint.empty(); }
+};
+
+struct GiopHeader {
+  MsgType type{};
+  std::uint64_t request_id = 0;
+};
+
+/// Write the 12-byte GIOP header + request id. Body follows; finish_frame()
+/// patches the body size.
+void begin_frame(ByteWriter& w, MsgType type, std::uint64_t request_id);
+void finish_frame(ByteWriter& w);
+
+/// Parse the header; reader is positioned at the body afterwards.
+GiopHeader read_frame(ByteReader& r);
+
+// --- request/reply bodies ----------------------------------------------------
+
+struct RequestBody {
+  std::string reply_to;    // client endpoint id
+  std::string object_key;  // target adapter key
+  std::string operation;
+  PiggybackMap service_context;
+  ValueList params;
+};
+
+Bytes encode_request(std::uint64_t request_id, const RequestBody& body);
+RequestBody decode_request_body(ByteReader& r);
+
+enum class GiopReplyStatus : std::uint8_t {
+  kNoException = 0,
+  kUserException = 1,
+  kSystemException = 2,
+};
+
+struct ReplyBody {
+  GiopReplyStatus status = GiopReplyStatus::kNoException;
+  PiggybackMap service_context;
+  Value result;        // when kNoException
+  std::string error;   // when exception
+};
+
+Bytes encode_reply(std::uint64_t request_id, const ReplyBody& body);
+ReplyBody decode_reply_body(ByteReader& r);
+
+// --- agent (naming) bodies ---------------------------------------------------
+
+Bytes encode_agent_register(std::uint64_t request_id, const std::string& reply_to,
+                            const std::string& poa_name,
+                            const std::string& object_id, const Ior& ior);
+Bytes encode_agent_unregister(std::uint64_t request_id,
+                              const std::string& reply_to,
+                              const std::string& poa_name,
+                              const std::string& object_id);
+Bytes encode_agent_lookup(std::uint64_t request_id, const std::string& reply_to,
+                          const std::string& poa_name,
+                          const std::string& object_id);
+Bytes encode_agent_ack(std::uint64_t request_id, bool ok);
+Bytes encode_agent_lookup_reply(std::uint64_t request_id, const Ior& ior);
+
+struct AgentRequest {
+  std::string reply_to;
+  std::string poa_name;
+  std::string object_id;
+  Ior ior;  // only for register
+};
+AgentRequest decode_agent_request(ByteReader& r, MsgType type);
+bool decode_agent_ack(ByteReader& r);
+Ior decode_agent_lookup_reply(ByteReader& r);
+
+}  // namespace cqos::corba

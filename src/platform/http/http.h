@@ -1,0 +1,173 @@
+// HTTP-style platform: the paper's third middleware shape (§2.1).
+//
+// "For example, it would be feasible to intercept HTTP requests and replies,
+// in which case the TCP socket layer would be viewed as the middleware
+// layer." This platform demonstrates exactly that: a text-header/binary-body
+// HTTP/1.1-flavoured request/reply protocol with NO naming service at all —
+// names are URLs ("http://<host>/<object>") resolved by host convention, the
+// way a web deployment would use DNS. The same CQoS stubs, skeletons and
+// micro-protocols run over it unchanged, which is the architecture's
+// portability claim taken beyond the two platforms of the paper's prototype.
+//
+// Wire format (one simulated datagram per message):
+//   POST /<object> CQOS/1.0\r\n            (request line)
+//   X-Call-Id: <id>\r\n
+//   X-Reply-To: <endpoint>\r\n
+//   X-Method: <method>\r\n
+//   X-Piggyback: <hex of encoded piggyback>\r\n
+//   Content-Length: <n>\r\n
+//   \r\n
+//   <binary parameter list>
+//
+//   CQOS/1.0 200 OK | 500 Application Error\r\n   (response line)
+//   X-Call-Id: <id>\r\n
+//   X-Piggyback: <hex>\r\n
+//   Content-Length: <n>\r\n
+//   \r\n
+//   <binary result value | error text>
+//
+// PING /<anything> CQOS/1.0 elicits "CQOS/1.0 204 Alive".
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cactus/thread_pool.h"
+#include "net/sim_network.h"
+#include "platform/api.h"
+#include "platform/pending.h"
+
+namespace cqos::http {
+
+struct HttpConfig {
+  int server_threads = 8;
+  Duration resolve_timeout = ms(500);
+  /// Host that serves replica i (1-based) of any object. Defaults to the
+  /// cluster convention "server<i-1>" — the DNS-style deployment knowledge
+  /// a web client would configure.
+  std::function<std::string(int replica)> replica_host =
+      [](int replica) { return "server" + std::to_string(replica - 1); };
+  /// Host that serves non-replicated objects.
+  std::string direct_host = "server0";
+};
+
+class HttpPlatform;
+
+class HttpObjectRef : public plat::ObjectRef {
+ public:
+  HttpObjectRef(HttpPlatform& platform, std::string endpoint, std::string path)
+      : platform_(platform), endpoint_(std::move(endpoint)), path_(std::move(path)) {}
+
+  plat::Reply invoke(const std::string& method, const ValueList& params,
+                     const PiggybackMap& piggyback, Duration timeout) override;
+  bool ping(Duration timeout) override;
+  std::string description() const override;
+
+ private:
+  HttpPlatform& platform_;
+  std::string endpoint_;  // "<host>/http<k>"
+  std::string path_;      // object name
+};
+
+class HttpPlatform : public plat::Platform {
+ public:
+  HttpPlatform(net::SimNetwork& network, std::string host, HttpConfig cfg = {});
+  ~HttpPlatform() override;
+
+  HttpPlatform(const HttpPlatform&) = delete;
+  HttpPlatform& operator=(const HttpPlatform&) = delete;
+
+  std::string name() const override { return "http"; }
+
+  std::string replica_name(const std::string& object_id,
+                           int replica) const override {
+    return "http://" + cfg_.replica_host(replica) + "/" + object_id +
+           "_CQoS_Skeleton_" + std::to_string(replica);
+  }
+
+  std::string direct_name(const std::string& object_id) const override {
+    return "http://" + cfg_.direct_host + "/" + object_id;
+  }
+
+  /// Parses "http://<host>/<object>"; no naming-service round trip.
+  std::shared_ptr<plat::ObjectRef> resolve(const std::string& name,
+                                           Duration timeout) override;
+
+  /// Registration key is the path component of the URL (or a plain name).
+  void register_servant(const std::string& name,
+                        std::shared_ptr<plat::ServantHandler> handler,
+                        plat::DispatchMode mode) override;
+  void unregister_servant(const std::string& name) override;
+  void shutdown() override;
+
+  const std::string& host() const { return host_; }
+  /// This platform's well-known server endpoint ("<host>/http<k>").
+  const std::string& server_endpoint() const;
+
+ private:
+  friend class HttpObjectRef;
+
+  plat::Reply call(const std::string& endpoint, const std::string& path,
+                   const std::string& method, const ValueList& params,
+                   const PiggybackMap& pb, Duration timeout);
+  bool ping_endpoint(const std::string& endpoint, Duration timeout);
+
+  void client_loop();
+  void server_loop();
+  void dispatch(std::uint64_t call_id, const std::string& reply_to,
+                const std::string& path, const std::string& method,
+                PiggybackMap piggyback, ValueList params);
+
+  net::SimNetwork& network_;
+  std::string host_;
+  HttpConfig cfg_;
+
+  std::shared_ptr<net::Endpoint> client_ep_;
+  std::shared_ptr<net::Endpoint> server_ep_;
+  plat::PendingCalls pending_;
+
+  std::mutex servants_mu_;
+  std::map<std::string, std::shared_ptr<plat::ServantHandler>> servants_;
+
+  cactus::PriorityThreadPool workers_;
+  std::thread client_thread_;
+  std::thread server_thread_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Exposed for wire-format tests.
+namespace wire {
+std::string to_hex(const Bytes& data);
+Bytes from_hex(const std::string& hex);
+
+Bytes encode_request(std::uint64_t call_id, const std::string& reply_to,
+                     const std::string& path, const std::string& method,
+                     const PiggybackMap& pb, const ValueList& params);
+Bytes encode_response(std::uint64_t call_id, bool ok, const Value& result,
+                      const std::string& error, const PiggybackMap& pb);
+Bytes encode_ping(std::uint64_t call_id, const std::string& reply_to);
+Bytes encode_pong(std::uint64_t call_id);
+
+struct Parsed {
+  enum class Kind { kRequest, kResponse, kPing, kPong } kind{};
+  std::uint64_t call_id = 0;
+  std::string reply_to;
+  std::string path;
+  std::string method;
+  PiggybackMap piggyback;
+  ValueList params;   // requests
+  bool ok = true;     // responses
+  Value result;       // responses
+  std::string error;  // responses
+};
+
+/// Throws DecodeError on malformed messages.
+Parsed parse(const Bytes& payload);
+}  // namespace wire
+
+}  // namespace cqos::http

@@ -1,0 +1,88 @@
+#include "platform/rmi/jrmp.h"
+
+namespace cqos::rmi {
+
+void begin_message(ByteWriter& w, MsgType type, std::uint64_t call_id) {
+  w.put_u8(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_varint(call_id);
+}
+
+Header read_header(ByteReader& r) {
+  if (r.get_u8() != kMagic) throw DecodeError("bad JRMP magic");
+  Header h;
+  h.type = static_cast<MsgType>(r.get_u8());
+  h.call_id = r.get_varint();
+  return h;
+}
+
+void encode_pb(ByteWriter& w, const PiggybackMap& pb) {
+  w.put_varint(pb.size());
+  for (const auto& [k, v] : pb) {
+    w.put_string(k);
+    v.encode(w);
+  }
+}
+
+PiggybackMap decode_pb(ByteReader& r) {
+  std::uint64_t n = r.get_varint();
+  if (n > r.remaining()) throw DecodeError("piggyback too long");
+  PiggybackMap pb;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.get_string();
+    pb.emplace(std::move(k), Value::decode(r));
+  }
+  return pb;
+}
+
+Bytes encode_call(std::uint64_t call_id, const CallBody& body) {
+  ByteWriter w(128);
+  begin_message(w, MsgType::kCall, call_id);
+  w.put_string(body.reply_to);
+  w.put_string(body.target);
+  w.put_string(body.method);
+  encode_pb(w, body.piggyback);
+  w.put_varint(body.params.size());
+  for (const auto& p : body.params) p.encode(w);
+  return std::move(w).take();
+}
+
+CallBody decode_call_body(ByteReader& r) {
+  CallBody body;
+  body.reply_to = r.get_string();
+  body.target = r.get_string();
+  body.method = r.get_string();
+  body.piggyback = decode_pb(r);
+  std::uint64_t n = r.get_varint();
+  if (n > r.remaining()) throw DecodeError("param count too large");
+  body.params.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) body.params.push_back(Value::decode(r));
+  return body;
+}
+
+Bytes encode_return(std::uint64_t call_id, const ReturnBody& body) {
+  ByteWriter w(64);
+  begin_message(w, MsgType::kReturn, call_id);
+  w.put_u8(body.ok ? 1 : 0);
+  if (body.ok) {
+    body.result.encode(w);
+  } else {
+    w.put_string(body.error);
+  }
+  encode_pb(w, body.piggyback);
+  return std::move(w).take();
+}
+
+ReturnBody decode_return_body(ByteReader& r) {
+  ReturnBody body;
+  body.ok = r.get_u8() != 0;
+  if (body.ok) {
+    body.result = Value::decode(r);
+  } else {
+    body.error = r.get_string();
+  }
+  body.piggyback = decode_pb(r);
+  return body;
+}
+
+}  // namespace cqos::rmi

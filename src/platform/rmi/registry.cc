@@ -1,0 +1,77 @@
+#include "platform/rmi/registry.h"
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "platform/rmi/jrmp.h"
+
+namespace cqos::rmi {
+
+Registry::Registry(net::SimNetwork& network, const std::string& host)
+    : network_(network),
+      endpoint_(network.create_endpoint(endpoint_for_host(host))),
+      thread_([this] { loop(); }) {}
+
+Registry::~Registry() { shutdown(); }
+
+void Registry::shutdown() {
+  endpoint_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Registry::loop() {
+  for (;;) {
+    auto msg = endpoint_->recv(ms(200));
+    if (!msg) {
+      if (endpoint_->closed()) return;
+      continue;
+    }
+    try {
+      ByteReader r(msg->payload);
+      Header h = read_header(r);
+      switch (h.type) {
+        case MsgType::kRegBind: {
+          std::string reply_to = r.get_string();
+          std::string name = r.get_string();
+          std::string target = r.get_string();
+          bindings_[name] = target;
+          ByteWriter w(16);
+          begin_message(w, MsgType::kRegAck, h.call_id);
+          w.put_u8(1);
+          network_.send(endpoint_->id(), reply_to, std::move(w).take());
+          break;
+        }
+        case MsgType::kRegUnbind: {
+          std::string reply_to = r.get_string();
+          std::string name = r.get_string();
+          bindings_.erase(name);
+          ByteWriter w(16);
+          begin_message(w, MsgType::kRegAck, h.call_id);
+          w.put_u8(1);
+          network_.send(endpoint_->id(), reply_to, std::move(w).take());
+          break;
+        }
+        case MsgType::kRegLookup: {
+          std::string reply_to = r.get_string();
+          std::string name = r.get_string();
+          ByteWriter w(64);
+          begin_message(w, MsgType::kRegReply, h.call_id);
+          auto it = bindings_.find(name);
+          if (it == bindings_.end()) {
+            w.put_u8(0);
+          } else {
+            w.put_u8(1);
+            w.put_string(it->second);
+          }
+          network_.send(endpoint_->id(), reply_to, std::move(w).take());
+          break;
+        }
+        default:
+          CQOS_LOG_WARN("rmiregistry: unexpected message type");
+      }
+    } catch (const std::exception& e) {
+      CQOS_LOG_ERROR("rmiregistry: bad message: ", e.what());
+    }
+  }
+}
+
+}  // namespace cqos::rmi

@@ -1,0 +1,39 @@
+// RMI registry: the bootstrap naming service (java.rmi.Naming analogue).
+// Binds flat names to server endpoints; runs as a daemon on its own host.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/sim_network.h"
+
+namespace cqos::rmi {
+
+class Registry {
+ public:
+  static std::string endpoint_for_host(const std::string& host) {
+    return host + "/rmiregistry";
+  }
+
+  Registry(net::SimNetwork& network, const std::string& host);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  const std::string& endpoint_id() const { return endpoint_->id(); }
+
+  void shutdown();
+
+ private:
+  void loop();
+
+  net::SimNetwork& network_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  std::map<std::string, std::string> bindings_;  // name -> server endpoint
+  std::thread thread_;
+};
+
+}  // namespace cqos::rmi

@@ -1,0 +1,31 @@
+#include "sim/bank_account.h"
+
+#include "common/error.h"
+
+namespace cqos::sim {
+
+Value BankAccountServant::dispatch(const std::string& method,
+                                   const ValueList& params) {
+  std::scoped_lock lk(mu_);
+  ++invocations_;
+  if (method == "set_balance") {
+    balance_ = params.at(0).as_i64();
+    return Value(true);
+  }
+  if (method == "get_balance") {
+    return Value(balance_);
+  }
+  if (method == "deposit") {
+    balance_ += params.at(0).as_i64();
+    return Value(balance_);
+  }
+  if (method == "withdraw") {
+    std::int64_t amount = params.at(0).as_i64();
+    if (amount > balance_) throw Error("insufficient funds");
+    balance_ -= amount;
+    return Value(balance_);
+  }
+  throw Error("BankAccount: no such method: " + method);
+}
+
+}  // namespace cqos::sim

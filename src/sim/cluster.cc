@@ -1,0 +1,245 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "micro/standard.h"
+#include "platform/corba/orb.h"
+#include "platform/http/http.h"
+#include "platform/rmi/rmi.h"
+
+namespace cqos::sim {
+namespace {
+
+bool has_spec(const std::vector<MicroProtocolSpec>& specs,
+              std::string_view name) {
+  return std::any_of(specs.begin(), specs.end(),
+                     [&](const auto& s) { return s.name == name; });
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)), net_(opts_.net) {
+  micro::register_standard_micro_protocols();
+  if (!opts_.servant_factory) {
+    throw ConfigError("ClusterOptions.servant_factory is required");
+  }
+
+  if (opts_.platform == PlatformKind::kCorba) {
+    agent_ = std::make_unique<corba::SmartAgent>(net_, "nameserver");
+  } else if (opts_.platform == PlatformKind::kRmi) {
+    registry_ = std::make_unique<rmi::Registry>(net_, "nameserver");
+  }
+  // kHttp needs no naming service: names are URLs resolved by convention.
+
+  for (int i = 0; i < opts_.num_replicas; ++i) {
+    // Server-side micro-protocol stack: configured specs + base last
+    // (binding order is what matters, but installing base last also keeps
+    // init failures attributable to the QoS specs).
+    std::vector<MicroProtocolSpec> server_specs =
+        opts_.server_specs_fn ? opts_.server_specs_fn(i) : opts_.qos.server;
+    if (!has_spec(server_specs, "server_base")) {
+      server_specs.push_back(MicroProtocolSpec{"server_base", {}});
+    }
+    auto replica = std::make_unique<Replica>();
+    replica->host = replica_host(i);
+    replica->platform = make_platform(replica->host);
+    replica->servant = opts_.servant_factory();
+
+    switch (opts_.level) {
+      case InterceptionLevel::kBaseline:
+      case InterceptionLevel::kStubOnly: {
+        // Original middleware: servant behind a generated (static) skeleton.
+        // The adapter below is what an IDL-generated skeleton compiles to.
+        class StaticSkeleton : public plat::ServantHandler {
+         public:
+          explicit StaticSkeleton(std::shared_ptr<Servant> servant)
+              : servant_(std::move(servant)) {}
+          plat::Reply handle(const std::string& method, ValueList params,
+                             PiggybackMap) override {
+            plat::Reply reply;
+            try {
+              reply.result = servant_->dispatch(method, params);
+              reply.status = plat::ReplyStatus::kOk;
+            } catch (const std::exception& e) {
+              reply.status = plat::ReplyStatus::kAppError;
+              reply.error = e.what();
+            }
+            return reply;
+          }
+
+         private:
+          std::shared_ptr<Servant> servant_;
+        };
+        replica->platform->register_servant(
+            replica->platform->direct_name(opts_.object_id),
+            std::make_shared<StaticSkeleton>(replica->servant),
+            plat::DispatchMode::kStatic);
+        break;
+      }
+      case InterceptionLevel::kStubSkeleton: {
+        // CQoS skeleton in bypass mode: DSI dispatch, native servant call.
+        replica->skeleton =
+            std::make_shared<CqosSkeleton>(opts_.object_id, replica->servant);
+        register_cqos_skeleton(*replica->platform, replica->skeleton, i + 1);
+        break;
+      }
+      case InterceptionLevel::kPlusCactusServer:
+      case InterceptionLevel::kFull: {
+        auto qos = std::make_unique<PlatformServerQos>(
+            *replica->platform, replica->servant, opts_.object_id,
+            server_names(*replica->platform), i);
+        CactusServer::Options server_opts;
+        server_opts.composite.name = "cactus-server-" + replica->host;
+        server_opts.composite.pool_threads = opts_.pool_threads;
+        server_opts.composite.use_thread_pool = opts_.use_thread_pool;
+        server_opts.process_timeout = opts_.request_timeout;
+        replica->cactus_server =
+            std::make_shared<CactusServer>(std::move(qos), server_opts);
+        MicroProtocolRegistry::instance().install(
+            Side::kServer, server_specs, replica->cactus_server->protocol());
+        replica->skeleton = std::make_shared<CqosSkeleton>(
+            opts_.object_id, replica->cactus_server);
+        register_cqos_skeleton(*replica->platform, replica->skeleton, i + 1);
+        break;
+      }
+    }
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+Cluster::~Cluster() {
+  // Shut platforms down first so no new requests reach the Cactus servers,
+  // then stop the composites (their handlers may still be draining).
+  for (auto& replica : replicas_) {
+    replica->platform->shutdown();
+  }
+  for (auto& replica : replicas_) {
+    if (replica->cactus_server) replica->cactus_server->stop();
+  }
+}
+
+std::unique_ptr<plat::Platform> Cluster::make_platform(
+    const std::string& host) {
+  if (opts_.platform == PlatformKind::kCorba) {
+    corba::OrbConfig cfg;
+    cfg.agent_host = "nameserver";
+    cfg.server_threads = opts_.platform_threads;
+    if (opts_.emulate_testbed) {
+      // Calibrated to reproduce Table 1's shape: the heavier ORB runtime,
+      // with DII as the largest single conversion cost.
+      cfg.emu_marshal_cost = us(260);
+      cfg.emu_dispatch_cost = us(260);
+      cfg.emu_dii_cost = us(170);
+      cfg.emu_dsi_cost = us(90);
+    }
+    return std::make_unique<corba::CorbaOrb>(net_, host, cfg);
+  }
+  if (opts_.platform == PlatformKind::kHttp) {
+    http::HttpConfig cfg;
+    cfg.server_threads = opts_.platform_threads;
+    return std::make_unique<http::HttpPlatform>(net_, host, cfg);
+  }
+  rmi::RmiConfig cfg;
+  cfg.registry_host = "nameserver";
+  cfg.server_threads = opts_.platform_threads;
+  if (opts_.emulate_testbed) {
+    cfg.emu_call_cost = us(180);
+    cfg.emu_dispatch_cost = us(180);
+  }
+  return std::make_unique<rmi::RmiRuntime>(net_, host, cfg);
+}
+
+std::vector<std::string> Cluster::server_names(
+    const plat::Platform& platform) const {
+  // Names depend on the interception level: CQoS naming for levels with a
+  // CQoS skeleton, the direct name otherwise. Naming conventions are a
+  // platform property, so any instance of the same platform computes them.
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(opts_.num_replicas));
+  for (int i = 0; i < opts_.num_replicas; ++i) {
+    if (opts_.level == InterceptionLevel::kBaseline ||
+        opts_.level == InterceptionLevel::kStubOnly) {
+      names.push_back(platform.direct_name(opts_.object_id));
+    } else {
+      names.push_back(platform.replica_name(opts_.object_id, i + 1));
+    }
+  }
+  return names;
+}
+
+std::unique_ptr<ClientHandle> Cluster::make_client(
+    CqosStub::Options stub_opts,
+    const std::vector<MicroProtocolSpec>* client_specs_override) {
+  auto handle = std::unique_ptr<ClientHandle>(new ClientHandle());
+  std::string host = "client" + std::to_string(next_client_++);
+  handle->platform_ = make_platform(host);
+
+  ClientQosOptions qos_opts;
+  qos_opts.invoke_timeout = opts_.invoke_timeout;
+  auto qos = std::make_unique<PlatformClientQos>(
+      *handle->platform_, opts_.object_id, server_names(*handle->platform_),
+      qos_opts);
+
+  switch (opts_.level) {
+    case InterceptionLevel::kBaseline: {
+      // Generated static stub: no abstract request, no dynamic invocation.
+      ClientQosOptions qopts;
+      qopts.invoke_timeout = opts_.invoke_timeout;
+      qopts.use_dynamic_invocation = false;
+      auto static_qos = std::make_unique<PlatformClientQos>(
+          *handle->platform_, opts_.object_id,
+          server_names(*handle->platform_), qopts);
+      handle->stub_ = std::make_shared<CqosStub>(
+          std::shared_ptr<ClientQosInterface>(std::move(static_qos)),
+          opts_.object_id, stub_opts);
+      break;
+    }
+    case InterceptionLevel::kStubOnly:
+    case InterceptionLevel::kStubSkeleton:
+    case InterceptionLevel::kPlusCactusServer: {
+      handle->stub_ = std::make_shared<CqosStub>(
+          std::shared_ptr<ClientQosInterface>(std::move(qos)),
+          opts_.object_id, stub_opts);
+      break;
+    }
+    case InterceptionLevel::kFull: {
+      CactusClient::Options client_opts;
+      client_opts.composite.name = "cactus-client-" + host;
+      client_opts.composite.pool_threads = opts_.pool_threads;
+      client_opts.composite.use_thread_pool = opts_.use_thread_pool;
+      client_opts.request_timeout = opts_.request_timeout;
+      handle->cactus_client_ =
+          std::make_shared<CactusClient>(std::move(qos), client_opts);
+
+      std::vector<MicroProtocolSpec> client_specs =
+          client_specs_override != nullptr ? *client_specs_override
+                                           : opts_.qos.client;
+      if (!has_spec(client_specs, "client_base")) {
+        client_specs.push_back(MicroProtocolSpec{"client_base", {}});
+      }
+      MicroProtocolRegistry::instance().install(
+          Side::kClient, client_specs, handle->cactus_client_->protocol());
+
+      handle->stub_ = std::make_shared<CqosStub>(handle->cactus_client_,
+                                                 opts_.object_id, stub_opts);
+      break;
+    }
+  }
+  return handle;
+}
+
+ClientHandle::~ClientHandle() {
+  if (cactus_client_) cactus_client_->stop();
+  if (platform_) platform_->shutdown();
+}
+
+void Cluster::crash_replica(int i) {
+  net_.crash_host(replica_host(i));
+}
+
+void Cluster::recover_replica(int i) {
+  net_.recover_host(replica_host(i));
+}
+
+}  // namespace cqos::sim

@@ -1,0 +1,158 @@
+// Cluster: end-to-end assembly of a CQoS deployment on the simulated
+// network. Stands in for the paper's testbed (client and each replica on a
+// separate machine of a Linux cluster).
+//
+// A Cluster owns the network, the platform naming service, and N replica
+// hosts; each replica host runs a platform instance, the application servant
+// and (depending on the interception level) a CQoS skeleton and Cactus
+// server. make_client() adds a client host with its own platform instance
+// and (at the full level) a Cactus client configured from the QosConfig.
+//
+// The `level` option reproduces the incremental configurations of Table 1:
+//   kBaseline         original platform, generated stub/skeleton only
+//   kStubOnly         + CQoS stub (abstract request + dynamic invocation)
+//   kStubSkeleton     + CQoS skeleton (DSI dispatch, native servant call)
+//   kPlusCactusServer + Cactus server (base micro-protocols)
+//   kFull             + Cactus client (base micro-protocols + configured QoS)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cqos/cactus_client.h"
+#include "cqos/cactus_server.h"
+#include "cqos/config.h"
+#include "cqos/platform_qos.h"
+#include "cqos/skeleton.h"
+#include "cqos/stub.h"
+#include "net/sim_network.h"
+#include "platform/api.h"
+#include "platform/corba/agent.h"
+#include "platform/rmi/registry.h"
+
+namespace cqos::sim {
+
+enum class PlatformKind { kCorba, kRmi, kHttp };
+
+enum class InterceptionLevel {
+  kBaseline,
+  kStubOnly,
+  kStubSkeleton,
+  kPlusCactusServer,
+  kFull,
+};
+
+struct ClusterOptions {
+  PlatformKind platform = PlatformKind::kRmi;
+  InterceptionLevel level = InterceptionLevel::kFull;
+  int num_replicas = 1;
+  std::string object_id = "BankAccount";
+  /// Micro-protocol stacks. client_base/server_base are appended
+  /// automatically when missing. Ignored below kPlusCactusServer.
+  QosConfig qos;
+  /// Optional per-replica override of the server-side stack (else
+  /// qos.server everywhere). Used e.g. to install service-differentiation
+  /// micro-protocols only at the TotalOrder coordinator, the paper's
+  /// resolution of the ordering-vs-priority conflict (§3.4).
+  std::function<std::vector<MicroProtocolSpec>(int replica)> server_specs_fn;
+  net::NetConfig net;
+  /// One servant per replica.
+  std::function<std::shared_ptr<Servant>()> servant_factory;
+  /// Cactus runtime options.
+  int pool_threads = 4;
+  bool use_thread_pool = true;
+  Duration request_timeout = ms(3000);
+  /// Per-invocation transport timeout (a lost message costs this much
+  /// before invokeFailure fires — lower it when testing retransmission).
+  Duration invoke_timeout = ms(1000);
+  /// Platform server-side dispatch threads.
+  int platform_threads = 8;
+  /// Enable the testbed-emulation cost model: the platforms charge
+  /// busy-wait costs calibrated to the paper's environment (Visibroker
+  /// 4.1 / JDK 1.3 / 600 MHz PIII) at the mechanism points they model
+  /// (marshal, DII, DSI, dispatch). Off for tests; on in the benchmarks.
+  bool emulate_testbed = false;
+};
+
+class Cluster;
+
+/// One client host: platform instance + (optionally) Cactus client + stub.
+class ClientHandle {
+ public:
+  ~ClientHandle();
+
+  CqosStub& stub() { return *stub_; }
+  std::shared_ptr<CqosStub> stub_ptr() { return stub_; }
+
+  /// Null below kFull.
+  CactusClient* cactus_client() { return cactus_client_.get(); }
+  plat::Platform& platform() { return *platform_; }
+
+  /// Convenience passthrough.
+  Value call(const std::string& method, ValueList params) {
+    return stub_->call(method, std::move(params));
+  }
+
+ private:
+  friend class Cluster;
+  ClientHandle() = default;
+
+  std::unique_ptr<plat::Platform> platform_;
+  std::shared_ptr<CactusClient> cactus_client_;
+  std::shared_ptr<CqosStub> stub_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Add a client on its own host. `client_specs_override`, when non-null,
+  /// replaces the QosConfig's client-side stack for this client.
+  std::unique_ptr<ClientHandle> make_client(
+      CqosStub::Options stub_opts = {},
+      const std::vector<MicroProtocolSpec>* client_specs_override = nullptr);
+
+  /// Crash / recover replica i at the network level (its host stops
+  /// receiving; queued messages are lost).
+  void crash_replica(int i);
+  void recover_replica(int i);
+
+  net::SimNetwork& network() { return net_; }
+  const ClusterOptions& options() const { return opts_; }
+  plat::Platform& replica_platform(int i) { return *replicas_.at(static_cast<std::size_t>(i))->platform; }
+  Servant& servant(int i) { return *replicas_.at(static_cast<std::size_t>(i))->servant; }
+  CactusServer* cactus_server(int i) {
+    return replicas_.at(static_cast<std::size_t>(i))->cactus_server.get();
+  }
+
+  static std::string replica_host(int i) {
+    return "server" + std::to_string(i);
+  }
+
+ private:
+  struct Replica {
+    std::string host;
+    std::unique_ptr<plat::Platform> platform;
+    std::shared_ptr<Servant> servant;
+    std::shared_ptr<CactusServer> cactus_server;
+    std::shared_ptr<CqosSkeleton> skeleton;
+  };
+
+  std::unique_ptr<plat::Platform> make_platform(const std::string& host);
+  std::vector<std::string> server_names(const plat::Platform& platform) const;
+
+  ClusterOptions opts_;
+  net::SimNetwork net_;
+  std::unique_ptr<corba::SmartAgent> agent_;
+  std::unique_ptr<rmi::Registry> registry_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  int next_client_ = 0;
+};
+
+}  // namespace cqos::sim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace cqos {
+namespace {
+
+TEST(Bytes, PrimitiveRoundtrip) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_i64(-17);
+  w.put_f64(-2.5);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_i64(), -17);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -2.5);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Bytes, VarintBoundaries) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 32, ~std::uint64_t{0}}) {
+    ByteWriter w;
+    w.put_varint(v);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.get_varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Bytes, VarintSizes) {
+  ByteWriter w1;
+  w1.put_varint(127);
+  EXPECT_EQ(w1.size(), 1u);
+  ByteWriter w2;
+  w2.put_varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Bytes, VarintTooLongThrows) {
+  Bytes data(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(data);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(Bytes, StringAndBlob) {
+  ByteWriter w;
+  w.put_string("héllo");
+  w.put_blob(Bytes{1, 2, 3});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_string(), "héllo");
+  EXPECT_EQ(r.get_blob(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, BlobLengthOverflowRejected) {
+  ByteWriter w;
+  w.put_varint(1'000'000);  // length far beyond the buffer
+  w.put_u8(1);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.get_blob(), DecodeError);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.get_u32(), DecodeError);
+  // Failed reads must not consume.
+  EXPECT_EQ(r.get_u8(), 1);
+}
+
+TEST(Bytes, AlignPadsWithZeros) {
+  ByteWriter w;
+  w.put_u8(1);
+  w.align(4);
+  EXPECT_EQ(w.size(), 4u);
+  w.put_u32(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 1);
+  r.align(4);
+  EXPECT_EQ(r.get_u32(), 7u);
+}
+
+TEST(Bytes, AlignNoopWhenAligned) {
+  ByteWriter w;
+  w.put_u32(1);
+  w.align(4);
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(Bytes, PatchU32) {
+  ByteWriter w;
+  w.put_u32(0);
+  w.put_u8(9);
+  w.patch_u32(0, 0xcafebabe);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u32(), 0xcafebabeu);
+  EXPECT_EQ(r.get_u8(), 9);
+}
+
+TEST(Bytes, FuzzRoundtripMixedOps) {
+  Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    ByteWriter w;
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 20; ++i) {
+      std::uint64_t v = rng.next_u64();
+      vals.push_back(v);
+      w.put_varint(v);
+    }
+    ByteReader r(w.data());
+    for (std::uint64_t v : vals) EXPECT_EQ(r.get_varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace cqos

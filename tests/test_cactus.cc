@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "cactus/composite.h"
+#include "common/priority.h"
+#include "common/sync.h"
+
+namespace cqos::cactus {
+namespace {
+
+TEST(Composite, SyncRaiseRunsHandlersInOrder) {
+  CompositeProtocol proto;
+  std::vector<int> trace;
+  proto.bind("ev", "second", [&](EventContext&) { trace.push_back(2); }, 10);
+  proto.bind("ev", "first", [&](EventContext&) { trace.push_back(1); }, -10);
+  proto.bind("ev", "third", [&](EventContext&) { trace.push_back(3); },
+             kOrderLast);
+  proto.raise("ev");
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Composite, SameOrderRunsInBindSequence) {
+  CompositeProtocol proto;
+  std::vector<int> trace;
+  proto.bind("ev", "a", [&](EventContext&) { trace.push_back(1); }, 0);
+  proto.bind("ev", "b", [&](EventContext&) { trace.push_back(2); }, 0);
+  proto.bind("ev", "c", [&](EventContext&) { trace.push_back(3); }, 0);
+  proto.raise("ev");
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Composite, HaltStopsLaterHandlers) {
+  CompositeProtocol proto;
+  std::vector<int> trace;
+  proto.bind("ev", "early", [&](EventContext& ctx) {
+    trace.push_back(1);
+    ctx.halt();
+  }, -10);
+  proto.bind("ev", "base", [&](EventContext&) { trace.push_back(2); },
+             kOrderLast);
+  proto.raise("ev");
+  EXPECT_EQ(trace, (std::vector<int>{1}));
+}
+
+TEST(Composite, DynamicArgumentIsDelivered) {
+  CompositeProtocol proto;
+  int seen = 0;
+  proto.bind("ev", "h", [&](EventContext& ctx) { seen = ctx.dyn<int>(); });
+  proto.raise("ev", 42);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Composite, WrongDynTypeThrowsTypeError) {
+  CompositeProtocol proto;
+  bool threw = false;
+  proto.bind("ev", "h", [&](EventContext& ctx) {
+    try {
+      (void)ctx.dyn<std::string>();
+    } catch (const TypeError&) {
+      threw = true;
+    }
+  });
+  proto.raise("ev", 42);
+  EXPECT_TRUE(threw);
+}
+
+TEST(Composite, StaticArgumentPerBinding) {
+  CompositeProtocol proto;
+  std::vector<int> seen;
+  auto handler = [&](EventContext& ctx) {
+    seen.push_back(ctx.static_arg<int>());
+  };
+  proto.bind("ev", "h", handler, 0, std::any(7));
+  proto.bind("ev", "h", handler, 0, std::any(8));
+  proto.raise("ev");
+  EXPECT_EQ(seen, (std::vector<int>{7, 8}));
+}
+
+TEST(Composite, MultipleBindingsOfSameHandlerEachExecute) {
+  CompositeProtocol proto;
+  int count = 0;
+  auto handler = [&](EventContext&) { ++count; };
+  for (int i = 0; i < 5; ++i) proto.bind("ev", "h", handler);
+  proto.raise("ev");
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Composite, UnbindRemovesHandler) {
+  CompositeProtocol proto;
+  int count = 0;
+  BindingId id = proto.bind("ev", "h", [&](EventContext&) { ++count; });
+  proto.raise("ev");
+  EXPECT_TRUE(proto.unbind(id));
+  EXPECT_FALSE(proto.unbind(id));  // second unbind is a no-op
+  proto.raise("ev");
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(proto.binding_count("ev"), 0u);
+}
+
+TEST(Composite, RaiseWithNoHandlersIsNoop) {
+  CompositeProtocol proto;
+  proto.raise("nobody-home", 1);
+  SUCCEED();
+}
+
+TEST(Composite, HandlerExceptionDoesNotStopOthers) {
+  CompositeProtocol proto;
+  int after = 0;
+  proto.bind("ev", "boom",
+             [](EventContext&) { throw Error("intentional"); }, -1);
+  proto.bind("ev", "after", [&](EventContext&) { ++after; }, 1);
+  proto.raise("ev");
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Composite, HandlerCanBindDuringActivation) {
+  CompositeProtocol proto;
+  int second_event = 0;
+  proto.bind("ev", "binder", [&](EventContext& ctx) {
+    ctx.protocol().bind("ev2", "late",
+                        [&](EventContext&) { ++second_event; });
+  });
+  proto.raise("ev");
+  proto.raise("ev2");
+  EXPECT_EQ(second_event, 1);
+}
+
+TEST(Composite, AsyncRaiseRunsConcurrently) {
+  CompositeProtocol proto;
+  Gate started, release;
+  std::atomic<int> done{0};
+  proto.bind("ev", "h", [&](EventContext&) {
+    started.set();
+    release.wait();
+    done.fetch_add(1);
+  });
+  proto.raise_async("ev");
+  ASSERT_TRUE(started.wait_for(ms(2000)));
+  EXPECT_EQ(done.load(), 0);  // caller was not blocked
+  release.set();
+  for (int i = 0; i < 200 && done.load() == 0; ++i) {
+    std::this_thread::sleep_for(ms(5));
+  }
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(Composite, AsyncPreservesRaisersPriority) {
+  CompositeProtocol proto;
+  Gate ran;
+  std::atomic<int> observed{-1};
+  proto.bind("ev", "h", [&](EventContext&) {
+    observed.store(current_thread_priority());
+    ran.set();
+  });
+  {
+    PriorityGuard guard(9);
+    proto.raise_async("ev");
+  }
+  ASSERT_TRUE(ran.wait_for(ms(2000)));
+  EXPECT_EQ(observed.load(), 9);
+}
+
+TEST(Composite, AsyncExplicitPriorityOverrides) {
+  CompositeProtocol proto;
+  Gate ran;
+  std::atomic<int> observed{-1};
+  proto.bind("ev", "h", [&](EventContext&) {
+    observed.store(current_thread_priority());
+    ran.set();
+  });
+  proto.raise_async("ev", {}, 2);
+  ASSERT_TRUE(ran.wait_for(ms(2000)));
+  EXPECT_EQ(observed.load(), 2);
+}
+
+TEST(Composite, SyncExplicitPriorityAppliesAndRestores) {
+  CompositeProtocol proto;
+  int during = -1;
+  proto.bind("ev", "h", [&](EventContext&) {
+    during = current_thread_priority();
+  });
+  int before = current_thread_priority();
+  proto.raise("ev", {}, 8);
+  EXPECT_EQ(during, 8);
+  EXPECT_EQ(current_thread_priority(), before);
+}
+
+TEST(Composite, DelayedRaiseFires) {
+  CompositeProtocol proto;
+  Gate fired;
+  proto.bind("ev", "h", [&](EventContext&) { fired.set(); });
+  proto.raise_delayed("ev", {}, ms(30));
+  EXPECT_FALSE(fired.is_set());
+  EXPECT_TRUE(fired.wait_for(ms(2000)));
+}
+
+TEST(Composite, DelayedRaiseCancellable) {
+  CompositeProtocol proto;
+  std::atomic<int> fired{0};
+  proto.bind("ev", "h", [&](EventContext&) { fired.fetch_add(1); });
+  TimerId id = proto.raise_delayed("ev", {}, ms(80));
+  EXPECT_TRUE(proto.cancel_delayed(id));
+  EXPECT_FALSE(proto.cancel_delayed(id));  // already cancelled
+  std::this_thread::sleep_for(ms(150));
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(Composite, SharedDataSameKeySameObject) {
+  CompositeProtocol proto;
+  auto a = proto.shared().get_or_create<int>("counter");
+  auto b = proto.shared().get_or_create<int>("counter");
+  *a = 5;
+  EXPECT_EQ(*b, 5);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Composite, SharedDataTypeMismatchThrows) {
+  CompositeProtocol proto;
+  proto.shared().get_or_create<int>("k");
+  EXPECT_THROW(proto.shared().get_or_create<double>("k"), TypeError);
+}
+
+TEST(Composite, StopIsIdempotentAndDropsAsyncWork) {
+  CompositeProtocol proto;
+  proto.bind("ev", "h", [](EventContext&) {});
+  proto.stop();
+  proto.stop();
+  proto.raise_async("ev");  // dropped, no crash
+  SUCCEED();
+}
+
+TEST(Composite, ThreadPerEventModeStillWorks) {
+  CompositeProtocol::Options opts;
+  opts.use_thread_pool = false;
+  CompositeProtocol proto(opts);
+  CountdownLatch latch(8);
+  proto.bind("ev", "h", [&](EventContext&) { latch.count_down(); });
+  for (int i = 0; i < 8; ++i) proto.raise_async("ev");
+  EXPECT_TRUE(latch.wait_for(ms(2000)));
+  proto.stop();
+}
+
+TEST(Composite, MicroProtocolLifecycle) {
+  class Probe : public MicroProtocol {
+   public:
+    explicit Probe(int* shutdowns) : shutdowns_(shutdowns) {}
+    std::string_view name() const override { return "probe"; }
+    void init(CompositeProtocol& proto) override {
+      proto.bind("ev", "probe", [](EventContext&) {});
+    }
+    void shutdown() override { ++*shutdowns_; }
+
+   private:
+    int* shutdowns_;
+  };
+
+  int shutdowns = 0;
+  CompositeProtocol proto;
+  proto.add_protocol(std::make_unique<Probe>(&shutdowns));
+  EXPECT_NE(proto.find_protocol("probe"), nullptr);
+  EXPECT_EQ(proto.find_protocol("nope"), nullptr);
+  EXPECT_EQ(proto.binding_count("ev"), 1u);
+  EXPECT_EQ(proto.protocol_names(), std::vector<std::string>{"probe"});
+  proto.stop();
+  EXPECT_EQ(shutdowns, 1);
+}
+
+TEST(PriorityPool, HigherPriorityRunsFirst) {
+  PriorityThreadPool pool(1);
+  Gate block, seeded;
+  std::vector<int> order;
+  std::mutex mu;
+  // Occupy the single worker so subsequent tasks queue up.
+  pool.submit(kNormalPriority, [&] {
+    seeded.set();
+    block.wait();
+  });
+  ASSERT_TRUE(seeded.wait_for(ms(2000)));
+  CountdownLatch latch(3);
+  for (int prio : {3, 9, 5}) {
+    pool.submit(prio, [&, prio] {
+      std::scoped_lock lk(mu);
+      order.push_back(prio);
+      latch.count_down();
+    });
+  }
+  block.set();
+  ASSERT_TRUE(latch.wait_for(ms(2000)));
+  EXPECT_EQ(order, (std::vector<int>{9, 5, 3}));
+}
+
+TEST(PriorityPool, FifoWithinPriority) {
+  PriorityThreadPool pool(1);
+  Gate block, seeded;
+  std::vector<int> order;
+  std::mutex mu;
+  pool.submit(kNormalPriority, [&] {
+    seeded.set();
+    block.wait();
+  });
+  ASSERT_TRUE(seeded.wait_for(ms(2000)));
+  CountdownLatch latch(4);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(kNormalPriority, [&, i] {
+      std::scoped_lock lk(mu);
+      order.push_back(i);
+      latch.count_down();
+    });
+  }
+  block.set();
+  ASSERT_TRUE(latch.wait_for(ms(2000)));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PriorityPool, SubmitAfterShutdownRejected) {
+  PriorityThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit(5, [] {}));
+}
+
+TEST(Timer, ScheduleAndCancel) {
+  TimerService timers;
+  std::atomic<int> fired{0};
+  TimerId keep = timers.schedule(ms(20), [&] { fired.fetch_add(1); });
+  TimerId cancel = timers.schedule(ms(20), [&] { fired.fetch_add(100); });
+  EXPECT_NE(keep, kInvalidTimer);
+  EXPECT_TRUE(timers.cancel(cancel));
+  std::this_thread::sleep_for(ms(120));
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(Timer, EarlierTimerAddedLaterStillFiresFirst) {
+  TimerService timers;
+  std::vector<int> order;
+  std::mutex mu;
+  CountdownLatch latch(2);
+  timers.schedule(ms(80), [&] {
+    std::scoped_lock lk(mu);
+    order.push_back(2);
+    latch.count_down();
+  });
+  timers.schedule(ms(10), [&] {
+    std::scoped_lock lk(mu);
+    order.push_back(1);
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(ms(2000)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace cqos::cactus

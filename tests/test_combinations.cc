@@ -1,0 +1,197 @@
+// Combination matrix sweep (paper §3.5).
+//
+// "Overall, a service can be configured with no fault tolerance or any of
+// these five fault-tolerance combinations with any combination of the three
+// security micro-protocols and any of the three timeliness micro-protocols.
+// As a result, even this small set of micro-protocols can be configured in
+// over 100 different combinations."
+//
+// This suite enumerates the full FT axis crossed with every security subset
+// and every timeliness choice and checks end-to-end correctness of each
+// composition. The FT axis and security axis are fully crossed; the
+// timeliness axis is crossed against every FT mode (with full security on)
+// — together with the dedicated suites this covers the composition space.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+constexpr const char* kKey = "0123456789abcdef";
+
+enum class Ft {
+  kNone,
+  kPassive,
+  kActive,            // default first-reply acceptance
+  kActiveFirst,       // + first_success
+  kActiveVote,        // + majority_vote
+  kActiveTotalFirst,  // + total order
+  kActiveTotalVote,
+};
+enum class SecBits { kPrivacy = 1, kIntegrity = 2, kAccess = 4 };
+enum class Timeliness { kNone, kPriority, kQueued, kTimed };
+
+struct Combo {
+  Ft ft;
+  int sec;  // bitmask of SecBits
+  Timeliness timeliness;
+  PlatformKind platform = PlatformKind::kRmi;
+};
+
+std::string combo_name(const Combo& combo) {
+  std::string name;
+  switch (combo.ft) {
+    case Ft::kNone: name = "ftnone"; break;
+    case Ft::kPassive: name = "passive"; break;
+    case Ft::kActive: name = "active"; break;
+    case Ft::kActiveFirst: name = "activefirst"; break;
+    case Ft::kActiveVote: name = "activevote"; break;
+    case Ft::kActiveTotalFirst: name = "activetotalfirst"; break;
+    case Ft::kActiveTotalVote: name = "activetotalvote"; break;
+  }
+  name += "_s";
+  name += std::to_string(combo.sec);
+  switch (combo.timeliness) {
+    case Timeliness::kNone: name += "_tnone"; break;
+    case Timeliness::kPriority: name += "_tprio"; break;
+    case Timeliness::kQueued: name += "_tqueue"; break;
+    case Timeliness::kTimed: name += "_ttimed"; break;
+  }
+  switch (combo.platform) {
+    case PlatformKind::kRmi: break;  // default, unsuffixed
+    case PlatformKind::kCorba: name += "_corba"; break;
+    case PlatformKind::kHttp: name += "_http"; break;
+  }
+  return name;
+}
+
+ClusterOptions build_options(const Combo& combo) {
+  ClusterOptions opts;
+  opts.platform = combo.platform;
+  opts.level = InterceptionLevel::kFull;
+  opts.net.base_latency = us(60);
+  opts.net.jitter = 0;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  opts.num_replicas = combo.ft == Ft::kNone ? 1 : 3;
+
+  switch (combo.ft) {
+    case Ft::kNone:
+      break;
+    case Ft::kPassive:
+      opts.qos.add(Side::kClient, "passive_rep")
+          .add(Side::kServer, "passive_rep");
+      break;
+    case Ft::kActive:
+      opts.qos.add(Side::kClient, "active_rep");
+      break;
+    case Ft::kActiveFirst:
+      opts.qos.add(Side::kClient, "active_rep")
+          .add(Side::kClient, "first_success");
+      break;
+    case Ft::kActiveVote:
+      opts.qos.add(Side::kClient, "active_rep")
+          .add(Side::kClient, "majority_vote");
+      break;
+    case Ft::kActiveTotalFirst:
+      opts.qos.add(Side::kClient, "active_rep")
+          .add(Side::kClient, "first_success")
+          .add(Side::kServer, "total_order");
+      break;
+    case Ft::kActiveTotalVote:
+      opts.qos.add(Side::kClient, "active_rep")
+          .add(Side::kClient, "majority_vote")
+          .add(Side::kServer, "total_order");
+      break;
+  }
+
+  if ((combo.sec & static_cast<int>(SecBits::kPrivacy)) != 0) {
+    opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+        .add(Side::kServer, "des_privacy", {{"key", kKey}});
+  }
+  if ((combo.sec & static_cast<int>(SecBits::kIntegrity)) != 0) {
+    opts.qos.add(Side::kClient, "integrity", {{"key", kKey}})
+        .add(Side::kServer, "integrity", {{"key", kKey}});
+  }
+  if ((combo.sec & static_cast<int>(SecBits::kAccess)) != 0) {
+    opts.qos.add(Side::kServer, "access_control", {{"allow", "alice:*"}});
+  }
+
+  switch (combo.timeliness) {
+    case Timeliness::kNone:
+      break;
+    case Timeliness::kPriority:
+      opts.qos.add(Side::kServer, "priority_sched");
+      break;
+    case Timeliness::kQueued:
+      opts.qos.add(Side::kServer, "queued_sched");
+      break;
+    case Timeliness::kTimed:
+      opts.qos.add(Side::kServer, "timed_sched",
+                   {{"period_ms", "40"}, {"threshold", "50"}});
+      break;
+  }
+  return opts;
+}
+
+class ComboMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ComboMatrix, EndToEndCorrectness) {
+  Cluster cluster(build_options(GetParam()));
+  CqosStub::Options stub_opts;
+  stub_opts.principal = "alice";
+  stub_opts.priority = 7;
+  auto client = cluster.make_client(stub_opts);
+  BankAccountStub account(client->stub_ptr());
+
+  account.set_balance(1000);
+  EXPECT_EQ(account.get_balance(), 1000);
+  account.deposit(24);
+  EXPECT_EQ(account.get_balance(), 1024);
+  EXPECT_THROW(account.withdraw(99999), InvocationError);
+  EXPECT_EQ(account.get_balance(), 1024);
+
+  if ((GetParam().sec & static_cast<int>(SecBits::kAccess)) != 0) {
+    CqosStub::Options eve;
+    eve.principal = "eve";
+    auto eve_client = cluster.make_client(eve);
+    EXPECT_THROW(eve_client->call("get_balance", {}), InvocationError);
+  }
+}
+
+std::vector<Combo> matrix() {
+  std::vector<Combo> combos;
+  const Ft fts[] = {Ft::kNone,       Ft::kPassive,    Ft::kActive,
+                    Ft::kActiveFirst, Ft::kActiveVote, Ft::kActiveTotalFirst,
+                    Ft::kActiveTotalVote};
+  // Full FT x security-subset cross (no timeliness).
+  for (Ft ft : fts) {
+    for (int sec = 0; sec < 8; ++sec) {
+      combos.push_back(Combo{ft, sec, Timeliness::kNone});
+    }
+  }
+  // FT x timeliness cross, with the full security stack enabled.
+  for (Ft ft : fts) {
+    for (Timeliness t :
+         {Timeliness::kPriority, Timeliness::kQueued, Timeliness::kTimed}) {
+      combos.push_back(Combo{ft, 7, t});
+    }
+  }
+  // Platform dimension: every FT mode with the full security stack must
+  // compose identically on the CORBA-like and HTTP platforms (the
+  // portability claim).
+  for (PlatformKind platform : {PlatformKind::kCorba, PlatformKind::kHttp}) {
+    for (Ft ft : fts) {
+      combos.push_back(Combo{ft, 7, Timeliness::kNone, platform});
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComboMatrix, ::testing::ValuesIn(matrix()),
+                         [](const auto& info) { return combo_name(info.param); });
+
+}  // namespace
+}  // namespace cqos::sim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "cqos/config.h"
+#include "micro/standard.h"
+
+namespace cqos {
+namespace {
+
+TEST(QosConfigParse, EmptyInput) {
+  QosConfig cfg = QosConfig::parse("");
+  EXPECT_TRUE(cfg.client.empty());
+  EXPECT_TRUE(cfg.server.empty());
+}
+
+TEST(QosConfigParse, SimpleList) {
+  QosConfig cfg = QosConfig::parse("client: active_rep, majority_vote");
+  ASSERT_EQ(cfg.client.size(), 2u);
+  EXPECT_EQ(cfg.client[0].name, "active_rep");
+  EXPECT_EQ(cfg.client[1].name, "majority_vote");
+}
+
+TEST(QosConfigParse, ParametersAndBothSections) {
+  QosConfig cfg = QosConfig::parse(
+      "client: des_privacy(key=0123456789abcdef);\n"
+      "server: timed_sched(period_ms=50, threshold=3), access_control("
+      "allow=alice:*|bob:get_balance, default=deny)");
+  ASSERT_EQ(cfg.client.size(), 1u);
+  EXPECT_EQ(cfg.client[0].param("key"), "0123456789abcdef");
+  ASSERT_EQ(cfg.server.size(), 2u);
+  EXPECT_EQ(cfg.server[0].param_int("period_ms", 0), 50);
+  EXPECT_EQ(cfg.server[0].param_int("threshold", 0), 3);
+  EXPECT_EQ(cfg.server[1].param("allow"), "alice:*|bob:get_balance");
+  EXPECT_EQ(cfg.server[1].param("default"), "deny");
+}
+
+TEST(QosConfigParse, CommentsAndWhitespace) {
+  QosConfig cfg = QosConfig::parse(
+      "# full stack\n"
+      "client: active_rep  # replicate\n"
+      "server: total_order\n");
+  ASSERT_EQ(cfg.client.size(), 1u);
+  ASSERT_EQ(cfg.server.size(), 1u);
+}
+
+TEST(QosConfigParse, EmptyParensAllowed) {
+  QosConfig cfg = QosConfig::parse("client: client_base()");
+  ASSERT_EQ(cfg.client.size(), 1u);
+  EXPECT_TRUE(cfg.client[0].params.empty());
+}
+
+TEST(QosConfigParse, Errors) {
+  EXPECT_THROW(QosConfig::parse("bogus: x"), ConfigError);
+  EXPECT_THROW(QosConfig::parse("client active_rep"), ConfigError);
+  EXPECT_THROW(QosConfig::parse("client: p(key"), ConfigError);
+  EXPECT_THROW(QosConfig::parse("client: p(=v)"), ConfigError);
+}
+
+TEST(QosConfigParse, ParamTypeErrors) {
+  QosConfig cfg = QosConfig::parse("server: timed_sched(period_ms=abc)");
+  EXPECT_THROW(cfg.server[0].param_int("period_ms", 0), ConfigError);
+  EXPECT_EQ(cfg.server[0].param_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.server[0].param_double("missing", 1.5), 1.5);
+}
+
+TEST(QosConfig, SerializeParseRoundtrip) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "active_rep")
+      .add(Side::kClient, "des_privacy", {{"key", "0123456789abcdef"}})
+      .add(Side::kServer, "timed_sched",
+           {{"period_ms", "50"}, {"threshold", "3"}});
+  QosConfig back = QosConfig::parse(cfg.serialize());
+  ASSERT_EQ(back.client.size(), 2u);
+  ASSERT_EQ(back.server.size(), 1u);
+  EXPECT_EQ(back.client[1].param("key"), "0123456789abcdef");
+  EXPECT_EQ(back.server[0].param_int("threshold", 0), 3);
+}
+
+TEST(Registry, StandardProtocolsRegistered) {
+  micro::register_standard_micro_protocols();
+  auto& reg = MicroProtocolRegistry::instance();
+  for (const char* name :
+       {"client_base", "active_rep", "passive_rep", "first_success",
+        "majority_vote", "des_privacy", "integrity"}) {
+    EXPECT_TRUE(reg.contains(Side::kClient, name)) << name;
+  }
+  for (const char* name :
+       {"server_base", "passive_rep", "total_order", "des_privacy",
+        "integrity", "access_control", "priority_sched", "queued_sched",
+        "timed_sched"}) {
+    EXPECT_TRUE(reg.contains(Side::kServer, name)) << name;
+  }
+  // Side separation: client-only protocols are not server protocols.
+  EXPECT_FALSE(reg.contains(Side::kServer, "active_rep"));
+  EXPECT_FALSE(reg.contains(Side::kClient, "total_order"));
+}
+
+TEST(Registry, UnknownNameThrows) {
+  micro::register_standard_micro_protocols();
+  MicroProtocolSpec spec{"does_not_exist", {}};
+  EXPECT_THROW(
+      MicroProtocolRegistry::instance().create(Side::kClient, spec),
+      ConfigError);
+}
+
+TEST(Registry, NamesListsSide) {
+  micro::register_standard_micro_protocols();
+  auto names = MicroProtocolRegistry::instance().names(Side::kClient);
+  EXPECT_NE(std::find(names.begin(), names.end(), "active_rep"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "total_order"), names.end());
+}
+
+TEST(Registry, BadParameterSurfacesAtCreate) {
+  micro::register_standard_micro_protocols();
+  MicroProtocolSpec spec{"des_privacy", {{"key", "xyz"}}};  // bad hex
+  EXPECT_THROW(
+      MicroProtocolRegistry::instance().create(Side::kClient, spec),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace cqos

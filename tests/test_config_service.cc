@@ -1,0 +1,136 @@
+// External configuration service tests (paper §2.3.3, the third dynamic
+// customization mode: both client and server fetch their configuration from
+// a service keyed by [user, service] pairs).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cqos/config_service.h"
+#include "platform/rmi/rmi.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+constexpr const char* kKey = "0123456789abcdef";
+
+/// Deploy a config service on its own host inside a cluster's network.
+struct ServiceHost {
+  std::unique_ptr<plat::Platform> platform;
+  std::shared_ptr<ConfigServiceServant> servant;
+
+  ServiceHost(Cluster& cluster) {
+    rmi::RmiConfig cfg;
+    cfg.registry_host = "nameserver";
+    platform = std::make_unique<rmi::RmiRuntime>(cluster.network(),
+                                                 "confighost", cfg);
+    servant = std::make_shared<ConfigServiceServant>();
+    register_config_service(*platform, servant);
+  }
+  ~ServiceHost() { platform->shutdown(); }
+};
+
+ClusterOptions cs_options() {
+  ClusterOptions opts;
+  opts.platform = PlatformKind::kRmi;
+  opts.level = InterceptionLevel::kFull;
+  opts.num_replicas = 1;
+  opts.net.jitter = 0;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  opts.qos.add(Side::kServer, "des_privacy", {{"key", kKey}});
+  return opts;
+}
+
+TEST(ConfigService, PutGetRoundtrip) {
+  Cluster cluster(cs_options());
+  ServiceHost service(cluster);
+
+  QosConfig cfg;
+  cfg.add(Side::kClient, "des_privacy", {{"key", kKey}});
+  publish_config(*service.platform, "alice", "BankAccount", cfg, ms(500));
+
+  auto client = cluster.make_client();
+  QosConfig fetched =
+      fetch_config_for(client->platform(), "alice", "BankAccount", ms(500));
+  ASSERT_EQ(fetched.client.size(), 1u);
+  EXPECT_EQ(fetched.client[0].name, "des_privacy");
+  EXPECT_EQ(fetched.client[0].param("key"), kKey);
+}
+
+TEST(ConfigService, WildcardUserFallback) {
+  Cluster cluster(cs_options());
+  ServiceHost service(cluster);
+  QosConfig cfg;
+  cfg.add(Side::kClient, "client_cache", {{"methods", "get_balance"}});
+  publish_config(*service.platform, "*", "BankAccount", cfg, ms(500));
+
+  auto client = cluster.make_client();
+  QosConfig fetched =
+      fetch_config_for(client->platform(), "anyone", "BankAccount", ms(500));
+  EXPECT_EQ(fetched.client.at(0).name, "client_cache");
+}
+
+TEST(ConfigService, UndefinedPairIsError) {
+  Cluster cluster(cs_options());
+  ServiceHost service(cluster);
+  auto client = cluster.make_client();
+  EXPECT_THROW(
+      fetch_config_for(client->platform(), "alice", "Ghost", ms(500)),
+      InvocationError);
+}
+
+TEST(ConfigService, MalformedConfigRejectedAtPut) {
+  Cluster cluster(cs_options());
+  ServiceHost service(cluster);
+  auto client = cluster.make_client();
+  auto ref = client->platform().resolve(
+      client->platform().direct_name(kConfigServiceName), ms(500));
+  plat::Reply reply = ref->invoke(
+      "put", {Value("u"), Value("s"), Value("not a config ::::")}, {}, ms(500));
+  EXPECT_EQ(reply.status, plat::ReplyStatus::kAppError);
+}
+
+TEST(ConfigService, RemoveDropsEntry) {
+  Cluster cluster(cs_options());
+  ServiceHost service(cluster);
+  QosConfig cfg;
+  cfg.add(Side::kClient, "client_base");
+  publish_config(*service.platform, "bob", "BankAccount", cfg, ms(500));
+  auto client = cluster.make_client();
+  auto ref = client->platform().resolve(
+      client->platform().direct_name(kConfigServiceName), ms(500));
+  plat::Reply removed =
+      ref->invoke("remove", {Value("bob"), Value("BankAccount")}, {}, ms(500));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed.result.as_bool());
+  EXPECT_THROW(
+      fetch_config_for(client->platform(), "bob", "BankAccount", ms(500)),
+      InvocationError);
+}
+
+TEST(ConfigService, ClientBootstrapsWorkingStackFromService) {
+  Cluster cluster(cs_options());  // server requires des_privacy
+  ServiceHost service(cluster);
+
+  QosConfig advertised;
+  advertised.add(Side::kClient, "des_privacy", {{"key", kKey}});
+  service.servant->put("*", "BankAccount", advertised);
+
+  // An unconfigured client fails against the privacy-requiring server...
+  std::vector<MicroProtocolSpec> bare;
+  auto client = cluster.make_client({}, &bare);
+  EXPECT_THROW(client->call("get_balance", {}), InvocationError);
+
+  // ...until it installs the stack the configuration service defines for
+  // this [user, service] pair.
+  QosConfig fetched =
+      fetch_config_for(client->platform(), "alice", "BankAccount", ms(500));
+  MicroProtocolRegistry::instance().install(
+      Side::kClient, fetched.client, client->cactus_client()->protocol());
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(55);
+  EXPECT_EQ(account.get_balance(), 55);
+}
+
+}  // namespace
+}  // namespace cqos::sim

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/des.h"
+#include "crypto/sha256.h"
+
+namespace cqos::crypto {
+namespace {
+
+Bytes from_hex(const std::string& hex) {
+  Bytes out;
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (auto b : data) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+// --- DES ---------------------------------------------------------------------
+
+// The classic worked example (Stallings / FIPS test vector).
+TEST(Des, KnownVectorEncrypt) {
+  Bytes key = from_hex("133457799bbcdff1");
+  Bytes pt = from_hex("0123456789abcdef");
+  Des des(key);
+  std::uint8_t ct[8];
+  des.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ct), "85e813540f0ab405");
+}
+
+TEST(Des, KnownVectorDecrypt) {
+  Bytes key = from_hex("133457799bbcdff1");
+  Bytes ct = from_hex("85e813540f0ab405");
+  Des des(key);
+  std::uint8_t pt[8];
+  des.decrypt_block(ct.data(), pt);
+  EXPECT_EQ(to_hex(pt), "0123456789abcdef");
+}
+
+// Weak-key all-zeros vector: DES(0,0) = 8ca64de9c1b123a7.
+TEST(Des, AllZeroVector) {
+  Bytes key(8, 0);
+  Bytes pt(8, 0);
+  Des des(key);
+  std::uint8_t ct[8];
+  des.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ct), "8ca64de9c1b123a7");
+}
+
+// FIPS 46-3: the low bit of each key byte is a parity bit and does not
+// affect the key schedule.
+TEST(Des, ParityBitsIgnored) {
+  Bytes key1 = from_hex("133457799bbcdff1");
+  Bytes key2 = key1;
+  for (auto& b : key2) b ^= 0x01;  // flip every parity bit
+  Bytes pt = from_hex("0123456789abcdef");
+  std::uint8_t ct1[8], ct2[8];
+  Des(key1).encrypt_block(pt.data(), ct1);
+  Des(key2).encrypt_block(pt.data(), ct2);
+  EXPECT_EQ(to_hex(ct1), to_hex(ct2));
+}
+
+TEST(Des, BadKeySizeThrows) {
+  Bytes key(7, 0);
+  EXPECT_THROW(Des d(key), Error);
+}
+
+class DesCbcRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DesCbcRoundtrip, EncryptDecryptIsIdentity) {
+  Rng rng(GetParam() * 7919 + 1);
+  Bytes key = from_hex("0123456789abcdef");
+  Bytes iv = from_hex("fedcba9876543210");
+  Bytes pt(GetParam());
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_below(256));
+  Bytes ct = des_cbc_encrypt(key, iv, pt);
+  EXPECT_EQ(ct.size() % 8, 0u);
+  EXPECT_GE(ct.size(), pt.size() + 1);  // always at least one padding byte
+  EXPECT_EQ(des_cbc_decrypt(key, iv, ct), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DesCbcRoundtrip,
+                         ::testing::Values(0, 1, 7, 8, 9, 15, 16, 63, 64, 255,
+                                           1024));
+
+TEST(DesCbc, WrongKeyFailsOrGarbles) {
+  Bytes key = from_hex("0123456789abcdef");
+  // Must differ in a non-parity bit: DES ignores the low bit of each key
+  // byte, so e.g. ...ef vs ...ee would be the SAME effective key.
+  Bytes wrong = from_hex("0323456789abcdef");
+  Bytes iv(8, 0);
+  Bytes pt{'s', 'e', 'c', 'r', 'e', 't'};
+  Bytes ct = des_cbc_encrypt(key, iv, pt);
+  try {
+    Bytes out = des_cbc_decrypt(wrong, iv, ct);
+    EXPECT_NE(out, pt);  // padding happened to validate: still not plaintext
+  } catch (const DecodeError&) {
+    SUCCEED();  // padding check rejected it
+  }
+}
+
+TEST(DesCbc, CiphertextDiffersFromPlaintext) {
+  Bytes key = from_hex("133457799bbcdff1");
+  Bytes iv(8, 3);
+  Bytes pt(64, 'A');
+  Bytes ct = des_cbc_encrypt(key, iv, pt);
+  EXPECT_NE(Bytes(ct.begin(), ct.begin() + 64), pt);
+  // CBC: identical plaintext blocks must yield distinct ciphertext blocks.
+  EXPECT_NE(Bytes(ct.begin(), ct.begin() + 8),
+            Bytes(ct.begin() + 8, ct.begin() + 16));
+}
+
+TEST(DesCbc, RejectsBadLengths) {
+  Bytes key(8, 1), iv(8, 0);
+  EXPECT_THROW(des_cbc_decrypt(key, iv, Bytes(7, 0)), DecodeError);
+  EXPECT_THROW(des_cbc_decrypt(key, iv, Bytes{}), DecodeError);
+}
+
+TEST(DesCbc, TamperedCiphertextDetectedOrGarbled) {
+  Bytes key = from_hex("133457799bbcdff1");
+  Bytes iv(8, 0);
+  Bytes pt{'h', 'e', 'l', 'l', 'o'};
+  Bytes ct = des_cbc_encrypt(key, iv, pt);
+  ct[2] ^= 0x40;
+  try {
+    EXPECT_NE(des_cbc_decrypt(key, iv, ct), pt);
+  } catch (const DecodeError&) {
+    SUCCEED();
+  }
+}
+
+// --- SHA-256 ------------------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  Bytes msg{'a', 'b', 'c'};
+  EXPECT_EQ(to_hex(sha256(msg)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  std::string s = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  Bytes msg(s.begin(), s.end());
+  EXPECT_EQ(to_hex(sha256(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(4242);
+  Bytes msg(777);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_below(256));
+  Sha256 h;
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    std::size_t n = std::min<std::size_t>(1 + rng.next_below(100),
+                                          msg.size() - off);
+    h.update(std::span(msg).subspan(off, n));
+    off += n;
+  }
+  EXPECT_EQ(h.finish(), sha256(msg));
+}
+
+// --- HMAC-SHA256 (RFC 4231) ----------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  std::string data = "Hi There";
+  Bytes msg(data.begin(), data.end());
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  std::string key_s = "Jefe";
+  std::string data = "what do ya want for nothing?";
+  Bytes key(key_s.begin(), key_s.end());
+  Bytes msg(data.begin(), data.end());
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3LongKeyHashing) {
+  Bytes key(131, 0xaa);  // longer than one block: key must be hashed
+  std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  Bytes msg(data.begin(), data.end());
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  Bytes k1(16, 1), k2(16, 2), msg{'m'};
+  EXPECT_FALSE(digest_equal(hmac_sha256(k1, msg), hmac_sha256(k2, msg)));
+}
+
+TEST(DigestEqual, Basics) {
+  Sha256Digest a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace cqos::crypto

@@ -1,0 +1,336 @@
+// Extension micro-protocol tests: retransmission, failure detection, load
+// balancing, client caching, request logging + server recovery.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "micro/extensions.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+ClusterOptions ext_options(int replicas = 1) {
+  ClusterOptions opts;
+  opts.platform = PlatformKind::kRmi;
+  opts.level = InterceptionLevel::kFull;
+  opts.num_replicas = replicas;
+  opts.net.base_latency = us(60);
+  opts.net.jitter = 0;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  return opts;
+}
+
+BankAccountServant& account_servant(Cluster& cluster, int i) {
+  return static_cast<BankAccountServant&>(cluster.servant(i));
+}
+
+void wait_for(const std::function<bool()>& cond, Duration timeout = ms(3000)) {
+  TimePoint deadline = now() + timeout;
+  while (!cond() && now() < deadline) std::this_thread::sleep_for(ms(10));
+}
+
+// --- Retransmit -------------------------------------------------------------------
+
+TEST(Retransmit, SurvivesLossyNetwork) {
+  auto opts = ext_options();
+  opts.net.seed = 7;
+  opts.invoke_timeout = ms(120);  // fast retransmission timeout
+  opts.request_timeout = ms(8000);
+  opts.qos.add(Side::kClient, "retransmit", {{"retries", "6"}})
+      .add(Side::kServer, "passive_rep");  // dedup protects re-execution
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  // Deploy cleanly, then inject loss (the paper assumes the platform
+  // handles network failures; retransmit is the micro-protocol that would
+  // add it, so it is what copes with the lossy steady state here).
+  cluster.network().set_drop_rate(0.25);
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    try {
+      account.deposit(1);
+      ++ok;
+    } catch (const InvocationError&) {
+      // 0.25^7 per call: possible but vanishingly rare with seed 7
+    }
+  }
+  EXPECT_EQ(ok, 30);
+  EXPECT_EQ(account.get_balance(), 30);
+}
+
+TEST(Retransmit, DoesNotRetryApplicationErrors) {
+  auto opts = ext_options();
+  opts.qos.add(Side::kClient, "retransmit", {{"retries", "5"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(5);
+  std::int64_t invocations_before =
+      account_servant(cluster, 0).invocation_count();
+  EXPECT_THROW(account.withdraw(100), InvocationError);
+  // Exactly one servant invocation: app errors are not retried.
+  EXPECT_EQ(account_servant(cluster, 0).invocation_count(),
+            invocations_before + 1);
+}
+
+TEST(Retransmit, GivesUpAfterBudgetOnCrashedServer) {
+  auto opts = ext_options();
+  opts.qos.add(Side::kClient, "retransmit", {{"retries", "2"}});
+  opts.request_timeout = ms(2500);
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(1);
+  cluster.crash_replica(0);
+  EXPECT_THROW(account.get_balance(), InvocationError);
+}
+
+// --- FailureDetector --------------------------------------------------------------
+
+TEST(FailureDetector, MarksCrashedReplicaWithoutInvoking) {
+  auto opts = ext_options(2);
+  opts.qos.add(Side::kClient, "failure_detector", {{"period_ms", "30"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  ClientQosInterface& qos = client->cactus_client()->qos();
+  wait_for([&] { return qos.server_status(0) == ServerStatus::kRunning; });
+  cluster.crash_replica(0);
+  wait_for([&] { return qos.server_status(0) == ServerStatus::kFailed; });
+  EXPECT_EQ(qos.server_status(0), ServerStatus::kFailed);
+  EXPECT_EQ(qos.server_status(1), ServerStatus::kRunning);
+}
+
+TEST(FailureDetector, DetectsRecoveryAndRebinds) {
+  auto opts = ext_options(1);
+  opts.qos.add(Side::kClient, "failure_detector", {{"period_ms", "30"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  ClientQosInterface& qos = client->cactus_client()->qos();
+  cluster.crash_replica(0);
+  wait_for([&] { return qos.server_status(0) == ServerStatus::kFailed; });
+  cluster.recover_replica(0);
+  wait_for([&] { return qos.server_status(0) == ServerStatus::kRunning; });
+  EXPECT_EQ(qos.server_status(0), ServerStatus::kRunning);
+  // And calls work again without manual rebinding.
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(4);
+  EXPECT_EQ(account.get_balance(), 4);
+}
+
+TEST(FailureDetector, SpeedsUpPassiveFailover) {
+  auto opts = ext_options(2);
+  opts.qos.add(Side::kClient, "failure_detector", {{"period_ms", "25"}})
+      .add(Side::kClient, "passive_rep")
+      .add(Side::kServer, "passive_rep");
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(9);
+  wait_for([&] { return account_servant(cluster, 1).balance() == 9; });
+  cluster.crash_replica(0);
+  // Give the detector a couple of periods to notice.
+  wait_for([&] {
+    return client->cactus_client()->qos().server_status(0) ==
+           ServerStatus::kFailed;
+  });
+  // The failover path now starts directly at the backup: no 1s invoke
+  // timeout against the dead primary.
+  TimePoint before = now();
+  EXPECT_EQ(account.get_balance(), 9);
+  EXPECT_LT(now() - before, ms(800));
+}
+
+// --- LoadBalance ------------------------------------------------------------------
+
+TEST(LoadBalance, SpreadsCallsRoundRobin) {
+  auto opts = ext_options(3);
+  opts.qos.add(Side::kClient, "load_balance");
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  for (int i = 0; i < 12; ++i) account.set_balance(i);
+  // 12 calls across 3 replicas: 4 each.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(account_servant(cluster, i).invocation_count(), 4)
+        << "replica " << i;
+  }
+}
+
+TEST(LoadBalance, SkipsFailedReplicas) {
+  auto opts = ext_options(3);
+  opts.qos.add(Side::kClient, "load_balance")
+      .add(Side::kClient, "failure_detector", {{"period_ms", "25"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  for (int i = 0; i < 3; ++i) account.set_balance(1);  // bind everything
+  cluster.crash_replica(1);
+  wait_for([&] {
+    return client->cactus_client()->qos().server_status(1) ==
+           ServerStatus::kFailed;
+  });
+  std::int64_t before0 = account_servant(cluster, 0).invocation_count();
+  std::int64_t before2 = account_servant(cluster, 2).invocation_count();
+  for (int i = 0; i < 8; ++i) account.set_balance(2);
+  EXPECT_EQ(account_servant(cluster, 0).invocation_count() - before0, 4);
+  EXPECT_EQ(account_servant(cluster, 2).invocation_count() - before2, 4);
+}
+
+// --- ClientCache ------------------------------------------------------------------
+
+TEST(ClientCache, ServesRepeatedReadsLocally) {
+  auto opts = ext_options();
+  opts.qos.add(Side::kClient, "client_cache",
+               {{"methods", "get_balance"}, {"ttl_ms", "5000"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(77);
+  EXPECT_EQ(account.get_balance(), 77);  // miss: fills cache
+  std::int64_t servant_calls = account_servant(cluster, 0).invocation_count();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(account.get_balance(), 77);  // hits
+  }
+  EXPECT_EQ(account_servant(cluster, 0).invocation_count(), servant_calls);
+}
+
+TEST(ClientCache, WritesInvalidate) {
+  auto opts = ext_options();
+  opts.qos.add(Side::kClient, "client_cache",
+               {{"methods", "get_balance"}, {"ttl_ms", "5000"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(1);
+  EXPECT_EQ(account.get_balance(), 1);
+  account.set_balance(2);               // invalidates
+  EXPECT_EQ(account.get_balance(), 2);  // must not be the stale 1
+}
+
+TEST(ClientCache, TtlExpires) {
+  auto opts = ext_options();
+  opts.qos.add(Side::kClient, "client_cache",
+               {{"methods", "get_balance"}, {"ttl_ms", "30"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(5);
+  EXPECT_EQ(account.get_balance(), 5);
+  // Mutate behind the cache's back (another client).
+  auto other = cluster.make_client();
+  BankAccountStub other_account(other->stub_ptr());
+  other_account.set_balance(6);
+  std::this_thread::sleep_for(ms(60));  // TTL elapses
+  EXPECT_EQ(account.get_balance(), 6);
+}
+
+// --- RequestLog + recovery ----------------------------------------------------------
+
+TEST(RequestLog, LogsOnlyStateChangingRequests) {
+  auto opts = ext_options();
+  opts.qos.add(Side::kServer, "request_log", {{"reads", "get_balance"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(1);
+  account.deposit(2);
+  (void)account.get_balance();
+  (void)account.get_balance();
+  EXPECT_EQ(micro::RequestLog::log_size(*cluster.cactus_server(0)), 2u);
+}
+
+TEST(RequestLog, RecoveredReplicaReplaysMissedUpdates) {
+  auto opts = ext_options(2);
+  opts.qos.add(Side::kClient, "passive_rep")
+      .add(Side::kServer, "passive_rep")
+      .add(Side::kServer, "request_log", {{"reads", "get_balance"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+
+  account.set_balance(100);
+  wait_for([&] { return account_servant(cluster, 1).balance() == 100; });
+
+  // Backup crashes; primary keeps serving updates the backup misses.
+  cluster.crash_replica(1);
+  account.deposit(11);
+  account.deposit(22);
+  EXPECT_EQ(account.get_balance(), 133);
+  EXPECT_EQ(account_servant(cluster, 1).balance(), 100);  // stale
+
+  // Backup recovers and replays the missed suffix from the primary.
+  cluster.recover_replica(1);
+  std::size_t replayed =
+      micro::recover_from_peer(*cluster.cactus_server(1), /*peer=*/0);
+  EXPECT_GE(replayed, 2u);
+  EXPECT_EQ(account_servant(cluster, 1).balance(), 133);
+}
+
+TEST(RequestLog, RecoveryIsIdempotentViaDedup) {
+  auto opts = ext_options(2);
+  opts.qos.add(Side::kClient, "passive_rep")
+      .add(Side::kServer, "passive_rep")
+      .add(Side::kServer, "request_log", {{"reads", "get_balance"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.deposit(10);
+  wait_for([&] { return account_servant(cluster, 1).balance() == 10; });
+  // Replaying everything the peer has, even though nothing was missed,
+  // must not double-apply: passive_rep's dedup answers from its cache.
+  micro::recover_from_peer(*cluster.cactus_server(1), 0);
+  EXPECT_EQ(account_servant(cluster, 1).balance(), 10);
+}
+
+TEST(RequestLog, FullReplayAntiEntropyConvergesInterleavedLosses) {
+  auto opts = ext_options(2);
+  opts.invoke_timeout = ms(120);
+  opts.request_timeout = ms(8000);
+  opts.qos.add(Side::kClient, "passive_rep")
+      .add(Side::kClient, "retransmit", {{"retries", "6"}})
+      .add(Side::kServer, "passive_rep")
+      .add(Side::kServer, "request_log", {{"reads", "get_balance"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(0);
+
+  // Interleaved loss: every confirmed deposit executed at SOME replica
+  // (under extreme loss the retransmit budget can exhaust and passive_rep
+  // fails over, so writes may split across replicas), and best-effort
+  // forwards are dropped at random positions.
+  cluster.network().set_drop_rate(0.25);
+  int confirmed = 0;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      account.deposit(4);
+      ++confirmed;
+    } catch (const InvocationError&) {
+    }
+  }
+  cluster.network().set_drop_rate(0);
+  ASSERT_GT(confirmed, 0);
+
+  // A suffix replay cannot fix interleaved holes; bidirectional full replay
+  // with dedup must converge BOTH replicas to exactly the confirmed total —
+  // nothing lost, nothing double-applied.
+  micro::recover_from_peer(*cluster.cactus_server(1), /*peer=*/0, /*from=*/0);
+  micro::recover_from_peer(*cluster.cactus_server(0), /*peer=*/1, /*from=*/0);
+  EXPECT_EQ(account_servant(cluster, 0).balance(), confirmed * 4);
+  EXPECT_EQ(account_servant(cluster, 1).balance(), confirmed * 4);
+}
+
+TEST(RequestLog, RecoveryFromDeadPeerThrows) {
+  auto opts = ext_options(2);
+  opts.qos.add(Side::kServer, "request_log");
+  Cluster cluster(opts);
+  cluster.crash_replica(0);
+  EXPECT_THROW(micro::recover_from_peer(*cluster.cactus_server(1), 0),
+               InvocationError);
+}
+
+}  // namespace
+}  // namespace cqos::sim

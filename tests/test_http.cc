@@ -1,0 +1,169 @@
+// HTTP platform tests (paper §2.1: "it would be feasible to intercept HTTP
+// requests and replies, in which case the TCP socket layer would be viewed
+// as the middleware layer").
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "platform/http/http.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos {
+namespace {
+
+// --- wire format ----------------------------------------------------------------
+
+TEST(HttpWire, RequestRoundtrip) {
+  PiggybackMap pb{{"cq.id", Value(7)}, {"cq.prio", Value(9)}};
+  ValueList params{Value(1), Value("x"), Value(Bytes{0, 255})};
+  Bytes frame = http::wire::encode_request(42, "cli/httpcli0", "Bank",
+                                           "set_balance", pb, params);
+  // The header block is readable text.
+  std::string text(frame.begin(), frame.end());
+  EXPECT_NE(text.find("POST /Bank CQOS/1.0\r\n"), std::string::npos);
+  EXPECT_NE(text.find("X-Method: set_balance\r\n"), std::string::npos);
+
+  http::wire::Parsed parsed = http::wire::parse(frame);
+  EXPECT_EQ(parsed.kind, http::wire::Parsed::Kind::kRequest);
+  EXPECT_EQ(parsed.call_id, 42u);
+  EXPECT_EQ(parsed.path, "Bank");
+  EXPECT_EQ(parsed.method, "set_balance");
+  EXPECT_EQ(parsed.reply_to, "cli/httpcli0");
+  EXPECT_EQ(parsed.piggyback, pb);
+  EXPECT_EQ(parsed.params, params);
+}
+
+TEST(HttpWire, ResponseRoundtripBothStatuses) {
+  Bytes ok = http::wire::encode_response(1, true, Value(123), "", {});
+  http::wire::Parsed parsed_ok = http::wire::parse(ok);
+  EXPECT_EQ(parsed_ok.kind, http::wire::Parsed::Kind::kResponse);
+  EXPECT_TRUE(parsed_ok.ok);
+  EXPECT_EQ(parsed_ok.result, Value(123));
+
+  Bytes err = http::wire::encode_response(2, false, Value(), "boom", {});
+  http::wire::Parsed parsed_err = http::wire::parse(err);
+  EXPECT_FALSE(parsed_err.ok);
+  EXPECT_EQ(parsed_err.error, "boom");
+}
+
+TEST(HttpWire, PingPongRoundtrip) {
+  http::wire::Parsed ping =
+      http::wire::parse(http::wire::encode_ping(5, "cli/x"));
+  EXPECT_EQ(ping.kind, http::wire::Parsed::Kind::kPing);
+  EXPECT_EQ(ping.reply_to, "cli/x");
+  http::wire::Parsed pong = http::wire::parse(http::wire::encode_pong(5));
+  EXPECT_EQ(pong.kind, http::wire::Parsed::Kind::kPong);
+  EXPECT_EQ(pong.call_id, 5u);
+}
+
+TEST(HttpWire, MalformedMessagesRejected) {
+  auto reject = [](const std::string& text) {
+    Bytes data(text.begin(), text.end());
+    EXPECT_THROW(http::wire::parse(data), DecodeError) << text;
+  };
+  reject("GET / HTTP/1.1\r\n\r\n");             // wrong protocol
+  reject("POST /x CQOS/1.0\r\n\r\n");           // missing headers
+  reject("no header terminator at all");
+  reject("POST /x CQOS/1.0\r\nX-Call-Id: 1\r\nX-Reply-To: a\r\nX-Method: m\r\n"
+         "X-Piggyback: 00\r\nContent-Length: 999\r\n\r\nshort");  // truncated
+}
+
+TEST(HttpWire, HexRoundtrip) {
+  Bytes data{0x00, 0x7f, 0xff, 0x12};
+  EXPECT_EQ(http::wire::from_hex(http::wire::to_hex(data)), data);
+  EXPECT_THROW(http::wire::from_hex("abc"), DecodeError);
+  EXPECT_THROW(http::wire::from_hex("zz"), DecodeError);
+}
+
+// --- platform behaviour -----------------------------------------------------------
+
+TEST(HttpPlatform, UrlNamingConvention) {
+  net::SimNetwork net;
+  http::HttpPlatform platform(net, "client0");
+  EXPECT_EQ(platform.name(), "http");
+  EXPECT_EQ(platform.replica_name("Bank", 2),
+            "http://server1/Bank_CQoS_Skeleton_2");
+  EXPECT_EQ(platform.direct_name("Bank"), "http://server0/Bank");
+  EXPECT_THROW(platform.resolve("not-a-url", ms(100)), NameNotFound);
+}
+
+TEST(HttpPlatform, UnknownPathIs404) {
+  net::SimNetwork net;
+  http::HttpPlatform server(net, "server0");
+  http::HttpPlatform client(net, "client0");
+  auto ref = client.resolve("http://server0/Ghost", ms(100));
+  plat::Reply reply = ref->invoke("m", {}, {}, ms(500));
+  EXPECT_EQ(reply.status, plat::ReplyStatus::kAppError);
+  EXPECT_NE(reply.error.find("404"), std::string::npos);
+}
+
+// --- full CQoS over HTTP -----------------------------------------------------------
+
+sim::ClusterOptions http_options(int replicas = 1) {
+  sim::ClusterOptions opts;
+  opts.platform = sim::PlatformKind::kHttp;
+  opts.num_replicas = replicas;
+  opts.net.jitter = 0;
+  opts.servant_factory = [] {
+    return std::make_shared<sim::BankAccountServant>();
+  };
+  return opts;
+}
+
+TEST(HttpCqos, BasicCallsThroughFullStack) {
+  sim::Cluster cluster(http_options());
+  auto client = cluster.make_client();
+  sim::BankAccountStub account(client->stub_ptr());
+  account.set_balance(31);
+  account.deposit(11);
+  EXPECT_EQ(account.get_balance(), 42);
+  EXPECT_THROW(account.withdraw(1000), InvocationError);
+}
+
+TEST(HttpCqos, SecurityMicroProtocolsRunUnchanged) {
+  auto opts = http_options();
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", "0123456789abcdef"}})
+      .add(Side::kClient, "integrity")
+      .add(Side::kServer, "des_privacy", {{"key", "0123456789abcdef"}})
+      .add(Side::kServer, "integrity")
+      .add(Side::kServer, "access_control", {{"allow", "alice:*"}});
+  sim::Cluster cluster(opts);
+  CqosStub::Options alice;
+  alice.principal = "alice";
+  auto client = cluster.make_client(alice);
+  sim::BankAccountStub account(client->stub_ptr());
+  account.set_balance(5);
+  EXPECT_EQ(account.get_balance(), 5);
+
+  CqosStub::Options eve;
+  eve.principal = "eve";
+  auto eve_client = cluster.make_client(eve);
+  EXPECT_THROW(eve_client->call("get_balance", {}), InvocationError);
+}
+
+TEST(HttpCqos, ActiveReplicationWithVotingOverHttp) {
+  auto opts = http_options(3);
+  opts.qos.add(Side::kClient, "active_rep")
+      .add(Side::kClient, "majority_vote");
+  sim::Cluster cluster(opts);
+  auto client = cluster.make_client();
+  sim::BankAccountStub account(client->stub_ptr());
+  account.set_balance(99);
+  EXPECT_EQ(account.get_balance(), 99);
+  cluster.crash_replica(2);
+  EXPECT_EQ(account.get_balance(), 99);  // 2-of-3 majority survives
+}
+
+TEST(HttpCqos, PassiveFailoverOverHttp) {
+  auto opts = http_options(2);
+  opts.qos.add(Side::kClient, "passive_rep").add(Side::kServer, "passive_rep");
+  sim::Cluster cluster(opts);
+  auto client = cluster.make_client();
+  sim::BankAccountStub account(client->stub_ptr());
+  account.set_balance(7);
+  cluster.crash_replica(0);
+  EXPECT_EQ(account.get_balance(), 7);
+}
+
+}  // namespace
+}  // namespace cqos

@@ -1,0 +1,176 @@
+// Cactus IDL compiler tests: parser and code generator.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "idl/codegen.h"
+#include "idl/parser.h"
+
+namespace cqos::idl {
+namespace {
+
+TEST(IdlParser, MinimalInterface) {
+  Document doc = parse("interface Foo { void ping(); };");
+  ASSERT_EQ(doc.interfaces.size(), 1u);
+  const Interface& iface = doc.interfaces[0];
+  EXPECT_EQ(iface.name, "Foo");
+  EXPECT_EQ(iface.module, "");
+  EXPECT_EQ(iface.qualified_name(), "Foo");
+  ASSERT_EQ(iface.operations.size(), 1u);
+  EXPECT_EQ(iface.operations[0].name, "ping");
+  EXPECT_EQ(iface.operations[0].return_type, Type::kVoid);
+  EXPECT_TRUE(iface.operations[0].params.empty());
+}
+
+TEST(IdlParser, AllTypes) {
+  Document doc = parse(R"(
+    interface Kitchen {
+      boolean b(in boolean x);
+      long long i(in long long x);
+      long i2(in long x);
+      double d(in double x);
+      string s(in string x);
+      sequence<octet> o(in sequence<octet> x);
+      any a(in any x);
+    };
+  )");
+  const auto& ops = doc.interfaces.at(0).operations;
+  ASSERT_EQ(ops.size(), 7u);
+  EXPECT_EQ(ops[0].return_type, Type::kBoolean);
+  EXPECT_EQ(ops[1].return_type, Type::kI64);
+  EXPECT_EQ(ops[2].return_type, Type::kI64);  // plain long maps to i64
+  EXPECT_EQ(ops[3].return_type, Type::kDouble);
+  EXPECT_EQ(ops[4].return_type, Type::kString);
+  EXPECT_EQ(ops[5].return_type, Type::kBytes);
+  EXPECT_EQ(ops[6].return_type, Type::kAny);
+  for (const auto& op : ops) {
+    ASSERT_EQ(op.params.size(), 1u);
+    EXPECT_EQ(op.params[0].type, op.return_type);
+  }
+}
+
+TEST(IdlParser, ModulesAndQualifiedNames) {
+  Document doc = parse(R"(
+    module bank {
+      interface Account { long long balance(); };
+      interface Audit { void log(in string entry); };
+    };
+    interface Root { void touch(); };
+  )");
+  ASSERT_EQ(doc.interfaces.size(), 3u);
+  EXPECT_EQ(doc.interfaces[0].qualified_name(), "bank::Account");
+  EXPECT_EQ(doc.interfaces[1].qualified_name(), "bank::Audit");
+  EXPECT_EQ(doc.interfaces[2].qualified_name(), "Root");
+}
+
+TEST(IdlParser, RaisesClause) {
+  Document doc = parse(
+      "interface A { void f(in long x) raises (Bad, Worse); };");
+  const auto& op = doc.interfaces[0].operations[0];
+  ASSERT_EQ(op.raises.size(), 2u);
+  EXPECT_EQ(op.raises[0], "Bad");
+  EXPECT_EQ(op.raises[1], "Worse");
+}
+
+TEST(IdlParser, CommentsIgnored) {
+  Document doc = parse(R"(
+    // line comment
+    /* block
+       comment */
+    interface C { void f(); /* inline */ };  // trailing
+  )");
+  EXPECT_EQ(doc.interfaces.at(0).operations.size(), 1u);
+}
+
+TEST(IdlParser, MultipleParameters) {
+  Document doc = parse(
+      "interface T { long long f(in string a, in long long b, in double c); };");
+  const auto& op = doc.interfaces[0].operations[0];
+  ASSERT_EQ(op.params.size(), 3u);
+  EXPECT_EQ(op.params[0].name, "a");
+  EXPECT_EQ(op.params[2].type, Type::kDouble);
+}
+
+TEST(IdlParser, ErrorsHaveLineNumbers) {
+  try {
+    parse("interface X {\n  void f(\n};");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IdlParser, RejectsUnsupportedConstructs) {
+  EXPECT_THROW(parse("interface A { void f(out long x); };"), ConfigError);
+  EXPECT_THROW(parse("interface A { void f(in sequence<string> x); };"),
+               ConfigError);
+  EXPECT_THROW(parse("module M { module N { interface I { void f(); }; }; };"),
+               ConfigError);
+  EXPECT_THROW(parse("interface A { };"), ConfigError);  // no operations
+  EXPECT_THROW(parse("interface A { void f(); }; interface A { void g(); };"),
+               ConfigError);
+  EXPECT_THROW(parse("interface A { void f(); void f(in long x); };"),
+               ConfigError);  // overloading
+  EXPECT_THROW(parse("interface A { void f(in void x); };"), ConfigError);
+  EXPECT_THROW(parse("banana"), ConfigError);
+  EXPECT_THROW(parse("interface A { widget f(); };"), ConfigError);
+}
+
+TEST(IdlParser, EmptyInputYieldsEmptyDocument) {
+  EXPECT_TRUE(parse("").interfaces.empty());
+  EXPECT_TRUE(parse("  // nothing\n").interfaces.empty());
+}
+
+// --- code generation --------------------------------------------------------------
+
+std::string generate(const std::string& source) {
+  return generate_header(parse(source), CodegenOptions{});
+}
+
+TEST(IdlCodegen, EmitsStubAndServantClasses) {
+  std::string code = generate("interface Foo { long long f(in string s); };");
+  EXPECT_NE(code.find("class FooStub"), std::string::npos);
+  EXPECT_NE(code.find("class FooServantBase : public cqos::Servant"),
+            std::string::npos);
+  EXPECT_NE(code.find("std::int64_t f(std::string s)"), std::string::npos);
+  EXPECT_NE(code.find("virtual std::int64_t f(const std::string& s) = 0;"),
+            std::string::npos);
+  EXPECT_NE(code.find("stub_->call(\"f\""), std::string::npos);
+  EXPECT_NE(code.find("#pragma once"), std::string::npos);
+}
+
+TEST(IdlCodegen, VoidOperationsReturnAckValue) {
+  std::string code = generate("interface Foo { void go(); };");
+  EXPECT_NE(code.find("void go()"), std::string::npos);
+  EXPECT_NE(code.find("return cqos::Value(true);"), std::string::npos);
+}
+
+TEST(IdlCodegen, ModuleBecomesNamespace) {
+  std::string code = generate("module m { interface I { void f(); }; };");
+  EXPECT_NE(code.find("namespace m {"), std::string::npos);
+  EXPECT_NE(code.find("}  // namespace m"), std::string::npos);
+}
+
+TEST(IdlCodegen, DispatchValidatesArity) {
+  std::string code =
+      generate("interface Foo { void f(in long a, in long b); };");
+  EXPECT_NE(code.find("params__.size() != 2"), std::string::npos);
+  EXPECT_NE(code.find("expected 2 parameter(s)"), std::string::npos);
+}
+
+TEST(IdlCodegen, RaisesMentionedInComment) {
+  std::string code = generate("interface F { void f() raises (Oops); };");
+  EXPECT_NE(code.find("raises (Oops)"), std::string::npos);
+  EXPECT_NE(code.find("cqos::InvocationError"), std::string::npos);
+}
+
+TEST(IdlCodegen, BytesAndAnyPassThroughCorrectly) {
+  std::string code = generate(
+      "interface B { sequence<octet> f(in any v, in sequence<octet> raw); };");
+  EXPECT_NE(code.find("cqos::Bytes f(cqos::Value v, cqos::Bytes raw)"),
+            std::string::npos);
+  EXPECT_NE(code.find("result__.as_bytes()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqos::idl

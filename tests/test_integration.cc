@@ -1,0 +1,149 @@
+// End-to-end tests: full CQoS stacks on the simulated cluster, both
+// platforms, all interception levels.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+ClusterOptions base_options(PlatformKind kind, InterceptionLevel level,
+                            int replicas = 1) {
+  ClusterOptions opts;
+  opts.platform = kind;
+  opts.level = level;
+  opts.num_replicas = replicas;
+  opts.net.base_latency = us(80);
+  opts.net.jitter = 0.02;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  return opts;
+}
+
+struct LevelCase {
+  PlatformKind kind;
+  InterceptionLevel level;
+};
+
+class AllLevels : public ::testing::TestWithParam<LevelCase> {};
+
+TEST_P(AllLevels, SetAndGetBalanceWork) {
+  Cluster cluster(base_options(GetParam().kind, GetParam().level));
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(12345);
+  EXPECT_EQ(account.get_balance(), 12345);
+  account.deposit(55);
+  EXPECT_EQ(account.get_balance(), 12400);
+}
+
+TEST_P(AllLevels, ApplicationErrorsPropagateAsExceptions) {
+  Cluster cluster(base_options(GetParam().kind, GetParam().level));
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(10);
+  EXPECT_THROW(account.withdraw(100), InvocationError);
+  EXPECT_EQ(account.get_balance(), 10);  // state unchanged after failure
+}
+
+TEST_P(AllLevels, UnknownMethodIsAnApplicationError) {
+  Cluster cluster(base_options(GetParam().kind, GetParam().level));
+  auto client = cluster.make_client();
+  EXPECT_THROW(client->call("no_such_method", {}), InvocationError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllLevels,
+    ::testing::Values(
+        LevelCase{PlatformKind::kRmi, InterceptionLevel::kBaseline},
+        LevelCase{PlatformKind::kRmi, InterceptionLevel::kStubOnly},
+        LevelCase{PlatformKind::kRmi, InterceptionLevel::kStubSkeleton},
+        LevelCase{PlatformKind::kRmi, InterceptionLevel::kPlusCactusServer},
+        LevelCase{PlatformKind::kRmi, InterceptionLevel::kFull},
+        LevelCase{PlatformKind::kCorba, InterceptionLevel::kBaseline},
+        LevelCase{PlatformKind::kCorba, InterceptionLevel::kStubOnly},
+        LevelCase{PlatformKind::kCorba, InterceptionLevel::kStubSkeleton},
+        LevelCase{PlatformKind::kCorba, InterceptionLevel::kPlusCactusServer},
+        LevelCase{PlatformKind::kCorba, InterceptionLevel::kFull}),
+    [](const auto& info) {
+      std::string name =
+          info.param.kind == PlatformKind::kCorba ? "corba" : "rmi";
+      switch (info.param.level) {
+        case InterceptionLevel::kBaseline: return name + "_baseline";
+        case InterceptionLevel::kStubOnly: return name + "_stub";
+        case InterceptionLevel::kStubSkeleton: return name + "_skeleton";
+        case InterceptionLevel::kPlusCactusServer: return name + "_cserver";
+        case InterceptionLevel::kFull: return name + "_full";
+      }
+      return name;
+    });
+
+TEST(Integration, MultipleSequentialCallsAreStable) {
+  Cluster cluster(base_options(PlatformKind::kRmi, InterceptionLevel::kFull));
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  for (int i = 0; i < 100; ++i) {
+    account.set_balance(i);
+    ASSERT_EQ(account.get_balance(), i);
+  }
+}
+
+TEST(Integration, TwoClientsShareServerState) {
+  Cluster cluster(base_options(PlatformKind::kRmi, InterceptionLevel::kFull));
+  auto c1 = cluster.make_client();
+  auto c2 = cluster.make_client();
+  BankAccountStub a1(c1->stub_ptr()), a2(c2->stub_ptr());
+  a1.set_balance(500);
+  EXPECT_EQ(a2.get_balance(), 500);
+  a2.deposit(100);
+  EXPECT_EQ(a1.get_balance(), 600);
+}
+
+TEST(Integration, ConcurrentClientsDoNotCorruptState) {
+  Cluster cluster(base_options(PlatformKind::kRmi, InterceptionLevel::kFull));
+  constexpr int kClients = 3, kCalls = 30;
+  std::vector<std::unique_ptr<ClientHandle>> clients;
+  for (int i = 0; i < kClients; ++i) clients.push_back(cluster.make_client());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (auto& client : clients) {
+    threads.emplace_back([&client, &failures] {
+      try {
+        BankAccountStub account(client->stub_ptr());
+        for (int i = 0; i < kCalls; ++i) account.deposit(1);
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto checker = cluster.make_client();
+  BankAccountStub account(checker->stub_ptr());
+  EXPECT_EQ(account.get_balance(), kClients * kCalls);
+}
+
+TEST(Integration, PiggybackCarriesPriorityToServer) {
+  auto opts = base_options(PlatformKind::kRmi, InterceptionLevel::kFull);
+  // Observe the priority the servant's thread runs at via priority_sched.
+  opts.qos.add(Side::kServer, "priority_sched");
+  struct PriorityProbe : Servant {
+    std::atomic<int> seen{-1};
+    Value dispatch(const std::string&, const ValueList&) override {
+      seen.store(current_thread_priority());
+      return Value(true);
+    }
+  };
+  auto probe = std::make_shared<PriorityProbe>();
+  opts.servant_factory = [probe] { return probe; };
+  Cluster cluster(opts);
+  CqosStub::Options stub_opts;
+  stub_opts.priority = 8;
+  auto client = cluster.make_client(stub_opts);
+  client->call("anything", {});
+  EXPECT_EQ(probe->seen.load(), 8);
+}
+
+}  // namespace
+}  // namespace cqos::sim

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/sim_network.h"
+
+namespace cqos::net {
+namespace {
+
+NetConfig fast_config() {
+  NetConfig cfg;
+  cfg.base_latency = us(200);
+  cfg.per_byte = std::chrono::nanoseconds(10);
+  cfg.loopback_latency = us(20);
+  cfg.jitter = 0;
+  return cfg;
+}
+
+TEST(SimNetwork, DeliversAfterLatency) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  TimePoint before = now();
+  ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes{1, 2, 3}));
+  auto msg = b->recv(ms(1000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GE(now() - before, us(200));
+  EXPECT_EQ(msg->payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(msg->from, "hostA/x");
+  (void)a;
+}
+
+TEST(SimNetwork, RecvTimesOutWhenSilent) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  TimePoint before = now();
+  EXPECT_FALSE(a->recv(ms(30)).has_value());
+  EXPECT_GE(now() - before, ms(30));
+}
+
+TEST(SimNetwork, FifoPerDestination) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  (void)a;
+  // A large message (slower) then a tiny one: delivery must stay FIFO.
+  net.send("hostA/x", "hostB/y", Bytes(4096, 1));
+  net.send("hostA/x", "hostB/y", Bytes{2});
+  auto first = b->recv(ms(1000));
+  auto second = b->recv(ms(1000));
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->payload.size(), 4096u);
+  EXPECT_EQ(second->payload.size(), 1u);
+}
+
+TEST(SimNetwork, UnknownDestinationDropped) {
+  SimNetwork net(fast_config());
+  net.create_endpoint("hostA/x");
+  EXPECT_FALSE(net.send("hostA/x", "nowhere/z", Bytes{1}));
+}
+
+TEST(SimNetwork, DuplicateEndpointIdRejected) {
+  SimNetwork net(fast_config());
+  net.create_endpoint("hostA/x");
+  EXPECT_THROW(net.create_endpoint("hostA/x"), Error);
+}
+
+TEST(SimNetwork, RemoveEndpointClosesIt) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  net.remove_endpoint("hostA/x");
+  EXPECT_TRUE(a->closed());
+  EXPECT_FALSE(a->recv(ms(10)).has_value());
+  // The id can be reused afterwards.
+  auto again = net.create_endpoint("hostA/x");
+  EXPECT_FALSE(again->closed());
+}
+
+TEST(SimNetwork, CrashedHostDropsTraffic) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  (void)a;
+  net.crash_host("hostB");
+  EXPECT_TRUE(net.is_crashed("hostB"));
+  EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{1}));
+  EXPECT_FALSE(b->recv(ms(20)).has_value());
+  // Crashed hosts cannot send either.
+  EXPECT_FALSE(net.send("hostB/y", "hostA/x", Bytes{1}));
+}
+
+TEST(SimNetwork, CrashLosesQueuedMessages) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  (void)a;
+  net.send("hostA/x", "hostB/y", Bytes{1});  // in flight
+  net.crash_host("hostB");
+  EXPECT_FALSE(b->recv(ms(50)).has_value());
+}
+
+TEST(SimNetwork, RecoveredHostReceivesAgain) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  (void)a;
+  net.crash_host("hostB");
+  net.recover_host("hostB");
+  EXPECT_FALSE(net.is_crashed("hostB"));
+  ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes{7}));
+  auto msg = b->recv(ms(1000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, Bytes{7});
+}
+
+TEST(SimNetwork, PartitionBlocksBothDirectionsUntilHealed) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  net.partition("hostA", "hostB");
+  EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{1}));
+  EXPECT_FALSE(net.send("hostB/y", "hostA/x", Bytes{1}));
+  net.heal("hostA", "hostB");
+  EXPECT_TRUE(net.send("hostA/x", "hostB/y", Bytes{1}));
+  EXPECT_TRUE(b->recv(ms(1000)).has_value());
+  (void)a;
+}
+
+TEST(SimNetwork, DropRateLosesRoughlyThatFraction) {
+  NetConfig cfg = fast_config();
+  cfg.drop_rate = 0.5;
+  cfg.seed = 7;
+  SimNetwork net(cfg);
+  net.create_endpoint("hostA/x");
+  net.create_endpoint("hostB/y");
+  int delivered = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (net.send("hostA/x", "hostB/y", Bytes{1})) ++delivered;
+  }
+  EXPECT_GT(delivered, 120);
+  EXPECT_LT(delivered, 280);
+}
+
+TEST(SimNetwork, LoopbackFasterThanRemote) {
+  SimNetwork net(fast_config());
+  auto a = net.create_endpoint("hostA/x");
+  auto local = net.create_endpoint("hostA/y");
+  auto remote = net.create_endpoint("hostB/y");
+  (void)a;
+  // Wall-clock timings on a busy machine are noisy; compare the minimum
+  // over several samples, which tracks the simulated latency floor.
+  auto min_latency = [&](const std::string& to,
+                         const std::shared_ptr<Endpoint>& sink) -> Duration {
+    Duration best = ms(1000);
+    for (int i = 0; i < 20; ++i) {
+      TimePoint before = now();
+      net.send("hostA/x", to, Bytes{1});
+      EXPECT_TRUE(sink->recv(ms(1000)).has_value());
+      best = std::min(best, now() - before);
+    }
+    return best;
+  };
+  Duration loopback = min_latency("hostA/y", local);
+  Duration inter_host = min_latency("hostB/y", remote);
+  EXPECT_LT(loopback, inter_host);
+}
+
+TEST(SimNetwork, TapObservesPayloads) {
+  SimNetwork net(fast_config());
+  net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  std::atomic<int> tapped{0};
+  net.set_tap([&](const Message& m) {
+    EXPECT_EQ(m.to, "hostB/y");
+    tapped.fetch_add(1);
+  });
+  net.send("hostA/x", "hostB/y", Bytes{1});
+  ASSERT_TRUE(b->recv(ms(1000)).has_value());
+  EXPECT_EQ(tapped.load(), 1);
+}
+
+TEST(SimNetwork, CountersAdvance) {
+  SimNetwork net(fast_config());
+  net.create_endpoint("hostA/x");
+  net.create_endpoint("hostB/y");
+  net.send("hostA/x", "hostB/y", Bytes(10, 0));
+  net.send("hostA/x", "hostB/y", Bytes(5, 0));
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 15u);
+}
+
+TEST(SimNetwork, HostOfParsesPrefix) {
+  EXPECT_EQ(SimNetwork::host_of("alpha/orb0"), "alpha");
+  EXPECT_EQ(SimNetwork::host_of("bare"), "bare");
+}
+
+TEST(SimNetwork, ConcurrentSendersAllDeliver) {
+  SimNetwork net(fast_config());
+  auto sink = net.create_endpoint("sinkhost/in");
+  constexpr int kSenders = 4, kEach = 50;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSenders; ++s) {
+    net.create_endpoint("src" + std::to_string(s) + "/out");
+    threads.emplace_back([&net, s] {
+      for (int i = 0; i < kEach; ++i) {
+        net.send("src" + std::to_string(s) + "/out", "sinkhost/in", Bytes{1});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int received = 0;
+  while (sink->recv(ms(200)).has_value()) ++received;
+  EXPECT_EQ(received, kSenders * kEach);
+}
+
+}  // namespace
+}  // namespace cqos::net

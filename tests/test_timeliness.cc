@@ -1,0 +1,240 @@
+// Timeliness micro-protocol tests: PrioritySched, QueuedSched, TimedSched.
+//
+// These use a servant with a deliberate service time so queueing effects are
+// observable, and a pair of clients with different priorities (the paper's
+// "request priority is determined based on client identity").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/stats.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+/// Servant that burns a fixed service time per call and records the order
+/// in which calls entered.
+class SlowServant : public Servant {
+ public:
+  explicit SlowServant(Duration service_time) : service_time_(service_time) {}
+
+  Value dispatch(const std::string& method, const ValueList& params) override {
+    {
+      std::scoped_lock lk(mu_);
+      entries_.push_back(params.empty() ? Value() : params[0]);
+    }
+    std::this_thread::sleep_for(service_time_);
+    (void)method;
+    return Value(true);
+  }
+
+  std::vector<Value> entries() const {
+    std::scoped_lock lk(mu_);
+    return entries_;
+  }
+
+ private:
+  Duration service_time_;
+  mutable std::mutex mu_;
+  std::vector<Value> entries_;
+};
+
+ClusterOptions sched_options(std::shared_ptr<Servant> servant) {
+  ClusterOptions opts;
+  opts.platform = PlatformKind::kRmi;
+  opts.level = InterceptionLevel::kFull;
+  opts.num_replicas = 1;
+  opts.net.base_latency = us(50);
+  opts.net.jitter = 0;
+  opts.request_timeout = ms(8000);
+  opts.servant_factory = [servant] { return servant; };
+  return opts;
+}
+
+TEST(PrioritySched, ServantThreadRunsAtRequestPriority) {
+  struct Probe : Servant {
+    std::atomic<int> low{-1}, high{-1};
+    Value dispatch(const std::string&, const ValueList& params) override {
+      if (params.at(0).as_i64() == 1) {
+        high.store(current_thread_priority());
+      } else {
+        low.store(current_thread_priority());
+      }
+      return Value(true);
+    }
+  };
+  auto probe = std::make_shared<Probe>();
+  auto opts = sched_options(probe);
+  opts.qos.add(Side::kServer, "priority_sched");
+  Cluster cluster(opts);
+
+  CqosStub::Options high;
+  high.priority = 9;
+  auto high_client = cluster.make_client(high);
+  high_client->call("mark", {Value(1)});
+
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+  low_client->call("mark", {Value(0)});
+
+  EXPECT_EQ(probe->high.load(), 9);
+  EXPECT_EQ(probe->low.load(), 2);
+}
+
+TEST(QueuedSched, LowPriorityQueuedBehindExecutingHigh) {
+  auto servant = std::make_shared<SlowServant>(ms(60));
+  auto opts = sched_options(servant);
+  opts.qos.add(Side::kServer, "queued_sched");
+  Cluster cluster(opts);
+
+  CqosStub::Options high;
+  high.priority = 9;
+  auto high_client = cluster.make_client(high);
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+
+  // Start a long high-priority call, then a low one while it executes.
+  std::thread high_thread(
+      [&] { high_client->call("work", {Value("high")}); });
+  std::this_thread::sleep_for(ms(15));  // high is now executing
+  std::thread low_thread([&] { low_client->call("work", {Value("low")}); });
+  high_thread.join();
+  low_thread.join();
+
+  auto entries = servant->entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].as_string(), "high");
+  EXPECT_EQ(entries[1].as_string(), "low");
+}
+
+TEST(QueuedSched, LowProceedsWhenNoHighActive) {
+  auto servant = std::make_shared<SlowServant>(ms(5));
+  auto opts = sched_options(servant);
+  opts.qos.add(Side::kServer, "queued_sched");
+  Cluster cluster(opts);
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+  TimePoint before = now();
+  low_client->call("work", {Value("low")});
+  // No high traffic: a low request must not wait for any timer or release.
+  EXPECT_LT(now() - before, ms(2000));
+  EXPECT_EQ(servant->entries().size(), 1u);
+}
+
+TEST(QueuedSched, QueuedLowEventuallyRuns) {
+  auto servant = std::make_shared<SlowServant>(ms(25));
+  auto opts = sched_options(servant);
+  opts.qos.add(Side::kServer, "queued_sched");
+  Cluster cluster(opts);
+
+  CqosStub::Options high;
+  high.priority = 9;
+  auto high_client = cluster.make_client(high);
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+
+  std::atomic<bool> low_done{false};
+  std::thread high_thread([&] {
+    for (int i = 0; i < 4; ++i) high_client->call("work", {Value("h")});
+  });
+  std::this_thread::sleep_for(ms(10));
+  std::thread low_thread([&] {
+    low_client->call("work", {Value("l")});
+    low_done.store(true);
+  });
+  high_thread.join();
+  low_thread.join();
+  EXPECT_TRUE(low_done.load());
+}
+
+TEST(TimedSched, DifferentiatesUnderHighLoad) {
+  auto servant = std::make_shared<SlowServant>(ms(4));
+  auto opts = sched_options(servant);
+  opts.qos.add(Side::kServer, "timed_sched",
+               {{"period_ms", "10"}, {"threshold", "100"}});
+  Cluster cluster(opts);
+
+  CqosStub::Options high;
+  high.priority = 9;
+  auto high_client = cluster.make_client(high);
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+
+  LatencyRecorder high_lat, low_lat;
+  std::thread high_thread([&] {
+    for (int i = 0; i < 40; ++i) {
+      TimePoint t0 = now();
+      high_client->call("work", {Value("h")});
+      high_lat.add(to_ms(now() - t0));
+    }
+  });
+  std::thread low_thread([&] {
+    for (int i = 0; i < 10; ++i) {
+      TimePoint t0 = now();
+      low_client->call("work", {Value("l")});
+      low_lat.add(to_ms(now() - t0));
+    }
+  });
+  high_thread.join();
+  low_thread.join();
+
+  ASSERT_EQ(high_lat.count(), 40u);
+  ASSERT_EQ(low_lat.count(), 10u);
+  // Service differentiation: low-priority mean latency strictly above high.
+  EXPECT_GT(low_lat.mean(), high_lat.mean());
+}
+
+TEST(TimedSched, LowStarvesWhileAboveThreshold) {
+  auto servant = std::make_shared<SlowServant>(ms(3));
+  auto opts = sched_options(servant);
+  // Threshold 1: low is only released after a period with ZERO high
+  // arrivals. The period is deliberately long so scheduler hiccups in the
+  // high-traffic thread cannot fake an empty period on a loaded machine.
+  opts.qos.add(Side::kServer, "timed_sched",
+               {{"period_ms", "250"}, {"threshold", "1"}});
+  opts.request_timeout = ms(900);
+  Cluster cluster(opts);
+
+  CqosStub::Options high;
+  high.priority = 9;
+  auto high_client = cluster.make_client(high);
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+
+  std::atomic<bool> stop{false};
+  std::thread high_thread([&] {
+    while (!stop.load()) high_client->call("work", {Value("h")});
+  });
+  std::this_thread::sleep_for(ms(30));
+  // The low request cannot be released while >=1 high arrives per period;
+  // it times out at the Cactus level.
+  EXPECT_THROW(low_client->call("work", {Value("l")}), InvocationError);
+  stop.store(true);
+  high_thread.join();
+}
+
+TEST(TimedSched, IdleSystemServesLowDirectly) {
+  auto servant = std::make_shared<SlowServant>(ms(2));
+  auto opts = sched_options(servant);
+  opts.qos.add(Side::kServer, "timed_sched",
+               {{"period_ms", "50"}, {"threshold", "4"}});
+  Cluster cluster(opts);
+  CqosStub::Options low;
+  low.priority = 2;
+  auto low_client = cluster.make_client(low);
+  TimePoint before = now();
+  low_client->call("work", {Value("l")});
+  EXPECT_LT(now() - before, ms(2000));
+}
+
+}  // namespace
+}  // namespace cqos::sim

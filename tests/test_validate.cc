@@ -1,0 +1,120 @@
+// Configuration validation tests (cqos::validate).
+#include <gtest/gtest.h>
+
+#include "cqos/config.h"
+#include "micro/standard.h"
+
+namespace cqos {
+namespace {
+
+class Validate : public ::testing::Test {
+ protected:
+  void SetUp() override { micro::register_standard_micro_protocols(); }
+};
+
+TEST_F(Validate, EmptyConfigIsValid) {
+  EXPECT_TRUE(validate(QosConfig{}).ok());
+}
+
+TEST_F(Validate, GoodFullStackIsValid) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "active_rep")
+      .add(Side::kClient, "majority_vote")
+      .add(Side::kClient, "des_privacy", {{"key", "0123456789abcdef"}})
+      .add(Side::kServer, "total_order")
+      .add(Side::kServer, "des_privacy", {{"key", "0123456789abcdef"}})
+      .add(Side::kServer, "timed_sched");
+  ValidationResult result = validate(cfg);
+  EXPECT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_TRUE(result.warnings.empty())
+      << (result.warnings.empty() ? "" : result.warnings[0]);
+}
+
+TEST_F(Validate, UnknownProtocolIsError) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "hologram_rep");
+  ValidationResult result = validate(cfg);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("hologram_rep"), std::string::npos);
+}
+
+TEST_F(Validate, WrongSideIsError) {
+  QosConfig cfg;
+  cfg.add(Side::kServer, "active_rep");  // client-only protocol
+  EXPECT_FALSE(validate(cfg).ok());
+}
+
+TEST_F(Validate, BadParameterIsError) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "des_privacy", {{"key", "nothex"}});
+  ValidationResult result = validate(cfg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].find("des_privacy"), std::string::npos);
+}
+
+TEST_F(Validate, MixedReplicationIsError) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "active_rep").add(Side::kClient, "passive_rep");
+  EXPECT_FALSE(validate(cfg).ok());
+}
+
+TEST_F(Validate, ConflictingAcceptanceIsError) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "active_rep")
+      .add(Side::kClient, "first_success")
+      .add(Side::kClient, "majority_vote");
+  EXPECT_FALSE(validate(cfg).ok());
+}
+
+TEST_F(Validate, ConflictingSchedulersIsError) {
+  QosConfig cfg;
+  cfg.add(Side::kServer, "queued_sched").add(Side::kServer, "timed_sched");
+  EXPECT_FALSE(validate(cfg).ok());
+}
+
+TEST_F(Validate, OneSidedPassiveRepWarns) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "passive_rep");
+  ValidationResult result = validate(cfg);
+  EXPECT_TRUE(result.ok());
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("passive_rep"), std::string::npos);
+}
+
+TEST_F(Validate, AcceptanceWithoutReplicationWarns) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "majority_vote");
+  ValidationResult result = validate(cfg);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.warnings.empty());
+}
+
+TEST_F(Validate, OneSidedPrivacyWarns) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "des_privacy", {{"key", "0123456789abcdef"}});
+  ValidationResult result = validate(cfg);
+  EXPECT_TRUE(result.ok());
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("des_privacy"), std::string::npos);
+}
+
+TEST_F(Validate, MismatchedKeysWarn) {
+  QosConfig cfg;
+  cfg.add(Side::kClient, "integrity", {{"key", "00112233"}})
+      .add(Side::kServer, "integrity", {{"key", "44556677"}});
+  ValidationResult result = validate(cfg);
+  EXPECT_TRUE(result.ok());
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("keys differ"), std::string::npos);
+}
+
+TEST_F(Validate, TotalOrderWithoutActiveRepWarns) {
+  QosConfig cfg;
+  cfg.add(Side::kServer, "total_order");
+  ValidationResult result = validate(cfg);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.warnings.empty());
+}
+
+}  // namespace
+}  // namespace cqos
