@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_marshal.dir/bench_ablation_marshal.cc.o"
+  "CMakeFiles/bench_ablation_marshal.dir/bench_ablation_marshal.cc.o.d"
+  "bench_ablation_marshal"
+  "bench_ablation_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_reuse.cc" "bench/CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/cqos_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/cqos/CMakeFiles/cqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cqos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cqos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cactus/CMakeFiles/cqos_cactus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

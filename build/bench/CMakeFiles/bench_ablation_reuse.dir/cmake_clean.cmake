@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cc.o"
+  "CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cc.o.d"
+  "bench_ablation_reuse"
+  "bench_ablation_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

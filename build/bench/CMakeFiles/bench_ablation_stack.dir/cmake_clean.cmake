@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stack.dir/bench_ablation_stack.cc.o"
+  "CMakeFiles/bench_ablation_stack.dir/bench_ablation_stack.cc.o.d"
+  "bench_ablation_stack"
+  "bench_ablation_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_threadpool.dir/bench_ablation_threadpool.cc.o"
+  "CMakeFiles/bench_ablation_threadpool.dir/bench_ablation_threadpool.cc.o.d"
+  "bench_ablation_threadpool"
+  "bench_ablation_threadpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_config.dir/dynamic_config.cpp.o"
+  "CMakeFiles/dynamic_config.dir/dynamic_config.cpp.o.d"
+  "dynamic_config"
+  "dynamic_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_generated.dir/idl_generated.cpp.o"
+  "CMakeFiles/idl_generated.dir/idl_generated.cpp.o.d"
+  "idl_generated"
+  "idl_generated.pdb"
+  "trading_generated.h"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

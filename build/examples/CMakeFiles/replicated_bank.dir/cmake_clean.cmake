@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_bank.dir/replicated_bank.cpp.o"
+  "CMakeFiles/replicated_bank.dir/replicated_bank.cpp.o.d"
+  "replicated_bank"
+  "replicated_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_trading.dir/secure_trading.cpp.o"
+  "CMakeFiles/secure_trading.dir/secure_trading.cpp.o.d"
+  "secure_trading"
+  "secure_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

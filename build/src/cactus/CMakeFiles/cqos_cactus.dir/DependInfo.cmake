@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cactus/composite.cc" "src/cactus/CMakeFiles/cqos_cactus.dir/composite.cc.o" "gcc" "src/cactus/CMakeFiles/cqos_cactus.dir/composite.cc.o.d"
+  "/root/repo/src/cactus/thread_pool.cc" "src/cactus/CMakeFiles/cqos_cactus.dir/thread_pool.cc.o" "gcc" "src/cactus/CMakeFiles/cqos_cactus.dir/thread_pool.cc.o.d"
+  "/root/repo/src/cactus/timer.cc" "src/cactus/CMakeFiles/cqos_cactus.dir/timer.cc.o" "gcc" "src/cactus/CMakeFiles/cqos_cactus.dir/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_cactus.dir/composite.cc.o"
+  "CMakeFiles/cqos_cactus.dir/composite.cc.o.d"
+  "CMakeFiles/cqos_cactus.dir/thread_pool.cc.o"
+  "CMakeFiles/cqos_cactus.dir/thread_pool.cc.o.d"
+  "CMakeFiles/cqos_cactus.dir/timer.cc.o"
+  "CMakeFiles/cqos_cactus.dir/timer.cc.o.d"
+  "libcqos_cactus.a"
+  "libcqos_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

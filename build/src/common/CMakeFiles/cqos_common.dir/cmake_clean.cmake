@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_common.dir/log.cc.o"
+  "CMakeFiles/cqos_common.dir/log.cc.o.d"
+  "CMakeFiles/cqos_common.dir/priority.cc.o"
+  "CMakeFiles/cqos_common.dir/priority.cc.o.d"
+  "CMakeFiles/cqos_common.dir/value.cc.o"
+  "CMakeFiles/cqos_common.dir/value.cc.o.d"
+  "libcqos_common.a"
+  "libcqos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/common/CMakeFiles/cqos_common.dir/priority.cc.o: \
+ /root/repo/src/common/priority.cc /usr/include/stdc-predef.h \
+ /root/repo/src/common/priority.h

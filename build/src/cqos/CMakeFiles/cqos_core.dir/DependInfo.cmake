@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqos/cactus_client.cc" "src/cqos/CMakeFiles/cqos_core.dir/cactus_client.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/cactus_client.cc.o.d"
+  "/root/repo/src/cqos/cactus_server.cc" "src/cqos/CMakeFiles/cqos_core.dir/cactus_server.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/cactus_server.cc.o.d"
+  "/root/repo/src/cqos/config.cc" "src/cqos/CMakeFiles/cqos_core.dir/config.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/config.cc.o.d"
+  "/root/repo/src/cqos/config_service.cc" "src/cqos/CMakeFiles/cqos_core.dir/config_service.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/config_service.cc.o.d"
+  "/root/repo/src/cqos/dynamic_config.cc" "src/cqos/CMakeFiles/cqos_core.dir/dynamic_config.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/dynamic_config.cc.o.d"
+  "/root/repo/src/cqos/platform_qos.cc" "src/cqos/CMakeFiles/cqos_core.dir/platform_qos.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/platform_qos.cc.o.d"
+  "/root/repo/src/cqos/request.cc" "src/cqos/CMakeFiles/cqos_core.dir/request.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/request.cc.o.d"
+  "/root/repo/src/cqos/skeleton.cc" "src/cqos/CMakeFiles/cqos_core.dir/skeleton.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/skeleton.cc.o.d"
+  "/root/repo/src/cqos/stub.cc" "src/cqos/CMakeFiles/cqos_core.dir/stub.cc.o" "gcc" "src/cqos/CMakeFiles/cqos_core.dir/stub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cqos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cactus/CMakeFiles/cqos_cactus.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cqos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cqos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_core.dir/cactus_client.cc.o"
+  "CMakeFiles/cqos_core.dir/cactus_client.cc.o.d"
+  "CMakeFiles/cqos_core.dir/cactus_server.cc.o"
+  "CMakeFiles/cqos_core.dir/cactus_server.cc.o.d"
+  "CMakeFiles/cqos_core.dir/config.cc.o"
+  "CMakeFiles/cqos_core.dir/config.cc.o.d"
+  "CMakeFiles/cqos_core.dir/config_service.cc.o"
+  "CMakeFiles/cqos_core.dir/config_service.cc.o.d"
+  "CMakeFiles/cqos_core.dir/dynamic_config.cc.o"
+  "CMakeFiles/cqos_core.dir/dynamic_config.cc.o.d"
+  "CMakeFiles/cqos_core.dir/platform_qos.cc.o"
+  "CMakeFiles/cqos_core.dir/platform_qos.cc.o.d"
+  "CMakeFiles/cqos_core.dir/request.cc.o"
+  "CMakeFiles/cqos_core.dir/request.cc.o.d"
+  "CMakeFiles/cqos_core.dir/skeleton.cc.o"
+  "CMakeFiles/cqos_core.dir/skeleton.cc.o.d"
+  "CMakeFiles/cqos_core.dir/stub.cc.o"
+  "CMakeFiles/cqos_core.dir/stub.cc.o.d"
+  "libcqos_core.a"
+  "libcqos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

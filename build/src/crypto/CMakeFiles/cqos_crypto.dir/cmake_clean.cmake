@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_crypto.dir/des.cc.o"
+  "CMakeFiles/cqos_crypto.dir/des.cc.o.d"
+  "CMakeFiles/cqos_crypto.dir/sha256.cc.o"
+  "CMakeFiles/cqos_crypto.dir/sha256.cc.o.d"
+  "libcqos_crypto.a"
+  "libcqos_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

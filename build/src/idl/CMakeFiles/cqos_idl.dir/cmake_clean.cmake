@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_idl.dir/codegen.cc.o"
+  "CMakeFiles/cqos_idl.dir/codegen.cc.o.d"
+  "CMakeFiles/cqos_idl.dir/parser.cc.o"
+  "CMakeFiles/cqos_idl.dir/parser.cc.o.d"
+  "libcqos_idl.a"
+  "libcqos_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

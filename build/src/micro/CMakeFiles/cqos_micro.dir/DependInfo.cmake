@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micro/acceptance.cc" "src/micro/CMakeFiles/cqos_micro.dir/acceptance.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/acceptance.cc.o.d"
+  "/root/repo/src/micro/active_rep.cc" "src/micro/CMakeFiles/cqos_micro.dir/active_rep.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/active_rep.cc.o.d"
+  "/root/repo/src/micro/client_base.cc" "src/micro/CMakeFiles/cqos_micro.dir/client_base.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/client_base.cc.o.d"
+  "/root/repo/src/micro/extensions.cc" "src/micro/CMakeFiles/cqos_micro.dir/extensions.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/extensions.cc.o.d"
+  "/root/repo/src/micro/passive_rep.cc" "src/micro/CMakeFiles/cqos_micro.dir/passive_rep.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/passive_rep.cc.o.d"
+  "/root/repo/src/micro/security.cc" "src/micro/CMakeFiles/cqos_micro.dir/security.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/security.cc.o.d"
+  "/root/repo/src/micro/server_base.cc" "src/micro/CMakeFiles/cqos_micro.dir/server_base.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/server_base.cc.o.d"
+  "/root/repo/src/micro/standard.cc" "src/micro/CMakeFiles/cqos_micro.dir/standard.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/standard.cc.o.d"
+  "/root/repo/src/micro/timeliness.cc" "src/micro/CMakeFiles/cqos_micro.dir/timeliness.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/timeliness.cc.o.d"
+  "/root/repo/src/micro/total_order.cc" "src/micro/CMakeFiles/cqos_micro.dir/total_order.cc.o" "gcc" "src/micro/CMakeFiles/cqos_micro.dir/total_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cqos/CMakeFiles/cqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cqos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cqos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cactus/CMakeFiles/cqos_cactus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

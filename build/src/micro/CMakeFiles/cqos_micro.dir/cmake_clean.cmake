@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_micro.dir/acceptance.cc.o"
+  "CMakeFiles/cqos_micro.dir/acceptance.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/active_rep.cc.o"
+  "CMakeFiles/cqos_micro.dir/active_rep.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/client_base.cc.o"
+  "CMakeFiles/cqos_micro.dir/client_base.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/extensions.cc.o"
+  "CMakeFiles/cqos_micro.dir/extensions.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/passive_rep.cc.o"
+  "CMakeFiles/cqos_micro.dir/passive_rep.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/security.cc.o"
+  "CMakeFiles/cqos_micro.dir/security.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/server_base.cc.o"
+  "CMakeFiles/cqos_micro.dir/server_base.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/standard.cc.o"
+  "CMakeFiles/cqos_micro.dir/standard.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/timeliness.cc.o"
+  "CMakeFiles/cqos_micro.dir/timeliness.cc.o.d"
+  "CMakeFiles/cqos_micro.dir/total_order.cc.o"
+  "CMakeFiles/cqos_micro.dir/total_order.cc.o.d"
+  "libcqos_micro.a"
+  "libcqos_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

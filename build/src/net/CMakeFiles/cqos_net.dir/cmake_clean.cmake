@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_net.dir/sim_network.cc.o"
+  "CMakeFiles/cqos_net.dir/sim_network.cc.o.d"
+  "libcqos_net.a"
+  "libcqos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

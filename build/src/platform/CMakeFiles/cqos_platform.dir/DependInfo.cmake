@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/corba/agent.cc" "src/platform/CMakeFiles/cqos_platform.dir/corba/agent.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/corba/agent.cc.o.d"
+  "/root/repo/src/platform/corba/cdr.cc" "src/platform/CMakeFiles/cqos_platform.dir/corba/cdr.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/corba/cdr.cc.o.d"
+  "/root/repo/src/platform/corba/giop.cc" "src/platform/CMakeFiles/cqos_platform.dir/corba/giop.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/corba/giop.cc.o.d"
+  "/root/repo/src/platform/corba/orb.cc" "src/platform/CMakeFiles/cqos_platform.dir/corba/orb.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/corba/orb.cc.o.d"
+  "/root/repo/src/platform/http/http.cc" "src/platform/CMakeFiles/cqos_platform.dir/http/http.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/http/http.cc.o.d"
+  "/root/repo/src/platform/rmi/jrmp.cc" "src/platform/CMakeFiles/cqos_platform.dir/rmi/jrmp.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/rmi/jrmp.cc.o.d"
+  "/root/repo/src/platform/rmi/registry.cc" "src/platform/CMakeFiles/cqos_platform.dir/rmi/registry.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/rmi/registry.cc.o.d"
+  "/root/repo/src/platform/rmi/rmi.cc" "src/platform/CMakeFiles/cqos_platform.dir/rmi/rmi.cc.o" "gcc" "src/platform/CMakeFiles/cqos_platform.dir/rmi/rmi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cqos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cactus/CMakeFiles/cqos_cactus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_platform.dir/corba/agent.cc.o"
+  "CMakeFiles/cqos_platform.dir/corba/agent.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/corba/cdr.cc.o"
+  "CMakeFiles/cqos_platform.dir/corba/cdr.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/corba/giop.cc.o"
+  "CMakeFiles/cqos_platform.dir/corba/giop.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/corba/orb.cc.o"
+  "CMakeFiles/cqos_platform.dir/corba/orb.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/http/http.cc.o"
+  "CMakeFiles/cqos_platform.dir/http/http.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/rmi/jrmp.cc.o"
+  "CMakeFiles/cqos_platform.dir/rmi/jrmp.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/rmi/registry.cc.o"
+  "CMakeFiles/cqos_platform.dir/rmi/registry.cc.o.d"
+  "CMakeFiles/cqos_platform.dir/rmi/rmi.cc.o"
+  "CMakeFiles/cqos_platform.dir/rmi/rmi.cc.o.d"
+  "libcqos_platform.a"
+  "libcqos_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_sim.dir/bank_account.cc.o"
+  "CMakeFiles/cqos_sim.dir/bank_account.cc.o.d"
+  "CMakeFiles/cqos_sim.dir/cluster.cc.o"
+  "CMakeFiles/cqos_sim.dir/cluster.cc.o.d"
+  "libcqos_sim.a"
+  "libcqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

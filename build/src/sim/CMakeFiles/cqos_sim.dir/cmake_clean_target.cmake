@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcqos_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_config.dir/cqos_config.cc.o"
+  "CMakeFiles/cqos_config.dir/cqos_config.cc.o.d"
+  "cqos_config"
+  "cqos_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqos_idlc.dir/cqos_idlc.cc.o"
+  "CMakeFiles/cqos_idlc.dir/cqos_idlc.cc.o.d"
+  "cqos_idlc"
+  "cqos_idlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqos_idlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

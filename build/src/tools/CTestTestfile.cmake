@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/src/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_idlc "/root/repo/build/src/tools/cqos_idlc" "/root/repo/examples/trading.idl" "/root/repo/build/src/tools/idlc_test_out.h")
+set_tests_properties(tool_idlc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_config_valid "/root/repo/build/src/tools/cqos_config" "/root/repo/examples/sample.cfg")
+set_tests_properties(tool_config_valid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_idlc_rejects_bad_input "/root/repo/build/src/tools/cqos_idlc" "/root/repo/examples/sample.cfg" "/root/repo/build/src/tools/idlc_bad_out.h")
+set_tests_properties(tool_idlc_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")

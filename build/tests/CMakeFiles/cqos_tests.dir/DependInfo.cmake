@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bytes.cc" "tests/CMakeFiles/cqos_tests.dir/test_bytes.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_bytes.cc.o.d"
+  "/root/repo/tests/test_cactus.cc" "tests/CMakeFiles/cqos_tests.dir/test_cactus.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_cactus.cc.o.d"
+  "/root/repo/tests/test_cactus_components.cc" "tests/CMakeFiles/cqos_tests.dir/test_cactus_components.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_cactus_components.cc.o.d"
+  "/root/repo/tests/test_chaos.cc" "tests/CMakeFiles/cqos_tests.dir/test_chaos.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_chaos.cc.o.d"
+  "/root/repo/tests/test_combinations.cc" "tests/CMakeFiles/cqos_tests.dir/test_combinations.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_combinations.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/cqos_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_config_service.cc" "tests/CMakeFiles/cqos_tests.dir/test_config_service.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_config_service.cc.o.d"
+  "/root/repo/tests/test_crypto.cc" "tests/CMakeFiles/cqos_tests.dir/test_crypto.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_crypto.cc.o.d"
+  "/root/repo/tests/test_dynamic_config.cc" "tests/CMakeFiles/cqos_tests.dir/test_dynamic_config.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_dynamic_config.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/cqos_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fault_tolerance.cc" "tests/CMakeFiles/cqos_tests.dir/test_fault_tolerance.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_fault_tolerance.cc.o.d"
+  "/root/repo/tests/test_http.cc" "tests/CMakeFiles/cqos_tests.dir/test_http.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_http.cc.o.d"
+  "/root/repo/tests/test_idl.cc" "tests/CMakeFiles/cqos_tests.dir/test_idl.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_idl.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/cqos_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/cqos_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/cqos_tests.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_platform.cc.o.d"
+  "/root/repo/tests/test_request.cc" "tests/CMakeFiles/cqos_tests.dir/test_request.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_request.cc.o.d"
+  "/root/repo/tests/test_rmi_iiop.cc" "tests/CMakeFiles/cqos_tests.dir/test_rmi_iiop.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_rmi_iiop.cc.o.d"
+  "/root/repo/tests/test_security.cc" "tests/CMakeFiles/cqos_tests.dir/test_security.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_security.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/cqos_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_stub_skeleton.cc" "tests/CMakeFiles/cqos_tests.dir/test_stub_skeleton.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_stub_skeleton.cc.o.d"
+  "/root/repo/tests/test_timeliness.cc" "tests/CMakeFiles/cqos_tests.dir/test_timeliness.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_timeliness.cc.o.d"
+  "/root/repo/tests/test_validate.cc" "tests/CMakeFiles/cqos_tests.dir/test_validate.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_validate.cc.o.d"
+  "/root/repo/tests/test_value.cc" "tests/CMakeFiles/cqos_tests.dir/test_value.cc.o" "gcc" "tests/CMakeFiles/cqos_tests.dir/test_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/cqos_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/cqos/CMakeFiles/cqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/cqos_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cqos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cactus/CMakeFiles/cqos_cactus.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cqos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
