@@ -19,7 +19,7 @@ CompositeProtocol::~CompositeProtocol() { stop(); }
 void CompositeProtocol::add_protocol(std::unique_ptr<MicroProtocol> mp) {
   MicroProtocol* raw = mp.get();
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     protocols_.push_back(std::move(mp));
   }
   // init() outside the lock: it will call bind(), which takes the lock.
@@ -27,7 +27,7 @@ void CompositeProtocol::add_protocol(std::unique_ptr<MicroProtocol> mp) {
 }
 
 MicroProtocol* CompositeProtocol::find_protocol(std::string_view name) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& mp : protocols_) {
     if (mp->name() == name) return mp.get();
   }
@@ -35,7 +35,7 @@ MicroProtocol* CompositeProtocol::find_protocol(std::string_view name) const {
 }
 
 std::vector<std::string> CompositeProtocol::protocol_names() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> names;
   names.reserve(protocols_.size());
   for (const auto& mp : protocols_) names.emplace_back(mp->name());
@@ -55,7 +55,7 @@ CompositeProtocol::EventSlot& CompositeProtocol::slot_locked(
 BindingId CompositeProtocol::bind(std::string_view event,
                                   std::string handler_name, Handler handler,
                                   int order, std::any static_arg) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   EventSlot& slot = slot_locked(event);
   auto binding = std::make_shared<Binding>(
       Binding{next_binding_++, order, next_seq_++, std::move(handler_name),
@@ -72,7 +72,7 @@ BindingId CompositeProtocol::bind(std::string_view event,
 }
 
 bool CompositeProtocol::unbind(BindingId id) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = binding_event_.find(id);
   if (it == binding_event_.end()) return false;
   EventSlot& slot = slot_locked(it->second);
@@ -82,7 +82,7 @@ bool CompositeProtocol::unbind(BindingId id) {
 }
 
 std::size_t CompositeProtocol::binding_count(std::string_view event) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto it = events_.find(event);
   return it == events_.end() ? 0 : it->second.bindings.size();
 }
@@ -92,7 +92,7 @@ void CompositeProtocol::run_activation(const std::string& event,
   // Snapshot the bindings so handlers can bind/unbind during execution.
   std::vector<std::shared_ptr<Binding>> snapshot;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = events_.find(event);
     if (it == events_.end()) return;
     snapshot = it->second.bindings;
@@ -132,7 +132,7 @@ void CompositeProtocol::raise_async(std::string_view event, std::any dyn,
     return;
   }
   // Unoptimized thread-per-event mode (ablation baseline).
-  std::scoped_lock lk(threads_mu_);
+  MutexLock lk(threads_mu_);
   if (stopped_.load()) return;
   spawned_.emplace_back([priority, task = std::move(task)] {
     PriorityGuard guard(priority);
@@ -164,7 +164,7 @@ void CompositeProtocol::stop() {
   {
     // Swap out under the lock, join outside it: a spawned thread may itself
     // call raise_async (which takes threads_mu_) while we join.
-    std::scoped_lock lk(threads_mu_);
+    MutexLock lk(threads_mu_);
     to_join.swap(spawned_);
   }
   for (auto& t : to_join) {
@@ -172,7 +172,7 @@ void CompositeProtocol::stop() {
   }
   std::vector<std::unique_ptr<MicroProtocol>> protos;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     protos.swap(protocols_);
   }
   for (auto& mp : protos) mp->shutdown();

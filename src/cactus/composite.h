@@ -24,7 +24,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -34,6 +33,8 @@
 #include "cactus/timer.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::cactus {
 
@@ -102,7 +103,7 @@ class SharedData {
  public:
   template <typename T>
   std::shared_ptr<T> get_or_create(const std::string& key) {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       auto ptr = std::make_shared<T>();
@@ -115,8 +116,8 @@ class SharedData {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::any> map_;
+  Mutex mu_;
+  std::map<std::string, std::any> map_ CQOS_GUARDED_BY(mu_);
 };
 
 /// Base class for micro-protocols. A micro-protocol binds its handlers in
@@ -216,25 +217,27 @@ class CompositeProtocol {
     std::vector<std::shared_ptr<Binding>> bindings;  // sorted (order, seq)
   };
 
-  EventSlot& slot_locked(std::string_view event);
+  EventSlot& slot_locked(std::string_view event) CQOS_REQUIRES(mu_);
   void run_activation(const std::string& event, const std::any& dyn);
 
   Options opts_;
-  mutable std::mutex mu_;
-  std::map<std::string, EventSlot, std::less<>> events_;
-  std::map<BindingId, std::string> binding_event_;  // id -> event name
-  BindingId next_binding_ = 1;
-  std::uint64_t next_seq_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, EventSlot, std::less<>> events_ CQOS_GUARDED_BY(mu_);
+  std::map<BindingId, std::string> binding_event_
+      CQOS_GUARDED_BY(mu_);  // id -> event name
+  BindingId next_binding_ CQOS_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_seq_ CQOS_GUARDED_BY(mu_) = 1;
 
-  std::vector<std::unique_ptr<MicroProtocol>> protocols_;
+  std::vector<std::unique_ptr<MicroProtocol>> protocols_ CQOS_GUARDED_BY(mu_);
   SharedData shared_;
 
   std::unique_ptr<PriorityThreadPool> pool_;
   TimerService timers_;
 
-  // thread-per-event mode bookkeeping
-  std::mutex threads_mu_;
-  std::vector<std::thread> spawned_;
+  // thread-per-event mode bookkeeping. Lock hierarchy: threads_mu_ is a
+  // leaf — never held while taking mu_ or calling into handlers.
+  Mutex threads_mu_ CQOS_ACQUIRED_AFTER(mu_);
+  std::vector<std::thread> spawned_ CQOS_GUARDED_BY(threads_mu_);
   std::atomic<bool> stopped_{false};
 };
 

@@ -18,36 +18,38 @@ PriorityThreadPool::~PriorityThreadPool() { shutdown(); }
 
 bool PriorityThreadPool::submit(int priority, std::function<void()> task) {
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     if (shutdown_) return false;
     queue_.push(Item{priority, next_seq_++, std::move(task)});
+    cv_.notify_one();
   }
-  cv_.notify_one();
   return true;
 }
 
 void PriorityThreadPool::shutdown() {
   {
-    std::scoped_lock lk(mu_);
-    if (shutdown_) return;
+    MutexLock lk(mu_);
     shutdown_ = true;
+    cv_.notify_all();
   }
-  cv_.notify_all();
+  // One caller performs the join; concurrent callers block on join_mu_ until
+  // it finishes, so shutdown() returning always means the workers exited and
+  // every accepted task ran (drain-then-join determinism).
+  MutexLock lk(join_mu_);
+  if (joined_) return;
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  joined_ = true;
 }
 
 void PriorityThreadPool::worker_loop() {
   for (;;) {
     Item item;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lk(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.wait(mu_);
+      if (queue_.empty()) return;  // shutdown requested and queue drained
       // const_cast is safe: we pop immediately after moving the task out.
       item = std::move(const_cast<Item&>(queue_.top()));
       queue_.pop();

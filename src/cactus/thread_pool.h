@@ -10,16 +10,26 @@
 // pending task (FIFO within a priority) and run it with the thread-local
 // priority set accordingly, preserving the paper's guarantee that handlers
 // run at the priority of the raising thread unless overridden.
+//
+// Shutdown contract (drain-then-join, deterministic):
+//   - every task accepted by submit() (it returned true) is RUN before
+//     shutdown() returns; tasks are never dropped;
+//   - submit() after shutdown() began returns false and the task never runs;
+//   - shutdown() returns only once all workers have exited, including when
+//     several threads race to call it — late callers block until the join
+//     completes rather than returning early;
+//   - shutdown() must not be called from inside a pool task (self-join).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::cactus {
 
@@ -35,7 +45,8 @@ class PriorityThreadPool {
   /// pool is shut down.
   bool submit(int priority, std::function<void()> task);
 
-  /// Stop accepting tasks, finish everything queued, join workers.
+  /// Stop accepting tasks, finish everything queued, join workers. Safe to
+  /// call concurrently; every caller returns only after the workers exited.
   void shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -55,11 +66,20 @@ class PriorityThreadPool {
 
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Item, std::vector<Item>, ItemLess> queue_;
-  std::uint64_t next_seq_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Item, std::vector<Item>, ItemLess> queue_
+      CQOS_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ CQOS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CQOS_GUARDED_BY(mu_) = false;
+
+  // Lock hierarchy: join_mu_ is acquired strictly after mu_ is released —
+  // shutdown() never holds both, so there is no inversion with worker_loop.
+  Mutex join_mu_ CQOS_ACQUIRED_AFTER(mu_);
+  bool joined_ CQOS_GUARDED_BY(join_mu_) = false;
+
+  // Written only by the constructor; joined under join_mu_. Safe to size()
+  // from any thread once construction completes.
   std::vector<std::thread> workers_;
 };
 

@@ -1,7 +1,5 @@
 #include "cactus/timer.h"
 
-#include <vector>
-
 #include "common/log.h"
 
 namespace cqos::cactus {
@@ -13,17 +11,17 @@ TimerService::~TimerService() { shutdown(); }
 TimerId TimerService::schedule(Duration delay, std::function<void()> fn) {
   TimerId id;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     if (shutdown_) return kInvalidTimer;
     id = next_id_++;
     pending_.emplace(now() + delay, Entry{id, std::move(fn)});
+    cv_.notify_one();
   }
-  cv_.notify_one();
   return id;
 }
 
 bool TimerService::cancel(TimerId id) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->second.id == id) {
       pending_.erase(it);
@@ -35,38 +33,48 @@ bool TimerService::cancel(TimerId id) {
 
 void TimerService::shutdown() {
   {
-    std::scoped_lock lk(mu_);
-    if (shutdown_) return;
+    MutexLock lk(mu_);
     shutdown_ = true;
     pending_.clear();
+    cv_.notify_all();
   }
-  cv_.notify_all();
+  // Same drain-then-join discipline as PriorityThreadPool::shutdown: one
+  // caller joins, concurrent callers block until the join completed.
+  MutexLock lk(join_mu_);
+  if (joined_) return;
   if (thread_.joinable()) thread_.join();
+  joined_ = true;
 }
 
 void TimerService::loop() {
-  std::unique_lock lk(mu_);
   for (;;) {
-    if (shutdown_) return;
-    if (pending_.empty()) {
-      cv_.wait(lk, [&] { return shutdown_ || !pending_.empty(); });
-      continue;
+    Entry entry;
+    bool fire = false;
+    {
+      MutexLock lk(mu_);
+      if (shutdown_) return;
+      if (pending_.empty()) {
+        cv_.wait(mu_);
+      } else {
+        auto first = pending_.begin();
+        TimePoint deadline = first->first;
+        if (now() < deadline) {
+          // Re-evaluate after the wait: an earlier timer may have been
+          // added or this one cancelled while we slept.
+          cv_.wait_until(mu_, deadline);
+        } else {
+          entry = std::move(first->second);
+          pending_.erase(first);
+          fire = true;
+        }
+      }
     }
-    auto first = pending_.begin();
-    TimePoint deadline = first->first;
-    if (now() < deadline) {
-      cv_.wait_until(lk, deadline);
-      continue;  // re-evaluate: earlier timer may have been added/cancelled
-    }
-    Entry entry = std::move(first->second);
-    pending_.erase(first);
-    lk.unlock();
+    if (!fire) continue;
     try {
       entry.fn();
     } catch (const std::exception& e) {
       CQOS_LOG_ERROR("timer callback threw: ", e.what());
     }
-    lk.lock();
   }
 }
 

@@ -1,16 +1,21 @@
 // Timer service backing Cactus's delayed event raises ("the raise operation
 // also supports a delay argument, which can be used to implement time-driven
 // execution") and their cancellation.
+//
+// Callbacks run on the timer thread with no lock held, so they may freely
+// call back into schedule()/cancel(). shutdown() clears pending timers
+// (cancelled timers never fire) and joins the thread; a callback already
+// in flight finishes first.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::cactus {
 
@@ -41,11 +46,15 @@ class TimerService {
 
   void loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::multimap<TimePoint, Entry> pending_;
-  TimerId next_id_ = 1;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::multimap<TimePoint, Entry> pending_ CQOS_GUARDED_BY(mu_);
+  TimerId next_id_ CQOS_GUARDED_BY(mu_) = 1;
+  bool shutdown_ CQOS_GUARDED_BY(mu_) = false;
+
+  // Lock hierarchy: join_mu_ is only taken with mu_ released (no inversion).
+  Mutex join_mu_ CQOS_ACQUIRED_AFTER(mu_);
+  bool joined_ CQOS_GUARDED_BY(join_mu_) = false;
   std::thread thread_;
 };
 

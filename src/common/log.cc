@@ -4,11 +4,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/sync.h"
+
 namespace cqos {
 namespace {
 
 LogLevel parse_level() {
-  const char* env = std::getenv("CQOS_LOG");
+  // Read exactly once, inside the log_threshold() magic-static initializer,
+  // so the mt-unsafety of getenv cannot bite.
+  const char* env = std::getenv("CQOS_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
@@ -30,7 +34,7 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-std::mutex g_log_mu;
+Mutex g_log_mu;
 
 }  // namespace
 
@@ -40,7 +44,7 @@ LogLevel log_threshold() {
 }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::scoped_lock lk(g_log_mu);
+  MutexLock lk(g_log_mu);
   std::fprintf(stderr, "[cqos %s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,0 +1,64 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// When compiling with Clang the CQoS build turns on
+// `-Wthread-safety -Werror=thread-safety`, and these macros expand to the
+// attributes the analysis consumes; on every other compiler they expand to
+// nothing. Annotate with the CQOS_* spellings only — never use the raw
+// __attribute__ forms, so non-Clang builds stay clean.
+//
+// The vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   CQOS_CAPABILITY(name)      a type is a lockable capability (our Mutex)
+//   CQOS_SCOPED_CAPABILITY     RAII type that acquires/releases in ctor/dtor
+//   CQOS_GUARDED_BY(mu)        field may only be touched while holding mu
+//   CQOS_PT_GUARDED_BY(mu)     pointee (not the pointer) guarded by mu
+//   CQOS_REQUIRES(mu)          function must be called with mu held
+//   CQOS_ACQUIRE(mu)/CQOS_RELEASE(mu)       function locks / unlocks mu
+//   CQOS_TRY_ACQUIRE(ok, mu)   try-lock returning `ok` on success
+//   CQOS_EXCLUDES(mu)          function must NOT be called with mu held
+//   CQOS_ACQUIRED_AFTER(mu)    lock-hierarchy edge (mu is acquired first)
+//   CQOS_NO_THREAD_SAFETY_ANALYSIS   opt a function out of the analysis
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CQOS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CQOS_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+#define CQOS_CAPABILITY(x) CQOS_THREAD_ANNOTATION__(capability(x))
+#define CQOS_SCOPED_CAPABILITY CQOS_THREAD_ANNOTATION__(scoped_lockable)
+
+#define CQOS_GUARDED_BY(x) CQOS_THREAD_ANNOTATION__(guarded_by(x))
+#define CQOS_PT_GUARDED_BY(x) CQOS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define CQOS_REQUIRES(...) \
+  CQOS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define CQOS_REQUIRES_SHARED(...) \
+  CQOS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define CQOS_ACQUIRE(...) \
+  CQOS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define CQOS_ACQUIRE_SHARED(...) \
+  CQOS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define CQOS_RELEASE(...) \
+  CQOS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define CQOS_RELEASE_SHARED(...) \
+  CQOS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define CQOS_TRY_ACQUIRE(...) \
+  CQOS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define CQOS_EXCLUDES(...) CQOS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define CQOS_ACQUIRED_AFTER(...) \
+  CQOS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define CQOS_ACQUIRED_BEFORE(...) \
+  CQOS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define CQOS_ASSERT_CAPABILITY(x) \
+  CQOS_THREAD_ANNOTATION__(assert_capability(x))
+
+#define CQOS_RETURN_CAPABILITY(x) CQOS_THREAD_ANNOTATION__(lock_returned(x))
+
+#define CQOS_NO_THREAD_SAFETY_ANALYSIS \
+  CQOS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -316,17 +316,17 @@ MicroProtocolRegistry& MicroProtocolRegistry::instance() {
 
 void MicroProtocolRegistry::add(Side side, const std::string& name,
                                 Factory factory) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   factories_[{static_cast<int>(side), name}] = std::move(factory);
 }
 
 bool MicroProtocolRegistry::contains(Side side, const std::string& name) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return factories_.contains({static_cast<int>(side), name});
 }
 
 std::vector<std::string> MicroProtocolRegistry::names(Side side) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> out;
   for (const auto& [key, factory] : factories_) {
     if (key.first == static_cast<int>(side)) out.push_back(key.second);
@@ -338,7 +338,7 @@ std::unique_ptr<cactus::MicroProtocol> MicroProtocolRegistry::create(
     Side side, const MicroProtocolSpec& spec) const {
   Factory factory;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = factories_.find({static_cast<int>(side), spec.name});
     if (it == factories_.end()) {
       throw ConfigError("unknown " +

@@ -17,12 +17,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cactus/composite.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos {
 
@@ -95,8 +97,9 @@ class MicroProtocolRegistry {
                cactus::CompositeProtocol& proto) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<int, std::string>, Factory> factories_;
+  mutable Mutex mu_;
+  std::map<std::pair<int, std::string>, Factory> factories_
+      CQOS_GUARDED_BY(mu_);
 };
 
 }  // namespace cqos

@@ -12,14 +12,14 @@ Value ConfigServiceServant::dispatch(const std::string& method,
     const std::string& service = params.at(1).as_string();
     const std::string& text = params.at(2).as_string();
     (void)QosConfig::parse(text);  // reject malformed configurations
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     table_[{user, service}] = text;
     return Value(true);
   }
   if (method == "get") {
     const std::string& user = params.at(0).as_string();
     const std::string& service = params.at(1).as_string();
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = table_.find({user, service});
     if (it == table_.end()) it = table_.find({"*", service});
     if (it == table_.end()) {
@@ -30,7 +30,7 @@ Value ConfigServiceServant::dispatch(const std::string& method,
   if (method == "remove") {
     const std::string& user = params.at(0).as_string();
     const std::string& service = params.at(1).as_string();
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return Value(table_.erase({user, service}) > 0);
   }
   throw Error("ConfigService: no such method: " + method);
@@ -39,7 +39,7 @@ Value ConfigServiceServant::dispatch(const std::string& method,
 void ConfigServiceServant::put(const std::string& user,
                                const std::string& service,
                                const QosConfig& config) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   table_[{user, service}] = config.serialize();
 }
 

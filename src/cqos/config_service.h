@@ -12,12 +12,14 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cqos/config.h"
 #include "cqos/servant.h"
 #include "platform/api.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos {
 
@@ -38,8 +40,9 @@ class ConfigServiceServant : public Servant {
            const QosConfig& config);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, std::string>, std::string> table_;
+  mutable Mutex mu_;
+  std::map<std::pair<std::string, std::string>, std::string> table_
+      CQOS_GUARDED_BY(mu_);
 };
 
 /// Register `servant` with `platform` under the well-known name.

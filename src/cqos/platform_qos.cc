@@ -22,7 +22,7 @@ PlatformClientQos::PlatformClientQos(plat::Platform& platform,
 void PlatformClientQos::bind(int server) {
   std::string name;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     name = slots_.at(static_cast<std::size_t>(server)).name;
   }
   // Resolve outside the lock: naming service round trip.
@@ -30,20 +30,20 @@ void PlatformClientQos::bind(int server) {
   try {
     ref = platform_.resolve(name, opts_.resolve_timeout);
   } catch (const Error&) {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto& slot = slots_.at(static_cast<std::size_t>(server));
     slot.ref = nullptr;
     slot.status = ServerStatus::kFailed;
     throw;
   }
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = slots_.at(static_cast<std::size_t>(server));
   slot.ref = std::move(ref);
   slot.status = ServerStatus::kRunning;
 }
 
 ServerStatus PlatformClientQos::server_status(int server) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return slots_.at(static_cast<std::size_t>(server)).status;
 }
 
@@ -58,20 +58,20 @@ ServerStatus PlatformClientQos::probe(int server) {
     ref = ref_for(server);
   }
   bool alive = ref && ref->ping(opts_.ping_timeout);
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = slots_.at(static_cast<std::size_t>(server));
   slot.status = alive ? ServerStatus::kRunning : ServerStatus::kFailed;
   return slot.status;
 }
 
 void PlatformClientQos::mark_failed(int server) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = slots_.at(static_cast<std::size_t>(server));
   slot.status = ServerStatus::kFailed;
 }
 
 std::shared_ptr<plat::ObjectRef> PlatformClientQos::ref_for(int server) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return slots_.at(static_cast<std::size_t>(server)).ref;
 }
 
@@ -150,7 +150,7 @@ bool PlatformServerQos::peer_call(int peer, const std::string& control,
   if (peer == self_index_) return true;
   std::shared_ptr<plat::ObjectRef> ref;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     ref = peer_refs_.at(static_cast<std::size_t>(peer));
   }
   if (!ref) {
@@ -161,7 +161,7 @@ bool PlatformServerQos::peer_call(int peer, const std::string& control,
       CQOS_LOG_WARN("peer_send: cannot resolve peer ", peer, ": ", e.what());
       return false;
     }
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     peer_refs_.at(static_cast<std::size_t>(peer)) = ref;
   }
   plat::Reply out =

@@ -5,13 +5,15 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cqos/qos_interface.h"
 #include "cqos/servant.h"
 #include "platform/api.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos {
 
@@ -57,8 +59,8 @@ class PlatformClientQos : public ClientQosInterface {
   plat::Platform& platform_;
   std::string object_id_;
   ClientQosOptions opts_;
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
+  mutable Mutex mu_;
+  std::vector<Slot> slots_ CQOS_GUARDED_BY(mu_);
 };
 
 struct ServerQosOptions {
@@ -93,8 +95,9 @@ class PlatformServerQos : public ServerQosInterface {
   std::vector<std::string> peer_names_;
   int self_index_;
   ServerQosOptions opts_;
-  std::mutex mu_;
-  std::vector<std::shared_ptr<plat::ObjectRef>> peer_refs_;
+  Mutex mu_;
+  std::vector<std::shared_ptr<plat::ObjectRef>> peer_refs_
+      CQOS_GUARDED_BY(mu_);
 };
 
 }  // namespace cqos

@@ -17,20 +17,18 @@ Request::Request(std::string object_id_in, std::string method_in,
       params(std::move(params_in)) {}
 
 bool Request::complete(bool success, Value result, std::string error) {
-  {
-    std::scoped_lock lk(mu_);
-    if (done_) return false;
-    done_ = true;
-    success_ = success;
-    result_ = std::move(result);
-    error_ = std::move(error);
-  }
+  MutexLock lk(mu_);
+  if (done_) return false;
+  done_ = true;
+  success_ = success;
+  result_ = std::move(result);
+  error_ = std::move(error);
   cv_.notify_all();
   return true;
 }
 
 void Request::stage(bool success, Value result, std::string error) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   if (done_) return;
   success_ = success;
   result_ = std::move(result);
@@ -38,77 +36,90 @@ void Request::stage(bool success, Value result, std::string error) {
 }
 
 void Request::finish() {
-  {
-    std::scoped_lock lk(mu_);
-    if (done_) return;
-    done_ = true;
-  }
+  MutexLock lk(mu_);
+  if (done_) return;
+  done_ = true;
   cv_.notify_all();
 }
 
 bool Request::staged_success() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return success_;
 }
 
 Value Request::staged_result() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return result_;
 }
 
 std::string Request::staged_error() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return error_;
 }
 
 void Request::set_staged_result(Value v) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   if (done_) return;
   result_ = std::move(v);
 }
 
 bool Request::has_flag(const std::string& flag) const {
-  std::scoped_lock lk(flags_mu_);
+  MutexLock lk(flags_mu_);
   return flags_.contains(flag);
 }
 
 bool Request::wait(Duration timeout) {
-  std::unique_lock lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] { return done_; });
+  TimePoint deadline = now() + timeout;
+  MutexLock lk(mu_);
+  while (!done_) {
+    if (now() >= deadline) return false;
+    cv_.wait_until(mu_, deadline);
+  }
+  return true;
 }
 
 bool Request::is_done() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return done_;
 }
 
 bool Request::succeeded() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return done_ && success_;
 }
 
+Value Request::result() const {
+  MutexLock lk(mu_);
+  return result_;
+}
+
+std::string Request::error() const {
+  MutexLock lk(mu_);
+  return error_;
+}
+
 PiggybackMap Request::reply_piggyback() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return reply_pb_;
 }
 
 void Request::merge_reply_piggyback(const PiggybackMap& pb) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& [k, v] : pb) reply_pb_[k] = v;
 }
 
 void Request::set_expected_replies(int n) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   expected_replies_ = n;
 }
 
 int Request::expected_replies() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return expected_replies_;
 }
 
 Request::Counts Request::record_outcome(const Invocation& inv) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   if (inv.success) {
     ++successes_;
   } else {
@@ -118,7 +129,7 @@ Request::Counts Request::record_outcome(const Invocation& inv) {
 }
 
 void Request::reclassify_success_as_failure() {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   if (successes_ > 0) {
     --successes_;
     ++failures_;
@@ -126,13 +137,14 @@ void Request::reclassify_success_as_failure() {
 }
 
 Request::Counts Request::counts() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return Counts{successes_, failures_, expected_replies_};
 }
 
 void Request::reset(std::string object_id_in, std::string method_in,
                     ValueList params_in) {
-  std::scoped_lock lk(mu_, flags_mu_);
+  MutexLock fl(flags_mu_);  // hierarchy: flags_mu_ before mu_
+  MutexLock lk(mu_);
   flags_.clear();
   id = next_id();
   object_id = std::move(object_id_in);

@@ -11,15 +11,15 @@
 // replies; its mutable state is guarded by an internal mutex.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/clock.h"
 #include "common/priority.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 
 namespace cqos {
@@ -99,7 +99,7 @@ class Request {
   /// activations of the same request.
   template <typename Fn>
   bool once(const std::string& flag, Fn&& fn) {
-    std::scoped_lock lk(flags_mu_);
+    MutexLock lk(flags_mu_);
     if (!flags_.insert(flag).second) return false;
     fn();
     return true;
@@ -111,8 +111,10 @@ class Request {
 
   bool is_done() const;
   bool succeeded() const;
-  const Value& result() const { return result_; }
-  const std::string& error() const { return error_; }
+  /// Valid only after is_done() (completion publishes them; the completing
+  /// write happened-before any reader that observed done_ under mu_).
+  Value result() const;
+  std::string error() const;
   PiggybackMap reply_piggyback() const;
   void merge_reply_piggyback(const PiggybackMap& pb);
 
@@ -149,18 +151,20 @@ class Request {
                                      const ValueList& args);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  mutable std::mutex flags_mu_;
-  std::set<std::string> flags_;
-  bool done_ = false;
-  bool success_ = false;
-  Value result_;
-  std::string error_;
-  PiggybackMap reply_pb_;
-  int expected_replies_ = 1;
-  int successes_ = 0;
-  int failures_ = 0;
+  // Lock hierarchy: flags_mu_ may be held while taking mu_ (a once()
+  // callback completing the request), never the other way around.
+  mutable Mutex flags_mu_;
+  mutable Mutex mu_ CQOS_ACQUIRED_AFTER(flags_mu_);
+  CondVar cv_;
+  std::set<std::string> flags_ CQOS_GUARDED_BY(flags_mu_);
+  bool done_ CQOS_GUARDED_BY(mu_) = false;
+  bool success_ CQOS_GUARDED_BY(mu_) = false;
+  Value result_ CQOS_GUARDED_BY(mu_);
+  std::string error_ CQOS_GUARDED_BY(mu_);
+  PiggybackMap reply_pb_ CQOS_GUARDED_BY(mu_);
+  int expected_replies_ CQOS_GUARDED_BY(mu_) = 1;
+  int successes_ CQOS_GUARDED_BY(mu_) = 0;
+  int failures_ CQOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cqos

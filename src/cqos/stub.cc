@@ -21,15 +21,23 @@ CqosStub::CqosStub(std::shared_ptr<ClientQosInterface> direct,
 
 RequestPtr CqosStub::acquire(const std::string& method, ValueList params) {
   if (opts_.reuse_requests) {
-    std::scoped_lock lk(pool_mu_);
+    MutexLock lk(pool_mu_);
     for (auto it = pool_.begin(); it != pool_.end(); ++it) {
       // Only reuse structures no concurrent invocation still references.
-      if (it->use_count() == 1) {
-        RequestPtr req = std::move(*it);
-        pool_.erase(it);
-        req->reset(object_id_, method, std::move(params));
-        return req;
-      }
+      if (it->use_count() != 1) continue;
+      RequestPtr req = std::move(*it);
+      pool_.erase(it);
+      // use_count() is a relaxed load: observing 1 proves exclusivity (the
+      // pool held the only reference, and nobody can copy it under
+      // pool_mu_) but does NOT order the dying holder's final unlocked
+      // field reads before ours. A copy + drop performs an acquire-RMW on
+      // the same counter, which reads-from that holder's release
+      // decrement and publishes its accesses before reset() rewrites the
+      // fields. (A plain acquire fence would also be correct but is
+      // invisible to TSan.)
+      { RequestPtr acquire_barrier = req; }
+      req->reset(object_id_, method, std::move(params));
+      return req;
     }
   }
   auto req = std::make_shared<Request>(object_id_, method, std::move(params));
@@ -38,7 +46,7 @@ RequestPtr CqosStub::acquire(const std::string& method, ValueList params) {
 
 void CqosStub::release(RequestPtr req) {
   if (!opts_.reuse_requests) return;
-  std::scoped_lock lk(pool_mu_);
+  MutexLock lk(pool_mu_);
   if (pool_.size() < kMaxPooledRequests) pool_.push_back(std::move(req));
 }
 

@@ -15,13 +15,15 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/priority.h"
 #include "cqos/cactus_client.h"
 #include "cqos/request.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos {
 
@@ -67,8 +69,8 @@ class CqosStub {
   std::string object_id_;
   Options opts_;
 
-  std::mutex pool_mu_;
-  std::vector<RequestPtr> pool_;
+  Mutex pool_mu_;
+  std::vector<RequestPtr> pool_ CQOS_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace cqos

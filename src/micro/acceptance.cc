@@ -12,7 +12,7 @@ void FirstSuccess::init(cactus::CompositeProtocol& proto) {
   // Successes fall through to the base resultReturner (first reply wins —
   // which is now guaranteed to be a success). Failures are swallowed until
   // they are all that is left.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeFailure, "firstSuccessFilter",
       [](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -45,7 +45,7 @@ void MajorityVote::init(cactus::CompositeProtocol& proto) {
     Request::Counts counts = req->counts();
     const int majority = counts.expected / 2 + 1;
 
-    std::scoped_lock lk(state->mu);
+    MutexLock lk(state->mu);
     if (req->is_done()) {  // e.g. timed out — drop the tally, ignore reply
       state->tallies.erase(req->id);
       ctx.halt();
@@ -88,8 +88,8 @@ void MajorityVote::init(cactus::CompositeProtocol& proto) {
     ctx.halt();
   };
 
-  proto.bind(ev::kInvokeSuccess, "majorityVote", evaluate, order::kAcceptance);
-  proto.bind(ev::kInvokeFailure, "majorityVote", evaluate, order::kAcceptance);
+  bind_tracked(proto, ev::kInvokeSuccess, "majorityVote", evaluate, order::kAcceptance);
+  bind_tracked(proto, ev::kInvokeFailure, "majorityVote", evaluate, order::kAcceptance);
 }
 
 std::unique_ptr<cactus::MicroProtocol> MajorityVote::make(

@@ -16,10 +16,12 @@
 #include <vector>
 
 #include "micro/base.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::micro {
 
-class FirstSuccess : public cactus::MicroProtocol {
+class FirstSuccess : public MicroBase {
  public:
   std::string_view name() const override { return "first_success"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -28,7 +30,7 @@ class FirstSuccess : public cactus::MicroProtocol {
       const MicroProtocolSpec& spec);
 };
 
-class MajorityVote : public cactus::MicroProtocol {
+class MajorityVote : public MicroBase {
  public:
   std::string_view name() const override { return "majority_vote"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -38,9 +40,9 @@ class MajorityVote : public cactus::MicroProtocol {
 
   /// Per-request tallies, shared between the success and failure handlers.
   struct State {
-    std::mutex mu;
+    Mutex mu;
     /// request id -> successful reply values (one per replied replica).
-    std::map<std::uint64_t, std::vector<Value>> tallies;
+    std::map<std::uint64_t, std::vector<Value>> tallies CQOS_GUARDED_BY(mu);
   };
   static constexpr const char* kStateKey = "majority_vote.state";
 };

@@ -8,7 +8,7 @@ void ActiveRep::init(cactus::CompositeProtocol& proto) {
   const int num_servers = qos->num_servers();
 
   for (int i = 0; i < num_servers; ++i) {
-    proto.bind(
+    bind_tracked(proto, 
         ev::kNewRequest, "actAssigner[" + std::to_string(i) + "]",
         [num_servers, i](cactus::EventContext& ctx) {
           auto req = ctx.dyn<RequestPtr>();

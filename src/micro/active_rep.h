@@ -12,7 +12,7 @@
 
 namespace cqos::micro {
 
-class ActiveRep : public cactus::MicroProtocol {
+class ActiveRep : public MicroBase {
  public:
   std::string_view name() const override { return "active_rep"; }
   void init(cactus::CompositeProtocol& proto) override;

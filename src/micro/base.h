@@ -1,7 +1,12 @@
 // Shared helpers for CQoS micro-protocols.
 #pragma once
 
+#include <any>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "cactus/composite.h"
 #include "common/error.h"
@@ -53,6 +58,47 @@ inline constexpr int kForward = 10;          // PassiveRep forwarding
 inline constexpr int kOrderAdvance = 50;     // TotalOrder checkNext
 inline constexpr int kSchedNotify = 90;      // QueuedSched notifyWaiting
 }  // namespace order
+
+/// Base class for the micro-protocol suite: tracks every handler binding so
+/// teardown is balanced by construction. Handlers MUST be registered through
+/// bind_tracked() — never through CompositeProtocol::bind() directly — and
+/// are then unbound automatically when the composite shuts the protocol
+/// down (or when dynamic reconfiguration removes it). tools/cqos_lint
+/// enforces this mechanically over src/micro/.
+///
+/// init()/shutdown() are serialized by the owning CompositeProtocol, so the
+/// binding list needs no lock of its own.
+class MicroBase : public cactus::MicroProtocol {
+ public:
+  void shutdown() override { unbind_all(); }
+
+ protected:
+  cactus::BindingId bind_tracked(cactus::CompositeProtocol& proto,
+                                 std::string_view event,
+                                 std::string handler_name,
+                                 cactus::Handler handler,
+                                 int order = cactus::kOrderDefault,
+                                 std::any static_arg = {}) {
+    bound_proto_ = &proto;
+    cactus::BindingId id =
+        proto.bind(event, std::move(handler_name), std::move(handler), order,
+                   std::move(static_arg));
+    bound_.push_back(id);
+    return id;
+  }
+
+  /// Unbind every tracked handler (idempotent). Subclasses that override
+  /// shutdown() must call this — or MicroBase::shutdown() — themselves.
+  void unbind_all() {
+    if (bound_proto_ == nullptr) return;
+    for (cactus::BindingId id : bound_) bound_proto_->unbind(id);
+    bound_.clear();
+  }
+
+ private:
+  cactus::CompositeProtocol* bound_proto_ = nullptr;
+  std::vector<cactus::BindingId> bound_;
+};
 
 /// Fetch the client QoS holder; throws if the composite is not a Cactus
 /// client (configuration error caught at init time).

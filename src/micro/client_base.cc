@@ -9,7 +9,7 @@ void ClientBase::init(cactus::CompositeProtocol& proto) {
   ClientQosInterface* qos = holder.qos;
 
   // assigner: pick the first replica not marked failed.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewRequest, "assigner",
       [qos](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -33,7 +33,7 @@ void ClientBase::init(cactus::CompositeProtocol& proto) {
       cactus::kOrderLast);
 
   // syncInvoker: issue the (blocking) server invocation.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToSend, "syncInvoker",
       [qos](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -73,9 +73,9 @@ void ClientBase::init(cactus::CompositeProtocol& proto) {
       req->merge_reply_piggyback(inv->reply_piggyback);
     }
   };
-  proto.bind(ev::kInvokeSuccess, "resultReturner", result_returner,
+  bind_tracked(proto, ev::kInvokeSuccess, "resultReturner", result_returner,
              cactus::kOrderLast);
-  proto.bind(ev::kInvokeFailure, "resultReturner", result_returner,
+  bind_tracked(proto, ev::kInvokeFailure, "resultReturner", result_returner,
              cactus::kOrderLast);
 }
 

@@ -14,7 +14,7 @@
 
 namespace cqos::micro {
 
-class ClientBase : public cactus::MicroProtocol {
+class ClientBase : public MicroBase {
  public:
   std::string_view name() const override { return "client_base"; }
   void init(cactus::CompositeProtocol& proto) override;

@@ -28,7 +28,7 @@ void Retransmit::init(cactus::CompositeProtocol& proto) {
   // still consider them. This must be a liveness PING, not a mere rebind:
   // on platforms whose resolution is local (HTTP URLs), bind() succeeds
   // even for a dead host and would resurrect it for the assigners.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewRequest, "optimisticReprobe",
       [qos](cactus::EventContext& ctx) {
         (void)ctx;
@@ -44,7 +44,7 @@ void Retransmit::init(cactus::CompositeProtocol& proto) {
   // failure propagate (and PassiveRep may then fail over). Failed rebinds
   // (the naming lookup itself may be lost) consume budget and are retried
   // too.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeFailure, "retransmitter",
       [qos, max_retries](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -90,7 +90,7 @@ void FailureDetector::init(cactus::CompositeProtocol& proto) {
   ClientQosHolder& holder = client_holder(proto);
   ClientQosInterface* qos = holder.qos;
 
-  proto.bind(
+  bind_tracked(proto, 
       "fd:tick", "heartbeat",
       [this, qos](cactus::EventContext& ctx) {
         for (int i = 0; i < qos->num_servers(); ++i) {
@@ -111,7 +111,10 @@ void FailureDetector::init(cactus::CompositeProtocol& proto) {
   proto.raise_delayed("fd:tick", std::any(true), period_);
 }
 
-void FailureDetector::shutdown() { stopped_.store(true); }
+void FailureDetector::shutdown() {
+  stopped_.store(true);
+  MicroBase::shutdown();  // unbind tracked handlers
+}
 
 std::unique_ptr<cactus::MicroProtocol> FailureDetector::make(
     const MicroProtocolSpec& spec) {
@@ -126,13 +129,13 @@ void LoadBalance::init(cactus::CompositeProtocol& proto) {
   auto state = proto.shared().get_or_create<State>(kStateKey);
 
   // Overrides the base assigner: rotate across the non-failed replicas.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewRequest, "rrAssigner",
       [qos, state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
         int chosen = -1;
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           const int n = qos->num_servers();
           for (int step = 0; step < n; ++step) {
             int candidate = (state->next + step) % n;
@@ -185,11 +188,11 @@ void ClientCache::init(cactus::CompositeProtocol& proto) {
 
   // Serve fresh cache hits locally, before any assigner runs. Mutating
   // methods invalidate the whole cache (coarse but safe).
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewRequest, "cacheLookup",
       [state, cacheable](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         if (!cacheable.contains(req->method)) {
           state->entries.clear();  // write: invalidate
           return;
@@ -206,12 +209,12 @@ void ClientCache::init(cactus::CompositeProtocol& proto) {
       order::kReplicaAssign - 10);
 
   // Fill on successful replies of cacheable methods.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeSuccess, "cacheFill",
       [state, cacheable, ttl](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
         if (!cacheable.contains(inv->request->method)) return;
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         state->entries[cache_key(*inv->request)] =
             Entry{inv->result, now() + ttl};
       },
@@ -237,24 +240,24 @@ void RequestLog::init(cactus::CompositeProtocol& proto) {
   auto reads = reads_;
 
   // Log executed state-changing requests after successful execution.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "logAppend",
       [state, reads](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
         if (!req->staged_success() || reads.contains(req->method)) return;
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         state->log.push_back(LoggedRequest{req->id, req->method, req->params});
       },
       order::kStoreResult + 5);
 
   // Serve the log suffix [from, end) to a recovering peer.
-  proto.bind(
+  bind_tracked(proto, 
       ev::ctl(kSyncControl), "logServe",
       [state](cactus::EventContext& ctx) {
         auto msg = ctx.dyn<ControlMsgPtr>();
         auto from = static_cast<std::size_t>(msg->args.at(0).as_i64());
         ValueList out;
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         for (std::size_t i = from; i < state->log.size(); ++i) {
           const LoggedRequest& entry = state->log[i];
           out.push_back(Value(ValueList{
@@ -274,7 +277,7 @@ std::unique_ptr<cactus::MicroProtocol> RequestLog::make(
 
 std::size_t RequestLog::log_size(CactusServer& server) {
   auto state = server.protocol().shared().get_or_create<State>(kStateKey);
-  std::scoped_lock lk(state->mu);
+  MutexLock lk(state->mu);
   return state->log.size();
 }
 
@@ -287,7 +290,7 @@ std::size_t recover_from_peer(CactusServer& server, int peer,
   if (from.has_value()) {
     have = *from;
   } else {
-    std::scoped_lock lk(state->mu);
+    MutexLock lk(state->mu);
     have = state->log.size();
   }
 

@@ -33,10 +33,11 @@
 
 #include "common/sync.h"
 #include "micro/base.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::micro {
 
-class Retransmit : public cactus::MicroProtocol {
+class Retransmit : public MicroBase {
  public:
   /// Parameters: retries=<n> (default 2).
   explicit Retransmit(int max_retries) : max_retries_(max_retries) {}
@@ -51,7 +52,7 @@ class Retransmit : public cactus::MicroProtocol {
   int max_retries_;
 };
 
-class FailureDetector : public cactus::MicroProtocol {
+class FailureDetector : public MicroBase {
  public:
   /// Parameters: period_ms=<n> (default 50).
   explicit FailureDetector(Duration period) : period_(period) {}
@@ -69,7 +70,7 @@ class FailureDetector : public cactus::MicroProtocol {
   std::atomic<bool> stopped_{false};
 };
 
-class LoadBalance : public cactus::MicroProtocol {
+class LoadBalance : public MicroBase {
  public:
   std::string_view name() const override { return "load_balance"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -78,13 +79,13 @@ class LoadBalance : public cactus::MicroProtocol {
       const MicroProtocolSpec& spec);
 
   struct State {
-    std::mutex mu;
-    int next = 0;
+    Mutex mu;
+    int next CQOS_GUARDED_BY(mu) = 0;
   };
   static constexpr const char* kStateKey = "load_balance.state";
 };
 
-class ClientCache : public cactus::MicroProtocol {
+class ClientCache : public MicroBase {
  public:
   /// Parameters: methods=<m1|m2|...> (cacheable reads), ttl_ms (default 100).
   ClientCache(std::set<std::string> cacheable, Duration ttl)
@@ -101,11 +102,11 @@ class ClientCache : public cactus::MicroProtocol {
     TimePoint expires;
   };
   struct State {
-    std::mutex mu;
+    Mutex mu;
     /// key: method + encoded params.
-    std::map<std::string, Entry> entries;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::map<std::string, Entry> entries CQOS_GUARDED_BY(mu);
+    std::uint64_t hits CQOS_GUARDED_BY(mu) = 0;
+    std::uint64_t misses CQOS_GUARDED_BY(mu) = 0;
   };
   static constexpr const char* kStateKey = "client_cache.state";
 
@@ -114,7 +115,7 @@ class ClientCache : public cactus::MicroProtocol {
   Duration ttl_;
 };
 
-class RequestLog : public cactus::MicroProtocol {
+class RequestLog : public MicroBase {
  public:
   /// Parameters: reads=<m1|m2|...> — methods that do NOT change state and
   /// are therefore not logged (default: get_balance).
@@ -132,8 +133,8 @@ class RequestLog : public cactus::MicroProtocol {
     ValueList params;
   };
   struct State {
-    std::mutex mu;
-    std::vector<LoggedRequest> log;
+    Mutex mu;
+    std::vector<LoggedRequest> log CQOS_GUARDED_BY(mu);
   };
   static constexpr const char* kStateKey = "request_log.state";
   static constexpr const char* kSyncControl = "log_sync";

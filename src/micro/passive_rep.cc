@@ -11,7 +11,7 @@ void PassiveRepClient::init(cactus::CompositeProtocol& proto) {
   ClientQosInterface* qos = holder.qos;
 
   // pasAssigner: route to the first replica not marked failed.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewRequest, "pasAssigner",
       [qos](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -39,7 +39,7 @@ void PassiveRepClient::init(cactus::CompositeProtocol& proto) {
   // primarySelector: transport failure of the primary triggers failover by
   // re-raising newRequest (same request id, so the new primary's dedup
   // answers from cache if the request already executed via forwarding).
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeFailure, "primarySelector",
       [qos](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -74,13 +74,13 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
   auto state = proto.shared().get_or_create<State>(kStateKey);
 
   // dedup: answer duplicates from the cache; wait out in-flight originals.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "pasDedup",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
         RequestPtr original;
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           auto cached = state->cache.find(req->id);
           if (cached != state->cache.end()) {
             const auto& entry = cached->second;
@@ -111,11 +111,11 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
       order::kDedup);
 
   // storeResult: publish the outcome for future duplicates.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "pasStoreResult",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         state->inflight.erase(req->id);
         if (state->cache.contains(req->id)) return;
         state->cache.emplace(
@@ -140,7 +140,7 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
     int peer;
     std::shared_ptr<CountdownLatch> done;
   };
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "pasForward",
       [qos](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -161,7 +161,7 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
       },
       order::kForward);
 
-  proto.bind(
+  bind_tracked(proto, 
       "pas:forward", "pasForwardSend",
       [qos](cactus::EventContext& ctx) {
         auto job = ctx.dyn<ForwardJob>();
@@ -176,7 +176,7 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
 
   // Control handler: a forwarded request from the serving replica. Execute
   // it locally (dedup protects against re-execution).
-  proto.bind(
+  bind_tracked(proto, 
       ev::ctl(kForwardControl), "pasForwardRecv",
       [server, qos](cactus::EventContext& ctx) {
         auto msg = ctx.dyn<ControlMsgPtr>();

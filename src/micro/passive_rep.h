@@ -29,10 +29,11 @@
 
 #include "common/sync.h"
 #include "micro/base.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::micro {
 
-class PassiveRepClient : public cactus::MicroProtocol {
+class PassiveRepClient : public MicroBase {
  public:
   std::string_view name() const override { return "passive_rep"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -41,7 +42,7 @@ class PassiveRepClient : public cactus::MicroProtocol {
       const MicroProtocolSpec& spec);
 };
 
-class PassiveRepServer : public cactus::MicroProtocol {
+class PassiveRepServer : public MicroBase {
  public:
   std::string_view name() const override { return "passive_rep"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -51,16 +52,16 @@ class PassiveRepServer : public cactus::MicroProtocol {
 
   /// Shared-data state (exposed for tests).
   struct State {
-    std::mutex mu;
+    Mutex mu;
     struct Cached {
       bool success = false;
       Value result;
       std::string error;
     };
-    std::map<std::uint64_t, Cached> cache;
-    std::deque<std::uint64_t> cache_fifo;  // eviction order
-    std::map<std::uint64_t, RequestPtr> inflight;
-    std::size_t max_cache = 1024;
+    std::map<std::uint64_t, Cached> cache CQOS_GUARDED_BY(mu);
+    std::deque<std::uint64_t> cache_fifo CQOS_GUARDED_BY(mu);  // eviction order
+    std::map<std::uint64_t, RequestPtr> inflight CQOS_GUARDED_BY(mu);
+    std::size_t max_cache CQOS_GUARDED_BY(mu) = 1024;
   };
   static constexpr const char* kStateKey = "passive_rep.server.state";
 

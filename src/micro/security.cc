@@ -72,7 +72,7 @@ void DesPrivacyClient::init(cactus::CompositeProtocol& proto) {
   // encryptRequest: first handler on readyToSend. once() makes concurrent
   // ActiveRep activations encrypt exactly once and ensures the ciphertext is
   // visible before any invoker proceeds.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToSend, "encryptRequest",
       [key, iv, emu](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -88,7 +88,7 @@ void DesPrivacyClient::init(cactus::CompositeProtocol& proto) {
       order::kPrivacyEncrypt);
 
   // decryptReply: first handler on invokeSuccess (per-invocation result).
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeSuccess, "decryptReply",
       [key, iv, emu](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -129,7 +129,7 @@ void DesPrivacyServer::init(cactus::CompositeProtocol& proto) {
   // requests are rejected unless require=false (confidentiality must not be
   // client-optional); forwarded replica-to-replica requests were already
   // decrypted at the serving replica.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewServerRequest, "decryptParams",
       [key, iv, require, emu](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -158,7 +158,7 @@ void DesPrivacyServer::init(cactus::CompositeProtocol& proto) {
       order::kPrivacyCrypt);
 
   // encryptReply: protect the result before it leaves the Cactus server.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "encryptReply",
       [key, iv, emu](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -186,7 +186,7 @@ void IntegrityClient::init(cactus::CompositeProtocol& proto) {
   Bytes key = key_;
 
   // signRequest: after encryption (the MAC covers the ciphertext).
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToSend, "signRequest",
       [key](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -199,7 +199,7 @@ void IntegrityClient::init(cactus::CompositeProtocol& proto) {
       order::kIntegritySign);
 
   // verifyReply: before decryption; tampered replies become failures.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeSuccess, "verifyReply",
       [key](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -237,7 +237,7 @@ void IntegrityServer::init(cactus::CompositeProtocol& proto) {
   Bytes key = key_;
 
   // verifyRequest: before decryption; rejects tampered or unsigned requests.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewServerRequest, "verifyRequest",
       [key](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -262,7 +262,7 @@ void IntegrityServer::init(cactus::CompositeProtocol& proto) {
       order::kIntegrityVerify);
 
   // signReply: after reply encryption.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "signReply",
       [key](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -312,7 +312,7 @@ void AccessControl::init(cactus::CompositeProtocol& proto) {
   server_holder(proto);
   Acl acl = acl_;
 
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "checkAccess",
       [acl](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();

@@ -33,7 +33,7 @@ namespace cqos::micro {
 /// Parse an even-length hex string into bytes; throws ConfigError.
 Bytes parse_hex_key(const std::string& hex, const std::string& what);
 
-class DesPrivacyClient : public cactus::MicroProtocol {
+class DesPrivacyClient : public MicroBase {
  public:
   /// `emu_per_op`: testbed-emulation cost charged per encrypt/decrypt
   /// operation (parameter emulate_us_per_op; default 0). Models the paper's
@@ -53,7 +53,7 @@ class DesPrivacyClient : public cactus::MicroProtocol {
   Duration emu_per_op_;
 };
 
-class DesPrivacyServer : public cactus::MicroProtocol {
+class DesPrivacyServer : public MicroBase {
  public:
   /// `require`: reject plaintext (non-forwarded) requests (default true;
   /// parameter require=false accepts mixed traffic). `emu_per_op` as on the
@@ -78,7 +78,7 @@ class DesPrivacyServer : public cactus::MicroProtocol {
   Duration emu_per_op_;
 };
 
-class IntegrityClient : public cactus::MicroProtocol {
+class IntegrityClient : public MicroBase {
  public:
   explicit IntegrityClient(Bytes key) : key_(std::move(key)) {}
 
@@ -92,7 +92,7 @@ class IntegrityClient : public cactus::MicroProtocol {
   Bytes key_;
 };
 
-class IntegrityServer : public cactus::MicroProtocol {
+class IntegrityServer : public MicroBase {
  public:
   explicit IntegrityServer(Bytes key) : key_(std::move(key)) {}
 
@@ -106,7 +106,7 @@ class IntegrityServer : public cactus::MicroProtocol {
   Bytes key_;
 };
 
-class AccessControl : public cactus::MicroProtocol {
+class AccessControl : public MicroBase {
  public:
   struct Acl {
     /// principal -> allowed methods ("*" = all). Parsed from

@@ -9,7 +9,7 @@ void ServerBase::init(cactus::CompositeProtocol& proto) {
   // getParameters: Cactus parameters (id, priority, principal) were already
   // lifted from the piggyback by the skeleton; this is the extension point
   // earlier handlers (decryption, integrity) transform the parameters at.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kNewServerRequest, "getParameters",
       [](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -18,7 +18,7 @@ void ServerBase::init(cactus::CompositeProtocol& proto) {
       cactus::kOrderLast);
 
   // invokeServant: the native call into the server object.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "invokeServant",
       [qos](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
@@ -28,7 +28,7 @@ void ServerBase::init(cactus::CompositeProtocol& proto) {
       cactus::kOrderLast);
 
   // returnReleaser: all invokeReturn processing done — release the reply.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "returnReleaser",
       [](cactus::EventContext& ctx) { ctx.dyn<RequestPtr>()->finish(); },
       cactus::kOrderLast);

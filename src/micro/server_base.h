@@ -14,7 +14,7 @@
 
 namespace cqos::micro {
 
-class ServerBase : public cactus::MicroProtocol {
+class ServerBase : public MicroBase {
  public:
   std::string_view name() const override { return "server_base"; }
   void init(cactus::CompositeProtocol& proto) override;

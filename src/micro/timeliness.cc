@@ -11,7 +11,7 @@ void PrioritySched::init(cactus::CompositeProtocol& proto) {
   server_holder(proto);
   // setPriority: first handler for readyToInvoke so the priority changes as
   // early as possible.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "setPriority",
       [](cactus::EventContext& ctx) {
         set_thread_priority(ctx.dyn<RequestPtr>()->priority);
@@ -34,11 +34,11 @@ void QueuedSched::init(cactus::CompositeProtocol& proto) {
 
   // checkPriority: admit high-priority work (and count it); park
   // low-priority work while high-priority requests are executing.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "checkPriority",
       [state, high_floor](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         if (req->priority >= high_floor) {
           if (state->counted_high.insert(req->id).second) {
             ++state->high_active;
@@ -55,13 +55,13 @@ void QueuedSched::init(cactus::CompositeProtocol& proto) {
   // notifyWaiting: bound last to invokeReturn. Uses the modified raise()
   // that specifies a low thread priority so the wakeup never competes with
   // the thread returning the high-priority reply.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "notifyWaiting",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
         bool wake = false;
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           auto it = state->counted_high.find(req->id);
           if (it != state->counted_high.end()) {
             state->counted_high.erase(it);
@@ -76,12 +76,12 @@ void QueuedSched::init(cactus::CompositeProtocol& proto) {
       order::kSchedNotify);
 
   // wakeupNext: release one waiting low-priority request if still eligible.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kRequestReturned, "wakeupNext",
       [state](cactus::EventContext& ctx) {
         RequestPtr next;
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           if (state->high_active == 0 && !state->low_waiting.empty()) {
             next = std::move(state->low_waiting.front());
             state->low_waiting.pop_front();
@@ -121,11 +121,11 @@ void TimedSched::init(cactus::CompositeProtocol& proto) {
 
   // checkPriority: count high arrivals per period; park low requests unless
   // the system was quiet in the previous period and is quiet now.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "checkPriority",
       [state, high_floor, threshold](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         if (req->priority >= high_floor) {
           ++state->high_current;
           return;
@@ -144,11 +144,11 @@ void TimedSched::init(cactus::CompositeProtocol& proto) {
   // previous period was below the threshold. Release is tick-driven and one
   // at a time (paper §3.4) — low-priority throughput is rate-limited to one
   // request per period while high-priority traffic is present.
-  proto.bind(
+  bind_tracked(proto, 
       "ts:tick", "timedTick",
       [this, state, threshold](cactus::EventContext& ctx) {
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           state->high_prev = state->high_current;
           state->high_current = 0;
           if (state->high_prev < threshold && !state->low_waiting.empty()) {
@@ -165,7 +165,10 @@ void TimedSched::init(cactus::CompositeProtocol& proto) {
   proto.raise_delayed("ts:tick", std::any(true), period_);
 }
 
-void TimedSched::shutdown() { stopped_.store(true); }
+void TimedSched::shutdown() {
+  stopped_.store(true);
+  MicroBase::shutdown();  // unbind tracked handlers
+}
 
 std::unique_ptr<cactus::MicroProtocol> TimedSched::make(
     const MicroProtocolSpec& spec) {

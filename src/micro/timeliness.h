@@ -24,10 +24,12 @@
 #include <set>
 
 #include "micro/base.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::micro {
 
-class PrioritySched : public cactus::MicroProtocol {
+class PrioritySched : public MicroBase {
  public:
   std::string_view name() const override { return "priority_sched"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -36,7 +38,7 @@ class PrioritySched : public cactus::MicroProtocol {
       const MicroProtocolSpec& spec);
 };
 
-class QueuedSched : public cactus::MicroProtocol {
+class QueuedSched : public MicroBase {
  public:
   explicit QueuedSched(int high_floor) : high_floor_(high_floor) {}
 
@@ -47,10 +49,10 @@ class QueuedSched : public cactus::MicroProtocol {
       const MicroProtocolSpec& spec);
 
   struct State {
-    std::mutex mu;
-    int high_active = 0;
-    std::deque<RequestPtr> low_waiting;
-    std::set<std::uint64_t> counted_high;  // ids currently counted as active
+    Mutex mu;
+    int high_active CQOS_GUARDED_BY(mu) = 0;
+    std::deque<RequestPtr> low_waiting CQOS_GUARDED_BY(mu);
+    std::set<std::uint64_t> counted_high CQOS_GUARDED_BY(mu);  // ids currently counted as active
   };
   static constexpr const char* kStateKey = "queued_sched.state";
 
@@ -58,7 +60,7 @@ class QueuedSched : public cactus::MicroProtocol {
   int high_floor_;
 };
 
-class TimedSched : public cactus::MicroProtocol {
+class TimedSched : public MicroBase {
  public:
   TimedSched(int high_floor, Duration period, int threshold)
       : high_floor_(high_floor), period_(period), threshold_(threshold) {}
@@ -72,15 +74,16 @@ class TimedSched : public cactus::MicroProtocol {
       const MicroProtocolSpec& spec);
 
   struct State {
-    std::mutex mu;
-    int high_current = 0;  // high arrivals this period
-    int high_prev = 0;     // high arrivals previous period
-    std::deque<RequestPtr> low_waiting;
+    Mutex mu;
+    int high_current CQOS_GUARDED_BY(mu) = 0;  // high arrivals this period
+    int high_prev CQOS_GUARDED_BY(mu) = 0;     // high arrivals previous period
+    std::deque<RequestPtr> low_waiting CQOS_GUARDED_BY(mu);
   };
   static constexpr const char* kStateKey = "timed_sched.state";
 
  private:
-  void release_one_locked(State& state, cactus::CompositeProtocol& proto);
+  void release_one_locked(State& state, cactus::CompositeProtocol& proto)
+      CQOS_REQUIRES(state.mu);
 
   int high_floor_;
   Duration period_;

@@ -19,13 +19,13 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
   // assignOrder (coordinator only): allocate the sequence number on first
   // sight of a request and multicast it to the other replicas.
   if (is_coordinator) {
-    proto.bind(
+    bind_tracked(proto, 
         ev::kReadyToInvoke, "assignOrder",
         [state, qos](cactus::EventContext& ctx) {
           auto req = ctx.dyn<RequestPtr>();
           std::uint64_t seq = 0;
           {
-            std::scoped_lock lk(state->mu);
+            MutexLock lk(state->mu);
             auto it = state->order.find(req->id);
             if (it != state->order.end()) return;  // re-raise of parked req
             seq = state->next_seq_to_assign++;
@@ -39,7 +39,7 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
         },
         order::kOrderAssign);
 
-    proto.bind(
+    bind_tracked(proto, 
         "to:multicast", "orderMulticast",
         [qos](cactus::EventContext& ctx) {
           auto job = ctx.dyn<MulticastJob>();
@@ -55,11 +55,11 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
 
   // checkOrder (all replicas): only the request whose turn has come may
   // proceed; everything else parks.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kReadyToInvoke, "checkOrder",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
-        std::scoped_lock lk(state->mu);
+        MutexLock lk(state->mu);
         auto it = state->order.find(req->id);
         if (it == state->order.end()) {
           // Ordering info not here yet (non-coordinator raced the control
@@ -78,13 +78,13 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
       order::kOrderCheck);
 
   // checkNext (all replicas): advance and release the successor.
-  proto.bind(
+  bind_tracked(proto, 
       ev::kInvokeReturn, "checkNext",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
         RequestPtr next;
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           auto it = state->order.find(req->id);
           if (it == state->order.end()) return;  // not an ordered request
           if (it->second != state->next_seq_to_execute) return;  // stale
@@ -103,7 +103,7 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
       order::kOrderAdvance);
 
   // Ordering info from the coordinator.
-  proto.bind(
+  bind_tracked(proto, 
       ev::ctl(kOrderControl), "orderInfo",
       [state](cactus::EventContext& ctx) {
         auto msg = ctx.dyn<ControlMsgPtr>();
@@ -111,7 +111,7 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
         auto seq = static_cast<std::uint64_t>(msg->args.at(1).as_i64());
         RequestPtr release;
         {
-          std::scoped_lock lk(state->mu);
+          MutexLock lk(state->mu);
           state->order.emplace(request_id, seq);
           auto it = state->awaiting_info.find(request_id);
           if (it != state->awaiting_info.end()) {

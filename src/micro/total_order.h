@@ -20,10 +20,12 @@
 #include <mutex>
 
 #include "micro/base.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::micro {
 
-class TotalOrder : public cactus::MicroProtocol {
+class TotalOrder : public MicroBase {
  public:
   std::string_view name() const override { return "total_order"; }
   void init(cactus::CompositeProtocol& proto) override;
@@ -35,12 +37,12 @@ class TotalOrder : public cactus::MicroProtocol {
   explicit TotalOrder(int coordinator = 0) : coordinator_(coordinator) {}
 
   struct State {
-    std::mutex mu;
-    std::uint64_t next_seq_to_assign = 1;
-    std::uint64_t next_seq_to_execute = 1;
-    std::map<std::uint64_t, std::uint64_t> order;      // request id -> seq
-    std::map<std::uint64_t, RequestPtr> awaiting_info;  // id -> parked (no seq yet)
-    std::map<std::uint64_t, RequestPtr> parked;         // seq -> parked (not its turn)
+    Mutex mu;
+    std::uint64_t next_seq_to_assign CQOS_GUARDED_BY(mu) = 1;
+    std::uint64_t next_seq_to_execute CQOS_GUARDED_BY(mu) = 1;
+    std::map<std::uint64_t, std::uint64_t> order CQOS_GUARDED_BY(mu);      // request id -> seq
+    std::map<std::uint64_t, RequestPtr> awaiting_info CQOS_GUARDED_BY(mu);  // id -> parked (no seq yet)
+    std::map<std::uint64_t, RequestPtr> parked CQOS_GUARDED_BY(mu);         // seq -> parked (not its turn)
   };
   static constexpr const char* kStateKey = "total_order.state";
   static constexpr const char* kOrderControl = "to_order";

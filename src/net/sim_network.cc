@@ -10,8 +10,8 @@ namespace cqos::net {
 // --- Endpoint ---------------------------------------------------------------
 
 std::optional<Message> Endpoint::recv(Duration timeout) {
-  std::unique_lock lk(mu_);
   TimePoint deadline = now() + timeout;
+  MutexLock lk(mu_);
   for (;;) {
     if (closed_) return std::nullopt;
     if (!inbox_.empty()) {
@@ -22,45 +22,38 @@ std::optional<Message> Endpoint::recv(Duration timeout) {
         inbox_.erase(first);
         return msg;
       }
-      // Wait until the head message matures or the caller's deadline.
-      TimePoint until = std::min(ready_at, deadline);
-      if (until <= now() && ready_at > deadline) return std::nullopt;
-      cv_.wait_until(lk, until);
+      // The head message has not matured. Give up once the caller's
+      // deadline passed and the head cannot mature before it.
+      if (ready_at > deadline && now() >= deadline) return std::nullopt;
+      cv_.wait_until(mu_, std::min(ready_at, deadline));
     } else {
       if (now() >= deadline) return std::nullopt;
-      cv_.wait_until(lk, deadline);
-    }
-    if (now() >= deadline && (inbox_.empty() || inbox_.begin()->first > now())) {
-      return std::nullopt;
+      cv_.wait_until(mu_, deadline);
     }
   }
 }
 
 void Endpoint::close() {
-  {
-    std::scoped_lock lk(mu_);
-    closed_ = true;
-    inbox_.clear();
-  }
+  MutexLock lk(mu_);
+  closed_ = true;
+  inbox_.clear();
   cv_.notify_all();
 }
 
 bool Endpoint::closed() const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return closed_;
 }
 
 void Endpoint::deposit(Message msg) {
-  {
-    std::scoped_lock lk(mu_);
-    if (closed_) return;
-    inbox_.emplace(msg.deliver_at, std::move(msg));
-  }
+  MutexLock lk(mu_);
+  if (closed_) return;
+  inbox_.emplace(msg.deliver_at, std::move(msg));
   cv_.notify_all();
 }
 
 void Endpoint::clear_inbox() {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   inbox_.clear();
 }
 
@@ -74,7 +67,7 @@ std::string SimNetwork::host_of(const std::string& endpoint_id) {
 }
 
 std::shared_ptr<Endpoint> SimNetwork::create_endpoint(const std::string& id) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   if (endpoints_.contains(id)) throw Error("endpoint id already registered: " + id);
   auto ep = std::make_shared<Endpoint>(id, host_of(id));
   endpoints_.emplace(id, ep);
@@ -84,7 +77,7 @@ std::shared_ptr<Endpoint> SimNetwork::create_endpoint(const std::string& id) {
 void SimNetwork::remove_endpoint(const std::string& id) {
   std::shared_ptr<Endpoint> ep;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = endpoints_.find(id);
     if (it == endpoints_.end()) return;
     ep = std::move(it->second);
@@ -115,7 +108,7 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
   std::shared_ptr<Endpoint> dest;
   Message msg;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) return false;
 
@@ -147,7 +140,7 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
   }
 
   {
-    std::scoped_lock lk(tap_mu_);
+    MutexLock lk(tap_mu_);
     if (tap_) tap_(msg);
   }
 
@@ -158,7 +151,7 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
 void SimNetwork::crash_host(const std::string& host) {
   std::vector<std::shared_ptr<Endpoint>> eps;
   {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     crashed_.insert(host);
     for (auto& [id, ep] : endpoints_) {
       if (ep->host() == host) eps.push_back(ep);
@@ -168,34 +161,34 @@ void SimNetwork::crash_host(const std::string& host) {
 }
 
 void SimNetwork::recover_host(const std::string& host) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   crashed_.erase(host);
 }
 
 bool SimNetwork::is_crashed(const std::string& host) const {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   return crashed_.contains(host);
 }
 
 void SimNetwork::partition(const std::string& host_a, const std::string& host_b) {
   auto pair = std::minmax(host_a, host_b);
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   partitions_.insert({pair.first, pair.second});
 }
 
 void SimNetwork::heal(const std::string& host_a, const std::string& host_b) {
   auto pair = std::minmax(host_a, host_b);
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   partitions_.erase({pair.first, pair.second});
 }
 
 void SimNetwork::set_drop_rate(double p) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   cfg_.drop_rate = p;
 }
 
 void SimNetwork::set_tap(Tap tap) {
-  std::scoped_lock lk(tap_mu_);
+  MutexLock lk(tap_mu_);
   tap_ = std::move(tap);
 }
 

@@ -13,20 +13,21 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::net {
 
@@ -78,11 +79,11 @@ class Endpoint {
 
   const std::string id_;
   const std::string host_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   // Ordered by (deliver_at, seq).
-  std::multimap<TimePoint, Message> inbox_;
-  bool closed_ = false;
+  std::multimap<TimePoint, Message> inbox_ CQOS_GUARDED_BY(mu_);
+  bool closed_ CQOS_GUARDED_BY(mu_) = false;
 };
 
 class SimNetwork {
@@ -130,19 +131,25 @@ class SimNetwork {
 
  private:
   Duration compute_latency(const std::string& from_host,
-                           const std::string& to_host, std::size_t bytes);
+                           const std::string& to_host, std::size_t bytes)
+      CQOS_REQUIRES(mu_);
 
-  NetConfig cfg_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
-  std::set<std::string> crashed_;
-  std::set<std::pair<std::string, std::string>> partitions_;  // ordered pair
-  Rng rng_;
-  std::uint64_t next_seq_ = 1;
+  // Lock hierarchy: mu_ > tap_mu_ > Endpoint::mu_, in the sense that send()
+  // releases mu_ before taking tap_mu_ and releases tap_mu_ before
+  // deposit() takes the endpoint lock; no path ever holds two of them.
+  mutable Mutex mu_;
+  NetConfig cfg_ CQOS_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_
+      CQOS_GUARDED_BY(mu_);
+  std::set<std::string> crashed_ CQOS_GUARDED_BY(mu_);
+  std::set<std::pair<std::string, std::string>> partitions_
+      CQOS_GUARDED_BY(mu_);  // ordered pair
+  Rng rng_ CQOS_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ CQOS_GUARDED_BY(mu_) = 1;
   // Per-destination monotone deliver_at clamp: keeps FIFO even with jitter.
-  std::map<std::string, TimePoint> last_deliver_;
-  Tap tap_;
-  std::mutex tap_mu_;
+  std::map<std::string, TimePoint> last_deliver_ CQOS_GUARDED_BY(mu_);
+  Mutex tap_mu_ CQOS_ACQUIRED_AFTER(mu_);
+  Tap tap_ CQOS_GUARDED_BY(tap_mu_);
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
 };

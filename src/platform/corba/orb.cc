@@ -88,7 +88,7 @@ CorbaOrb::~CorbaOrb() { shutdown(); }
 
 void CorbaOrb::emu_charge(Duration d) {
   if (d <= Duration::zero()) return;
-  std::scoped_lock lk(emu_cpu_mu_);
+  MutexLock lk(emu_cpu_mu_);
   std::this_thread::sleep_for(d);
 }
 
@@ -231,7 +231,7 @@ void CorbaOrb::register_servant(const std::string& name,
     throw ConfigError("corba names are '<poa>/<object-id>': " + name);
   }
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     servants_[name] = Registration{std::move(handler), mode};
   }
   Ior ior{server_ep_->id(), name};
@@ -243,7 +243,7 @@ void CorbaOrb::register_servant(const std::string& name,
 
 void CorbaOrb::unregister_servant(const std::string& name) {
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     servants_.erase(name);
   }
   auto slash = name.find('/');
@@ -339,7 +339,7 @@ void CorbaOrb::server_loop() {
 void CorbaOrb::dispatch_request(std::uint64_t request_id, RequestBody body) {
   Registration reg;
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     auto it = servants_.find(body.object_key);
     if (it != servants_.end()) reg = it->second;
   }

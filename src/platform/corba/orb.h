@@ -15,7 +15,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -24,6 +23,9 @@
 #include "platform/api.h"
 #include "platform/corba/giop.h"
 #include "platform/pending.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::corba {
 
@@ -157,13 +159,14 @@ class CorbaOrb : public plat::Platform {
   plat::PendingCalls pending_;
   std::atomic<std::uint64_t> next_request_id_{1};
 
-  std::mutex servants_mu_;
-  std::map<std::string, Registration> servants_;
+  Mutex servants_mu_;
+  std::map<std::string, Registration> servants_
+      CQOS_GUARDED_BY(servants_mu_);
 
   cactus::PriorityThreadPool workers_;
   std::thread client_thread_;
   std::thread server_thread_;
-  std::mutex emu_cpu_mu_;
+  Mutex emu_cpu_mu_;  // serializes the emulated-CPU critical section
   std::atomic<bool> shutdown_{false};
 };
 

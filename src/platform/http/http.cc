@@ -289,7 +289,7 @@ void HttpPlatform::register_servant(const std::string& name,
     }
     path = path.substr(slash + 1);
   }
-  std::scoped_lock lk(servants_mu_);
+  MutexLock lk(servants_mu_);
   servants_[path] = std::move(handler);
 }
 
@@ -299,7 +299,7 @@ void HttpPlatform::unregister_servant(const std::string& name) {
     auto slash = path.find('/', 7);
     if (slash != std::string::npos) path = path.substr(slash + 1);
   }
-  std::scoped_lock lk(servants_mu_);
+  MutexLock lk(servants_mu_);
   servants_.erase(path);
 }
 
@@ -407,7 +407,7 @@ void HttpPlatform::dispatch(std::uint64_t call_id, const std::string& reply_to,
                             PiggybackMap piggyback, ValueList params) {
   std::shared_ptr<plat::ServantHandler> handler;
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     auto it = servants_.find(path);
     if (it != servants_.end()) handler = it->second;
   }

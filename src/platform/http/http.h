@@ -33,7 +33,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -41,6 +40,9 @@
 #include "net/sim_network.h"
 #include "platform/api.h"
 #include "platform/pending.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::http {
 
@@ -131,8 +133,9 @@ class HttpPlatform : public plat::Platform {
   std::shared_ptr<net::Endpoint> server_ep_;
   plat::PendingCalls pending_;
 
-  std::mutex servants_mu_;
-  std::map<std::string, std::shared_ptr<plat::ServantHandler>> servants_;
+  Mutex servants_mu_;
+  std::map<std::string, std::shared_ptr<plat::ServantHandler>> servants_
+      CQOS_GUARDED_BY(servants_mu_);
 
   cactus::PriorityThreadPool workers_;
   std::thread client_thread_;

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <string>
+#include <utility>
 
 #include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "platform/api.h"
 
 namespace cqos::plat {
@@ -21,7 +23,7 @@ class PendingCalls {
   };
 
   std::pair<std::uint64_t, std::shared_ptr<Entry>> open() {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     std::uint64_t id = next_id_++;
     auto entry = std::make_shared<Entry>();
     calls_.emplace(id, entry);
@@ -32,7 +34,7 @@ class PendingCalls {
   bool complete(std::uint64_t id, Reply reply) {
     std::shared_ptr<Entry> entry;
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       auto it = calls_.find(id);
       if (it == calls_.end()) return false;
       entry = std::move(it->second);
@@ -45,7 +47,7 @@ class PendingCalls {
 
   /// Drop an entry after a timeout so a late reply is ignored.
   void abandon(std::uint64_t id) {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     calls_.erase(id);
   }
 
@@ -53,7 +55,7 @@ class PendingCalls {
   void fail_all(const std::string& reason) {
     std::map<std::uint64_t, std::shared_ptr<Entry>> taken;
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       taken.swap(calls_);
     }
     for (auto& [id, entry] : taken) {
@@ -64,9 +66,9 @@ class PendingCalls {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::uint64_t, std::shared_ptr<Entry>> calls_;
-  std::uint64_t next_id_ = 1;
+  Mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Entry>> calls_ CQOS_GUARDED_BY(mu_);
+  std::uint64_t next_id_ CQOS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace cqos::plat

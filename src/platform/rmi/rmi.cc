@@ -46,7 +46,7 @@ RmiRuntime::~RmiRuntime() { shutdown(); }
 
 void RmiRuntime::emu_charge(Duration d) {
   if (d <= Duration::zero()) return;
-  std::scoped_lock lk(emu_cpu_mu_);
+  MutexLock lk(emu_cpu_mu_);
   std::this_thread::sleep_for(d);
 }
 
@@ -144,7 +144,7 @@ void RmiRuntime::register_servant(const std::string& name,
   // parity and ignored.
   (void)mode;
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     servants_[name] = std::move(handler);
   }
   if (!registry_op(MsgType::kRegBind, name, server_ep_->id(),
@@ -155,7 +155,7 @@ void RmiRuntime::register_servant(const std::string& name,
 
 void RmiRuntime::unregister_servant(const std::string& name) {
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     servants_.erase(name);
   }
   registry_op(MsgType::kRegUnbind, name, "", cfg_.resolve_timeout, nullptr);
@@ -245,7 +245,7 @@ void RmiRuntime::server_loop() {
 void RmiRuntime::dispatch_call(std::uint64_t call_id, CallBody body) {
   std::shared_ptr<plat::ServantHandler> handler;
   {
-    std::scoped_lock lk(servants_mu_);
+    MutexLock lk(servants_mu_);
     auto it = servants_.find(body.target);
     if (it != servants_.end()) handler = it->second;
   }

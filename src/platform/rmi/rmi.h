@@ -10,7 +10,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -19,6 +18,9 @@
 #include "platform/api.h"
 #include "platform/pending.h"
 #include "platform/rmi/jrmp.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::rmi {
 
@@ -108,13 +110,14 @@ class RmiRuntime : public plat::Platform {
   std::shared_ptr<net::Endpoint> server_ep_;
   plat::PendingCalls pending_;
 
-  std::mutex servants_mu_;
-  std::map<std::string, std::shared_ptr<plat::ServantHandler>> servants_;
+  Mutex servants_mu_;
+  std::map<std::string, std::shared_ptr<plat::ServantHandler>> servants_
+      CQOS_GUARDED_BY(servants_mu_);
 
   cactus::PriorityThreadPool workers_;
   std::thread client_thread_;
   std::thread server_thread_;
-  std::mutex emu_cpu_mu_;
+  Mutex emu_cpu_mu_;  // serializes the emulated-CPU critical section
   std::atomic<bool> shutdown_{false};
 };
 

@@ -6,7 +6,7 @@ namespace cqos::sim {
 
 Value BankAccountServant::dispatch(const std::string& method,
                                    const ValueList& params) {
-  std::scoped_lock lk(mu_);
+  MutexLock lk(mu_);
   ++invocations_;
   if (method == "set_balance") {
     balance_ = params.at(0).as_i64();

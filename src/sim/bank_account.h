@@ -10,10 +10,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "cqos/servant.h"
 #include "cqos/stub.h"
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace cqos::sim {
 
@@ -25,21 +27,21 @@ class BankAccountServant : public Servant {
   Value dispatch(const std::string& method, const ValueList& params) override;
 
   std::int64_t balance() const {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return balance_;
   }
 
   /// Number of servant invocations (used by replication tests to verify
   /// forwarding and dedup behaviour).
   std::int64_t invocation_count() const {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return invocations_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::int64_t balance_;
-  std::int64_t invocations_ = 0;
+  mutable Mutex mu_;
+  std::int64_t balance_ CQOS_GUARDED_BY(mu_);
+  std::int64_t invocations_ CQOS_GUARDED_BY(mu_) = 0;
 };
 
 /// Typed stub ("generated from the server IDL description").

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Full verification driver for the CQoS repo: builds and runs the test
+# suite under each sanitizer mode, plus static analysis where the tools
+# exist.
+#
+# Usage: tools/check.sh [mode ...]
+#   modes: default | asan | tsan | lint-only     (default: all three builds)
+#
+# Each build mode gets its own out-of-tree build directory (build-check-*)
+# so the developer's own build/ is never touched. Exit status is non-zero
+# if ANY stage fails; every stage is reported at the end.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SUPP_DIR="$REPO_ROOT/tools/sanitizers"
+
+MODES=("$@")
+if [ ${#MODES[@]} -eq 0 ]; then
+  MODES=(default asan tsan)
+fi
+
+declare -a RESULTS=()
+FAILED=0
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+record() {
+  # record <stage> <status> — only FAIL marks the run failed; "skipped
+  # (no clang++)" etc. are informational.
+  RESULTS+=("$(printf '%-28s %s' "$1" "$2")")
+  [ "$2" = "FAIL" ] && FAILED=1
+  return 0
+}
+
+run_build_and_test() {
+  # run_build_and_test <stage-name> <build-dir> <env...> -- <cmake args...>
+  local stage="$1" dir="$2"
+  shift 2
+  local -a envs=()
+  while [ "$1" != "--" ]; do envs+=("$1"); shift; done
+  shift
+  note "$stage: configure + build ($dir)"
+  if ! cmake -B "$dir" -S "$REPO_ROOT" "$@" >"$dir.configure.log" 2>&1; then
+    tail -40 "$dir.configure.log"
+    record "$stage (configure)" FAIL
+    return
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" >"$dir.build.log" 2>&1; then
+    tail -40 "$dir.build.log"
+    record "$stage (build)" FAIL
+    return
+  fi
+  note "$stage: ctest"
+  if (cd "$dir" && env "${envs[@]}" ctest --output-on-failure -j "$JOBS") ; then
+    record "$stage" ok
+  else
+    record "$stage (ctest)" FAIL
+  fi
+}
+
+for mode in "${MODES[@]}"; do
+  case "$mode" in
+    default)
+      run_build_and_test "default" "$REPO_ROOT/build-check-default" \
+        "IGNORE=1" -- -DCQOS_SANITIZE=
+      ;;
+    asan)
+      # address implies undefined (see root CMakeLists.txt).
+      run_build_and_test "asan+ubsan" "$REPO_ROOT/build-check-asan" \
+        "ASAN_OPTIONS=detect_leaks=1:suppressions=$SUPP_DIR/asan.supp" \
+        "UBSAN_OPTIONS=print_stacktrace=1:suppressions=$SUPP_DIR/ubsan.supp" \
+        -- -DCQOS_SANITIZE=address
+      ;;
+    tsan)
+      run_build_and_test "tsan" "$REPO_ROOT/build-check-tsan" \
+        "TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1:suppressions=$SUPP_DIR/tsan.supp" \
+        -- -DCQOS_SANITIZE=thread
+      ;;
+    lint-only)
+      ;;  # falls through to the shared lint stage below
+    *)
+      echo "unknown mode: $mode (expected default|asan|tsan|lint-only)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# --- Static analysis (shared across modes) --------------------------------
+
+# cqos_lint always runs: build it in whichever check dir exists, or default.
+LINT_DIR="$REPO_ROOT/build-check-default"
+[ -d "$LINT_DIR" ] || LINT_DIR="$REPO_ROOT/build-check-lint"
+note "cqos_lint"
+if cmake -B "$LINT_DIR" -S "$REPO_ROOT" >/dev/null 2>&1 \
+   && cmake --build "$LINT_DIR" -j "$JOBS" --target cqos_lint >/dev/null 2>&1 \
+   && "$LINT_DIR/src/tools/cqos_lint" --root "$REPO_ROOT"; then
+  record "cqos_lint" ok
+else
+  record "cqos_lint" FAIL
+fi
+
+# Clang-only stages: thread-safety analysis and clang-tidy. Skipped (not
+# failed) when the toolchain isn't installed — CI runs them where it is.
+if command -v clang++ >/dev/null 2>&1; then
+  note "clang -Werror=thread-safety"
+  if cmake -B "$REPO_ROOT/build-check-clang" -S "$REPO_ROOT" \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null 2>&1 \
+     && cmake --build "$REPO_ROOT/build-check-clang" -j "$JOBS" \
+        >"$REPO_ROOT/build-check-clang.log" 2>&1; then
+    record "clang thread-safety" ok
+  else
+    tail -40 "$REPO_ROOT/build-check-clang.log"
+    record "clang thread-safety" FAIL
+  fi
+else
+  record "clang thread-safety" "skipped (no clang++)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy (src/common src/cactus)"
+  TIDY_DB="$REPO_ROOT/build-check-default"
+  [ -f "$TIDY_DB/compile_commands.json" ] || \
+    cmake -B "$TIDY_DB" -S "$REPO_ROOT" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null 2>&1
+  if find src/common src/cactus -name '*.cc' -print0 \
+       | xargs -0 clang-tidy -p "$TIDY_DB" --quiet --warnings-as-errors='*'; then
+    record "clang-tidy" ok
+  else
+    record "clang-tidy" FAIL
+  fi
+else
+  record "clang-tidy" "skipped (no clang-tidy)"
+fi
+
+note "summary"
+for r in "${RESULTS[@]}"; do echo "  $r"; done
+exit "$FAILED"

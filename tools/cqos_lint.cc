@@ -1,0 +1,500 @@
+// cqos_lint: micro-protocol discipline linter for the CQoS suite.
+//
+// The composition rules the paper relies on (§3.5) are easy to break
+// silently: a handler bound but never unbound leaks across dynamic
+// reconfigurations, a typo'd event name is simply never delivered, and a
+// blocking wait inside a handler stalls the composite's dispatch thread.
+// This tool enforces those invariants mechanically over src/micro/:
+//
+//   1. balanced-bind  — handlers must be registered via
+//      MicroBase::bind_tracked(), never raw CompositeProtocol::bind();
+//      shutdown() overrides must call unbind_all()/MicroBase::shutdown().
+//   2. event-names    — every string-literal event bound in src/micro must
+//      be raised somewhere in src/micro and vice versa (dead handlers /
+//      dead raises); ev::k* names must exist in src/cqos/events.h.
+//      Standard-vocabulary events and ev::ctl(...) control events are
+//      anchored by the runtime (cactus_client/cactus_server/skeleton) and
+//      are exempt from the raise-side check.
+//   3. no-dispatch-wait — no indefinite .wait() / ->wait() inside handler
+//      code (timed wait(ms(...)) overloads are allowed).
+//   4. cfg-factories  — every protocol named in examples/sample.cfg must
+//      map to a factory registered for that side in src/micro/standard.cc.
+//
+// Usage: cqos_lint --root <repo_root> [--micro <dir>] [--cfg <file>]
+//   --micro / --cfg default to src/micro and examples/sample.cfg under
+//   the root; the overrides exist so the self-test fixtures under
+//   tools/lint_fixtures/ can exercise each rule (registered WILL_FAIL).
+//
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int g_errors = 0;
+
+void fail(const std::string& file, const std::string& rule,
+          const std::string& msg) {
+  std::cerr << file << ": [" << rule << "] " << msg << "\n";
+  ++g_errors;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::cerr << "cqos_lint: cannot read " << p << "\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Strip // and /* */ comments and string *contents we do not care about
+/// stay intact — we need event-name literals, so strings are preserved.
+std::string strip_comments(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_line = false, in_block = false, in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    char n = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (in_line) {
+      if (c == '\n') { in_line = false; out.push_back(c); }
+      continue;
+    }
+    if (in_block) {
+      if (c == '*' && n == '/') { in_block = false; ++i; }
+      else if (c == '\n') out.push_back(c);  // keep line numbers stable
+      continue;
+    }
+    if (in_str) {
+      out.push_back(c);
+      if (c == '\\') { if (i + 1 < s.size()) out.push_back(s[++i]); }
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') { in_str = true; out.push_back(c); continue; }
+    if (c == '/' && n == '/') { in_line = true; continue; }
+    if (c == '/' && n == '*') { in_block = true; ++i; continue; }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Collapse all whitespace runs to single spaces (multi-line calls become
+/// scannable) while keeping a parallel map back to original line numbers.
+struct FlatText {
+  std::string text;
+  std::vector<int> line;  // line[i] = 1-based source line of text[i]
+};
+
+FlatText flatten(const std::string& s) {
+  FlatText f;
+  int ln = 1;
+  bool pending_space = false;
+  for (char c : s) {
+    if (c == '\n') ++ln;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !f.text.empty()) {
+      f.text.push_back(' ');
+      f.line.push_back(ln);
+    }
+    pending_space = false;
+    f.text.push_back(c);
+    f.line.push_back(ln);
+  }
+  return f;
+}
+
+int line_at(const FlatText& f, std::size_t pos) {
+  return pos < f.line.size() ? f.line[pos] : -1;
+}
+
+/// Extract the first argument of a call starting right after `(`.
+/// Handles nested parens (ev::ctl(kFoo)) and string literals.
+std::string first_arg(const std::string& s, std::size_t open_paren) {
+  int depth = 0;
+  bool in_str = false;
+  std::string arg;
+  for (std::size_t i = open_paren; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_str) {
+      arg.push_back(c);
+      if (c == '\\') { if (i + 1 < s.size()) arg.push_back(s[++i]); }
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') { in_str = true; if (depth > 0) arg.push_back(c); continue; }
+    if (c == '(') { if (depth++ > 0) arg.push_back(c); continue; }
+    if (c == ')') { if (--depth == 0) break; arg.push_back(c); continue; }
+    if (c == ',' && depth == 1) break;
+    if (depth > 0) arg.push_back(c);
+  }
+  // trim
+  auto b = arg.find_first_not_of(' ');
+  auto e = arg.find_last_not_of(' ');
+  if (b == std::string::npos) return "";
+  return arg.substr(b, e - b + 1);
+}
+
+/// If `expr` is a plain string literal, return its contents; else "".
+std::string literal_of(const std::string& expr) {
+  if (expr.size() >= 2 && expr.front() == '"' && expr.back() == '"')
+    return expr.substr(1, expr.size() - 2);
+  return "";
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Find each occurrence of `needle` in `hay`. When the needle starts with
+/// an identifier character, require a non-identifier character before it
+/// (so "raise(" does not match "do_raise(" and "bind_tracked(" does not
+/// match "rebind_tracked("); needles starting with '.' or '-' are member
+/// accesses and are matched as-is.
+std::vector<std::size_t> find_calls(const std::string& hay,
+                                    const std::string& needle) {
+  std::vector<std::size_t> out;
+  const bool word_start = is_identifier_char(needle.front());
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    if (!word_start || pos == 0 || !is_identifier_char(hay[pos - 1]))
+      out.push_back(pos);
+    pos += 1;
+  }
+  return out;
+}
+
+struct EventUse {
+  std::string file;
+  int line;
+};
+
+struct Corpus {
+  // literal event name -> where bound / raised
+  std::map<std::string, std::vector<EventUse>> literal_binds;
+  std::map<std::string, std::vector<EventUse>> literal_raises;
+  // ev::kFoo symbol -> where used
+  std::map<std::string, std::vector<EventUse>> symbol_uses;
+};
+
+// ---------------------------------------------------------------------------
+// Rule 1: balanced-bind discipline.
+// ---------------------------------------------------------------------------
+void check_bind_discipline(const std::string& fname, const FlatText& f) {
+  // base.h hosts bind_tracked() itself — the one legal raw-bind site.
+  if (fs::path(fname).filename() == "base.h") return;
+
+  for (const char* pat : {"proto.bind(", ".protocol().bind(", "proto->bind("}) {
+    for (std::size_t pos : find_calls(f.text, pat)) {
+      fail(fname + ":" + std::to_string(line_at(f, pos)), "balanced-bind",
+           std::string("raw CompositeProtocol::bind() — use "
+                       "MicroBase::bind_tracked() so teardown stays "
+                       "balanced (matched '") + pat + "')");
+    }
+  }
+
+  // shutdown() overrides must keep the unbind side of the ledger.
+  std::size_t pos = 0;
+  while ((pos = f.text.find("::shutdown()", pos)) != std::string::npos) {
+    std::size_t body_open = f.text.find('{', pos);
+    std::size_t sig_end = f.text.find(';', pos);
+    pos += 1;
+    if (body_open == std::string::npos) continue;
+    if (sig_end != std::string::npos && sig_end < body_open) continue;  // decl
+    // Walk the brace-balanced body.
+    int depth = 0;
+    std::size_t body_close = body_open;
+    for (std::size_t i = body_open; i < f.text.size(); ++i) {
+      if (f.text[i] == '{') ++depth;
+      else if (f.text[i] == '}' && --depth == 0) { body_close = i; break; }
+    }
+    std::string body = f.text.substr(body_open, body_close - body_open + 1);
+    if (body.find("unbind_all(") == std::string::npos &&
+        body.find("MicroBase::shutdown(") == std::string::npos) {
+      fail(fname + ":" + std::to_string(line_at(f, body_open)),
+           "balanced-bind",
+           "shutdown() override neither calls unbind_all() nor "
+           "MicroBase::shutdown() — tracked handlers would leak");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2 (collection): record bind/raise event names.
+// ---------------------------------------------------------------------------
+void collect_events(const std::string& fname, const FlatText& f, Corpus& c) {
+  auto record = [&](const std::string& needle, bool is_bind) {
+    for (std::size_t pos : find_calls(f.text, needle)) {
+      std::size_t open = pos + needle.size() - 1;
+      std::string arg;
+      if (needle.find("bind_tracked") != std::string::npos) {
+        // bind_tracked(proto, EVENT, ...) — the event is the SECOND arg;
+        // re-anchor extraction just past the first comma.
+        std::size_t comma = f.text.find(',', open);
+        if (comma == std::string::npos) continue;
+        arg = first_arg("(" + f.text.substr(comma + 1), 0);
+      } else {
+        arg = first_arg(f.text, open);
+      }
+      EventUse use{fname, line_at(f, pos)};
+      std::string lit = literal_of(arg);
+      if (!lit.empty()) {
+        (is_bind ? c.literal_binds : c.literal_raises)[lit].push_back(use);
+      } else if (arg.rfind("ev::ctl(", 0) == 0) {
+        // Control events are anchored by the runtime ctl dispatcher.
+      } else if (arg.rfind("ev::k", 0) == 0 &&
+                 std::all_of(arg.begin() + 4, arg.end(), is_identifier_char)) {
+        c.symbol_uses[arg.substr(4)].push_back(use);  // "kFoo"
+      } else {
+        // Computed name (ternary, variable): can't check statically.
+      }
+    }
+  };
+  record("bind_tracked(", /*is_bind=*/true);
+  record("raise(", /*is_bind=*/false);
+  record("raise_async(", /*is_bind=*/false);
+  record("raise_delayed(", /*is_bind=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: no indefinite wait on the dispatch thread.
+// ---------------------------------------------------------------------------
+void check_no_blocking_wait(const std::string& fname, const FlatText& f) {
+  for (const char* pat : {".wait()", "->wait()"}) {
+    for (std::size_t pos : find_calls(f.text, pat)) {
+      fail(fname + ":" + std::to_string(line_at(f, pos)), "no-dispatch-wait",
+           "indefinite wait() in micro-protocol code — handlers run on the "
+           "composite's dispatch thread; use a timed wait(duration)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2 (verdicts): cross-check the collected event names.
+// ---------------------------------------------------------------------------
+std::set<std::string> parse_event_vocab(const fs::path& events_h) {
+  // Matches: inline constexpr std::string_view kFoo = "...";
+  std::set<std::string> vocab;
+  FlatText f = flatten(strip_comments(read_file(events_h)));
+  std::size_t pos = 0;
+  while ((pos = f.text.find("std::string_view k", pos)) != std::string::npos) {
+    std::size_t b = f.text.find('k', pos + 17);
+    std::size_t e = b;
+    while (e < f.text.size() && is_identifier_char(f.text[e])) ++e;
+    vocab.insert(f.text.substr(b, e - b));
+    pos = e;
+  }
+  return vocab;
+}
+
+void check_events(const Corpus& c, const std::set<std::string>& vocab) {
+  for (const auto& [name, uses] : c.symbol_uses) {
+    if (!vocab.count(name)) {
+      for (const auto& u : uses)
+        fail(u.file + ":" + std::to_string(u.line), "event-names",
+             "ev::" + name + " is not declared in src/cqos/events.h");
+    }
+  }
+  for (const auto& [name, uses] : c.literal_binds) {
+    if (!c.literal_raises.count(name)) {
+      for (const auto& u : uses)
+        fail(u.file + ":" + std::to_string(u.line), "event-names",
+             "handler bound to \"" + name +
+                 "\" but nothing in src/micro raises it (dead handler)");
+    }
+  }
+  for (const auto& [name, uses] : c.literal_raises) {
+    if (!c.literal_binds.count(name)) {
+      for (const auto& u : uses)
+        fail(u.file + ":" + std::to_string(u.line), "event-names",
+             "\"" + name +
+                 "\" is raised but no handler in src/micro binds it "
+                 "(dead raise)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: configuration names map to registered factories.
+// ---------------------------------------------------------------------------
+struct Registry {
+  std::set<std::string> client;
+  std::set<std::string> server;
+};
+
+Registry parse_registry(const fs::path& standard_cc) {
+  Registry reg;
+  FlatText f = flatten(strip_comments(read_file(standard_cc)));
+  std::size_t pos = 0;
+  while ((pos = f.text.find("reg.add(", pos)) != std::string::npos) {
+    std::size_t open = pos + 7;
+    std::string side = first_arg(f.text, open);
+    std::size_t q1 = f.text.find('"', open);
+    std::size_t q2 = q1 == std::string::npos ? q1 : f.text.find('"', q1 + 1);
+    pos = open + 1;
+    if (q2 == std::string::npos) continue;
+    std::string name = f.text.substr(q1 + 1, q2 - q1 - 1);
+    if (side.find("kClient") != std::string::npos) reg.client.insert(name);
+    else if (side.find("kServer") != std::string::npos) reg.server.insert(name);
+  }
+  return reg;
+}
+
+void check_cfg(const fs::path& cfg_path, const Registry& reg) {
+  std::ifstream in(cfg_path);
+  if (!in) {
+    std::cerr << "cqos_lint: cannot read " << cfg_path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  int ln = 0;
+  const std::set<std::string>* side = nullptr;
+  const char* side_name = "";
+  std::string pending;  // protocol list may continue across lines
+  auto flush = [&](int at_line) {
+    if (side == nullptr) { pending.clear(); return; }
+    // Split on commas OUTSIDE parameter parens:
+    //   "timed_sched(period_ms=5, threshold=8)" is one item.
+    std::vector<std::string> items;
+    std::string cur;
+    int depth = 0;
+    for (char ch : pending) {
+      if (ch == '(') ++depth;
+      else if (ch == ')') { if (depth > 0) --depth; }
+      if (ch == ',' && depth == 0) { items.push_back(cur); cur.clear(); }
+      else cur.push_back(ch);
+    }
+    items.push_back(cur);
+    for (const std::string& item : items) {
+      // strip parameters and whitespace: "timed_sched(period_ms=5..." -> name
+      std::string name;
+      for (char ch : item) {
+        if (ch == '(') break;
+        if (!std::isspace(static_cast<unsigned char>(ch))) name.push_back(ch);
+      }
+      if (name.empty()) continue;
+      if (!side->count(name)) {
+        fail(cfg_path.string() + ":" + std::to_string(at_line),
+             "cfg-factories",
+             std::string("protocol '") + name + "' is not registered for "
+                 "side '" + side_name + "' in src/micro/standard.cc");
+      }
+    }
+    pending.clear();
+  };
+  while (std::getline(in, line)) {
+    ++ln;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    auto colon = line.find(':');
+    std::string head;
+    if (colon != std::string::npos) {
+      head = line.substr(0, colon);
+      head.erase(std::remove_if(head.begin(), head.end(),
+                                [](unsigned char ch) {
+                                  return std::isspace(ch);
+                                }),
+                 head.end());
+    }
+    if (head == "client" || head == "server") {
+      flush(ln - 1);
+      side = head == "client" ? &reg.client : &reg.server;
+      side_name = head == "client" ? "client" : "server";
+      pending = line.substr(colon + 1);
+    } else {
+      pending += line;
+    }
+    // A list continues iff the (comment-stripped) line ends with ','.
+    auto last = pending.find_last_not_of(" \t\r");
+    if (last == std::string::npos || pending[last] != ',') {
+      flush(ln);
+      side = nullptr;
+    }
+  }
+  flush(ln);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root, micro_dir, cfg_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* flag) -> fs::path {
+      if (i + 1 >= argc) {
+        std::cerr << "cqos_lint: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return fs::path(argv[++i]);
+    };
+    if (a == "--root") root = need("--root");
+    else if (a == "--micro") micro_dir = need("--micro");
+    else if (a == "--cfg") cfg_path = need("--cfg");
+    else {
+      std::cerr << "usage: cqos_lint --root <repo_root> [--micro <dir>] "
+                   "[--cfg <file>]\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: cqos_lint --root <repo_root> [--micro <dir>] "
+                 "[--cfg <file>]\n";
+    return 2;
+  }
+  if (micro_dir.empty()) micro_dir = root / "src" / "micro";
+  if (cfg_path.empty()) cfg_path = root / "examples" / "sample.cfg";
+
+  // Standard-vocabulary events (ev::k*) are raised by the Cactus
+  // client/server runtime and the platform skeleton, so they are only
+  // checked for existence in events.h; the bidirectional bind/raise check
+  // applies to string-literal events local to the micro-protocol suite.
+  std::set<std::string> vocab =
+      parse_event_vocab(root / "src" / "cqos" / "events.h");
+
+  Corpus corpus;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(micro_dir)) {
+    const fs::path& p = entry.path();
+    if (p.extension() == ".cc" || p.extension() == ".h") files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "cqos_lint: no sources found under " << micro_dir << "\n";
+    return 2;
+  }
+
+  for (const fs::path& p : files) {
+    FlatText f = flatten(strip_comments(read_file(p)));
+    std::string fname = p.string();
+    check_bind_discipline(fname, f);
+    check_no_blocking_wait(fname, f);
+    collect_events(fname, f, corpus);
+  }
+
+  check_events(corpus, vocab);
+  check_cfg(cfg_path, parse_registry(root / "src" / "micro" / "standard.cc"));
+
+  if (g_errors > 0) {
+    std::cerr << "cqos_lint: " << g_errors << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "cqos_lint: " << files.size() << " files clean\n";
+  return 0;
+}

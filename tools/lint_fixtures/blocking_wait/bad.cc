@@ -1,0 +1,10 @@
+// Lint self-test fixture: blocks indefinitely inside a handler, which
+// would stall the composite's dispatch thread. Must trip
+// 'no-dispatch-wait'. Not compiled — only scanned by cqos_lint.
+void BadProtocol_init(cactus::CompositeProtocol& proto) {
+  bind_tracked(proto, ev::kNewRequest, "bad.blocker",
+               [](cactus::EventContext& ctx) {
+                 auto req = std::any_cast<RequestPtr>(ctx.arg());
+                 req->wait();  // indefinite — no timeout
+               });
+}

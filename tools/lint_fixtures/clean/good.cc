@@ -1,0 +1,15 @@
+// Lint self-test fixture: a well-behaved micro-protocol. Must pass all
+// lint rules. Not compiled — only scanned by cqos_lint.
+void GoodProtocol::init(cactus::CompositeProtocol& proto) {
+  bind_tracked(proto, ev::kNewRequest, "good.entry",
+               [](cactus::EventContext& ctx) {
+                 ctx.protocol().raise("good:internal", std::any{});
+               });
+  bind_tracked(proto, "good:internal", "good.internal",
+               [](cactus::EventContext& ctx) { (void)ctx; });
+}
+
+void GoodProtocol::shutdown() {
+  stopped_.store(true);
+  MicroBase::shutdown();
+}

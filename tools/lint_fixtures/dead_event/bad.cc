@@ -1,0 +1,11 @@
+// Lint self-test fixture: binds a handler to an internal event that is
+// never raised (dead handler) and raises one nothing listens to (dead
+// raise), plus an ev:: symbol missing from events.h. Must trip
+// 'event-names'. Not compiled — only scanned by cqos_lint.
+void BadProtocol_init(cactus::CompositeProtocol& proto) {
+  bind_tracked(proto, "zz:never-raised", "bad.dead_handler",
+               [](cactus::EventContext& ctx) { (void)ctx; });
+  bind_tracked(proto, ev::kNoSuchEvent, "bad.unknown_symbol",
+               [](cactus::EventContext& ctx) { (void)ctx; });
+  proto.raise("zz:never-bound", std::any{});
+}

@@ -1,0 +1,12 @@
+// Lint self-test fixture: overrides shutdown() without unbinding the
+// tracked handlers, leaking them across dynamic reconfigurations. Must
+// trip 'balanced-bind'. Not compiled — only scanned by cqos_lint.
+void BadProtocol::init(cactus::CompositeProtocol& proto) {
+  bind_tracked(proto, ev::kNewRequest, "bad.handler",
+               [](cactus::EventContext& ctx) { (void)ctx; });
+}
+
+void BadProtocol::shutdown() {
+  stopped_.store(true);
+  // Missing: unbind_all() / MicroBase::shutdown().
+}

@@ -1,0 +1,7 @@
+// Lint self-test fixture: registers a handler through the raw composite
+// bind() instead of MicroBase::bind_tracked(). Must trip 'balanced-bind'.
+// Not compiled — only scanned by cqos_lint.
+void BadProtocol_init(cactus::CompositeProtocol& proto) {
+  proto.bind(ev::kNewRequest, "bad.handler",
+             [](cactus::EventContext& ctx) { (void)ctx; });
+}
