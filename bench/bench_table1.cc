@@ -32,7 +32,7 @@ PairStats run_level(sim::PlatformKind kind, sim::InterceptionLevel level,
   return run_pairs(*client, pairs);
 }
 
-void run_platform(sim::PlatformKind kind, int pairs) {
+void run_platform(sim::PlatformKind kind, int pairs, JsonReport& report) {
   struct Row {
     const char* label_suffix;
     sim::InterceptionLevel level;
@@ -55,6 +55,7 @@ void run_platform(sim::PlatformKind kind, int pairs) {
                             ? std::string("Original ") + platform_label(kind)
                             : row.label_suffix;
     print_table_row(label, stats, prev, base);
+    report.add_pair_row(platform_label(kind), label, 1, stats);
     if (base == 0) base = stats.set_get_ms;
     prev = stats.set_get_ms;
   }
@@ -67,9 +68,11 @@ int main() {
   using namespace cqos::bench;
   global_warmup();
   int pairs = bench_pairs();
+  JsonReport report(1, pairs);
   std::printf("CQoS bench: Table 1 — overhead of CQoS components\n");
-  run_platform(cqos::sim::PlatformKind::kCorba, pairs);
-  run_platform(cqos::sim::PlatformKind::kRmi, pairs);
+  run_platform(cqos::sim::PlatformKind::kCorba, pairs, report);
+  run_platform(cqos::sim::PlatformKind::kRmi, pairs, report);
+  report.write();
   std::printf(
       "\nShape checks vs the paper: RMI baseline < CORBA baseline; CORBA\n"
       "stub row adds the largest single overhead (DII conversion); RMI\n"

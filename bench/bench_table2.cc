@@ -77,7 +77,7 @@ std::vector<Config> table2_configs() {
   return configs;
 }
 
-void run_platform(sim::PlatformKind kind, int pairs) {
+void run_platform(sim::PlatformKind kind, int pairs, JsonReport& report) {
   std::printf("\nTable 2 — %s (avg response times, ms; %d set+get pairs)\n",
               platform_label(kind), pairs);
   std::printf("%-26s %8s %9s %9s\n", "Configuration", "servers", "set+get",
@@ -98,6 +98,8 @@ void run_platform(sim::PlatformKind kind, int pairs) {
     PairStats stats = run_pairs(*client, pairs);
     std::printf("%-26s %8d %9.3f %9.3f\n", config.label, config.servers,
                 stats.set_get_ms, stats.one_call_ms);
+    report.add_pair_row(platform_label(kind), config.label, config.servers,
+                        stats);
   }
 }
 
@@ -108,9 +110,11 @@ int main() {
   using namespace cqos::bench;
   global_warmup();
   int pairs = bench_pairs();
+  JsonReport report(2, pairs);
   std::printf("CQoS bench: Table 2 — response times per QoS configuration\n");
-  run_platform(cqos::sim::PlatformKind::kCorba, pairs);
-  run_platform(cqos::sim::PlatformKind::kRmi, pairs);
+  run_platform(cqos::sim::PlatformKind::kCorba, pairs, report);
+  run_platform(cqos::sim::PlatformKind::kRmi, pairs, report);
+  report.write();
   std::printf(
       "\nShape checks vs the paper: Privacy most expensive 1-server row\n"
       "(worst on CORBA); Vote >= plain ActiveRep; Total adds the largest\n"

@@ -83,6 +83,9 @@ std::vector<Config> table3_configs() {
 struct ClassStats {
   double high_ms = 0;
   double low_ms = 0;
+  // Per-call percentiles of the pair times (pair / 2, like the means).
+  double high_p50_ms = 0, high_p99_ms = 0;
+  double low_p50_ms = 0, low_p99_ms = 0;
 };
 
 /// Two high-priority and two low-priority clients issue get/set pairs
@@ -166,10 +169,17 @@ ClassStats run_config(sim::PlatformKind kind, const Config& config,
   for (auto& worker : workers) {
     (worker.high ? high : low).merge(worker.recorder);
   }
-  return ClassStats{high.mean() / 2.0, low.mean() / 2.0};  // per call
+  ClassStats stats;
+  stats.high_ms = high.mean() / 2.0;  // per call
+  stats.low_ms = low.mean() / 2.0;
+  stats.high_p50_ms = high.percentile(50) / 2.0;
+  stats.high_p99_ms = high.percentile(99) / 2.0;
+  stats.low_p50_ms = low.percentile(50) / 2.0;
+  stats.low_p99_ms = low.percentile(99) / 2.0;
+  return stats;
 }
 
-void run_platform(sim::PlatformKind kind, int pairs) {
+void run_platform(sim::PlatformKind kind, int pairs, JsonReport& report) {
   std::printf(
       "\nTable 3 — %s (avg response time per call, ms; %d pairs per client,\n"
       "2 high-priority + 2 low-priority clients)\n",
@@ -181,6 +191,12 @@ void run_platform(sim::PlatformKind kind, int pairs) {
     std::printf("%-16s %8d %14.3f %14.3f %7.2fx\n", config.label,
                 config.servers, stats.high_ms, stats.low_ms,
                 stats.high_ms > 0 ? stats.low_ms / stats.high_ms : 0.0);
+    report.add_row(JsonRow{platform_label(kind), config.label, config.servers,
+                           stats.high_ms, stats.high_p50_ms, stats.high_p99_ms,
+                           "high"});
+    report.add_row(JsonRow{platform_label(kind), config.label, config.servers,
+                           stats.low_ms, stats.low_p50_ms, stats.low_p99_ms,
+                           "low"});
   }
 }
 
@@ -191,9 +207,11 @@ int main() {
   using namespace cqos::bench;
   global_warmup();
   int pairs = std::max(50, bench_pairs() / 4);
+  JsonReport report(3, pairs);
   std::printf("CQoS bench: Table 3 — TimedSched service differentiation\n");
-  run_platform(cqos::sim::PlatformKind::kCorba, pairs);
-  run_platform(cqos::sim::PlatformKind::kRmi, pairs);
+  run_platform(cqos::sim::PlatformKind::kCorba, pairs, report);
+  run_platform(cqos::sim::PlatformKind::kRmi, pairs, report);
+  report.write();
   std::printf(
       "\nShape checks vs the paper: low-priority response ≈ 2x high in every\n"
       "configuration; high-priority times track the unloaded Table 2 rows.\n");

@@ -8,8 +8,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "sim/bank_account.h"
 #include "sim/cluster.h"
@@ -40,6 +44,8 @@ inline net::NetConfig bench_net() {
 struct PairStats {
   double set_get_ms = 0;  // mean time for one set_balance+get_balance pair
   double one_call_ms = 0;
+  double p50_ms = 0;  // percentiles of the best repetition's pair times
+  double p99_ms = 0;
 };
 
 /// The paper's workload: pairs of set_balance()/get_balance() calls.
@@ -53,6 +59,7 @@ inline PairStats run_pairs(sim::ClientHandle& client, int pairs,
     (void)account.get_balance();
   }
   double best = 0;
+  LatencyRecorder best_lat;
   for (int rep = 0; rep < reps; ++rep) {
     LatencyRecorder pair_lat;
     for (int i = 0; i < pairs; ++i) {
@@ -61,11 +68,16 @@ inline PairStats run_pairs(sim::ClientHandle& client, int pairs,
       (void)account.get_balance();
       pair_lat.add(to_ms(now() - t0));
     }
-    if (rep == 0 || pair_lat.mean() < best) best = pair_lat.mean();
+    if (rep == 0 || pair_lat.mean() < best) {
+      best = pair_lat.mean();
+      best_lat = pair_lat;
+    }
   }
   PairStats stats;
   stats.set_get_ms = best;
   stats.one_call_ms = stats.set_get_ms / 2.0;
+  stats.p50_ms = best_lat.percentile(50);
+  stats.p99_ms = best_lat.percentile(99);
   return stats;
 }
 
@@ -100,5 +112,78 @@ inline void print_table_row(const std::string& label, const PairStats& stats,
               prev_ms == 0 ? 0.0 : stats.set_get_ms - prev_ms,
               base_ms == 0 ? 0.0 : stats.set_get_ms - base_ms);
 }
+
+// --- machine-readable output (BENCH_table<N>.json) ---------------------------
+//
+// Every bench binary dumps its rows (per-row mean/p50/p99) plus a snapshot
+// of the global metrics registry, so the perf trajectory has data points a
+// later PR can diff against. Schema (validated by tools/bench_smoke.sh):
+//   { "table": N, "pairs": N, "rows": [
+//       {"platform": "...", "label": "...", "servers": N,
+//        "mean_ms": f, "p50_ms": f, "p99_ms": f, ["class": "high"|"low"]}
+//     ], "metrics": {"counters": {...}, "histograms": {...}} }
+
+/// One emitted row. `cls` is empty except for Table 3's per-priority rows.
+struct JsonRow {
+  std::string platform;
+  std::string label;
+  int servers = 1;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::string cls;
+};
+
+/// Accumulates rows during a bench run; write() emits the JSON file.
+class JsonReport {
+ public:
+  JsonReport(int table, int pairs) : table_(table), pairs_(pairs) {}
+
+  void add_row(JsonRow row) { rows_.push_back(std::move(row)); }
+
+  void add_pair_row(const char* platform, const std::string& label,
+                    int servers, const PairStats& stats) {
+    add_row(JsonRow{platform, label, servers, stats.set_get_ms, stats.p50_ms,
+                    stats.p99_ms, {}});
+  }
+
+  /// Output path: $CQOS_BENCH_OUT_DIR/BENCH_table<N>.json (default CWD).
+  std::string path() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("CQOS_BENCH_OUT_DIR")) dir = env;
+    return dir + "/BENCH_table" + std::to_string(table_) + ".json";
+  }
+
+  bool write() const {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"table\":" << table_ << ",\"pairs\":" << pairs_ << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const JsonRow& r = rows_[i];
+      if (i) os << ',';
+      os << "{\"platform\":\"" << r.platform << "\",\"label\":\"" << r.label
+         << "\",\"servers\":" << r.servers << ",\"mean_ms\":" << r.mean_ms
+         << ",\"p50_ms\":" << r.p50_ms << ",\"p99_ms\":" << r.p99_ms;
+      if (!r.cls.empty()) os << ",\"class\":\"" << r.cls << "\"";
+      os << '}';
+    }
+    os << "],\"metrics\":" << metrics::Registry::global().to_json() << "}";
+
+    std::ofstream out(path());
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path().c_str());
+      return false;
+    }
+    out << os.str() << '\n';
+    std::printf("\nwrote %s (%zu rows)\n", path().c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  int table_;
+  int pairs_;
+  std::vector<JsonRow> rows_;
+};
 
 }  // namespace cqos::bench

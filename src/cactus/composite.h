@@ -70,6 +70,14 @@ class EventContext {
     throw TypeError("event dynamic argument has unexpected type");
   }
 
+  /// Non-throwing variant: nullptr when the argument is not a T. Used by
+  /// generic instrumentation (MicroBase handler timing) that must work for
+  /// any activation type.
+  template <typename T>
+  const T* try_dyn() const {
+    return std::any_cast<T>(&dyn_);
+  }
+
   /// Static argument supplied at bind time (set by the runtime before each
   /// handler runs).
   template <typename T>

@@ -118,10 +118,14 @@ class ByteReader {
     int shift = 0;
     for (;;) {
       std::uint8_t b = get_u8();
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      std::uint64_t group = b & 0x7f;
+      // The 10th group sits at shift 63: only its low bit fits in a u64.
+      // Anything else would silently truncate, so reject it.
+      if (shift == 63 && group > 1) throw DecodeError("varint overflows u64");
+      v |= group << shift;
       if ((b & 0x80) == 0) return v;
       shift += 7;
-      if (shift >= 64) throw DecodeError("varint too long");
+      if (shift > 63) throw DecodeError("varint too long");
     }
   }
 

@@ -1,0 +1,111 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace cqos::metrics {
+
+double Histogram::percentile_us(double p) const {
+  std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  double target = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Linear interpolation inside the bucket [lo, hi].
+      double lo = i == 0 ? 0 : bound_us(i - 1);
+      double hi = bound_us(i);
+      double frac = (target - static_cast<double>(cum)) /
+                    static_cast<double>(in_bucket);
+      if (frac < 0) frac = 0;
+      if (frac > 1) frac = 1;
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return bound_us(kBuckets);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  MutexLock lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  MutexLock lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  MutexLock lk(mu_);
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ":{\"count\":" << h->count() << ",\"mean_us\":" << h->mean_us()
+       << ",\"p50_us\":" << h->percentile_us(50)
+       << ",\"p99_us\":" << h->percentile_us(99) << ",\"buckets\":[";
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      if (i) os << ',';
+      os << h->bucket(i);
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::reset() {
+  MutexLock lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlive all users
+  return *instance;
+}
+
+}  // namespace cqos::metrics

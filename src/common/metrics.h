@@ -1,0 +1,143 @@
+// Request-path metrics: lock-cheap counters and fixed-bucket histograms
+// collected in a named registry, snapshot-able to deterministic JSON.
+//
+// The paper's evaluation (§5, Tables 1–3) is an overhead accounting
+// exercise — where do the microseconds go between CQoS stub,
+// micro-protocols, network and skeleton. This registry is the
+// machine-readable substrate for that accounting: the network layer counts
+// messages/bytes/drops per host pair, MicroBase times every bound handler,
+// and the bench binaries dump a snapshot next to their latency tables.
+//
+// Concurrency: Counter::inc and Histogram::record are wait-free (relaxed
+// atomics); only name->instrument resolution takes the registry mutex, so
+// hot paths resolve once and cache the reference. Instruments are owned by
+// the registry and never move or die before it, so cached references stay
+// valid for the registry's lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace cqos::metrics {
+
+/// Monotonic event counter. Relaxed increments: totals are exact, ordering
+/// against other memory is not implied (snapshot readers only need totals).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram (microseconds). Bucket upper bounds are
+/// powers of two from 1 us to ~8.4 s plus an overflow bucket, so two
+/// histograms recorded anywhere in the process merge bucket-by-bucket and
+/// snapshots are deterministic for a given sequence of observations.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 24;  // bound[i] = 2^i us; last = overflow
+
+  void record_us(double us) {
+    if (us < 0) us = 0;
+    int b = bucket_for(us);
+    buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(static_cast<std::uint64_t>(us * 1e3),
+                      std::memory_order_relaxed);
+  }
+  void record(Duration d) { record_us(to_us(d)); }
+
+  void merge(const Histogram& o) {
+    for (int i = 0; i <= kBuckets; ++i) {
+      auto idx = static_cast<std::size_t>(i);
+      buckets_[idx].fetch_add(o.buckets_[idx].load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    }
+    count_.fetch_add(o.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_ns_.fetch_add(o.sum_ns_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_us() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e3;
+  }
+  double mean_us() const {
+    std::uint64_t n = count();
+    return n == 0 ? 0 : sum_us() / static_cast<double>(n);
+  }
+
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket i in microseconds (overflow bucket: +inf,
+  /// reported as the last finite bound).
+  static double bound_us(int i) {
+    return static_cast<double>(std::uint64_t{1} << (i < kBuckets ? i : kBuckets - 1));
+  }
+
+  /// Bucket-interpolated percentile estimate (p in [0,100]).
+  double percentile_us(double p) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static int bucket_for(double us) {
+    for (int i = 0; i < kBuckets; ++i) {
+      if (us <= bound_us(i)) return i;
+    }
+    return kBuckets;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Named instrument registry. Names use a dotted scheme (see DESIGN.md §9):
+///   net.*   network-level counters        (net.sent.msgs, net.drop.crashed)
+///   micro.* per-handler latency           (micro.readyToInvoke.invokeServant)
+///   cqos.*  stub/skeleton/composite spans (cqos.stub.call)
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Deterministic JSON object: {"counters":{...},"histograms":{...}} with
+  /// names sorted (std::map order) so equal recorded state yields equal text.
+  std::string to_json() const;
+
+  /// Zero every instrument (references stay valid). Tests only.
+  void reset();
+
+  /// Process-wide default registry used when no explicit registry is wired.
+  static Registry& global();
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CQOS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CQOS_GUARDED_BY(mu_);
+};
+
+}  // namespace cqos::metrics

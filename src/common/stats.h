@@ -11,9 +11,13 @@ namespace cqos {
 /// Collects samples (milliseconds) and reports summary statistics.
 class LatencyRecorder {
  public:
-  void add(double ms) { samples_.push_back(ms); }
+  void add(double ms) {
+    samples_.push_back(ms);
+    sorted_dirty_ = true;
+  }
   void merge(const LatencyRecorder& o) {
     samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    sorted_dirty_ = true;
   }
 
   std::size_t count() const { return samples_.size(); }
@@ -27,13 +31,18 @@ class LatencyRecorder {
 
   double percentile(double p) const {
     if (samples_.empty()) return 0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    // Sort once per batch of add()s, not per query: the JSON export asks
+    // for several percentiles from the same sample set.
+    if (sorted_dirty_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_dirty_ = false;
+    }
+    double idx = p / 100.0 * static_cast<double>(sorted_.size() - 1);
     auto lo = static_cast<std::size_t>(std::floor(idx));
     auto hi = static_cast<std::size_t>(std::ceil(idx));
     double frac = idx - static_cast<double>(lo);
-    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+    return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
   }
 
   double min() const {
@@ -49,6 +58,9 @@ class LatencyRecorder {
 
  private:
   std::vector<double> samples_;
+  // percentile() cache; rebuilt lazily after add()/merge().
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = true;
 };
 
 }  // namespace cqos

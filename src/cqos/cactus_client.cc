@@ -1,5 +1,7 @@
 #include "cqos/cactus_client.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cqos/events.h"
 
 namespace cqos {
@@ -17,6 +19,10 @@ CactusClient::CactusClient(std::unique_ptr<ClientQosInterface> qos,
 CactusClient::~CactusClient() { stop(); }
 
 void CactusClient::cactus_request(const RequestPtr& req) {
+  static metrics::Histogram& hist =
+      metrics::Registry::global().histogram("cqos.cactus.client.request");
+  trace::ScopedSpan span(req->trace_id, "cqos.cactus.client.request",
+                         req->method, &hist);
   proto_.raise(ev::kNewRequest, req);
   if (!req->wait(request_timeout_)) {
     req->complete(false, Value(), "cqos: request timed out");

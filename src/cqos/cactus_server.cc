@@ -1,5 +1,7 @@
 #include "cqos/cactus_server.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cqos/events.h"
 
 namespace cqos {
@@ -17,9 +19,15 @@ CactusServer::CactusServer(std::unique_ptr<ServerQosInterface> qos,
 CactusServer::~CactusServer() { stop(); }
 
 void CactusServer::process_request(const RequestPtr& req) {
-  proto_.raise(ev::kNewServerRequest, req);
-  if (!req->wait(process_timeout_)) {
-    req->complete(false, Value(), "cqos: server-side processing timed out");
+  static metrics::Histogram& hist =
+      metrics::Registry::global().histogram("cqos.cactus.server.process");
+  {
+    trace::ScopedSpan span(req->trace_id, "cqos.cactus.server.process",
+                           req->method, &hist);
+    proto_.raise(ev::kNewServerRequest, req);
+    if (!req->wait(process_timeout_)) {
+      req->complete(false, Value(), "cqos: server-side processing timed out");
+    }
   }
   // The reply is (about to be) sent back to the client; let scheduling
   // micro-protocols release queued work.

@@ -147,6 +147,7 @@ void Request::reset(std::string object_id_in, std::string method_in,
   MutexLock lk(mu_);
   flags_.clear();
   id = next_id();
+  trace_id = 0;
   object_id = std::move(object_id_in);
   method = std::move(method_in);
   params = std::move(params_in);
@@ -186,6 +187,10 @@ RequestPtr Request::decode_forwarded(const std::string& object_id,
   auto it = req->piggyback.find(pbkey::kPriority);
   if (it != req->piggyback.end()) {
     req->priority = static_cast<int>(it->second.as_i64());
+  }
+  auto trace_it = req->piggyback.find(pbkey::kTraceId);
+  if (trace_it != req->piggyback.end()) {
+    req->trace_id = static_cast<std::uint64_t>(trace_it->second.as_i64());
   }
   return req;
 }

@@ -51,6 +51,10 @@ inline constexpr const char* kPrincipal = "cq.principal";
 inline constexpr const char* kEncrypted = "cq.enc";
 inline constexpr const char* kHmac = "cq.hmac";
 inline constexpr const char* kForwarded = "cq.fwd";
+/// Trace id minted by the CQoS stub; carried to the skeleton in the
+/// request piggyback and echoed back in the reply piggyback so one id
+/// spans stub -> micro-protocols -> skeleton -> reply.
+inline constexpr const char* kTraceId = "cq.trace";
 }  // namespace pbkey
 
 class Request {
@@ -63,6 +67,9 @@ class Request {
 
   // --- immutable-ish identification (set before the request enters Cactus) --
   std::uint64_t id = 0;
+  /// Observability trace id (0 = untraced); minted by the client stub and
+  /// lifted from pbkey::kTraceId on the server side.
+  std::uint64_t trace_id = 0;
   std::string object_id;
   std::string method;
   ValueList params;

@@ -1,9 +1,18 @@
 #include "cqos/skeleton.h"
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cqos/events.h"
 
 namespace cqos {
+namespace {
+metrics::Histogram& skeleton_handle_hist() {
+  static metrics::Histogram& h =
+      metrics::Registry::global().histogram("cqos.skeleton.handle");
+  return h;
+}
+}  // namespace
 
 CqosSkeleton::CqosSkeleton(std::string object_id,
                            std::shared_ptr<CactusServer> server)
@@ -28,6 +37,10 @@ RequestPtr CqosSkeleton::build_request(const std::string& method,
   if (prio_it != piggyback.end()) {
     req->priority = static_cast<int>(prio_it->second.as_i64());
   }
+  auto trace_it = piggyback.find(pbkey::kTraceId);
+  if (trace_it != piggyback.end()) {
+    req->trace_id = static_cast<std::uint64_t>(trace_it->second.as_i64());
+  }
   req->piggyback = std::move(piggyback);
   return req;
 }
@@ -51,15 +64,19 @@ plat::Reply CqosSkeleton::handle(const std::string& method, ValueList params,
 
   RequestPtr req = build_request(method, std::move(params), std::move(piggyback));
 
-  if (server_) {
-    server_->cactus_invoke(req);
-  } else {
-    // Bypass: native invocation of the servant.
-    try {
-      Value result = servant_->dispatch(req->method, req->params);
-      req->complete(true, std::move(result));
-    } catch (const std::exception& e) {
-      req->complete(false, Value(), e.what());
+  {
+    trace::ScopedSpan span(req->trace_id, "cqos.skeleton.handle", method,
+                           &skeleton_handle_hist());
+    if (server_) {
+      server_->cactus_invoke(req);
+    } else {
+      // Bypass: native invocation of the servant.
+      try {
+        Value result = servant_->dispatch(req->method, req->params);
+        req->complete(true, std::move(result));
+      } catch (const std::exception& e) {
+        req->complete(false, Value(), e.what());
+      }
     }
   }
 
@@ -71,6 +88,11 @@ plat::Reply CqosSkeleton::handle(const std::string& method, ValueList params,
     reply.error = req->error();
   }
   reply.piggyback = req->reply_piggyback();
+  // Echo the trace id so the reply leg is attributable client-side.
+  if (req->trace_id != 0) {
+    reply.piggyback[pbkey::kTraceId] =
+        Value(static_cast<std::int64_t>(req->trace_id));
+  }
   return reply;
 }
 

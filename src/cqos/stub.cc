@@ -1,10 +1,18 @@
 #include "cqos/stub.h"
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace cqos {
 namespace {
 constexpr std::size_t kMaxPooledRequests = 16;
+
+metrics::Histogram& stub_call_hist() {
+  static metrics::Histogram& h =
+      metrics::Registry::global().histogram("cqos.stub.call");
+  return h;
+}
 }  // namespace
 
 CqosStub::CqosStub(std::shared_ptr<CactusClient> client, std::string object_id,
@@ -57,6 +65,13 @@ RequestPtr CqosStub::call_request(const std::string& method,
   if (!opts_.principal.empty()) {
     req->piggyback[pbkey::kPrincipal] = Value(opts_.principal);
   }
+  // Mint the per-request trace id here, at the outermost client hop; the
+  // piggyback entry carries it across the wire to the skeleton.
+  req->trace_id = trace::next_trace_id();
+  req->piggyback[pbkey::kTraceId] =
+      Value(static_cast<std::int64_t>(req->trace_id));
+  trace::ScopedSpan span(req->trace_id, "cqos.stub.call", method,
+                         &stub_call_hist());
 
   if (client_) {
     client_->cactus_request(req);

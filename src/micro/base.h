@@ -10,6 +10,8 @@
 
 #include "cactus/composite.h"
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cqos/cactus_client.h"
 #include "cqos/cactus_server.h"
 #include "cqos/config.h"
@@ -80,11 +82,31 @@ class MicroBase : public cactus::MicroProtocol {
                                  int order = cactus::kOrderDefault,
                                  std::any static_arg = {}) {
     bound_proto_ = &proto;
-    cactus::BindingId id =
-        proto.bind(event, std::move(handler_name), std::move(handler), order,
+    // Observability hook: every tracked handler is timed into a per-handler
+    // histogram (micro.<event>.<handler>) and, when the activation carries
+    // a traced Request/Invocation, recorded as a span under its trace id —
+    // the whole micro-protocol suite gets per-handler latency for free.
+    std::string span_name =
+        "micro." + std::string(event) + "." + handler_name;
+    metrics::Histogram& hist =
+        metrics::Registry::global().histogram(span_name);
+    cactus::Handler timed = [inner = std::move(handler),
+                             span_name = std::move(span_name),
+                             &hist](cactus::EventContext& ctx) {
+      trace::TraceId id = 0;
+      if (const RequestPtr* req = ctx.try_dyn<RequestPtr>()) {
+        id = (*req)->trace_id;
+      } else if (const InvocationPtr* inv = ctx.try_dyn<InvocationPtr>()) {
+        if ((*inv)->request) id = (*inv)->request->trace_id;
+      }
+      trace::ScopedSpan span(id, span_name, std::string(ctx.event()), &hist);
+      inner(ctx);
+    };
+    cactus::BindingId bid =
+        proto.bind(event, std::move(handler_name), std::move(timed), order,
                    std::move(static_arg));
-    bound_.push_back(id);
-    return id;
+    bound_.push_back(bid);
+    return bid;
   }
 
   /// Unbind every tracked handler (idempotent). Subclasses that override

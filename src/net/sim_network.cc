@@ -47,9 +47,23 @@ bool Endpoint::closed() const {
 
 void Endpoint::deposit(Message msg) {
   MutexLock lk(mu_);
-  if (closed_) return;
+  // crashed_ re-validates what send() checked under the network lock:
+  // between that check and this deposit a crash_host() may have run, and a
+  // crashed host must not receive the in-flight message.
+  if (closed_ || crashed_) return;
   inbox_.emplace(msg.deliver_at, std::move(msg));
   cv_.notify_all();
+}
+
+void Endpoint::mark_crashed() {
+  MutexLock lk(mu_);
+  crashed_ = true;
+  inbox_.clear();
+}
+
+void Endpoint::mark_recovered() {
+  MutexLock lk(mu_);
+  crashed_ = false;
 }
 
 void Endpoint::clear_inbox() {
@@ -70,6 +84,7 @@ std::shared_ptr<Endpoint> SimNetwork::create_endpoint(const std::string& id) {
   MutexLock lk(mu_);
   if (endpoints_.contains(id)) throw Error("endpoint id already registered: " + id);
   auto ep = std::make_shared<Endpoint>(id, host_of(id));
+  if (crashed_.contains(ep->host())) ep->mark_crashed();
   endpoints_.emplace(id, ep);
   return ep;
 }
@@ -82,8 +97,28 @@ void SimNetwork::remove_endpoint(const std::string& id) {
     if (it == endpoints_.end()) return;
     ep = std::move(it->second);
     endpoints_.erase(it);
+    // Prune the FIFO clamp: long-lived simulations with endpoint churn
+    // would otherwise grow this map without bound.
+    last_deliver_.erase(id);
   }
   ep->close();
+}
+
+void SimNetwork::count_send(const std::string& from_host,
+                            const std::string& to_host, std::size_t bytes) {
+  metrics::Registry& reg = registry();
+  reg.counter("net.sent.msgs").inc();
+  reg.counter("net.sent.bytes").inc(bytes);
+  std::string pair = "net.pair." + from_host + ":" + to_host;
+  reg.counter(pair + ".msgs").inc();
+  reg.counter(pair + ".bytes").inc(bytes);
+}
+
+void SimNetwork::count_drop(const std::string& from_host,
+                            const std::string& to_host, const char* reason) {
+  metrics::Registry& reg = registry();
+  reg.counter(std::string("net.drop.") + reason).inc();
+  reg.counter("net.pair." + from_host + ":" + to_host + ".drops").inc();
 }
 
 Duration SimNetwork::compute_latency(const std::string& from_host,
@@ -109,19 +144,30 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
   Message msg;
   {
     MutexLock lk(mu_);
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) return false;
-
     std::string from_host = host_of(from);
     std::string to_host = host_of(to);
-    if (crashed_.contains(to_host) || crashed_.contains(from_host)) return false;
+
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      count_drop(from_host, to_host, "unknown_dest");
+      return false;
+    }
+
+    if (crashed_.contains(to_host) || crashed_.contains(from_host)) {
+      count_drop(from_host, to_host, "crashed");
+      return false;
+    }
 
     auto pair = std::minmax(from_host, to_host);
-    if (partitions_.contains({pair.first, pair.second})) return false;
+    if (partitions_.contains({pair.first, pair.second})) {
+      count_drop(from_host, to_host, "partition");
+      return false;
+    }
 
     if (from_host != to_host && cfg_.drop_rate > 0 &&
         rng_.next_bool(cfg_.drop_rate)) {
       CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to);
+      count_drop(from_host, to_host, "random");
       return false;
     }
 
@@ -137,6 +183,7 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
     msg.payload = std::move(payload);
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
     bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+    count_send(from_host, to_host, msg.payload.size());
   }
 
   {
@@ -153,16 +200,28 @@ void SimNetwork::crash_host(const std::string& host) {
   {
     MutexLock lk(mu_);
     crashed_.insert(host);
+    registry().counter("net.crash").inc();
     for (auto& [id, ep] : endpoints_) {
       if (ep->host() == host) eps.push_back(ep);
     }
   }
-  for (auto& ep : eps) ep->clear_inbox();
+  // mark_crashed() both drops queued messages AND makes the endpoint
+  // refuse deposits, closing the race with a send() that validated crash
+  // state under mu_ but deposits after releasing it. Once this returns, no
+  // in-flight message can land on the crashed host.
+  for (auto& ep : eps) ep->mark_crashed();
 }
 
 void SimNetwork::recover_host(const std::string& host) {
-  MutexLock lk(mu_);
-  crashed_.erase(host);
+  std::vector<std::shared_ptr<Endpoint>> eps;
+  {
+    MutexLock lk(mu_);
+    crashed_.erase(host);
+    for (auto& [id, ep] : endpoints_) {
+      if (ep->host() == host) eps.push_back(ep);
+    }
+  }
+  for (auto& ep : eps) ep->mark_recovered();
 }
 
 bool SimNetwork::is_crashed(const std::string& host) const {

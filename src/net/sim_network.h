@@ -25,6 +25,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/sync.h"
 #include "common/thread_annotations.h"
@@ -52,6 +53,10 @@ struct NetConfig {
   double drop_rate = 0.0;
   /// RNG seed for jitter/drops (deterministic tests).
   std::uint64_t seed = 42;
+  /// Metrics registry for wire-level accounting (messages/bytes/drops,
+  /// per host pair). Null means the process-wide global registry; tests
+  /// that assert exact counter values pass their own.
+  metrics::Registry* metrics = nullptr;
 };
 
 class SimNetwork;
@@ -74,7 +79,16 @@ class Endpoint {
 
  private:
   friend class SimNetwork;
+  /// Refused (message dropped) while the endpoint's host is crashed or the
+  /// endpoint is closed. The crash check lives HERE, at deposit time, not
+  /// only in SimNetwork::send: send() validates crash state under the
+  /// network lock but deposits after releasing it, so a concurrent
+  /// crash_host() would otherwise clear the inbox and still see this
+  /// in-flight message land on a "crashed" host.
   void deposit(Message msg);
+  /// Crash transitions: mark_crashed() also drops queued messages.
+  void mark_crashed();
+  void mark_recovered();
   void clear_inbox();
 
   const std::string id_;
@@ -84,6 +98,7 @@ class Endpoint {
   // Ordered by (deliver_at, seq).
   std::multimap<TimePoint, Message> inbox_ CQOS_GUARDED_BY(mu_);
   bool closed_ CQOS_GUARDED_BY(mu_) = false;
+  bool crashed_ CQOS_GUARDED_BY(mu_) = false;
 };
 
 class SimNetwork {
@@ -127,16 +142,39 @@ class SimNetwork {
   std::uint64_t messages_sent() const { return messages_sent_.load(); }
   std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
 
+  /// Number of per-destination FIFO clamp entries currently retained
+  /// (test hook: remove_endpoint must prune its entry or endpoint churn
+  /// grows the map without bound).
+  std::size_t fifo_clamp_entries() const {
+    MutexLock lk(mu_);
+    return last_deliver_.size();
+  }
+
   static std::string host_of(const std::string& endpoint_id);
 
  private:
+  /// Wire-level accounting into cfg_.metrics (global registry when null):
+  /// net.sent.{msgs,bytes}, net.drop.<reason>, and the per-host-pair
+  /// variants net.pair.<from>:<to>.{msgs,bytes,drops}.
+  void count_send(const std::string& from_host, const std::string& to_host,
+                  std::size_t bytes) CQOS_REQUIRES(mu_);
+  void count_drop(const std::string& from_host, const std::string& to_host,
+                  const char* reason) CQOS_REQUIRES(mu_);
+  metrics::Registry& registry() CQOS_REQUIRES(mu_) {
+    return cfg_.metrics != nullptr ? *cfg_.metrics
+                                   : metrics::Registry::global();
+  }
+
   Duration compute_latency(const std::string& from_host,
                            const std::string& to_host, std::size_t bytes)
       CQOS_REQUIRES(mu_);
 
   // Lock hierarchy: mu_ > tap_mu_ > Endpoint::mu_, in the sense that send()
   // releases mu_ before taking tap_mu_ and releases tap_mu_ before
-  // deposit() takes the endpoint lock; no path ever holds two of them.
+  // deposit() takes the endpoint lock. Exceptions consistent with that
+  // order: create_endpoint() marks a brand-new (unpublished) endpoint
+  // crashed under mu_, and the metrics registry mutex is a leaf taken by
+  // count_send()/count_drop() under mu_.
   mutable Mutex mu_;
   NetConfig cfg_ CQOS_GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_

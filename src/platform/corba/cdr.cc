@@ -109,7 +109,12 @@ PiggybackMap decode_service_context(ByteReader& r) {
   PiggybackMap pb;
   for (std::uint32_t i = 0; i < n; ++i) {
     std::string key = decode_cdr_string(r);
-    pb.emplace(std::move(key), decode_any(r));
+    Value value = decode_any(r);
+    // emplace would silently drop the second entry, so a malformed or
+    // adversarial frame would decode differently from what was encoded.
+    if (!pb.emplace(std::move(key), std::move(value)).second) {
+      throw DecodeError("duplicate service context key");
+    }
   }
   return pb;
 }

@@ -30,7 +30,10 @@ PiggybackMap decode_pb(ByteReader& r) {
   PiggybackMap pb;
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string k = r.get_string();
-    pb.emplace(std::move(k), Value::decode(r));
+    Value v = Value::decode(r);
+    if (!pb.emplace(std::move(k), std::move(v)).second) {
+      throw DecodeError("duplicate piggyback key");
+    }
   }
   return pb;
 }

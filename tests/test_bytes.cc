@@ -58,6 +58,33 @@ TEST(Bytes, VarintTooLongThrows) {
   EXPECT_THROW(r.get_varint(), DecodeError);
 }
 
+TEST(Bytes, VarintOverflowRejected) {
+  // A syntactically valid 10-byte varint whose final group carries bits
+  // >= 2^64 must throw, not silently truncate: 9 continuation bytes put the
+  // last group at shift 63 where only the low bit fits.
+  Bytes data(9, 0x80);
+  data.push_back(0x02);  // bit 64 — out of range
+  ByteReader r(data);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+
+  // Same shape with every dropped-bit pattern that used to decode as a
+  // small value: 0x7f at shift 63 would have kept only its low bit.
+  Bytes data2(9, 0xff);
+  data2.push_back(0x7f);
+  ByteReader r2(data2);
+  EXPECT_THROW(r2.get_varint(), DecodeError);
+}
+
+TEST(Bytes, VarintTenByteMaxStillDecodes) {
+  // The largest legal 10-byte varint (UINT64_MAX) keeps working: groups
+  // 0x7f x9 fill bits 0..62 and the final group contributes bit 63 only.
+  Bytes data(9, 0xff);
+  data.push_back(0x01);
+  ByteReader r(data);
+  EXPECT_EQ(r.get_varint(), ~std::uint64_t{0});
+  EXPECT_TRUE(r.done());
+}
+
 TEST(Bytes, StringAndBlob) {
   ByteWriter w;
   w.put_string("héllo");

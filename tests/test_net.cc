@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/sync.h"
 #include "net/sim_network.h"
 
 namespace cqos::net {
@@ -97,6 +98,96 @@ TEST(SimNetwork, CrashLosesQueuedMessages) {
   net.send("hostA/x", "hostB/y", Bytes{1});  // in flight
   net.crash_host("hostB");
   EXPECT_FALSE(b->recv(ms(50)).has_value());
+}
+
+// Regression for the deposit-after-crash race: send() validates crash state
+// under mu_ but deposits after releasing it, so a crash_host() sneaking into
+// that window used to land a message on an already-crashed host. The tap runs
+// exactly inside the window, which lets the test hold the sender there
+// deterministically.
+TEST(SimNetwork, DepositAfterCrashRefused) {
+  SimNetwork net(fast_config());
+  net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  Gate in_window, resume;
+  net.set_tap([&](const Message&) {
+    in_window.set();
+    resume.wait();
+  });
+  std::thread sender([&] {
+    EXPECT_TRUE(net.send("hostA/x", "hostB/y", Bytes{7}));
+  });
+  ASSERT_TRUE(in_window.wait_for(ms(5000)));  // validated, not yet deposited
+  net.crash_host("hostB");                    // guarantees no later delivery
+  resume.set();
+  sender.join();
+  EXPECT_FALSE(b->recv(ms(50)).has_value());
+}
+
+// Chaos variant of the same race: many senders hammer a host that crashes
+// mid-storm. Once crash_host() returns, nothing may arrive — not even sends
+// that had already passed validation.
+TEST(SimNetwork, CrashStormNeverDeliversAfterCrash) {
+  NetConfig cfg = fast_config();
+  cfg.base_latency = us(20);
+  SimNetwork net(cfg);
+  auto b = net.create_endpoint("hostB/y");
+  constexpr int kSenders = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> senders;
+  for (int i = 0; i < kSenders; ++i) {
+    net.create_endpoint("hostA/s" + std::to_string(i));
+    senders.emplace_back([&net, i, &stop] {
+      std::string from = "hostA/s" + std::to_string(i);
+      while (!stop.load()) net.send(from, "hostB/y", Bytes{1});
+    });
+  }
+  while (!b->recv(ms(1000)).has_value()) {
+  }  // storm is flowing
+  net.crash_host("hostB");
+  EXPECT_FALSE(b->recv(ms(100)).has_value());
+  stop.store(true);
+  for (auto& t : senders) t.join();
+  EXPECT_FALSE(b->recv(ms(50)).has_value());
+}
+
+// Regression for the FIFO-clamp leak: remove_endpoint must drop the
+// per-destination clamp entry, or endpoint churn grows the map forever.
+TEST(SimNetwork, RemoveEndpointPrunesFifoClamp) {
+  SimNetwork net(fast_config());
+  net.create_endpoint("hostA/x");
+  for (int i = 0; i < 10; ++i) {
+    std::string id = "hostB/y" + std::to_string(i);
+    auto ep = net.create_endpoint(id);
+    ASSERT_TRUE(net.send("hostA/x", id, Bytes{1}));
+    ASSERT_TRUE(ep->recv(ms(1000)).has_value());
+    net.remove_endpoint(id);
+  }
+  EXPECT_EQ(net.fifo_clamp_entries(), 0u);
+}
+
+TEST(SimNetwork, MetricsCountSendsAndDrops) {
+  metrics::Registry reg;
+  NetConfig cfg = fast_config();
+  cfg.metrics = &reg;
+  SimNetwork net(cfg);
+  net.create_endpoint("hostA/x");
+  auto b = net.create_endpoint("hostB/y");
+  ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes(10, 0)));
+  ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes(5, 0)));
+  ASSERT_TRUE(b->recv(ms(1000)).has_value());
+  ASSERT_TRUE(b->recv(ms(1000)).has_value());
+  EXPECT_FALSE(net.send("hostA/x", "nowhere/z", Bytes{1}));
+  net.partition("hostA", "hostB");
+  EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{1}));
+
+  EXPECT_EQ(reg.counter("net.sent.msgs").value(), 2u);
+  EXPECT_EQ(reg.counter("net.sent.bytes").value(), 15u);
+  EXPECT_EQ(reg.counter("net.pair.hostA:hostB.msgs").value(), 2u);
+  EXPECT_EQ(reg.counter("net.pair.hostA:hostB.bytes").value(), 15u);
+  EXPECT_EQ(reg.counter("net.drop.unknown_dest").value(), 1u);
+  EXPECT_EQ(reg.counter("net.drop.partition").value(), 1u);
+  EXPECT_EQ(reg.counter("net.pair.hostA:hostB.drops").value(), 1u);
 }
 
 TEST(SimNetwork, RecoveredHostReceivesAgain) {

@@ -1,0 +1,103 @@
+// End-to-end trace propagation: the stub-minted trace id must cross the
+// wire in the piggyback, be visible to the skeleton and micro-protocol
+// handlers, and come back in the reply piggyback — on both platforms.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "cqos/request.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::sim {
+namespace {
+
+ClusterOptions full_options(PlatformKind kind) {
+  ClusterOptions opts;
+  opts.platform = kind;
+  opts.level = InterceptionLevel::kFull;
+  opts.num_replicas = 1;
+  opts.net.base_latency = us(80);
+  opts.net.jitter = 0;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  return opts;
+}
+
+bool has_span(const std::vector<trace::Span>& spans, const std::string& name) {
+  for (const trace::Span& s : spans) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+bool has_span_prefix(const std::vector<trace::Span>& spans,
+                     const std::string& prefix) {
+  for (const trace::Span& s : spans) {
+    if (s.name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+class ObservabilityBothPlatforms : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(ObservabilityBothPlatforms, TraceIdSpansStubToSkeletonAndBack) {
+  trace::Tracer::global().clear();
+  Cluster cluster(full_options(GetParam()));
+  auto client = cluster.make_client();
+
+  RequestPtr req =
+      client->stub().call_request("set_balance", {Value(std::int64_t{42})});
+  ASSERT_TRUE(req != nullptr);
+  EXPECT_TRUE(req->succeeded());
+  ASSERT_NE(req->trace_id, 0u);
+
+  // The skeleton echoes the trace id into the reply piggyback.
+  PiggybackMap reply_pb = req->reply_piggyback();
+  auto it = reply_pb.find(pbkey::kTraceId);
+  ASSERT_TRUE(it != reply_pb.end());
+  EXPECT_EQ(static_cast<std::uint64_t>(it->second.as_i64()), req->trace_id);
+
+  // One id covers the whole path: client stub span, at least one
+  // micro-protocol handler span, and the server-side skeleton span.
+  auto spans = trace::Tracer::global().spans_for(req->trace_id);
+  EXPECT_TRUE(has_span(spans, "cqos.stub.call"));
+  EXPECT_TRUE(has_span(spans, "cqos.skeleton.handle"));
+  EXPECT_TRUE(has_span(spans, "cqos.cactus.client.request"));
+  EXPECT_TRUE(has_span_prefix(spans, "micro."));
+}
+
+TEST_P(ObservabilityBothPlatforms, DistinctCallsGetDistinctTraceIds) {
+  Cluster cluster(full_options(GetParam()));
+  auto client = cluster.make_client();
+  RequestPtr a = client->stub().call_request("set_balance", {Value(1)});
+  RequestPtr b = client->stub().call_request("get_balance", {});
+  ASSERT_NE(a->trace_id, 0u);
+  ASSERT_NE(b->trace_id, 0u);
+  EXPECT_NE(a->trace_id, b->trace_id);
+}
+
+TEST_P(ObservabilityBothPlatforms, HandlerTimingsLandInGlobalHistograms) {
+  metrics::Registry& reg = metrics::Registry::global();
+  Cluster cluster(full_options(GetParam()));
+  auto client = cluster.make_client();
+  std::uint64_t stub_before = reg.histogram("cqos.stub.call").count();
+  std::uint64_t skel_before = reg.histogram("cqos.skeleton.handle").count();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(7);
+  EXPECT_EQ(account.get_balance(), 7);
+  EXPECT_GE(reg.histogram("cqos.stub.call").count(), stub_before + 2);
+  EXPECT_GE(reg.histogram("cqos.skeleton.handle").count(), skel_before + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, ObservabilityBothPlatforms,
+                         ::testing::Values(PlatformKind::kCorba,
+                                           PlatformKind::kRmi),
+                         [](const auto& info) {
+                           return info.param == PlatformKind::kCorba ? "Corba"
+                                                                     : "Rmi";
+                         });
+
+}  // namespace
+}  // namespace cqos::sim

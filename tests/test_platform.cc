@@ -259,6 +259,32 @@ TEST(Cdr, StringsAreNulTerminated) {
   EXPECT_EQ(w.data(), (Bytes{3, 0, 0, 0, 'a', 'b', 0}));
 }
 
+TEST(Cdr, DuplicateServiceContextKeyRejected) {
+  // The encoder dedupes (PiggybackMap), so hand-craft a context list that
+  // carries the same key twice; decoding must throw rather than silently
+  // dropping the second entry.
+  ByteWriter w;
+  w.align(4);
+  w.put_u32(2);
+  corba::encode_cdr_string(w, "cq.trace");
+  corba::encode_any(w, Value(std::int64_t{1}));
+  corba::encode_cdr_string(w, "cq.trace");
+  corba::encode_any(w, Value(std::int64_t{2}));
+  ByteReader r(w.data());
+  EXPECT_THROW(corba::decode_service_context(r), DecodeError);
+}
+
+TEST(Jrmp, DuplicatePiggybackKeyRejected) {
+  ByteWriter w;
+  w.put_varint(2);
+  w.put_string("cq.trace");
+  Value(std::int64_t{1}).encode(w);
+  w.put_string("cq.trace");
+  Value(std::int64_t{2}).encode(w);
+  ByteReader r(w.data());
+  EXPECT_THROW(rmi::decode_pb(r), DecodeError);
+}
+
 TEST(Jrmp, CallRoundtrip) {
   rmi::CallBody body;
   body.reply_to = "cli/rmicli0";

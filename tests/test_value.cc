@@ -139,6 +139,20 @@ TEST(Piggyback, EmptyRoundtrip) {
   EXPECT_TRUE(decode_piggyback(r).empty());
 }
 
+TEST(Piggyback, DuplicateKeyRejected) {
+  // encode_piggyback can never produce duplicates (the map dedupes), so
+  // hand-craft a frame carrying the same key twice. Decoding must throw
+  // instead of silently keeping the first entry.
+  ByteWriter w;
+  w.put_varint(2);
+  w.put_string("cq.id");
+  Value(std::int64_t{1}).encode(w);
+  w.put_string("cq.id");
+  Value(std::int64_t{2}).encode(w);
+  ByteReader r(w.data());
+  EXPECT_THROW(decode_piggyback(r), DecodeError);
+}
+
 // Property: random nested values survive the codec.
 class ValueFuzzRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
 

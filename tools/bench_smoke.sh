@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Smoke-run the table bench binaries and validate the BENCH_table<N>.json
+# files they emit (schema in bench/harness.h). Meant for CI: a reduced
+# CQOS_BENCH_PAIRS makes this a correctness check of the reporting pipeline,
+# not a performance measurement.
+#
+# Usage: tools/bench_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${CQOS_BENCH_OUT_DIR:-$BUILD_DIR/bench-out}"
+mkdir -p "$OUT_DIR"
+export CQOS_BENCH_OUT_DIR="$OUT_DIR"
+export CQOS_BENCH_PAIRS="${CQOS_BENCH_PAIRS:-20}"
+
+for t in 1 2 3; do
+  bin="$BUILD_DIR/bench/bench_table$t"
+  if [ ! -x "$bin" ]; then
+    echo "bench_smoke: missing $bin — build the repo first" >&2
+    exit 1
+  fi
+  echo "== bench_table$t (CQOS_BENCH_PAIRS=$CQOS_BENCH_PAIRS)"
+  "$bin" >"$OUT_DIR/bench_table$t.log" 2>&1
+  grep "wrote " "$OUT_DIR/bench_table$t.log" || {
+    echo "bench_smoke: bench_table$t did not report writing its JSON" >&2
+    tail -n 20 "$OUT_DIR/bench_table$t.log" >&2
+    exit 1
+  }
+done
+
+python3 - "$OUT_DIR" <<'EOF'
+import json, sys
+from pathlib import Path
+
+out_dir = Path(sys.argv[1])
+# rows per table: t1 = 5 levels x 2 platforms; t2 = 7 configs x 2;
+# t3 = 5 configs x 2 priority classes x 2.
+expected_rows = {1: 10, 2: 14, 3: 20}
+row_keys = {"platform", "label", "servers", "mean_ms", "p50_ms", "p99_ms"}
+
+def fail(msg):
+    print(f"bench_smoke: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+for t, want in expected_rows.items():
+    path = out_dir / f"BENCH_table{t}.json"
+    if not path.exists():
+        fail(f"{path} missing")
+    doc = json.loads(path.read_text())
+    if doc.get("table") != t:
+        fail(f"{path}: table={doc.get('table')}, want {t}")
+    if not isinstance(doc.get("pairs"), int) or doc["pairs"] <= 0:
+        fail(f"{path}: bad pairs field")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != want:
+        fail(f"{path}: {len(rows or [])} rows, want {want}")
+    for row in rows:
+        missing = row_keys - row.keys()
+        if missing:
+            fail(f"{path}: row {row.get('label')} missing {sorted(missing)}")
+        for k in ("mean_ms", "p50_ms", "p99_ms"):
+            if not isinstance(row[k], (int, float)) or row[k] < 0:
+                fail(f"{path}: row {row['label']}: bad {k}={row[k]!r}")
+        if row["p50_ms"] > row["p99_ms"]:
+            fail(f"{path}: row {row['label']}: p50 > p99")
+        if "class" in row and row["class"] not in ("high", "low"):
+            fail(f"{path}: row {row['label']}: bad class {row['class']!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: metrics snapshot missing")
+    counters = metrics.get("counters", {})
+    if counters.get("net.sent.msgs", 0) <= 0:
+        fail(f"{path}: net.sent.msgs counter missing or zero")
+    if not any(n.startswith("micro.") for n in metrics.get("histograms", {})):
+        fail(f"{path}: no micro.* handler histograms in snapshot")
+    print(f"{path.name}: {len(rows)} rows OK, "
+          f"{len(counters)} counters, {len(metrics['histograms'])} histograms")
+
+print("bench_smoke: all BENCH_table JSON files valid")
+EOF
