@@ -29,6 +29,17 @@ inline int bench_pairs() {
   return 400;
 }
 
+/// Warmup knob: CQOS_BENCH_WARMUP unmeasured set+get pairs before each row
+/// (default 40). Covers lazy initialization, pool/cache priming and branch
+/// warmup so the measured repetitions start from steady state.
+inline int bench_warmup() {
+  if (const char* env = std::getenv("CQOS_BENCH_WARMUP")) {
+    int n = std::atoi(env);
+    if (n >= 0) return n;
+  }
+  return 40;
+}
+
 /// Network parameters mirroring the testbed's scale: ~100 us one-way base
 /// latency (1 Gbit Ethernet + kernel), small per-byte cost.
 inline net::NetConfig bench_net() {
@@ -46,13 +57,17 @@ struct PairStats {
   double one_call_ms = 0;
   double p50_ms = 0;  // percentiles of the best repetition's pair times
   double p99_ms = 0;
+  double cov_pct = 0;  // coefficient of variation of the best repetition
 };
 
 /// The paper's workload: pairs of set_balance()/get_balance() calls.
-/// Runs `reps` repetitions after warmup and reports the fastest repetition's
-/// mean — robust against scheduler noise and process cold-start effects.
+/// Runs a fixed warmup phase (unmeasured; CQOS_BENCH_WARMUP) and then
+/// `reps` measured repetitions, reporting the fastest repetition's mean —
+/// robust against scheduler noise and process cold-start effects — plus
+/// that repetition's coefficient of variation so noise is visible.
 inline PairStats run_pairs(sim::ClientHandle& client, int pairs,
-                           int warmup = 40, int reps = 5) {
+                           int warmup = -1, int reps = 5) {
+  if (warmup < 0) warmup = bench_warmup();
   sim::BankAccountStub account(client.stub_ptr());
   for (int i = 0; i < warmup; ++i) {
     account.set_balance(i);
@@ -78,6 +93,7 @@ inline PairStats run_pairs(sim::ClientHandle& client, int pairs,
   stats.one_call_ms = stats.set_get_ms / 2.0;
   stats.p50_ms = best_lat.percentile(50);
   stats.p99_ms = best_lat.percentile(99);
+  stats.cov_pct = best_lat.cov_pct();
   return stats;
 }
 
@@ -118,9 +134,10 @@ inline void print_table_row(const std::string& label, const PairStats& stats,
 // Every bench binary dumps its rows (per-row mean/p50/p99) plus a snapshot
 // of the global metrics registry, so the perf trajectory has data points a
 // later PR can diff against. Schema (validated by tools/bench_smoke.sh):
-//   { "table": N, "pairs": N, "rows": [
+//   { "table": N, "pairs": N, "warmup": N, "rows": [
 //       {"platform": "...", "label": "...", "servers": N,
-//        "mean_ms": f, "p50_ms": f, "p99_ms": f, ["class": "high"|"low"]}
+//        "mean_ms": f, "p50_ms": f, "p99_ms": f, "cov_pct": f,
+//        ["class": "high"|"low"]}
 //     ], "metrics": {"counters": {...}, "histograms": {...}} }
 
 /// One emitted row. `cls` is empty except for Table 3's per-priority rows.
@@ -131,6 +148,7 @@ struct JsonRow {
   double mean_ms = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  double cov_pct = 0;
   std::string cls;
 };
 
@@ -144,7 +162,7 @@ class JsonReport {
   void add_pair_row(const char* platform, const std::string& label,
                     int servers, const PairStats& stats) {
     add_row(JsonRow{platform, label, servers, stats.set_get_ms, stats.p50_ms,
-                    stats.p99_ms, {}});
+                    stats.p99_ms, stats.cov_pct, {}});
   }
 
   /// Output path: $CQOS_BENCH_OUT_DIR/BENCH_table<N>.json (default CWD).
@@ -158,13 +176,15 @@ class JsonReport {
     std::ostringstream os;
     os.precision(6);
     os << std::fixed;
-    os << "{\"table\":" << table_ << ",\"pairs\":" << pairs_ << ",\"rows\":[";
+    os << "{\"table\":" << table_ << ",\"pairs\":" << pairs_
+       << ",\"warmup\":" << bench_warmup() << ",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const JsonRow& r = rows_[i];
       if (i) os << ',';
       os << "{\"platform\":\"" << r.platform << "\",\"label\":\"" << r.label
          << "\",\"servers\":" << r.servers << ",\"mean_ms\":" << r.mean_ms
-         << ",\"p50_ms\":" << r.p50_ms << ",\"p99_ms\":" << r.p99_ms;
+         << ",\"p50_ms\":" << r.p50_ms << ",\"p99_ms\":" << r.p99_ms
+         << ",\"cov_pct\":" << r.cov_pct;
       if (!r.cls.empty()) os << ",\"class\":\"" << r.cls << "\"";
       os << '}';
     }

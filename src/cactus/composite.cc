@@ -87,7 +87,7 @@ std::size_t CompositeProtocol::binding_count(std::string_view event) const {
   return it == events_.end() ? 0 : it->second.bindings.size();
 }
 
-void CompositeProtocol::run_activation(const std::string& event,
+void CompositeProtocol::run_activation(std::string_view event,
                                        const std::any& dyn) {
   // Snapshot the bindings so handlers can bind/unbind during execution.
   std::vector<std::shared_ptr<Binding>> snapshot;
@@ -112,18 +112,25 @@ void CompositeProtocol::run_activation(const std::string& event,
 
 void CompositeProtocol::raise(std::string_view event, std::any dyn,
                               int priority) {
-  std::string name(event);
+  // No std::string materialization: events_ has transparent comparators and
+  // the snapshot outlives every use of the name (hot path — several raises
+  // per request).
   if (priority == kInheritPriority) {
-    run_activation(name, dyn);
+    run_activation(event, dyn);
   } else {
     PriorityGuard guard(priority);
-    run_activation(name, dyn);
+    run_activation(event, dyn);
   }
 }
 
 void CompositeProtocol::raise_async(std::string_view event, std::any dyn,
                                     int priority) {
   if (stopped_.load()) return;
+  // Zero-binding fast path: the activation would run no handlers, so skip
+  // the pool handoff — one submit + thread wakeup per raise, which shows up
+  // on the request return path (process_request raises kRequestReturned
+  // after every request whether or not a scheduler is installed).
+  if (binding_count(event) == 0) return;
   if (priority == kInheritPriority) priority = current_thread_priority();
   std::string name(event);
   auto task = [this, name, dyn = std::move(dyn)] { run_activation(name, dyn); };

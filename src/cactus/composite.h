@@ -226,7 +226,7 @@ class CompositeProtocol {
   };
 
   EventSlot& slot_locked(std::string_view event) CQOS_REQUIRES(mu_);
-  void run_activation(const std::string& event, const std::any& dyn);
+  void run_activation(std::string_view event, const std::any& dyn);
 
   Options opts_;
   mutable Mutex mu_;

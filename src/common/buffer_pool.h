@@ -1,0 +1,80 @@
+// Thread-local free-list of Bytes buffers backing the marshaling hot path.
+//
+// The paper's §5 overhead accounting blames marshaling for most of the CQoS
+// stub/skeleton cost; a large slice of that in this reproduction was
+// allocator traffic — every ByteWriter grew a fresh vector and every
+// network hop dropped one. BufferPool recycles those vectors: acquire()
+// hands out a cleared buffer with its old capacity intact, recycle() puts
+// it back on the calling thread's free list. Buffers may be recycled on a
+// different thread than they were acquired on (the receiver of a moved
+// network payload recycles into its own pool); there is no cross-thread
+// sharing of a live buffer, so no synchronization is needed.
+//
+// Ownership discipline (DESIGN.md §10): a pooled buffer has exactly one
+// owner at a time — the ByteWriter that acquired it, then whoever take()
+// moved it to, then the network message, then the receiver. Whoever holds
+// it last recycles it (or simply lets it die; recycling is an optimization,
+// never a correctness requirement).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cqos {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class BufferPool {
+ public:
+  /// Per-thread free-list depth; beyond this, recycled buffers are freed.
+  static constexpr std::size_t kMaxFreeList = 32;
+  /// Buffers with more capacity than this are never retained (a single
+  /// pathological payload must not pin megabytes per thread).
+  static constexpr std::size_t kMaxRetainedCapacity = 256 * 1024;
+
+  /// A cleared buffer with at least its previous capacity; reserves
+  /// `reserve` if the recycled capacity (or a fresh vector) is smaller.
+  static Bytes acquire(std::size_t reserve = 0);
+
+  /// Return a buffer to the calling thread's free list. Safe (and useful)
+  /// to call with a moved-from or empty vector: those are dropped cheaply.
+  static void recycle(Bytes&& b);
+
+  /// Global enable switch (ablation benches and tests). Disabled, acquire()
+  /// constructs and recycle() frees — the pre-pool behaviour.
+  static void set_enabled(bool on);
+  static bool enabled();
+
+  /// Drop the calling thread's free list (tests; also bounds memory when a
+  /// long-lived thread goes idle).
+  static void clear_thread_cache();
+  static std::size_t thread_cache_size();
+};
+
+/// RAII owner for a pooled buffer: recycles on destruction unless the bytes
+/// were take()n out. Use when a buffer's lifetime spans early-exit paths.
+class PooledBytes {
+ public:
+  explicit PooledBytes(std::size_t reserve = 0)
+      : buf_(BufferPool::acquire(reserve)) {}
+  ~PooledBytes() { BufferPool::recycle(std::move(buf_)); }
+
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+  PooledBytes(PooledBytes&& o) noexcept : buf_(std::move(o.buf_)) {}
+
+  Bytes& operator*() { return buf_; }
+  Bytes* operator->() { return &buf_; }
+  const Bytes& operator*() const { return buf_; }
+  const Bytes* operator->() const { return &buf_; }
+
+  /// Transfer ownership out; the destructor then recycles an empty shell.
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace cqos

@@ -4,6 +4,11 @@
 // optionally supports CDR-style alignment (used by the CORBA-like platform).
 // ByteReader is the bounds-checked mirror; it throws DecodeError instead of
 // reading past the end.
+//
+// ByteWriter's backing buffer comes from BufferPool: construction acquires
+// a recycled vector (capacity intact from a previous request), destruction
+// recycles whatever was not take()n out. take() transfers ownership to the
+// caller, who recycles it at the end of the hop (see DESIGN.md §10).
 #pragma once
 
 #include <cstdint>
@@ -13,16 +18,19 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/error.h"
 
 namespace cqos {
 
-using Bytes = std::vector<std::uint8_t>;
-
 class ByteWriter {
  public:
-  ByteWriter() = default;
-  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  ByteWriter() : buf_(BufferPool::acquire()) {}
+  explicit ByteWriter(std::size_t reserve) : buf_(BufferPool::acquire(reserve)) {}
+  ~ByteWriter() { BufferPool::recycle(std::move(buf_)); }
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
 
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
 
@@ -133,6 +141,16 @@ class ByteReader {
     check(n);
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Zero-copy read: a span over the next `n` bytes of the underlying
+  /// buffer. Valid only while that buffer outlives the span — use for
+  /// transient views (hash input, string construction), not for storage.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    check(n);
+    auto out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
   }

@@ -45,6 +45,22 @@ class LatencyRecorder {
     return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
   }
 
+  /// Population standard deviation of the samples.
+  double stddev() const {
+    if (samples_.size() < 2) return 0;
+    double m = mean();
+    double acc = 0;
+    for (double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+  }
+
+  /// Coefficient of variation in percent (stddev / mean * 100): the
+  /// run-to-run noise indicator the bench JSON reports per row.
+  double cov_pct() const {
+    double m = mean();
+    return m == 0 ? 0 : stddev() / m * 100.0;
+  }
+
   double min() const {
     return samples_.empty()
                ? 0

@@ -60,8 +60,59 @@ Value Value::decode(ByteReader& r) {
   throw DecodeError("unknown value tag " + std::to_string(tag));
 }
 
+namespace {
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t Value::encoded_size() const {
+  std::size_t n = 1;  // tag byte
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      n += 1;
+      break;
+    case Type::kI64:
+    case Type::kF64:
+      n += 8;
+      break;
+    case Type::kString: {
+      const auto& s = std::get<std::string>(v_);
+      n += varint_size(s.size()) + s.size();
+      break;
+    }
+    case Type::kBytes: {
+      const auto& b = std::get<Bytes>(v_);
+      n += varint_size(b.size()) + b.size();
+      break;
+    }
+    case Type::kList: {
+      const auto& list = std::get<ValueList>(v_);
+      n += varint_size(list.size());
+      for (const auto& v : list) n += v.encoded_size();
+      break;
+    }
+  }
+  return n;
+}
+
+std::size_t Value::encoded_list_size(const ValueList& vals) {
+  std::size_t n = varint_size(vals.size());
+  for (const auto& v : vals) n += v.encoded_size();
+  return n;
+}
+
 Bytes Value::encode_list(const ValueList& vals) {
-  ByteWriter w;
+  ByteWriter w(encoded_list_size(vals));
   w.put_varint(vals.size());
   for (const auto& v : vals) v.encode(w);
   return std::move(w).take();

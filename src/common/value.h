@@ -62,6 +62,12 @@ class Value {
   /// Parse one Value from the reader; throws DecodeError on malformed input.
   static Value decode(ByteReader& r);
 
+  /// Exact byte count encode() will append (1 tag byte + payload). Lets
+  /// writers reserve once up front instead of growing geometrically.
+  std::size_t encoded_size() const;
+  /// Exact byte count of encode_list()'s output for `vals`.
+  static std::size_t encoded_list_size(const ValueList& vals);
+
   /// Convenience: encode a whole parameter list to a standalone buffer.
   static Bytes encode_list(const ValueList& vals);
   static ValueList decode_list(std::span<const std::uint8_t> data);

@@ -91,8 +91,9 @@ void PlatformClientQos::invoke_server(Request& req, Invocation& inv) {
 
   plat::Reply reply =
       opts_.use_dynamic_invocation
-          ? ref->invoke_dynamic(req.method, req.params, pb, opts_.invoke_timeout)
-          : ref->invoke(req.method, req.params, pb, opts_.invoke_timeout);
+          ? ref->invoke_dynamic(req.method, req.params(), pb,
+                                opts_.invoke_timeout)
+          : ref->invoke(req.method, req.params(), pb, opts_.invoke_timeout);
 
   switch (reply.status) {
     case plat::ReplyStatus::kOk:
@@ -138,7 +139,7 @@ void PlatformServerQos::invoke_servant(Request& req) {
   // result (encryption, signing) before the base returnReleaser releases
   // the skeleton thread.
   try {
-    Value result = servant_->dispatch(req.method, req.params);
+    Value result = servant_->dispatch(req.method, req.params());
     req.stage(true, std::move(result));
   } catch (const std::exception& e) {
     req.stage(false, Value(), e.what());

@@ -62,7 +62,7 @@ class ServerQosInterface {
   /// Application object id served by this replica group.
   virtual const std::string& object_id() const = 0;
 
-  /// Invoke the actual server object with req.params; sets the request's
+  /// Invoke the actual server object with req.params(); sets the request's
   /// completion state (result or application error).
   virtual void invoke_servant(Request& req) = 0;
 

@@ -2,7 +2,20 @@
 
 #include <atomic>
 
+#include "common/metrics.h"
+
 namespace cqos {
+namespace {
+
+std::atomic<bool> g_encode_cache_enabled{true};
+
+metrics::Counter& encodes_counter() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("cqos.request.encodes");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t Request::next_id() {
   static std::atomic<std::uint64_t> counter{1};
@@ -14,7 +27,48 @@ Request::Request(std::string object_id_in, std::string method_in,
     : id(next_id()),
       object_id(std::move(object_id_in)),
       method(std::move(method_in)),
-      params(std::move(params_in)) {}
+      params_(std::move(params_in)) {}
+
+void Request::set_params(ValueList params) {
+  MutexLock lk(encode_mu_);
+  params_ = std::move(params);
+  encoded_cache_.reset();
+}
+
+void Request::set_encrypted_params(Bytes ciphertext) {
+  // The encoding of a one-element [bytes] list is mechanical: count varint,
+  // kBytes tag, length varint, payload. Build it directly so replacing the
+  // params with ciphertext keeps the cache primed without re-traversal.
+  ValueList cipher_params{Value(std::move(ciphertext))};
+  ByteWriter w(Value::encoded_list_size(cipher_params));
+  w.put_varint(cipher_params.size());
+  for (const auto& v : cipher_params) v.encode(w);
+  MutexLock lk(encode_mu_);
+  params_ = std::move(cipher_params);
+  encoded_cache_ = std::make_shared<const Bytes>(std::move(w).take());
+}
+
+std::shared_ptr<const Bytes> Request::encoded_params() const {
+  if (!encode_cache_enabled()) {
+    encodes_counter().inc();
+    MutexLock lk(encode_mu_);
+    return std::make_shared<const Bytes>(Value::encode_list(params_));
+  }
+  MutexLock lk(encode_mu_);
+  if (!encoded_cache_) {
+    encodes_counter().inc();
+    encoded_cache_ = std::make_shared<const Bytes>(Value::encode_list(params_));
+  }
+  return encoded_cache_;
+}
+
+void Request::set_encode_cache_enabled(bool on) {
+  g_encode_cache_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Request::encode_cache_enabled() {
+  return g_encode_cache_enabled.load(std::memory_order_relaxed);
+}
 
 bool Request::complete(bool success, Value result, std::string error) {
   MutexLock lk(mu_);
@@ -143,14 +197,16 @@ Request::Counts Request::counts() const {
 
 void Request::reset(std::string object_id_in, std::string method_in,
                     ValueList params_in) {
-  MutexLock fl(flags_mu_);  // hierarchy: flags_mu_ before mu_
+  MutexLock fl(flags_mu_);  // hierarchy: flags_mu_ before mu_ before encode_mu_
   MutexLock lk(mu_);
+  MutexLock el(encode_mu_);
   flags_.clear();
   id = next_id();
   trace_id = 0;
   object_id = std::move(object_id_in);
   method = std::move(method_in);
-  params = std::move(params_in);
+  params_ = std::move(params_in);
+  encoded_cache_.reset();
   piggyback.clear();
   forwarded = false;
   done_ = false;
@@ -169,7 +225,7 @@ ValueList Request::encode_for_forward() const {
   return ValueList{
       Value(static_cast<std::int64_t>(id)),
       Value(method),
-      Value(Value::encode_list(params)),
+      Value(Bytes(*encoded_params())),
       Value(std::move(pb_writer).take()),
   };
 }
@@ -180,7 +236,14 @@ RequestPtr Request::decode_forwarded(const std::string& object_id,
   req->id = static_cast<std::uint64_t>(args.at(0).as_i64());
   req->object_id = object_id;
   req->method = args.at(1).as_string();
-  req->params = Value::decode_list(args.at(2).as_bytes());
+  {
+    // The forwarded blob *is* encode_list(params): decode it and prime the
+    // cache with the wire bytes so the receiving replica never re-encodes.
+    const Bytes& wire = args.at(2).as_bytes();
+    MutexLock lk(req->encode_mu_);
+    req->params_ = Value::decode_list(wire);
+    req->encoded_cache_ = std::make_shared<const Bytes>(wire);
+  }
   ByteReader pb_reader(args.at(3).as_bytes());
   req->piggyback = decode_piggyback(pb_reader);
   req->forwarded = true;

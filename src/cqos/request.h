@@ -72,9 +72,32 @@ class Request {
   std::uint64_t trace_id = 0;
   std::string object_id;
   std::string method;
-  ValueList params;
   PiggybackMap piggyback;
   int priority = kNormalPriority;
+
+  // --- parameters + single-encode cache (DESIGN.md §10) ---------------------
+
+  /// The parameter list. Handlers must mutate it only through set_params /
+  /// set_encrypted_params so the encoded-params cache stays coherent.
+  const ValueList& params() const { return params_; }
+
+  /// Replace the parameters, invalidating the encoded-params cache.
+  void set_params(ValueList params);
+
+  /// Replace the parameters with the single-ciphertext-blob list a privacy
+  /// micro-protocol produces, and prime the cache with its (trivially
+  /// constructed) encoding — no Value-tree traversal, no counted encode.
+  void set_encrypted_params(Bytes ciphertext);
+
+  /// The `Value::encode_list(params())` bytes, memoized: computed at most
+  /// once per parameter state and shared by every consumer (HMAC input,
+  /// DES plaintext, forwarding codec). Each cache fill increments the
+  /// `cqos.request.encodes` counter — the single-encode invariant's proof.
+  std::shared_ptr<const Bytes> encoded_params() const;
+
+  /// Ablation/test knob: disabled, encoded_params() re-encodes every call.
+  static void set_encode_cache_enabled(bool on);
+  static bool encode_cache_enabled();
 
   /// Server side: true when this request arrived via replica-to-replica
   /// forwarding (PassiveRep) rather than from a client; no reply is due.
@@ -160,9 +183,15 @@ class Request {
  private:
   // Lock hierarchy: flags_mu_ may be held while taking mu_ (a once()
   // callback completing the request), never the other way around.
+  // encode_mu_ is a leaf: encoded_params() is called from once() callbacks
+  // (flags_mu_ held) and reset() (both held); nothing is locked under it.
   mutable Mutex flags_mu_;
   mutable Mutex mu_ CQOS_ACQUIRED_AFTER(flags_mu_);
+  mutable Mutex encode_mu_ CQOS_ACQUIRED_AFTER(flags_mu_, mu_);
   CondVar cv_;
+  ValueList params_;
+  mutable std::shared_ptr<const Bytes> encoded_cache_
+      CQOS_GUARDED_BY(encode_mu_);
   std::set<std::string> flags_ CQOS_GUARDED_BY(flags_mu_);
   bool done_ CQOS_GUARDED_BY(mu_) = false;
   bool success_ CQOS_GUARDED_BY(mu_) = false;

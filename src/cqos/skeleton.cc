@@ -28,7 +28,7 @@ RequestPtr CqosSkeleton::build_request(const std::string& method,
   auto req = std::make_shared<Request>();
   req->object_id = object_id_;
   req->method = method;
-  req->params = std::move(params);
+  req->set_params(std::move(params));
   auto id_it = piggyback.find(pbkey::kRequestId);
   req->id = id_it != piggyback.end()
                 ? static_cast<std::uint64_t>(id_it->second.as_i64())
@@ -72,7 +72,7 @@ plat::Reply CqosSkeleton::handle(const std::string& method, ValueList params,
     } else {
       // Bypass: native invocation of the servant.
       try {
-        Value result = servant_->dispatch(req->method, req->params);
+        Value result = servant_->dispatch(req->method, req->params());
         req->complete(true, std::move(result));
       } catch (const std::exception& e) {
         req->complete(false, Value(), e.what());

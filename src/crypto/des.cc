@@ -1,8 +1,12 @@
 #include "crypto/des.h"
 
+#include <array>
+#include <atomic>
 #include <cstring>
+#include <map>
 
 #include "common/error.h"
+#include "common/sync.h"
 
 namespace cqos::crypto {
 namespace {
@@ -108,19 +112,139 @@ std::uint32_t rotl28(std::uint32_t v, int n) {
   return ((v << n) | (v >> (28 - n))) & 0x0fffffff;
 }
 
-std::uint32_t f_function(std::uint32_t half, std::uint64_t subkey) {
-  std::uint64_t expanded = permute(half, 32, kExpansion, 48) ^ subkey;
-  std::uint32_t sbox_out = 0;
-  for (int box = 0; box < 8; ++box) {
-    auto six = static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
-    int row = ((six & 0x20) >> 4) | (six & 0x01);
-    int col = (six >> 1) & 0x0f;
-    sbox_out = (sbox_out << 4) | kSbox[box][row * 16 + col];
+// Byte-indexed tables for the 64->64 initial/final permutations: the
+// permuted word is the XOR of eight lookups, one per input byte, instead
+// of 64 single-bit moves.
+using PermTab = std::array<std::array<std::uint64_t, 256>, 8>;
+
+PermTab build_perm_tab(const int* table) {
+  std::array<int, 65> out_pos{};  // input bit -> output bit, 1-based from MSB
+  for (int i = 0; i < 64; ++i) {
+    out_pos[static_cast<std::size_t>(table[i])] = i + 1;
   }
-  return static_cast<std::uint32_t>(permute(sbox_out, 32, kPerm, 32));
+  PermTab tab{};
+  for (int b = 0; b < 8; ++b) {
+    for (int v = 0; v < 256; ++v) {
+      std::uint64_t out = 0;
+      for (int k = 0; k < 8; ++k) {
+        if ((v & (1 << (7 - k))) != 0) {
+          int src = 8 * b + k + 1;
+          out |= 1ULL << (64 - out_pos[static_cast<std::size_t>(src)]);
+        }
+      }
+      tab[static_cast<std::size_t>(b)][static_cast<std::size_t>(v)] = out;
+    }
+  }
+  return tab;
+}
+
+std::uint64_t apply_perm_tab(const PermTab& tab, std::uint64_t in) {
+  std::uint64_t out = 0;
+  for (int b = 0; b < 8; ++b) {
+    out ^= tab[static_cast<std::size_t>(b)][(in >> (56 - 8 * b)) & 0xff];
+  }
+  return out;
+}
+
+const PermTab& ip_tab() {
+  static const PermTab tab = build_perm_tab(kIp);
+  return tab;
+}
+
+const PermTab& fp_tab() {
+  static const PermTab tab = build_perm_tab(kFp);
+  return tab;
+}
+
+// Combined S-box + P-permutation tables: SP[box][six] is kPerm applied to
+// kSbox[box]'s output nibble placed at its position in the 32-bit S-box
+// result. With these, one round is eight table lookups instead of the
+// bit-at-a-time kExpansion/kPerm permutes — the per-block cost drops an
+// order of magnitude while the key-schedule build (kPc1/kPc2) keeps its
+// cost, which is what the Des::for_key schedule cache amortizes.
+const std::array<std::array<std::uint32_t, 64>, 8>& sp_tables() {
+  static const std::array<std::array<std::uint32_t, 64>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 64>, 8> sp{};
+    for (int box = 0; box < 8; ++box) {
+      for (int six = 0; six < 64; ++six) {
+        int row = ((six & 0x20) >> 4) | (six & 0x01);
+        int col = (six >> 1) & 0x0f;
+        std::uint32_t nibble = kSbox[box][row * 16 + col];
+        std::uint64_t sbox_out = static_cast<std::uint64_t>(nibble)
+                                 << (28 - 4 * box);
+        sp[static_cast<std::size_t>(box)][static_cast<std::size_t>(six)] =
+            static_cast<std::uint32_t>(permute(sbox_out, 32, kPerm, 32));
+      }
+    }
+    return sp;
+  }();
+  return tables;
+}
+
+std::uint32_t f_function(std::uint32_t half, std::uint64_t subkey) {
+  const auto& sp = sp_tables();
+  // kExpansion's groups are the circular windows half[4g-1 .. 4g+4]
+  // (1-based from MSB): materialize the 34-bit circular string
+  // bit32 | half | bit1 once, then each group is a 6-bit shift+mask.
+  std::uint64_t t = (static_cast<std::uint64_t>(half & 1) << 33) |
+                    (static_cast<std::uint64_t>(half) << 1) | (half >> 31);
+  std::uint32_t out = 0;
+  for (int g = 0; g < 8; ++g) {
+    auto six = static_cast<std::size_t>(((t >> (28 - 4 * g)) & 0x3f) ^
+                                        ((subkey >> (42 - 6 * g)) & 0x3f));
+    out ^= sp[static_cast<std::size_t>(g)][six];
+  }
+  return out;
 }
 
 }  // namespace
+
+std::shared_ptr<const Des> Des::for_key(std::span<const std::uint8_t> key8) {
+  if (key8.size() != 8) throw Error("DES key must be 8 bytes");
+  if (!schedule_cache_enabled()) {
+    return std::make_shared<const Des>(key8);
+  }
+  std::uint64_t key = load_be64(key8.data());
+
+  // Fast path: the last key this thread used (typically the one session key).
+  struct LastKey {
+    std::uint64_t key = 0;
+    std::shared_ptr<const Des> des;
+  };
+  thread_local LastKey last;
+  if (last.des && last.key == key) return last.des;
+
+  static Mutex mu;
+  static std::map<std::uint64_t, std::shared_ptr<const Des>>* cache =
+      new std::map<std::uint64_t, std::shared_ptr<const Des>>();
+  constexpr std::size_t kMaxCachedSchedules = 64;
+  std::shared_ptr<const Des> des;
+  {
+    MutexLock lk(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) {
+      des = it->second;
+    } else {
+      if (cache->size() >= kMaxCachedSchedules) cache->clear();
+      des = std::make_shared<const Des>(key8);
+      cache->emplace(key, des);
+    }
+  }
+  last = LastKey{key, des};
+  return des;
+}
+
+namespace {
+std::atomic<bool> g_schedule_cache_enabled{true};
+}  // namespace
+
+void Des::set_schedule_cache_enabled(bool on) {
+  g_schedule_cache_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Des::schedule_cache_enabled() {
+  return g_schedule_cache_enabled.load(std::memory_order_relaxed);
+}
 
 Des::Des(std::span<const std::uint8_t> key8) {
   if (key8.size() != 8) throw Error("DES key must be 8 bytes");
@@ -137,7 +261,7 @@ Des::Des(std::span<const std::uint8_t> key8) {
 }
 
 std::uint64_t Des::feistel(std::uint64_t block, bool decrypt) const {
-  std::uint64_t ip = permute(block, 64, kIp, 64);
+  std::uint64_t ip = apply_perm_tab(ip_tab(), block);
   auto left = static_cast<std::uint32_t>(ip >> 32);
   auto right = static_cast<std::uint32_t>(ip & 0xffffffff);
   for (int round = 0; round < 16; ++round) {
@@ -150,7 +274,7 @@ std::uint64_t Des::feistel(std::uint64_t block, bool decrypt) const {
   // Final swap then inverse initial permutation.
   std::uint64_t preoutput =
       (static_cast<std::uint64_t>(right) << 32) | left;
-  return permute(preoutput, 64, kFp, 64);
+  return apply_perm_tab(fp_tab(), preoutput);
 }
 
 void Des::encrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const {
@@ -161,11 +285,9 @@ void Des::decrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const {
   store_be64(feistel(load_be64(in), /*decrypt=*/true), out);
 }
 
-Bytes des_cbc_encrypt(std::span<const std::uint8_t> key8,
-                      std::span<const std::uint8_t> iv8,
+Bytes des_cbc_encrypt(const Des& des, std::span<const std::uint8_t> iv8,
                       std::span<const std::uint8_t> plaintext) {
   if (iv8.size() != 8) throw Error("DES-CBC IV must be 8 bytes");
-  Des des(key8);
   std::size_t pad = 8 - plaintext.size() % 8;
   Bytes padded(plaintext.begin(), plaintext.end());
   padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
@@ -184,14 +306,18 @@ Bytes des_cbc_encrypt(std::span<const std::uint8_t> key8,
   return out;
 }
 
-Bytes des_cbc_decrypt(std::span<const std::uint8_t> key8,
+Bytes des_cbc_encrypt(std::span<const std::uint8_t> key8,
                       std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> plaintext) {
+  return des_cbc_encrypt(*Des::for_key(key8), iv8, plaintext);
+}
+
+Bytes des_cbc_decrypt(const Des& des, std::span<const std::uint8_t> iv8,
                       std::span<const std::uint8_t> ciphertext) {
   if (iv8.size() != 8) throw Error("DES-CBC IV must be 8 bytes");
   if (ciphertext.empty() || ciphertext.size() % 8 != 0) {
     throw DecodeError("DES-CBC ciphertext not a positive multiple of 8");
   }
-  Des des(key8);
   Bytes out(ciphertext.size());
   std::uint8_t chain[8];
   std::memcpy(chain, iv8.data(), 8);
@@ -212,6 +338,12 @@ Bytes des_cbc_decrypt(std::span<const std::uint8_t> key8,
   }
   out.resize(out.size() - pad);
   return out;
+}
+
+Bytes des_cbc_decrypt(std::span<const std::uint8_t> key8,
+                      std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> ciphertext) {
+  return des_cbc_decrypt(*Des::for_key(key8), iv8, ciphertext);
 }
 
 }  // namespace cqos::crypto

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "common/bytes.h"
@@ -19,6 +20,18 @@ class Des {
  public:
   explicit Des(std::span<const std::uint8_t> key8);
 
+  /// A shared schedule for `key8` from the process-wide session-key cache:
+  /// the 16-round schedule is computed once per distinct key, not once per
+  /// encrypt/decrypt call. Thread-local last-key memo in front of a small
+  /// mutex-guarded map (bounded; eviction drops the whole map — schedules
+  /// are cheap to rebuild, the win is the steady state of few session keys).
+  static std::shared_ptr<const Des> for_key(std::span<const std::uint8_t> key8);
+
+  /// Ablation/test knob: disabled, for_key() builds a fresh schedule per
+  /// call — the pre-fix behaviour of the CBC helpers.
+  static void set_schedule_cache_enabled(bool on);
+  static bool schedule_cache_enabled();
+
   /// Encrypt/decrypt a single 8-byte block.
   void encrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const;
   void decrypt_block(const std::uint8_t in[8], std::uint8_t out[8]) const;
@@ -29,12 +42,18 @@ class Des {
   std::array<std::uint64_t, 16> subkeys_{};  // 48-bit round keys
 };
 
-/// DES-CBC with PKCS#7 padding. `iv` must be 8 bytes.
+/// DES-CBC with PKCS#7 padding. `iv` must be 8 bytes. Callers on a hot path
+/// should hold the Des (or use the key-span overloads, which consult the
+/// schedule cache).
+Bytes des_cbc_encrypt(const Des& des, std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> plaintext);
 Bytes des_cbc_encrypt(std::span<const std::uint8_t> key8,
                       std::span<const std::uint8_t> iv8,
                       std::span<const std::uint8_t> plaintext);
 
 /// Throws cqos::DecodeError on bad padding or non-block-aligned input.
+Bytes des_cbc_decrypt(const Des& des, std::span<const std::uint8_t> iv8,
+                      std::span<const std::uint8_t> ciphertext);
 Bytes des_cbc_decrypt(std::span<const std::uint8_t> key8,
                       std::span<const std::uint8_t> iv8,
                       std::span<const std::uint8_t> ciphertext);

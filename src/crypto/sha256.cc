@@ -1,6 +1,10 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
 #include <cstring>
+#include <map>
+
+#include "common/sync.h"
 
 namespace cqos::crypto {
 namespace {
@@ -98,10 +102,12 @@ void Sha256::update(std::span<const std::uint8_t> data) {
 
 Sha256Digest Sha256::finish() {
   std::uint64_t bit_len = total_len_ * 8;
-  std::uint8_t pad = 0x80;
-  update({&pad, 1});
-  std::uint8_t zero = 0;
-  while (buffer_len_ != 56) update({&zero, 1});
+  // One update with the whole 0x80 || 0x00* pad run (1..64 bytes) instead of
+  // feeding padding a byte at a time through update().
+  std::uint8_t pad[64] = {0x80};
+  std::size_t pad_len =
+      (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  update({pad, pad_len});
   std::uint8_t len_be[8];
   for (int i = 7; i >= 0; --i) {
     len_be[i] = static_cast<std::uint8_t>(bit_len & 0xff);
@@ -129,8 +135,7 @@ Sha256Digest sha256(std::span<const std::uint8_t> data) {
   return h.finish();
 }
 
-Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
-                         std::span<const std::uint8_t> data) {
+HmacKey::HmacKey(std::span<const std::uint8_t> key) {
   std::array<std::uint8_t, 64> k_block{};
   if (key.size() > 64) {
     Sha256Digest kd = sha256(key);
@@ -147,13 +152,74 @@ Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
 
   Sha256 inner;
   inner.update(ipad);
+  inner_ = inner.snapshot();
+  Sha256 outer;
+  outer.update(opad);
+  outer_ = outer.snapshot();
+}
+
+Sha256Digest HmacKey::mac(std::span<const std::uint8_t> data) const {
+  Sha256 inner;
+  inner.restore(inner_);
   inner.update(data);
   Sha256Digest inner_digest = inner.finish();
 
   Sha256 outer;
-  outer.update(opad);
+  outer.restore(outer_);
   outer.update(inner_digest);
   return outer.finish();
+}
+
+std::shared_ptr<const HmacKey> HmacKey::for_key(
+    std::span<const std::uint8_t> key) {
+  if (!key_cache_enabled()) {
+    return std::make_shared<const HmacKey>(key);
+  }
+  Bytes key_bytes(key.begin(), key.end());
+
+  // Fast path: the last key this thread used (typically the one session key).
+  struct LastKey {
+    Bytes key;
+    std::shared_ptr<const HmacKey> hk;
+  };
+  thread_local LastKey last;
+  if (last.hk && last.key == key_bytes) return last.hk;
+
+  static Mutex mu;
+  static std::map<Bytes, std::shared_ptr<const HmacKey>>* cache =
+      new std::map<Bytes, std::shared_ptr<const HmacKey>>();
+  constexpr std::size_t kMaxCachedKeys = 64;
+  std::shared_ptr<const HmacKey> hk;
+  {
+    MutexLock lk(mu);
+    auto it = cache->find(key_bytes);
+    if (it != cache->end()) {
+      hk = it->second;
+    } else {
+      if (cache->size() >= kMaxCachedKeys) cache->clear();
+      hk = std::make_shared<const HmacKey>(key);
+      cache->emplace(key_bytes, hk);
+    }
+  }
+  last = LastKey{std::move(key_bytes), hk};
+  return hk;
+}
+
+namespace {
+std::atomic<bool> g_hmac_key_cache_enabled{true};
+}  // namespace
+
+void HmacKey::set_key_cache_enabled(bool on) {
+  g_hmac_key_cache_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool HmacKey::key_cache_enabled() {
+  return g_hmac_key_cache_enabled.load(std::memory_order_relaxed);
+}
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data) {
+  return HmacKey::for_key(key)->mac(data);
 }
 
 bool digest_equal(const Sha256Digest& a, const Sha256Digest& b) {

@@ -171,10 +171,10 @@ std::unique_ptr<cactus::MicroProtocol> LoadBalance::make(
 
 namespace {
 std::string cache_key(const Request& req) {
-  ByteWriter w;
+  std::shared_ptr<const Bytes> params = req.encoded_params();
+  ByteWriter w(req.method.size() + params->size() + 20);
   w.put_string(req.method);
-  Bytes params = Value::encode_list(req.params);
-  w.put_blob(params);
+  w.put_blob(*params);
   return std::string(reinterpret_cast<const char*>(w.data().data()),
                      w.size());
 }
@@ -246,7 +246,8 @@ void RequestLog::init(cactus::CompositeProtocol& proto) {
         auto req = ctx.dyn<RequestPtr>();
         if (!req->staged_success() || reads.contains(req->method)) return;
         MutexLock lk(state->mu);
-        state->log.push_back(LoggedRequest{req->id, req->method, req->params});
+        state->log.push_back(
+            LoggedRequest{req->id, req->method, req->params()});
       },
       order::kStoreResult + 5);
 
@@ -317,7 +318,7 @@ std::size_t recover_from_peer(CactusServer& server, int peer,
     req->id = static_cast<std::uint64_t>(fields.at(0).as_i64());
     req->object_id = qos.object_id();
     req->method = fields.at(1).as_string();
-    req->params = Value::decode_list(fields.at(2).as_bytes());
+    req->set_params(Value::decode_list(fields.at(2).as_bytes()));
     req->forwarded = true;  // replayed requests never answer a client
     server.process_request(req);
     ++replayed;

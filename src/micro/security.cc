@@ -10,7 +10,7 @@ constexpr const char* kDefaultIv = "0001020304050607";
 constexpr const char* kDefaultMacKey = "6b6579206b6579206b657921";  // "key key key!"
 
 Bytes encode_value(const Value& v) {
-  ByteWriter w;
+  ByteWriter w(v.encoded_size());
   v.encode(w);
   return std::move(w).take();
 }
@@ -44,11 +44,11 @@ Bytes parse_hex_key(const std::string& hex, const std::string& what) {
 }
 
 crypto::Sha256Digest request_mac(const Bytes& key, const Request& req) {
-  ByteWriter w;
+  std::shared_ptr<const Bytes> params = req.encoded_params();
+  ByteWriter w(8 + req.method.size() + 10 + params->size() + 10);
   w.put_u64(req.id);
   w.put_string(req.method);
-  Bytes params = Value::encode_list(req.params);
-  w.put_blob(params);
+  w.put_blob(*params);
   return crypto::hmac_sha256(key, w.data());
 }
 
@@ -65,6 +65,11 @@ crypto::Sha256Digest reply_mac(const Bytes& key, std::uint64_t id,
 
 void DesPrivacyClient::init(cactus::CompositeProtocol& proto) {
   client_holder(proto);
+  // Validate the key eagerly (throws on a bad length) and prime the
+  // schedule cache. Handlers capture the raw key and go through
+  // Des::for_key() per operation: a thread-local memo hit when the cache
+  // is enabled, a fresh schedule build when the ablation knob disables it.
+  crypto::Des::for_key(key_);
   Bytes key = key_;
   Bytes iv = iv_;
   Duration emu = emu_per_op_;
@@ -72,15 +77,14 @@ void DesPrivacyClient::init(cactus::CompositeProtocol& proto) {
   // encryptRequest: first handler on readyToSend. once() makes concurrent
   // ActiveRep activations encrypt exactly once and ensures the ciphertext is
   // visible before any invoker proceeds.
-  bind_tracked(proto, 
+  bind_tracked(proto,
       ev::kReadyToSend, "encryptRequest",
       [key, iv, emu](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
         RequestPtr req = inv->request;
         req->once("des.enc", [&] {
-          Bytes plain = Value::encode_list(req->params);
-          req->params =
-              ValueList{Value(crypto::des_cbc_encrypt(key, iv, plain))};
+          std::shared_ptr<const Bytes> plain = req->encoded_params();
+          req->set_encrypted_params(crypto::des_cbc_encrypt(key, iv, *plain));
           req->piggyback[pbkey::kEncrypted] = Value(true);
           if (emu > Duration::zero()) std::this_thread::sleep_for(emu);
         });
@@ -88,7 +92,7 @@ void DesPrivacyClient::init(cactus::CompositeProtocol& proto) {
       order::kPrivacyEncrypt);
 
   // decryptReply: first handler on invokeSuccess (per-invocation result).
-  bind_tracked(proto, 
+  bind_tracked(proto,
       ev::kInvokeSuccess, "decryptReply",
       [key, iv, emu](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
@@ -119,6 +123,7 @@ std::unique_ptr<cactus::MicroProtocol> DesPrivacyClient::make(
 
 void DesPrivacyServer::init(cactus::CompositeProtocol& proto) {
   server_holder(proto);
+  crypto::Des::for_key(key_);  // validate + prime the schedule cache
   Bytes key = key_;
   Bytes iv = iv_;
   const bool require = require_;
@@ -144,8 +149,8 @@ void DesPrivacyServer::init(cactus::CompositeProtocol& proto) {
         }
         try {
           Bytes plain =
-              crypto::des_cbc_decrypt(key, iv, req->params.at(0).as_bytes());
-          req->params = Value::decode_list(plain);
+              crypto::des_cbc_decrypt(key, iv, req->params().at(0).as_bytes());
+          req->set_params(Value::decode_list(plain));
           req->once("des.enc", [] {});  // remember to encrypt the reply
           if (emu > Duration::zero()) std::this_thread::sleep_for(emu);
         } catch (const Error& e) {

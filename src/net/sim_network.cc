@@ -46,13 +46,18 @@ bool Endpoint::closed() const {
 }
 
 void Endpoint::deposit(Message msg) {
-  MutexLock lk(mu_);
-  // crashed_ re-validates what send() checked under the network lock:
-  // between that check and this deposit a crash_host() may have run, and a
-  // crashed host must not receive the in-flight message.
-  if (closed_ || crashed_) return;
-  inbox_.emplace(msg.deliver_at, std::move(msg));
-  cv_.notify_all();
+  {
+    MutexLock lk(mu_);
+    // crashed_ re-validates what send() checked under the network lock:
+    // between that check and this deposit a crash_host() may have run, and
+    // a crashed host must not receive the in-flight message.
+    if (!closed_ && !crashed_) {
+      inbox_.emplace(msg.deliver_at, std::move(msg));
+      cv_.notify_all();
+      return;
+    }
+  }
+  BufferPool::recycle(std::move(msg.payload));
 }
 
 void Endpoint::mark_crashed() {
@@ -139,7 +144,7 @@ Duration SimNetwork::compute_latency(const std::string& from_host,
 }
 
 bool SimNetwork::send(const std::string& from, const std::string& to,
-                      Bytes payload) {
+                      Bytes&& payload) {
   std::shared_ptr<Endpoint> dest;
   Message msg;
   {
@@ -150,17 +155,20 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       count_drop(from_host, to_host, "unknown_dest");
+      BufferPool::recycle(std::move(payload));
       return false;
     }
 
     if (crashed_.contains(to_host) || crashed_.contains(from_host)) {
       count_drop(from_host, to_host, "crashed");
+      BufferPool::recycle(std::move(payload));
       return false;
     }
 
     auto pair = std::minmax(from_host, to_host);
     if (partitions_.contains({pair.first, pair.second})) {
       count_drop(from_host, to_host, "partition");
+      BufferPool::recycle(std::move(payload));
       return false;
     }
 
@@ -168,6 +176,7 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
         rng_.next_bool(cfg_.drop_rate)) {
       CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to);
       count_drop(from_host, to_host, "random");
+      BufferPool::recycle(std::move(payload));
       return false;
     }
 

@@ -40,6 +40,21 @@ struct Message {
   std::uint64_t seq = 0;
 };
 
+/// Scope guard for receive loops: recycles the message's payload into the
+/// BufferPool when the iteration finishes decoding it — the last hop of
+/// zero-copy delivery (DESIGN.md §10). The payload must not be referenced
+/// (including via ByteReader::view spans) after the guard fires.
+class PayloadRecycler {
+ public:
+  explicit PayloadRecycler(Message& msg) : msg_(msg) {}
+  ~PayloadRecycler() { BufferPool::recycle(std::move(msg_.payload)); }
+  PayloadRecycler(const PayloadRecycler&) = delete;
+  PayloadRecycler& operator=(const PayloadRecycler&) = delete;
+
+ private:
+  Message& msg_;
+};
+
 struct NetConfig {
   /// One-way latency between distinct hosts for a zero-byte message.
   Duration base_latency = us(120);
@@ -115,7 +130,12 @@ class SimNetwork {
   /// the message was dropped (unknown destination, crashed host, partition,
   /// or random drop) — senders cannot distinguish these, as on a real
   /// network.
-  bool send(const std::string& from, const std::string& to, Bytes payload);
+  ///
+  /// Takes the payload by rvalue: the buffer moves into the in-flight
+  /// Message and from there into the receiver's inbox without copying
+  /// (zero-copy delivery; DESIGN.md §10). Dropped/refused payloads are
+  /// recycled into the BufferPool.
+  bool send(const std::string& from, const std::string& to, Bytes&& payload);
 
   // --- fault injection -----------------------------------------------------
 

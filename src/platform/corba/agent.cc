@@ -23,6 +23,7 @@ void SmartAgent::loop() {
       if (endpoint_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       ByteReader r(msg->payload);
       GiopHeader header = read_frame(r);

@@ -13,7 +13,9 @@ std::string decode_cdr_string(ByteReader& r) {
   r.align(4);
   std::uint32_t len = r.get_u32();
   if (len == 0) throw DecodeError("CDR string length 0");
-  Bytes raw = r.get_bytes(len);
+  // View, not get_bytes: the string is built straight from the frame
+  // buffer without an intermediate Bytes copy.
+  std::span<const std::uint8_t> raw = r.view(len);
   if (raw.back() != 0) throw DecodeError("CDR string missing NUL");
   return std::string(reinterpret_cast<const char*>(raw.data()), len - 1);
 }

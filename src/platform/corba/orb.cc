@@ -259,6 +259,7 @@ void CorbaOrb::client_loop() {
       if (client_ep_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       ByteReader r(msg->payload);
       GiopHeader header = read_frame(r);
@@ -308,6 +309,7 @@ void CorbaOrb::server_loop() {
       if (server_ep_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       ByteReader r(msg->payload);
       GiopHeader header = read_frame(r);

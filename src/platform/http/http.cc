@@ -349,6 +349,7 @@ void HttpPlatform::client_loop() {
       if (client_ep_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       wire::Parsed parsed = wire::parse(msg->payload);
       plat::Reply reply;
@@ -381,6 +382,7 @@ void HttpPlatform::server_loop() {
       if (server_ep_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       wire::Parsed parsed = wire::parse(msg->payload);
       if (parsed.kind == wire::Parsed::Kind::kPing) {

@@ -39,7 +39,11 @@ PiggybackMap decode_pb(ByteReader& r) {
 }
 
 Bytes encode_call(std::uint64_t call_id, const CallBody& body) {
-  ByteWriter w(128);
+  // Exact-size pre-pass for the dominant part (the params); the strings and
+  // piggyback get a small headroom constant. With the BufferPool warm this
+  // only matters for the first call on a thread.
+  ByteWriter w(64 + body.reply_to.size() + body.target.size() +
+               body.method.size() + Value::encoded_list_size(body.params));
   begin_message(w, MsgType::kCall, call_id);
   w.put_string(body.reply_to);
   w.put_string(body.target);
@@ -64,7 +68,8 @@ CallBody decode_call_body(ByteReader& r) {
 }
 
 Bytes encode_return(std::uint64_t call_id, const ReturnBody& body) {
-  ByteWriter w(64);
+  ByteWriter w(32 + (body.ok ? body.result.encoded_size()
+                             : body.error.size() + 10));
   begin_message(w, MsgType::kReturn, call_id);
   w.put_u8(body.ok ? 1 : 0);
   if (body.ok) {

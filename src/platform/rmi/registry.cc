@@ -25,6 +25,7 @@ void Registry::loop() {
       if (endpoint_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       ByteReader r(msg->payload);
       Header h = read_header(r);

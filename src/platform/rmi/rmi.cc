@@ -168,6 +168,7 @@ void RmiRuntime::client_loop() {
       if (client_ep_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       ByteReader r(msg->payload);
       Header h = read_header(r);
@@ -215,6 +216,7 @@ void RmiRuntime::server_loop() {
       if (server_ep_->closed()) return;
       continue;
     }
+    net::PayloadRecycler recycle_payload(*msg);
     try {
       ByteReader r(msg->payload);
       Header h = read_header(r);

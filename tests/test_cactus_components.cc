@@ -167,7 +167,7 @@ TEST(CactusClientUnit, ConcurrentRequestsThroughOneClient) {
   auto qos = std::make_unique<ScriptedClientQos>();
   qos->on_invoke = [](Request& req, Invocation& inv) {
     inv.success = true;
-    inv.result = Value(req.params.at(0).as_i64() * 2);
+    inv.result = Value(req.params().at(0).as_i64() * 2);
   };
   CactusClient client(std::move(qos));
   client.add_micro_protocol(std::make_unique<micro::ClientBase>());

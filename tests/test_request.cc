@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/metrics.h"
 #include "cqos/request.h"
 
 namespace cqos {
@@ -137,7 +138,7 @@ TEST(Request, ForwardCodecRoundtrip) {
   EXPECT_EQ(copy->id, req.id);
   EXPECT_EQ(copy->object_id, "BankAccount");
   EXPECT_EQ(copy->method, "set_balance");
-  EXPECT_EQ(copy->params, req.params);
+  EXPECT_EQ(copy->params(), req.params());
   EXPECT_EQ(copy->piggyback.at("custom"), Value("y"));
   EXPECT_EQ(copy->priority, 8);
   EXPECT_TRUE(copy->forwarded);
@@ -150,6 +151,72 @@ TEST(Request, ReplyPiggybackMerges) {
   PiggybackMap pb = req.reply_piggyback();
   EXPECT_EQ(pb.at("a"), Value(2));
   EXPECT_EQ(pb.at("b"), Value(3));
+}
+
+// --- encoded-params cache (the single-encode invariant, DESIGN.md §10) -------
+
+std::uint64_t encodes() {
+  return metrics::Registry::global().counter("cqos.request.encodes").value();
+}
+
+TEST(RequestEncodeCache, EncodedParamsIsComputedOnceAndShared) {
+  Request req("obj", "m", {Value(42), Value("hello")});
+  std::uint64_t before = encodes();
+  auto a = req.encoded_params();
+  auto b = req.encoded_params();
+  auto c = req.encoded_params();
+  EXPECT_EQ(a.get(), b.get());  // same shared buffer, not a re-encode
+  EXPECT_EQ(b.get(), c.get());
+  EXPECT_EQ(*a, Value::encode_list(req.params()));
+  EXPECT_EQ(encodes() - before, 1u);
+}
+
+TEST(RequestEncodeCache, SetParamsInvalidatesTheCache) {
+  Request req("obj", "m", {Value(1)});
+  auto stale = req.encoded_params();
+  req.set_params({Value(2), Value(3)});
+  std::uint64_t before = encodes();
+  auto fresh = req.encoded_params();
+  EXPECT_NE(stale.get(), fresh.get());
+  EXPECT_EQ(*fresh, Value::encode_list({Value(2), Value(3)}));
+  // The old shared_ptr still holds the old bytes (late readers are safe).
+  EXPECT_EQ(*stale, Value::encode_list({Value(1)}));
+  EXPECT_EQ(encodes() - before, 1u);
+}
+
+TEST(RequestEncodeCache, SetEncryptedParamsPrimesWithoutACountedEncode) {
+  Request req("obj", "m", {Value(7)});
+  Bytes ciphertext{0xde, 0xad, 0xbe, 0xef};
+  std::uint64_t before = encodes();
+  req.set_encrypted_params(Bytes(ciphertext));
+  auto encoded = req.encoded_params();
+  // Priming replaced the params with [bytes] and pre-filled the cache: no
+  // counted encode happened, and the bytes match a real traversal.
+  EXPECT_EQ(encodes() - before, 0u);
+  ASSERT_EQ(req.params().size(), 1u);
+  EXPECT_EQ(req.params()[0].as_bytes(), ciphertext);
+  EXPECT_EQ(*encoded, Value::encode_list(req.params()));
+}
+
+TEST(RequestEncodeCache, ResetInvalidatesTheCache) {
+  Request req("obj", "m", {Value(1)});
+  auto stale = req.encoded_params();
+  req.reset("obj", "m2", {Value(9)});
+  auto fresh = req.encoded_params();
+  EXPECT_NE(stale.get(), fresh.get());
+  EXPECT_EQ(*fresh, Value::encode_list({Value(9)}));
+}
+
+TEST(RequestEncodeCache, DisabledCacheReencodesEveryCall) {
+  Request::set_encode_cache_enabled(false);
+  Request req("obj", "m", {Value(5)});
+  std::uint64_t before = encodes();
+  auto a = req.encoded_params();
+  auto b = req.encoded_params();
+  Request::set_encode_cache_enabled(true);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(encodes() - before, 2u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <atomic>
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "sim/bank_account.h"
 #include "sim/cluster.h"
 
@@ -253,6 +254,35 @@ TEST(SecurityComposition, PrivacyIntegrityAccessControlWithActiveRep) {
   auto eve_client = cluster.make_client(eve);
   BankAccountStub eve_account(eve_client->stub_ptr());
   EXPECT_THROW(eve_account.get_balance(), InvocationError);
+}
+
+// --- Single-encode invariant (DESIGN.md §10) ---------------------------------
+//
+// A fully secured call (privacy + integrity on both sides) is the worst case
+// for parameter encodings: the MAC needs the encoded bytes, DES needs them as
+// plaintext, and the platform codec needs them for the wire. With the
+// encoded-params cache, exactly two *cache-miss* encodes happen per call —
+// the client's first consumer encodes the plaintext list once (every later
+// client-side consumer shares it), and the server's first consumer encodes
+// the received list once. `cqos.request.encodes` counts cache misses, so the
+// counter delta over N calls proves the invariant end to end.
+TEST(SecurityComposition, SecuredCallEncodesParamsExactlyTwicePerCall) {
+  auto opts = secure_options(PlatformKind::kRmi);
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kClient, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "integrity", {{"key", kKey}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(0);  // settle binds + first-call effects
+
+  auto& ctr = metrics::Registry::global().counter("cqos.request.encodes");
+  const std::uint64_t before = ctr.value();
+  constexpr int kCalls = 25;
+  for (int i = 0; i < kCalls; ++i) account.deposit(1);
+  EXPECT_EQ(ctr.value() - before, 2u * kCalls);
+  EXPECT_EQ(account.get_balance(), kCalls) << "round trips must stay correct";
 }
 
 }  // namespace

@@ -35,7 +35,7 @@ class LoopbackClientQos : public ClientQosInterface {
     pb[pbkey::kRequestId] = Value(static_cast<std::int64_t>(req.id));
     pb[pbkey::kPriority] = Value(static_cast<std::int64_t>(req.priority));
     last_piggyback_ = pb;
-    plat::Reply reply = handler_->handle(req.method, req.params, pb);
+    plat::Reply reply = handler_->handle(req.method, req.params(), pb);
     inv.success = reply.ok();
     inv.result = std::move(reply.result);
     inv.error = std::move(reply.error);
@@ -63,7 +63,7 @@ class LoopbackServerQos : public ServerQosInterface {
   const std::string& object_id() const override { return object_id_; }
   void invoke_servant(Request& req) override {
     try {
-      req.stage(true, servant_->dispatch(req.method, req.params));
+      req.stage(true, servant_->dispatch(req.method, req.params()));
     } catch (const std::exception& e) {
       req.stage(false, Value(), e.what());
     }

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_table JSON against a committed baseline.
+
+Rows are matched by (platform, label[, class]); a row regresses when its
+mean_ms exceeds the baseline mean by more than --tolerance (default 25%).
+Rows present only on one side are reported: a missing current row fails
+(coverage must not silently shrink), a new current row is informational.
+
+The cluster benches spend most of each round trip in *simulated* network
+latency, which is deterministic, so even the reduced CI iteration count
+(CQOS_BENCH_PAIRS=20) yields means stable enough for a 25% gate.
+
+Usage: tools/bench_compare.py BASELINE CURRENT [--tolerance 0.25]
+Exit status: 0 ok, 1 regression or structural mismatch.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def row_key(row):
+    key = (row.get("platform"), row.get("label"))
+    if "class" in row:
+        key += (row["class"],)
+    return key
+
+
+def load_rows(path):
+    doc = json.loads(Path(path).read_text())
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"bench_compare: {path}: no rows")
+    out = {}
+    for row in rows:
+        key = row_key(row)
+        if key in out:
+            sys.exit(f"bench_compare: {path}: duplicate row {key}")
+        out[key] = row
+    return doc, out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional mean_ms increase (default 0.25)")
+    args = ap.parse_args()
+
+    base_doc, base = load_rows(args.baseline)
+    cur_doc, cur = load_rows(args.current)
+    if base_doc.get("table") != cur_doc.get("table"):
+        sys.exit(f"bench_compare: table mismatch: baseline table "
+                 f"{base_doc.get('table')}, current {cur_doc.get('table')}")
+
+    failures = []
+    width = max(len(" / ".join(str(p) for p in k)) for k in base)
+    print(f"{'row':<{width}}  {'base_ms':>9}  {'cur_ms':>9}  {'delta':>8}")
+    for key in sorted(base):
+        name = " / ".join(str(p) for p in key)
+        if key not in cur:
+            failures.append(f"row missing from current run: {name}")
+            continue
+        b = float(base[key]["mean_ms"])
+        c = float(cur[key]["mean_ms"])
+        delta = (c - b) / b if b > 0 else 0.0
+        mark = ""
+        if b > 0 and delta > args.tolerance:
+            failures.append(
+                f"{name}: mean {c:.4f} ms vs baseline {b:.4f} ms "
+                f"(+{delta:.0%} > {args.tolerance:.0%})")
+            mark = "  <-- REGRESSION"
+        print(f"{name:<{width}}  {b:9.4f}  {c:9.4f}  {delta:+8.1%}{mark}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{' / '.join(str(p) for p in key):<{width}}  "
+              f"{'-':>9}  {float(cur[key]['mean_ms']):9.4f}  (new row)")
+
+    if failures:
+        print("bench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(base)} rows within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,8 @@ out_dir = Path(sys.argv[1])
 # rows per table: t1 = 5 levels x 2 platforms; t2 = 7 configs x 2;
 # t3 = 5 configs x 2 priority classes x 2.
 expected_rows = {1: 10, 2: 14, 3: 20}
-row_keys = {"platform", "label", "servers", "mean_ms", "p50_ms", "p99_ms"}
+row_keys = {"platform", "label", "servers", "mean_ms", "p50_ms", "p99_ms",
+            "cov_pct"}
 
 def fail(msg):
     print(f"bench_smoke: {msg}", file=sys.stderr)
@@ -51,6 +52,8 @@ for t, want in expected_rows.items():
         fail(f"{path}: table={doc.get('table')}, want {t}")
     if not isinstance(doc.get("pairs"), int) or doc["pairs"] <= 0:
         fail(f"{path}: bad pairs field")
+    if not isinstance(doc.get("warmup"), int) or doc["warmup"] < 0:
+        fail(f"{path}: bad warmup field")
     rows = doc.get("rows")
     if not isinstance(rows, list) or len(rows) != want:
         fail(f"{path}: {len(rows or [])} rows, want {want}")
@@ -58,7 +61,7 @@ for t, want in expected_rows.items():
         missing = row_keys - row.keys()
         if missing:
             fail(f"{path}: row {row.get('label')} missing {sorted(missing)}")
-        for k in ("mean_ms", "p50_ms", "p99_ms"):
+        for k in ("mean_ms", "p50_ms", "p99_ms", "cov_pct"):
             if not isinstance(row[k], (int, float)) or row[k] < 0:
                 fail(f"{path}: row {row['label']}: bad {k}={row[k]!r}")
         if row["p50_ms"] > row["p99_ms"]:
