@@ -1,0 +1,104 @@
+// Degraded-mode benchmark: what QoS costs when the network misbehaves.
+//
+// The tables measure the clean-path price of configurability; this bench
+// measures the other half of the paper's argument — that the composed
+// micro-protocols keep working, at bounded cost, while the network
+// duplicates, reorders and delays messages. Each configuration runs the
+// set+get pair workload twice on the same deployment: once clean, once
+// under a steady degraded fault state installed by a FaultPlan through the
+// chaos engine (net/fault.h). Reported rows are <config>/clean and
+// <config>/degraded; the interesting number is the degraded:clean ratio.
+//
+// Emits BENCH_degraded.json (validated by tools/bench_smoke.sh).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "net/fault.h"
+
+namespace cqos::bench {
+namespace {
+
+// Steady-state degradation: every rate set once, at plan start. No loss
+// faults — the workload is a latency measurement, and a dropped message
+// already has its own bench (the retransmission stack's timeout behaviour
+// would dominate every row).
+constexpr const char* kDegradedPlan =
+    "plan degraded\n"
+    "seed 99\n"
+    "@0ms duplicate 0.3\n"
+    "@0ms reorder 0.3 window=4\n";
+
+struct Config {
+  const char* name;
+  int replicas;
+  void (*apply)(sim::ClusterOptions&);
+};
+
+const Config kConfigs[] = {
+    {"retransmit-dedup", 1,
+     [](sim::ClusterOptions& o) {
+       o.qos.add(Side::kClient, "retransmit", {{"retries", "6"}})
+           .add(Side::kServer, "dedup");
+     }},
+    {"passive-rep", 3,
+     [](sim::ClusterOptions& o) {
+       o.qos.add(Side::kClient, "passive_rep")
+           .add(Side::kClient, "retransmit", {{"retries", "6"}})
+           .add(Side::kServer, "passive_rep");
+     }},
+    {"active-total", 3,
+     [](sim::ClusterOptions& o) {
+       o.qos.add(Side::kClient, "active_rep")
+           .add(Side::kServer, "total_order")
+           .add(Side::kServer, "dedup");
+     }},
+};
+
+}  // namespace
+}  // namespace cqos::bench
+
+int main() {
+  using namespace cqos;
+  using namespace cqos::bench;
+
+  const int pairs = bench_pairs();
+  global_warmup();
+  JsonReport report("degraded", pairs);
+
+  std::printf("\nDegraded-mode cost (duplicate 0.3, reorder 0.3 window=4)\n");
+  std::printf("%-28s %9s %9s %7s\n", "Configuration", "clean", "degraded",
+              "ratio");
+
+  net::FaultPlan plan = net::FaultPlan::parse(kDegradedPlan);
+  for (const Config& cfg : kConfigs) {
+    sim::ClusterOptions opts;
+    opts.platform = sim::PlatformKind::kRmi;
+    opts.num_replicas = cfg.replicas;
+    opts.net = bench_net();
+    opts.servant_factory = [] {
+      return std::make_shared<sim::BankAccountServant>();
+    };
+    cfg.apply(opts);
+    sim::Cluster cluster(opts);
+    auto client = cluster.make_client();
+
+    PairStats clean = run_pairs(*client, pairs, -1, 3);
+    report.add_pair_row("Java RMI", std::string(cfg.name) + "/clean",
+                        cfg.replicas, clean);
+
+    cluster.faults().run_plan(plan);
+    cluster.faults().wait_plan_done(ms(2000));
+    PairStats degraded = run_pairs(*client, pairs, -1, 3);
+    cluster.faults().clear_all_faults();
+    report.add_pair_row("Java RMI", std::string(cfg.name) + "/degraded",
+                        cfg.replicas, degraded);
+
+    std::printf("%-28s %9.3f %9.3f %6.2fx\n", cfg.name, clean.set_get_ms,
+                degraded.set_get_ms,
+                clean.set_get_ms == 0
+                    ? 0.0
+                    : degraded.set_get_ms / clean.set_get_ms);
+  }
+
+  return report.write() ? 0 : 1;
+}

@@ -155,7 +155,14 @@ struct JsonRow {
 /// Accumulates rows during a bench run; write() emits the JSON file.
 class JsonReport {
  public:
-  JsonReport(int table, int pairs) : table_(table), pairs_(pairs) {}
+  JsonReport(int table, int pairs)
+      : stem_("table" + std::to_string(table)), table_(table), pairs_(pairs) {}
+
+  /// Named report (non-table benchmarks, e.g. "degraded"): emits
+  /// BENCH_<name>.json with `"bench": "<name>"` in place of the table
+  /// number.
+  JsonReport(std::string name, int pairs)
+      : stem_(std::move(name)), table_(-1), pairs_(pairs) {}
 
   void add_row(JsonRow row) { rows_.push_back(std::move(row)); }
 
@@ -165,19 +172,24 @@ class JsonReport {
                     stats.p99_ms, stats.cov_pct, {}});
   }
 
-  /// Output path: $CQOS_BENCH_OUT_DIR/BENCH_table<N>.json (default CWD).
+  /// Output path: $CQOS_BENCH_OUT_DIR/BENCH_<stem>.json (default CWD).
   std::string path() const {
     std::string dir = ".";
     if (const char* env = std::getenv("CQOS_BENCH_OUT_DIR")) dir = env;
-    return dir + "/BENCH_table" + std::to_string(table_) + ".json";
+    return dir + "/BENCH_" + stem_ + ".json";
   }
 
   bool write() const {
     std::ostringstream os;
     os.precision(6);
     os << std::fixed;
-    os << "{\"table\":" << table_ << ",\"pairs\":" << pairs_
-       << ",\"warmup\":" << bench_warmup() << ",\"rows\":[";
+    if (table_ >= 0) {
+      os << "{\"table\":" << table_;
+    } else {
+      os << "{\"bench\":\"" << stem_ << '"';
+    }
+    os << ",\"pairs\":" << pairs_ << ",\"warmup\":" << bench_warmup()
+       << ",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const JsonRow& r = rows_[i];
       if (i) os << ',';
@@ -201,7 +213,8 @@ class JsonReport {
   }
 
  private:
-  int table_;
+  std::string stem_;
+  int table_;  // -1 for named reports
   int pairs_;
   std::vector<JsonRow> rows_;
 };

@@ -56,7 +56,7 @@ int main() {
 
   account.set_balance(0);
   std::printf("enabling 15%% message loss on the WAN...\n");
-  cluster.network().set_drop_rate(0.15);
+  cluster.faults().set_drop_rate(0.15);
 
   int ok = 0, failed = 0;
   for (int i = 0; i < 40; ++i) {
@@ -69,7 +69,7 @@ int main() {
   }
   std::printf("deposits under loss: %d ok, %d failed (retransmit masks the "
               "drops; dedup prevents double-execution)\n", ok, failed);
-  cluster.network().set_drop_rate(0);
+  cluster.faults().set_drop_rate(0);
   std::printf("primary balance: %lld cents (exactly %d x 25)\n",
               static_cast<long long>(account.get_balance()), ok);
 

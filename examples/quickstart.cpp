@@ -1,39 +1,57 @@
 // Quickstart: transparently add CQoS to a BankAccount service.
 //
-// Builds a one-replica deployment on the RMI-like platform, makes a few
-// calls through the CQoS stub, and shows that interception is invisible to
-// the application: the client code is exactly what it would be against the
-// plain middleware.
+// Assembles a one-replica deployment on the RMI-like platform with the
+// fluent QosEndpoint builders — one builder per side instead of threading
+// five option structs through four constructors — then makes a few calls
+// through the CQoS stub. Interception is invisible to the application: the
+// client code is exactly what it would be against the plain middleware.
 //
 //   $ ./quickstart
 #include <cstdio>
+#include <memory>
 
+#include "cqos/endpoint.h"
+#include "micro/standard.h"
+#include "net/sim_network.h"
+#include "platform/rmi/registry.h"
+#include "platform/rmi/rmi.h"
 #include "sim/bank_account.h"
-#include "sim/cluster.h"
 
 int main() {
   using namespace cqos;
   using namespace cqos::sim;
 
-  // 1. Assemble a "cluster": a simulated network, an RMI registry, and one
-  //    server host running the servant behind a CQoS skeleton + Cactus
-  //    server with the base micro-protocols.
-  ClusterOptions opts;
-  opts.platform = PlatformKind::kRmi;
-  opts.level = InterceptionLevel::kFull;
-  opts.num_replicas = 1;
-  opts.object_id = "BankAccount";
-  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
-  Cluster cluster(opts);
+  // 1. The deployment substrate: a simulated network, an RMI registry, and
+  //    one platform instance per "machine". Micro-protocols resolve by name
+  //    through the registry, so register the standard set once.
+  micro::register_standard_micro_protocols();
+  net::SimNetwork net(net::NetConfig{});
+  rmi::Registry registry(net, "nameserver");
+  rmi::RmiConfig rmi_cfg;
+  rmi_cfg.registry_host = "nameserver";
+  rmi::RmiRuntime server_platform(net, "server0", rmi_cfg);
+  rmi::RmiRuntime client_platform(net, "client0", rmi_cfg);
 
-  // 2. A client host. The typed stub below is what the Cactus IDL compiler
-  //    would generate from the BankAccount IDL; it delegates to the generic
-  //    CQoS stub, which builds abstract requests and hands them to the
-  //    Cactus client.
-  auto client = cluster.make_client();
+  // 2. The server side: servant behind a CQoS skeleton + Cactus server.
+  //    build() installs the stack (server_base is appended automatically)
+  //    and registers the skeleton with the platform.
+  auto servant = std::make_shared<BankAccountServant>();
+  auto server = QosEndpoint::server(server_platform, servant, "BankAccount")
+                    .qos({{"dedup"}})
+                    .process_timeout(ms(3000))
+                    .build();
+
+  // 3. The client side: a Cactus client + CQoS stub resolving the replica
+  //    names the server registered under. The typed stub below is what the
+  //    Cactus IDL compiler would generate from the BankAccount IDL.
+  auto client = QosEndpoint::client(client_platform, "BankAccount")
+                    .replicas(1)
+                    .qos({{"retransmit"}})
+                    .invoke_timeout(ms(500))
+                    .build();
   BankAccountStub account(client->stub_ptr());
 
-  // 3. Use it like a local object.
+  // 4. Use it like a local object.
   account.set_balance(10'000);
   account.deposit(2'500);
   std::printf("balance after deposit:  %lld cents\n",
@@ -43,7 +61,7 @@ int main() {
   std::printf("balance after withdraw: %lld cents\n",
               static_cast<long long>(account.get_balance()));
 
-  // 4. Application errors propagate as exceptions, exactly as with the
+  // 5. Application errors propagate as exceptions, exactly as with the
   //    plain middleware.
   try {
     account.withdraw(1'000'000);
@@ -52,7 +70,14 @@ int main() {
   }
 
   std::printf("network messages sent:  %llu\n",
-              static_cast<unsigned long long>(cluster.network().messages_sent()));
+              static_cast<unsigned long long>(net.messages_sent()));
+
+  // 6. Teardown: client endpoint first, then the platforms, then the server
+  //    composite (its handlers may still be draining).
+  client.reset();
+  client_platform.shutdown();
+  server_platform.shutdown();
+  server->stop();
   std::printf("quickstart OK\n");
   return 0;
 }

@@ -1,0 +1,270 @@
+#include "cqos/endpoint.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cqos {
+namespace {
+
+bool has_spec(const std::vector<MicroProtocolSpec>& specs,
+              std::string_view name) {
+  return std::any_of(specs.begin(), specs.end(),
+                     [&](const auto& s) { return s.name == name; });
+}
+
+std::vector<std::string> derived_names(const plat::Platform& platform,
+                                       const std::string& object_id,
+                                       int replicas, EndpointMode mode) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(replicas));
+  for (int i = 0; i < replicas; ++i) {
+    names.push_back(mode == EndpointMode::kStatic
+                        ? platform.direct_name(object_id)
+                        : platform.replica_name(object_id, i + 1));
+  }
+  return names;
+}
+
+}  // namespace
+
+// --- QosClientEndpoint -------------------------------------------------------
+
+QosClientEndpoint::~QosClientEndpoint() {
+  if (cactus_) cactus_->stop();
+}
+
+// --- QosServerEndpoint -------------------------------------------------------
+
+QosServerEndpoint::~QosServerEndpoint() { stop(); }
+
+void QosServerEndpoint::stop() {
+  if (cactus_) cactus_->stop();
+}
+
+// --- ClientBuilder -----------------------------------------------------------
+
+QosEndpoint::ClientBuilder::ClientBuilder(plat::Platform& platform,
+                                          std::string object_id)
+    : platform_(platform), object_id_(std::move(object_id)) {}
+
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::mode(EndpointMode m) {
+  mode_ = m;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::servers(
+    std::vector<std::string> names) {
+  servers_ = std::move(names);
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::replicas(int n) {
+  if (n < 1) throw ConfigError("QosEndpoint: replicas must be >= 1");
+  replicas_ = n;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::qos(
+    std::vector<MicroProtocolSpec> specs) {
+  specs_ = std::move(specs);
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::invoke_timeout(
+    Duration d) {
+  qos_opts_.invoke_timeout = d;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::resolve_timeout(
+    Duration d) {
+  qos_opts_.resolve_timeout = d;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::ping_timeout(
+    Duration d) {
+  qos_opts_.ping_timeout = d;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::request_timeout(
+    Duration d) {
+  cactus_opts_.request_timeout = d;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::composite_name(
+    std::string name) {
+  cactus_opts_.composite.name = std::move(name);
+  composite_name_set_ = true;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::pool_threads(int n) {
+  cactus_opts_.composite.pool_threads = n;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::thread_pool(bool on) {
+  cactus_opts_.composite.use_thread_pool = on;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::priority(int p) {
+  stub_opts_.priority = p;
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::principal(
+    std::string who) {
+  stub_opts_.principal = std::move(who);
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::reuse_requests(
+    bool on) {
+  stub_opts_.reuse_requests = on;
+  return *this;
+}
+
+std::unique_ptr<QosClientEndpoint> QosEndpoint::ClientBuilder::build() {
+  qos_opts_.use_dynamic_invocation = mode_ != EndpointMode::kStatic;
+  std::vector<std::string> names =
+      servers_.empty() ? derived_names(platform_, object_id_, replicas_, mode_)
+                       : servers_;
+  auto qos = std::make_unique<PlatformClientQos>(platform_, object_id_, names,
+                                                 qos_opts_);
+  auto ep = std::unique_ptr<QosClientEndpoint>(new QosClientEndpoint());
+  if (mode_ == EndpointMode::kFull) {
+    if (!composite_name_set_) {
+      cactus_opts_.composite.name = "cactus-client-" + object_id_;
+    }
+    ep->cactus_ = std::make_shared<CactusClient>(std::move(qos), cactus_opts_);
+    std::vector<MicroProtocolSpec> specs = specs_;
+    if (!has_spec(specs, "client_base")) {
+      specs.push_back(MicroProtocolSpec{"client_base", {}});
+    }
+    MicroProtocolRegistry::instance().install(Side::kClient, specs,
+                                              ep->cactus_->protocol());
+    ep->stub_ =
+        std::make_shared<CqosStub>(ep->cactus_, object_id_, stub_opts_);
+  } else {
+    if (!specs_.empty()) {
+      throw ConfigError(
+          "QosEndpoint: a micro-protocol stack needs mode kFull");
+    }
+    ep->stub_ = std::make_shared<CqosStub>(
+        std::shared_ptr<ClientQosInterface>(std::move(qos)), object_id_,
+        stub_opts_);
+  }
+  return ep;
+}
+
+// --- ServerBuilder -----------------------------------------------------------
+
+QosEndpoint::ServerBuilder::ServerBuilder(plat::Platform& platform,
+                                          std::shared_ptr<Servant> servant,
+                                          std::string object_id)
+    : platform_(platform),
+      servant_(std::move(servant)),
+      object_id_(std::move(object_id)) {
+  if (!servant_) throw ConfigError("QosEndpoint: servant is required");
+}
+
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::mode(EndpointMode m) {
+  mode_ = m;
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::replica(
+    int self_index, std::vector<std::string> peers) {
+  if (self_index < 0 || self_index >= static_cast<int>(peers.size())) {
+    throw ConfigError("QosEndpoint: self_index out of range");
+  }
+  self_index_ = self_index;
+  peers_ = std::move(peers);
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::replica_of(
+    int self_index, int n) {
+  if (n < 1 || self_index < 0 || self_index >= n) {
+    throw ConfigError("QosEndpoint: self_index out of range");
+  }
+  self_index_ = self_index;
+  replicas_ = n;
+  peers_.clear();
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::qos(
+    std::vector<MicroProtocolSpec> specs) {
+  specs_ = std::move(specs);
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::peer_timeout(
+    Duration d) {
+  qos_opts_.peer_timeout = d;
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::resolve_timeout(
+    Duration d) {
+  qos_opts_.resolve_timeout = d;
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::process_timeout(
+    Duration d) {
+  cactus_opts_.process_timeout = d;
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::composite_name(
+    std::string name) {
+  cactus_opts_.composite.name = std::move(name);
+  composite_name_set_ = true;
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::pool_threads(int n) {
+  cactus_opts_.composite.pool_threads = n;
+  return *this;
+}
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::thread_pool(bool on) {
+  cactus_opts_.composite.use_thread_pool = on;
+  return *this;
+}
+
+std::unique_ptr<QosServerEndpoint> QosEndpoint::ServerBuilder::build() {
+  auto ep = std::unique_ptr<QosServerEndpoint>(new QosServerEndpoint());
+  switch (mode_) {
+    case EndpointMode::kStatic: {
+      if (!specs_.empty()) {
+        throw ConfigError(
+            "QosEndpoint: a micro-protocol stack needs mode kFull");
+      }
+      platform_.register_servant(platform_.direct_name(object_id_),
+                                 std::make_shared<DirectServantHandler>(servant_),
+                                 plat::DispatchMode::kStatic);
+      break;
+    }
+    case EndpointMode::kBypass: {
+      if (!specs_.empty()) {
+        throw ConfigError(
+            "QosEndpoint: a micro-protocol stack needs mode kFull");
+      }
+      ep->skeleton_ = std::make_shared<CqosSkeleton>(object_id_, servant_);
+      register_cqos_skeleton(platform_, ep->skeleton_, self_index_ + 1);
+      break;
+    }
+    case EndpointMode::kFull: {
+      std::vector<std::string> peers =
+          peers_.empty()
+              ? derived_names(platform_, object_id_, replicas_, mode_)
+              : peers_;
+      auto qos = std::make_unique<PlatformServerQos>(
+          platform_, servant_, object_id_, peers, self_index_, qos_opts_);
+      if (!composite_name_set_) {
+        cactus_opts_.composite.name = "cactus-server-" + object_id_;
+      }
+      ep->cactus_ =
+          std::make_shared<CactusServer>(std::move(qos), cactus_opts_);
+      std::vector<MicroProtocolSpec> specs = specs_;
+      if (!has_spec(specs, "server_base")) {
+        specs.push_back(MicroProtocolSpec{"server_base", {}});
+      }
+      MicroProtocolRegistry::instance().install(Side::kServer, specs,
+                                                ep->cactus_->protocol());
+      ep->skeleton_ =
+          std::make_shared<CqosSkeleton>(object_id_, ep->cactus_);
+      register_cqos_skeleton(platform_, ep->skeleton_, self_index_ + 1);
+      break;
+    }
+  }
+  return ep;
+}
+
+}  // namespace cqos

@@ -1,0 +1,78 @@
+#include "micro/dedup.h"
+
+namespace cqos::micro {
+
+cactus::Handler dedup_check_handler(std::shared_ptr<DedupState> state) {
+  return [state](cactus::EventContext& ctx) {
+    auto req = ctx.dyn<RequestPtr>();
+    RequestPtr original;
+    {
+      MutexLock lk(state->mu);
+      auto cached = state->cache.find(req->id);
+      if (cached != state->cache.end()) {
+        const auto& entry = cached->second;
+        req->complete(entry.success, entry.result, entry.error);
+        ctx.halt();
+        return;
+      }
+      auto inflight = state->inflight.find(req->id);
+      if (inflight == state->inflight.end()) {
+        state->inflight.emplace(req->id, req);
+        return;  // first sighting: continue to execution
+      }
+      if (inflight->second == req) {
+        return;  // re-raise of our own parked request, not a duplicate
+      }
+      original = inflight->second;
+    }
+    // Duplicate of a request currently executing: wait for the original
+    // and mirror its outcome.
+    if (original->wait(ms(2000))) {
+      req->complete(original->staged_success(), original->staged_result(),
+                    original->staged_error());
+    } else {
+      req->complete(false, Value(), "dedup: original still running");
+    }
+    ctx.halt();
+  };
+}
+
+cactus::Handler dedup_store_handler(std::shared_ptr<DedupState> state) {
+  return [state](cactus::EventContext& ctx) {
+    auto req = ctx.dyn<RequestPtr>();
+    MutexLock lk(state->mu);
+    state->inflight.erase(req->id);
+    if (state->cache.contains(req->id)) return;
+    state->cache.emplace(req->id,
+                         DedupState::Cached{req->staged_success(),
+                                            req->staged_result(),
+                                            req->staged_error()});
+    state->cache_fifo.push_back(req->id);
+    while (state->cache_fifo.size() > state->max_cache) {
+      state->cache.erase(state->cache_fifo.front());
+      state->cache_fifo.pop_front();
+    }
+  };
+}
+
+void Dedup::init(cactus::CompositeProtocol& proto) {
+  server_holder(proto);  // configuration check: server composites only
+  auto state = proto.shared().get_or_create<DedupState>(kStateKey);
+  {
+    MutexLock lk(state->mu);
+    state->max_cache = max_cache_;
+  }
+
+  bind_tracked(proto, ev::kReadyToInvoke, "dedupCheck",
+               dedup_check_handler(state), order::kDedup);
+  bind_tracked(proto, ev::kInvokeReturn, "dedupStore",
+               dedup_store_handler(state), order::kStoreResult);
+}
+
+std::unique_ptr<cactus::MicroProtocol> Dedup::make(
+    const MicroProtocolSpec& spec) {
+  return std::make_unique<Dedup>(
+      static_cast<std::size_t>(spec.param_int("max_cache", 1024)));
+}
+
+}  // namespace cqos::micro

@@ -73,61 +73,12 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
   CactusServer* server = holder.server;
   auto state = proto.shared().get_or_create<State>(kStateKey);
 
-  // dedup: answer duplicates from the cache; wait out in-flight originals.
-  bind_tracked(proto, 
-      ev::kReadyToInvoke, "pasDedup",
-      [state](cactus::EventContext& ctx) {
-        auto req = ctx.dyn<RequestPtr>();
-        RequestPtr original;
-        {
-          MutexLock lk(state->mu);
-          auto cached = state->cache.find(req->id);
-          if (cached != state->cache.end()) {
-            const auto& entry = cached->second;
-            req->complete(entry.success, entry.result, entry.error);
-            ctx.halt();
-            return;
-          }
-          auto inflight = state->inflight.find(req->id);
-          if (inflight == state->inflight.end()) {
-            state->inflight.emplace(req->id, req);
-            return;  // first sighting: continue to execution
-          }
-          if (inflight->second == req) {
-            return;  // re-raise of our own parked request, not a duplicate
-          }
-          original = inflight->second;
-        }
-        // Duplicate of a request currently executing: wait for the original
-        // and mirror its outcome.
-        if (original->wait(ms(2000))) {
-          req->complete(original->staged_success(), original->staged_result(),
-                        original->staged_error());
-        } else {
-          req->complete(false, Value(), "passive_rep: original still running");
-        }
-        ctx.halt();
-      },
-      order::kDedup);
-
-  // storeResult: publish the outcome for future duplicates.
-  bind_tracked(proto, 
-      ev::kInvokeReturn, "pasStoreResult",
-      [state](cactus::EventContext& ctx) {
-        auto req = ctx.dyn<RequestPtr>();
-        MutexLock lk(state->mu);
-        state->inflight.erase(req->id);
-        if (state->cache.contains(req->id)) return;
-        state->cache.emplace(
-            req->id, State::Cached{req->staged_success(), req->staged_result(),
-                                   req->staged_error()});
-        state->cache_fifo.push_back(req->id);
-        while (state->cache_fifo.size() > state->max_cache) {
-          state->cache.erase(state->cache_fifo.front());
-          state->cache_fifo.pop_front();
-        }
-      },
-      order::kStoreResult);
+  // dedup + storeResult: the shared at-most-once mechanism (micro/dedup.h),
+  // under PassiveRep's own state key.
+  bind_tracked(proto, ev::kReadyToInvoke, "pasDedup",
+               dedup_check_handler(state), order::kDedup);
+  bind_tracked(proto, ev::kInvokeReturn, "pasStoreResult",
+               dedup_store_handler(state), order::kStoreResult);
 
   // forward: propagate client-originated requests to every backup after
   // local execution, using ActiveRep's technique — one asynchronous raise

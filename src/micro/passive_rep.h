@@ -23,13 +23,8 @@
 //                                  them consistent
 #pragma once
 
-#include <deque>
-#include <map>
-#include <mutex>
-
-#include "common/sync.h"
 #include "micro/base.h"
-#include "common/thread_annotations.h"
+#include "micro/dedup.h"
 
 namespace cqos::micro {
 
@@ -50,19 +45,10 @@ class PassiveRepServer : public MicroBase {
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
 
-  /// Shared-data state (exposed for tests).
-  struct State {
-    Mutex mu;
-    struct Cached {
-      bool success = false;
-      Value result;
-      std::string error;
-    };
-    std::map<std::uint64_t, Cached> cache CQOS_GUARDED_BY(mu);
-    std::deque<std::uint64_t> cache_fifo CQOS_GUARDED_BY(mu);  // eviction order
-    std::map<std::uint64_t, RequestPtr> inflight CQOS_GUARDED_BY(mu);
-    std::size_t max_cache CQOS_GUARDED_BY(mu) = 1024;
-  };
+  /// Shared-data state (exposed for tests). The dedup mechanism is the
+  /// shared one from micro/dedup.h, under PassiveRep's own state key so a
+  /// config stacking "dedup" alongside "passive_rep" keeps separate caches.
+  using State = DedupState;
   static constexpr const char* kStateKey = "passive_rep.server.state";
 
   /// Control name used for replica-to-replica request transfer.

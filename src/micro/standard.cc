@@ -6,6 +6,7 @@
 #include "micro/acceptance.h"
 #include "micro/active_rep.h"
 #include "micro/client_base.h"
+#include "micro/dedup.h"
 #include "micro/extensions.h"
 #include "micro/passive_rep.h"
 #include "micro/security.h"
@@ -34,6 +35,7 @@ void register_standard_micro_protocols() {
 
     reg.add(Side::kServer, "server_base", &ServerBase::make);
     reg.add(Side::kServer, "passive_rep", &PassiveRepServer::make);
+    reg.add(Side::kServer, "dedup", &Dedup::make);
     reg.add(Side::kServer, "total_order", &TotalOrder::make);
     reg.add(Side::kServer, "des_privacy", &DesPrivacyServer::make);
     reg.add(Side::kServer, "integrity", &IntegrityServer::make);

@@ -54,26 +54,54 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
   }
 
   // checkOrder (all replicas): only the request whose turn has come may
-  // proceed; everything else parks.
-  bind_tracked(proto, 
+  // proceed; everything else parks. Duplicate deliveries (client
+  // retransmits, chaos duplication faults) are recognised here instead of
+  // being silently dropped or parked on a turn that already passed:
+  //   - duplicate of an EXECUTED request (seq < next_seq_to_execute) falls
+  //     through so the dedup micro-protocol (order::kDedup, later in this
+  //     chain) answers it from the result cache;
+  //   - duplicate of a QUEUED request (same id already parked / awaiting
+  //     ordering info under a different RequestPtr) waits for the original
+  //     and mirrors its staged outcome, dedup-style.
+  bind_tracked(proto,
       ev::kReadyToInvoke, "checkOrder",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
-        MutexLock lk(state->mu);
-        auto it = state->order.find(req->id);
-        if (it == state->order.end()) {
-          // Ordering info not here yet (non-coordinator raced the control
-          // message). Park by id; the control handler re-raises.
-          state->awaiting_info.emplace(req->id, req);
-          ctx.halt();
-          return;
+        RequestPtr original;
+        {
+          MutexLock lk(state->mu);
+          auto it = state->order.find(req->id);
+          if (it == state->order.end()) {
+            // Ordering info not here yet (non-coordinator raced the control
+            // message). Park by id; the control handler re-raises.
+            auto [waiting, inserted] =
+                state->awaiting_info.emplace(req->id, req);
+            if (inserted || waiting->second == req) {
+              ctx.halt();
+              return;
+            }
+            original = waiting->second;
+          } else if (it->second < state->next_seq_to_execute) {
+            return;  // already executed: fall through to the dedup cache
+          } else if (it->second != state->next_seq_to_execute) {
+            auto [parked, inserted] = state->parked.emplace(it->second, req);
+            if (inserted || parked->second == req) {
+              ctx.halt();
+              return;
+            }
+            original = parked->second;
+          } else {
+            return;  // its turn: fall through to execution
+          }
         }
-        if (it->second != state->next_seq_to_execute) {
-          state->parked.emplace(it->second, req);
-          ctx.halt();
-          return;
+        if (original->wait(ms(2000))) {
+          req->complete(original->staged_success(), original->staged_result(),
+                        original->staged_error());
+        } else {
+          req->complete(false, Value(),
+                        "total_order: duplicate of queued request");
         }
-        // Its turn: fall through to execution.
+        ctx.halt();
       },
       order::kOrderCheck);
 

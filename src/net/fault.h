@@ -1,0 +1,240 @@
+// Deterministic chaos engine for the simulated network.
+//
+// FaultPlan is a declarative, seeded schedule of timed fault events —
+// crash/recover, partition/heal, drop-rate changes, drop bursts, latency
+// spikes, message duplication and bounded reordering — with a textual
+// round-trippable form:
+//
+//     plan backup-churn
+//     seed 42
+//     @120ms crash server1
+//     @260ms recover server1
+//     @300ms partition server1 server2
+//     @420ms heal server1 server2
+//     @100ms drop_rate 0.15
+//     @150ms drop_burst server0 client0 80ms 1.0
+//     @200ms latency_spike 100ms x6
+//     @210ms duplicate 0.4
+//     @220ms reorder 0.5 window=4
+//
+// FaultController executes plans and owns ALL fault state (crashed hosts,
+// partitions, drop/duplicate/reorder probabilities, timed bursts and
+// spikes). It replaces SimNetwork's former scattered mutators — those
+// remain only as thin forwarding shims. SimNetwork::send() consults the
+// controller for every message via judge()/hold()/on_send().
+//
+// Locking: SimNetwork::mu_ > FaultController::mu_. The controller's mutex
+// is a leaf on the send path (judge/hold/on_send are called under the
+// network lock); controller mutators never hold mu_ while calling back into
+// SimNetwork (crash/recover apply endpoint marks after releasing it, the
+// scheduler thread deposits swept messages lock-free of mu_).
+//
+// Bounded reordering: a deferred message is held back until `defer` (<=
+// window) later messages to the same destination endpoint have been sent,
+// then re-deposited with the trigger message's deliver_at (equal-key
+// multimap order puts it after the trigger), so it is overtaken by at most
+// `window` messages. A deadline sweep (scheduler thread) releases stranded
+// holds so no message is ever lost to reordering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "net/sim_network.h"
+
+namespace cqos::net {
+
+enum class FaultKind {
+  kCrash,         // host_a
+  kRecover,       // host_a
+  kPartition,     // host_a <-> host_b
+  kHeal,          // host_a <-> host_b
+  kDropRate,      // rate: steady-state inter-host drop probability
+  kDropBurst,     // host_a -> host_b ("*" = any) dropped with `rate` for `duration`
+  kLatencySpike,  // inter-host latency scaled by `factor` for `duration`
+  kDuplicate,     // rate: probability a message is delivered twice
+  kReorder,       // rate + window: probability a message is held back
+};
+
+struct FaultEvent {
+  Duration at{};          // offset from plan start
+  FaultKind kind{};
+  std::string host_a;
+  std::string host_b;
+  double rate = 0.0;
+  Duration duration{};
+  double factor = 1.0;
+  int window = 0;
+
+  /// One-line textual form ("@120ms crash server1"), the same syntax
+  /// FaultPlan::parse() accepts.
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::string name = "plan";
+  std::uint64_t seed = 1;
+  /// Sorted by `at` (stable: same-offset events keep their textual order).
+  std::vector<FaultEvent> events;
+
+  /// Parse the textual form. Throws ConfigError on syntax errors. Events
+  /// are sorted by offset.
+  static FaultPlan parse(std::string_view text);
+  /// Round-trippable textual form: parse(serialize()) == *this.
+  std::string serialize() const;
+  /// Offset of the last event (zero for an empty plan).
+  Duration duration() const;
+};
+
+/// Per-message verdict computed by FaultController::judge() for
+/// SimNetwork::send(). All fields combine: a message can be duplicated AND
+/// have its latency scaled, etc.
+struct FaultDecision {
+  bool drop = false;
+  const char* drop_reason = nullptr;  // metrics suffix ("crashed", "burst", ...)
+  bool duplicate = false;
+  double latency_factor = 1.0;
+  Duration extra_latency{};
+  int defer = 0;  // > 0: hold until `defer` later sends to the destination
+};
+
+class FaultController {
+ public:
+  FaultController(SimNetwork& net, std::uint64_t seed);
+  ~FaultController();
+
+  FaultController(const FaultController&) = delete;
+  FaultController& operator=(const FaultController&) = delete;
+
+  // --- plan execution ------------------------------------------------------
+
+  /// Start executing `plan` asynchronously: event k fires at start + at_k.
+  /// Reseeds the fault RNG with plan.seed so per-message decisions are a
+  /// deterministic function of (plan seed, traffic). Replaces any plan
+  /// still running.
+  void run_plan(FaultPlan plan);
+  /// Stop applying remaining events (already-applied state persists).
+  void cancel_plan();
+  bool plan_active() const;
+  /// Block until the current plan has applied its last event.
+  bool wait_plan_done(Duration timeout);
+  /// Applied-event trace: "plan <name> seed <n>" followed by one
+  /// describe() line per applied event, in order. Same plan => identical
+  /// trace (offsets are the scheduled ones, never wall-clock).
+  std::vector<std::string> event_trace() const;
+
+  // --- immediate one-shot faults -------------------------------------------
+
+  /// Crash a host: its endpoints stop receiving, queued messages are lost,
+  /// traffic from/to it is dropped. Host process state is untouched (a
+  /// network-level crash, as in the paper's testbed).
+  void crash_host(const std::string& host);
+  void recover_host(const std::string& host);
+  /// Cut connectivity between two hosts (both directions).
+  void partition(const std::string& host_a, const std::string& host_b);
+  void heal(const std::string& host_a, const std::string& host_b);
+  void set_drop_rate(double p);
+  void set_duplicate_rate(double p);
+  /// Each inter-host message is held back with probability `p` until up to
+  /// `window` later messages to the same destination have been sent.
+  void set_reorder(double p, int window);
+  void drop_burst(const std::string& host_a, const std::string& host_b,
+                  Duration duration, double rate = 1.0);
+  void latency_spike(Duration duration, double factor,
+                     Duration extra = Duration::zero());
+  /// Recover every crashed host, heal every partition, zero all rates,
+  /// expire bursts/spikes and flush held-back messages — the recovery tail
+  /// the soak harness runs before checking invariants.
+  void clear_all_faults();
+
+  // --- queries -------------------------------------------------------------
+
+  bool is_crashed(const std::string& host) const;
+  bool is_partitioned(const std::string& host_a,
+                      const std::string& host_b) const;
+  double drop_rate() const;
+  double duplicate_rate() const;
+  double reorder_rate() const;
+  int reorder_window() const;
+  /// Messages currently held back for reordering.
+  std::size_t held_count() const;
+  /// Human-readable summary of the current fault state.
+  std::string describe() const;
+
+ private:
+  friend class SimNetwork;
+
+  struct Burst {
+    std::string a;  // "*" = any
+    std::string b;
+    double rate;
+    TimePoint until;
+  };
+  struct Spike {
+    double factor;
+    Duration extra;
+    TimePoint until;
+  };
+  struct Held {
+    Message msg;
+    int remaining;       // sends to the destination until release
+    TimePoint deadline;  // sweep release (no releaser traffic)
+  };
+
+  // Send-path hooks, called by SimNetwork::send() under the network lock
+  // (mu_ is a leaf there).
+  FaultDecision judge(const std::string& from_host, const std::string& to_host,
+                      bool loopback);
+  void hold(const std::string& to, Message msg, int defer);
+  /// A message to `to` is being sent with `deliver_at`: decrement all holds
+  /// for `to` and return the ones that reached zero, stamped with
+  /// `deliver_at` (deposited right after the trigger keeps the overtake
+  /// bound exact). Called for every send — even one that is itself held —
+  /// so a held message is passed by at most `defer` <= window later sends
+  /// (a duplicated send counts once: the copy rides the same decrement).
+  std::vector<Message> on_send(const std::string& to, TimePoint deliver_at);
+
+  void worker_loop();
+  /// Apply one plan event (called by the worker with no locks held).
+  void apply_event(const FaultEvent& e);
+  void crash_locked_then_apply(const std::string& host);
+  std::vector<Message> take_all_held();
+
+  SimNetwork& net_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  Rng rng_ CQOS_GUARDED_BY(mu_);
+
+  std::set<std::string> crashed_ CQOS_GUARDED_BY(mu_);
+  std::set<std::pair<std::string, std::string>> partitions_
+      CQOS_GUARDED_BY(mu_);  // minmax-ordered pair
+  double drop_rate_ CQOS_GUARDED_BY(mu_) = 0.0;
+  double duplicate_rate_ CQOS_GUARDED_BY(mu_) = 0.0;
+  double reorder_rate_ CQOS_GUARDED_BY(mu_) = 0.0;
+  int reorder_window_ CQOS_GUARDED_BY(mu_) = 0;
+  Duration max_hold_ CQOS_GUARDED_BY(mu_) = ms(50);
+  std::vector<Burst> bursts_ CQOS_GUARDED_BY(mu_);
+  std::vector<Spike> spikes_ CQOS_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<Held>> holds_ CQOS_GUARDED_BY(mu_);
+
+  FaultPlan plan_ CQOS_GUARDED_BY(mu_);
+  bool plan_active_ CQOS_GUARDED_BY(mu_) = false;
+  std::size_t next_event_ CQOS_GUARDED_BY(mu_) = 0;
+  TimePoint plan_t0_ CQOS_GUARDED_BY(mu_);
+  std::vector<std::string> trace_ CQOS_GUARDED_BY(mu_);
+
+  bool stop_ CQOS_GUARDED_BY(mu_) = false;
+  std::thread worker_;
+};
+
+}  // namespace cqos::net

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "net/fault.h"
 
 namespace cqos::net {
 
@@ -78,7 +79,15 @@ void Endpoint::clear_inbox() {
 
 // --- SimNetwork --------------------------------------------------------------
 
-SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  // The controller's fault RNG starts from the NetConfig seed: in
+  // jitter-free configurations this reproduces the exact drop sequence the
+  // pre-FaultController network produced (tests tune seeds against it).
+  faults_ = std::make_unique<FaultController>(*this, cfg.seed);
+  if (cfg.drop_rate > 0) faults_->set_drop_rate(cfg.drop_rate);
+}
+
+SimNetwork::~SimNetwork() = default;
 
 std::string SimNetwork::host_of(const std::string& endpoint_id) {
   auto pos = endpoint_id.find('/');
@@ -89,7 +98,7 @@ std::shared_ptr<Endpoint> SimNetwork::create_endpoint(const std::string& id) {
   MutexLock lk(mu_);
   if (endpoints_.contains(id)) throw Error("endpoint id already registered: " + id);
   auto ep = std::make_shared<Endpoint>(id, host_of(id));
-  if (crashed_.contains(ep->host())) ep->mark_crashed();
+  if (faults_->is_crashed(ep->host())) ep->mark_crashed();
   endpoints_.emplace(id, ep);
   return ep;
 }
@@ -147,6 +156,8 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
                       Bytes&& payload) {
   std::shared_ptr<Endpoint> dest;
   Message msg;
+  bool held = false;
+  std::vector<Message> extra;  // duplicate copy + released reorder holds
   {
     MutexLock lk(mu_);
     std::string from_host = host_of(from);
@@ -159,23 +170,12 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
       return false;
     }
 
-    if (crashed_.contains(to_host) || crashed_.contains(from_host)) {
-      count_drop(from_host, to_host, "crashed");
-      BufferPool::recycle(std::move(payload));
-      return false;
-    }
-
-    auto pair = std::minmax(from_host, to_host);
-    if (partitions_.contains({pair.first, pair.second})) {
-      count_drop(from_host, to_host, "partition");
-      BufferPool::recycle(std::move(payload));
-      return false;
-    }
-
-    if (from_host != to_host && cfg_.drop_rate > 0 &&
-        rng_.next_bool(cfg_.drop_rate)) {
-      CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to);
-      count_drop(from_host, to_host, "random");
+    bool loopback = from_host == to_host;
+    FaultDecision verdict = faults_->judge(from_host, to_host, loopback);
+    if (verdict.drop) {
+      CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to, " (",
+                     verdict.drop_reason, ")");
+      count_drop(from_host, to_host, verdict.drop_reason);
       BufferPool::recycle(std::move(payload));
       return false;
     }
@@ -183,7 +183,15 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
     dest = it->second;
     msg.from = from;
     msg.to = to;
-    msg.deliver_at = now() + compute_latency(from_host, to_host, payload.size());
+    Duration lat = compute_latency(from_host, to_host, payload.size());
+    if (verdict.latency_factor != 1.0) {
+      lat = std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double>(
+              std::chrono::duration<double>(lat).count() *
+              verdict.latency_factor));
+    }
+    lat += verdict.extra_latency;
+    msg.deliver_at = now() + lat;
     // FIFO per destination: never deliver before an earlier-sent message.
     auto& clamp = last_deliver_[to];
     if (msg.deliver_at < clamp) msg.deliver_at = clamp;
@@ -193,22 +201,52 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
     bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
     count_send(from_host, to_host, msg.payload.size());
+
+    if (verdict.duplicate) {
+      Message copy;
+      copy.from = from;
+      copy.to = to;
+      copy.payload = msg.payload;  // deliberate copy: a second wire message
+      copy.deliver_at =
+          now() + compute_latency(from_host, to_host, copy.payload.size());
+      if (copy.deliver_at < clamp) copy.deliver_at = clamp;
+      clamp = copy.deliver_at;
+      copy.seq = next_seq_++;
+      registry().counter("net.fault.duplicate").inc();
+      extra.push_back(std::move(copy));
+    }
+
+    // Every send to the destination — including one that is itself held
+    // back below — counts as releaser traffic for earlier holds. That keeps
+    // the overtake bound exact: a held message is passed by at most `defer`
+    // later sends, never by a chain of releases it did not count.
+    for (Message& rel : faults_->on_send(to, msg.deliver_at)) {
+      extra.push_back(std::move(rel));
+    }
+    if (verdict.defer > 0) {
+      // Hold the message back for bounded reordering; the next `defer`
+      // sends to the same destination release it.
+      registry().counter("net.fault.reorder.held").inc();
+      held = true;
+      faults_->hold(to, std::move(msg), verdict.defer);
+    }
   }
 
-  {
-    MutexLock lk(tap_mu_);
-    if (tap_) tap_(msg);
+  if (!held) {
+    {
+      MutexLock lk(tap_mu_);
+      if (tap_) tap_(msg);
+    }
+    dest->deposit(std::move(msg));
   }
-
-  dest->deposit(std::move(msg));
+  for (Message& m : extra) dest->deposit(std::move(m));
   return true;
 }
 
-void SimNetwork::crash_host(const std::string& host) {
+void SimNetwork::apply_crash(const std::string& host) {
   std::vector<std::shared_ptr<Endpoint>> eps;
   {
     MutexLock lk(mu_);
-    crashed_.insert(host);
     registry().counter("net.crash").inc();
     for (auto& [id, ep] : endpoints_) {
       if (ep->host() == host) eps.push_back(ep);
@@ -221,11 +259,10 @@ void SimNetwork::crash_host(const std::string& host) {
   for (auto& ep : eps) ep->mark_crashed();
 }
 
-void SimNetwork::recover_host(const std::string& host) {
+void SimNetwork::apply_recover(const std::string& host) {
   std::vector<std::shared_ptr<Endpoint>> eps;
   {
     MutexLock lk(mu_);
-    crashed_.erase(host);
     for (auto& [id, ep] : endpoints_) {
       if (ep->host() == host) eps.push_back(ep);
     }
@@ -233,26 +270,46 @@ void SimNetwork::recover_host(const std::string& host) {
   for (auto& ep : eps) ep->mark_recovered();
 }
 
+void SimNetwork::deposit_swept(Message msg) {
+  std::shared_ptr<Endpoint> dest;
+  {
+    MutexLock lk(mu_);
+    auto it = endpoints_.find(msg.to);
+    if (it == endpoints_.end()) {
+      BufferPool::recycle(std::move(msg.payload));
+      return;
+    }
+    dest = it->second;
+    registry().counter("net.fault.reorder.swept").inc();
+    if (msg.deliver_at < now()) msg.deliver_at = now();
+  }
+  dest->deposit(std::move(msg));
+}
+
+// --- deprecated forwarding shims over faults() -------------------------------
+
+void SimNetwork::crash_host(const std::string& host) {
+  faults_->crash_host(host);
+}
+
+void SimNetwork::recover_host(const std::string& host) {
+  faults_->recover_host(host);
+}
+
 bool SimNetwork::is_crashed(const std::string& host) const {
-  MutexLock lk(mu_);
-  return crashed_.contains(host);
+  return faults_->is_crashed(host);
 }
 
 void SimNetwork::partition(const std::string& host_a, const std::string& host_b) {
-  auto pair = std::minmax(host_a, host_b);
-  MutexLock lk(mu_);
-  partitions_.insert({pair.first, pair.second});
+  faults_->partition(host_a, host_b);
 }
 
 void SimNetwork::heal(const std::string& host_a, const std::string& host_b) {
-  auto pair = std::minmax(host_a, host_b);
-  MutexLock lk(mu_);
-  partitions_.erase({pair.first, pair.second});
+  faults_->heal(host_a, host_b);
 }
 
 void SimNetwork::set_drop_rate(double p) {
-  MutexLock lk(mu_);
-  cfg_.drop_rate = p;
+  faults_->set_drop_rate(p);
 }
 
 void SimNetwork::set_tap(Tap tap) {

@@ -5,8 +5,10 @@
 // between endpoints are delivered after a simulated latency of
 //     base + per_byte * payload_size (+ uniform jitter)
 // or a smaller loopback latency for same-host traffic. Fault injection —
-// host crash/recover, pairwise partitions, probabilistic drop — drives the
-// fault-tolerance tests and examples.
+// host crash/recover, pairwise partitions, probabilistic drop, duplication,
+// bounded reordering, latency spikes and scheduled fault plans — lives in
+// the FaultController (net/fault.h) and drives the fault-tolerance tests,
+// the chaos soak harness and the examples.
 //
 // Delivery is FIFO per sender/receiver pair (latency is deterministic per
 // size ordering is enforced with a sequence tie-break and monotone clamp).
@@ -75,6 +77,7 @@ struct NetConfig {
 };
 
 class SimNetwork;
+class FaultController;
 
 /// Receiving side of one registered endpoint.
 class Endpoint {
@@ -94,6 +97,7 @@ class Endpoint {
 
  private:
   friend class SimNetwork;
+  friend class FaultController;
   /// Refused (message dropped) while the endpoint's host is crashed or the
   /// endpoint is closed. The crash check lives HERE, at deposit time, not
   /// only in SimNetwork::send: send() validates crash state under the
@@ -119,6 +123,7 @@ class Endpoint {
 class SimNetwork {
  public:
   explicit SimNetwork(NetConfig cfg = {});
+  ~SimNetwork();
 
   /// Register a new endpoint. Id format "host/service"; the host part drives
   /// latency and crash semantics. Throws Error if the id is taken.
@@ -139,16 +144,18 @@ class SimNetwork {
 
   // --- fault injection -----------------------------------------------------
 
-  /// Crash a host: its endpoints stop receiving and their queued messages
-  /// are lost. Messages to a crashed host are dropped.
+  /// All fault state — crashes, partitions, drop/duplicate/reorder rates,
+  /// scheduled fault plans — lives in the FaultController (net/fault.h).
+  FaultController& faults() { return *faults_; }
+  const FaultController& faults() const { return *faults_; }
+
+  // Deprecated forwarding shims over faults(); new code should call the
+  // FaultController directly.
   void crash_host(const std::string& host);
   void recover_host(const std::string& host);
   bool is_crashed(const std::string& host) const;
-
-  /// Cut connectivity between two hosts (both directions).
   void partition(const std::string& host_a, const std::string& host_b);
   void heal(const std::string& host_a, const std::string& host_b);
-
   void set_drop_rate(double p);
 
   // --- observation ----------------------------------------------------------
@@ -173,6 +180,18 @@ class SimNetwork {
   static std::string host_of(const std::string& endpoint_id);
 
  private:
+  friend class FaultController;
+
+  /// Crash/recover application: mark the host's endpoints (the fault state
+  /// itself lives in the controller). Called by FaultController with no
+  /// controller lock held.
+  void apply_crash(const std::string& host);
+  void apply_recover(const std::string& host);
+  /// Deposit a message released from a reorder holdback by the controller's
+  /// deadline sweep (no releaser traffic arrived). Bypasses the FIFO clamp:
+  /// the message is late by construction.
+  void deposit_swept(Message msg);
+
   /// Wire-level accounting into cfg_.metrics (global registry when null):
   /// net.sent.{msgs,bytes}, net.drop.<reason>, and the per-host-pair
   /// variants net.pair.<from>:<to>.{msgs,bytes,drops}.
@@ -199,9 +218,6 @@ class SimNetwork {
   NetConfig cfg_ CQOS_GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_
       CQOS_GUARDED_BY(mu_);
-  std::set<std::string> crashed_ CQOS_GUARDED_BY(mu_);
-  std::set<std::pair<std::string, std::string>> partitions_
-      CQOS_GUARDED_BY(mu_);  // ordered pair
   Rng rng_ CQOS_GUARDED_BY(mu_);
   std::uint64_t next_seq_ CQOS_GUARDED_BY(mu_) = 1;
   // Per-destination monotone deliver_at clamp: keeps FIFO even with jitter.
@@ -210,6 +226,9 @@ class SimNetwork {
   Tap tap_ CQOS_GUARDED_BY(tap_mu_);
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  // Declared last: destroyed first, joining the controller's scheduler
+  // thread while the endpoint map it deposits into is still alive.
+  std::unique_ptr<FaultController> faults_;
 };
 
 }  // namespace cqos::net

@@ -16,7 +16,9 @@ Value BankAccountServant::dispatch(const std::string& method,
     return Value(balance_);
   }
   if (method == "deposit") {
-    balance_ += params.at(0).as_i64();
+    std::int64_t amount = params.at(0).as_i64();
+    balance_ += amount;
+    deposit_log_.push_back(amount);
     return Value(balance_);
   }
   if (method == "withdraw") {

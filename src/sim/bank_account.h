@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "cqos/servant.h"
 #include "cqos/stub.h"
@@ -38,10 +39,20 @@ class BankAccountServant : public Servant {
     return invocations_;
   }
 
+  /// Every applied deposit amount, in application order. The chaos soak
+  /// harness gives each deposit a unique amount, so this log answers both
+  /// "was this acked deposit applied?" and "was any deposit applied twice?"
+  /// — and replicas under total order must agree on it elementwise.
+  std::vector<std::int64_t> deposit_log() const {
+    MutexLock lk(mu_);
+    return deposit_log_;
+  }
+
  private:
   mutable Mutex mu_;
   std::int64_t balance_ CQOS_GUARDED_BY(mu_);
   std::int64_t invocations_ CQOS_GUARDED_BY(mu_) = 0;
+  std::vector<std::int64_t> deposit_log_ CQOS_GUARDED_BY(mu_);
 };
 
 /// Typed stub ("generated from the server IDL description").

@@ -1,7 +1,5 @@
 #include "sim/cluster.h"
 
-#include <algorithm>
-
 #include "common/error.h"
 #include "micro/standard.h"
 #include "platform/corba/orb.h"
@@ -11,10 +9,24 @@
 namespace cqos::sim {
 namespace {
 
-bool has_spec(const std::vector<MicroProtocolSpec>& specs,
-              std::string_view name) {
-  return std::any_of(specs.begin(), specs.end(),
-                     [&](const auto& s) { return s.name == name; });
+EndpointMode endpoint_mode(InterceptionLevel level, Side side) {
+  switch (level) {
+    case InterceptionLevel::kBaseline:
+      return EndpointMode::kStatic;
+    case InterceptionLevel::kStubOnly:
+      // CQoS stub over the original server-side dispatch.
+      return side == Side::kClient ? EndpointMode::kBypass
+                                   : EndpointMode::kStatic;
+    case InterceptionLevel::kStubSkeleton:
+      return EndpointMode::kBypass;
+    case InterceptionLevel::kPlusCactusServer:
+      // Cactus server only; the client stays a bypass stub.
+      return side == Side::kClient ? EndpointMode::kBypass
+                                   : EndpointMode::kFull;
+    case InterceptionLevel::kFull:
+      return EndpointMode::kFull;
+  }
+  return EndpointMode::kFull;
 }
 
 }  // namespace
@@ -33,77 +45,27 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)), net_(opts_.net) 
   // kHttp needs no naming service: names are URLs resolved by convention.
 
   for (int i = 0; i < opts_.num_replicas; ++i) {
-    // Server-side micro-protocol stack: configured specs + base last
-    // (binding order is what matters, but installing base last also keeps
-    // init failures attributable to the QoS specs).
-    std::vector<MicroProtocolSpec> server_specs =
-        opts_.server_specs_fn ? opts_.server_specs_fn(i) : opts_.qos.server;
-    if (!has_spec(server_specs, "server_base")) {
-      server_specs.push_back(MicroProtocolSpec{"server_base", {}});
-    }
     auto replica = std::make_unique<Replica>();
     replica->host = replica_host(i);
     replica->platform = make_platform(replica->host);
     replica->servant = opts_.servant_factory();
 
-    switch (opts_.level) {
-      case InterceptionLevel::kBaseline:
-      case InterceptionLevel::kStubOnly: {
-        // Original middleware: servant behind a generated (static) skeleton.
-        // The adapter below is what an IDL-generated skeleton compiles to.
-        class StaticSkeleton : public plat::ServantHandler {
-         public:
-          explicit StaticSkeleton(std::shared_ptr<Servant> servant)
-              : servant_(std::move(servant)) {}
-          plat::Reply handle(const std::string& method, ValueList params,
-                             PiggybackMap) override {
-            plat::Reply reply;
-            try {
-              reply.result = servant_->dispatch(method, params);
-              reply.status = plat::ReplyStatus::kOk;
-            } catch (const std::exception& e) {
-              reply.status = plat::ReplyStatus::kAppError;
-              reply.error = e.what();
-            }
-            return reply;
-          }
-
-         private:
-          std::shared_ptr<Servant> servant_;
-        };
-        replica->platform->register_servant(
-            replica->platform->direct_name(opts_.object_id),
-            std::make_shared<StaticSkeleton>(replica->servant),
-            plat::DispatchMode::kStatic);
-        break;
-      }
-      case InterceptionLevel::kStubSkeleton: {
-        // CQoS skeleton in bypass mode: DSI dispatch, native servant call.
-        replica->skeleton =
-            std::make_shared<CqosSkeleton>(opts_.object_id, replica->servant);
-        register_cqos_skeleton(*replica->platform, replica->skeleton, i + 1);
-        break;
-      }
-      case InterceptionLevel::kPlusCactusServer:
-      case InterceptionLevel::kFull: {
-        auto qos = std::make_unique<PlatformServerQos>(
-            *replica->platform, replica->servant, opts_.object_id,
-            server_names(*replica->platform), i);
-        CactusServer::Options server_opts;
-        server_opts.composite.name = "cactus-server-" + replica->host;
-        server_opts.composite.pool_threads = opts_.pool_threads;
-        server_opts.composite.use_thread_pool = opts_.use_thread_pool;
-        server_opts.process_timeout = opts_.request_timeout;
-        replica->cactus_server =
-            std::make_shared<CactusServer>(std::move(qos), server_opts);
-        MicroProtocolRegistry::instance().install(
-            Side::kServer, server_specs, replica->cactus_server->protocol());
-        replica->skeleton = std::make_shared<CqosSkeleton>(
-            opts_.object_id, replica->cactus_server);
-        register_cqos_skeleton(*replica->platform, replica->skeleton, i + 1);
-        break;
-      }
+    QosEndpoint::ServerBuilder builder =
+        QosEndpoint::server(*replica->platform, replica->servant,
+                            opts_.object_id)
+            .mode(endpoint_mode(opts_.level, Side::kServer))
+            .replica(i, server_names(*replica->platform));
+    if (endpoint_mode(opts_.level, Side::kServer) == EndpointMode::kFull) {
+      // Server-side micro-protocol stack: configured specs (server_base is
+      // appended by the builder when missing).
+      builder.qos(opts_.server_specs_fn ? opts_.server_specs_fn(i)
+                                        : opts_.qos.server)
+          .composite_name("cactus-server-" + replica->host)
+          .pool_threads(opts_.pool_threads)
+          .thread_pool(opts_.use_thread_pool)
+          .process_timeout(opts_.request_timeout);
     }
+    replica->endpoint = builder.build();
     replicas_.push_back(std::move(replica));
   }
 }
@@ -115,7 +77,7 @@ Cluster::~Cluster() {
     replica->platform->shutdown();
   }
   for (auto& replica : replicas_) {
-    if (replica->cactus_server) replica->cactus_server->stop();
+    if (replica->endpoint) replica->endpoint->stop();
   }
 }
 
@@ -175,71 +137,39 @@ std::unique_ptr<ClientHandle> Cluster::make_client(
   std::string host = "client" + std::to_string(next_client_++);
   handle->platform_ = make_platform(host);
 
-  ClientQosOptions qos_opts;
-  qos_opts.invoke_timeout = opts_.invoke_timeout;
-  auto qos = std::make_unique<PlatformClientQos>(
-      *handle->platform_, opts_.object_id, server_names(*handle->platform_),
-      qos_opts);
-
-  switch (opts_.level) {
-    case InterceptionLevel::kBaseline: {
-      // Generated static stub: no abstract request, no dynamic invocation.
-      ClientQosOptions qopts;
-      qopts.invoke_timeout = opts_.invoke_timeout;
-      qopts.use_dynamic_invocation = false;
-      auto static_qos = std::make_unique<PlatformClientQos>(
-          *handle->platform_, opts_.object_id,
-          server_names(*handle->platform_), qopts);
-      handle->stub_ = std::make_shared<CqosStub>(
-          std::shared_ptr<ClientQosInterface>(std::move(static_qos)),
-          opts_.object_id, stub_opts);
-      break;
-    }
-    case InterceptionLevel::kStubOnly:
-    case InterceptionLevel::kStubSkeleton:
-    case InterceptionLevel::kPlusCactusServer: {
-      handle->stub_ = std::make_shared<CqosStub>(
-          std::shared_ptr<ClientQosInterface>(std::move(qos)),
-          opts_.object_id, stub_opts);
-      break;
-    }
-    case InterceptionLevel::kFull: {
-      CactusClient::Options client_opts;
-      client_opts.composite.name = "cactus-client-" + host;
-      client_opts.composite.pool_threads = opts_.pool_threads;
-      client_opts.composite.use_thread_pool = opts_.use_thread_pool;
-      client_opts.request_timeout = opts_.request_timeout;
-      handle->cactus_client_ =
-          std::make_shared<CactusClient>(std::move(qos), client_opts);
-
-      std::vector<MicroProtocolSpec> client_specs =
-          client_specs_override != nullptr ? *client_specs_override
-                                           : opts_.qos.client;
-      if (!has_spec(client_specs, "client_base")) {
-        client_specs.push_back(MicroProtocolSpec{"client_base", {}});
-      }
-      MicroProtocolRegistry::instance().install(
-          Side::kClient, client_specs, handle->cactus_client_->protocol());
-
-      handle->stub_ = std::make_shared<CqosStub>(handle->cactus_client_,
-                                                 opts_.object_id, stub_opts);
-      break;
-    }
+  EndpointMode mode = endpoint_mode(opts_.level, Side::kClient);
+  QosEndpoint::ClientBuilder builder =
+      QosEndpoint::client(*handle->platform_, opts_.object_id)
+          .mode(mode)
+          .servers(server_names(*handle->platform_))
+          .invoke_timeout(opts_.invoke_timeout)
+          .priority(stub_opts.priority)
+          .principal(stub_opts.principal)
+          .reuse_requests(stub_opts.reuse_requests);
+  if (mode == EndpointMode::kFull) {
+    builder
+        .qos(client_specs_override != nullptr ? *client_specs_override
+                                              : opts_.qos.client)
+        .composite_name("cactus-client-" + host)
+        .pool_threads(opts_.pool_threads)
+        .thread_pool(opts_.use_thread_pool)
+        .request_timeout(opts_.request_timeout);
   }
+  handle->endpoint_ = builder.build();
   return handle;
 }
 
 ClientHandle::~ClientHandle() {
-  if (cactus_client_) cactus_client_->stop();
+  endpoint_.reset();  // stops the Cactus client first
   if (platform_) platform_->shutdown();
 }
 
 void Cluster::crash_replica(int i) {
-  net_.crash_host(replica_host(i));
+  net_.faults().crash_host(replica_host(i));
 }
 
 void Cluster::recover_replica(int i) {
-  net_.recover_host(replica_host(i));
+  net_.faults().recover_host(replica_host(i));
 }
 
 }  // namespace cqos::sim

@@ -21,12 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "cqos/cactus_client.h"
-#include "cqos/cactus_server.h"
 #include "cqos/config.h"
-#include "cqos/platform_qos.h"
-#include "cqos/skeleton.h"
-#include "cqos/stub.h"
+#include "cqos/endpoint.h"
+#include "net/fault.h"
 #include "net/sim_network.h"
 #include "platform/api.h"
 #include "platform/corba/agent.h"
@@ -83,16 +80,16 @@ class ClientHandle {
  public:
   ~ClientHandle();
 
-  CqosStub& stub() { return *stub_; }
-  std::shared_ptr<CqosStub> stub_ptr() { return stub_; }
+  CqosStub& stub() { return endpoint_->stub(); }
+  std::shared_ptr<CqosStub> stub_ptr() { return endpoint_->stub_ptr(); }
 
   /// Null below kFull.
-  CactusClient* cactus_client() { return cactus_client_.get(); }
+  CactusClient* cactus_client() { return endpoint_->cactus(); }
   plat::Platform& platform() { return *platform_; }
 
   /// Convenience passthrough.
   Value call(const std::string& method, ValueList params) {
-    return stub_->call(method, std::move(params));
+    return endpoint_->call(method, std::move(params));
   }
 
  private:
@@ -100,8 +97,7 @@ class ClientHandle {
   ClientHandle() = default;
 
   std::unique_ptr<plat::Platform> platform_;
-  std::shared_ptr<CactusClient> cactus_client_;
-  std::shared_ptr<CqosStub> stub_;
+  std::unique_ptr<QosClientEndpoint> endpoint_;
 };
 
 class Cluster {
@@ -119,16 +115,19 @@ class Cluster {
       const std::vector<MicroProtocolSpec>* client_specs_override = nullptr);
 
   /// Crash / recover replica i at the network level (its host stops
-  /// receiving; queued messages are lost).
+  /// receiving; queued messages are lost). Convenience over faults().
   void crash_replica(int i);
   void recover_replica(int i);
 
   net::SimNetwork& network() { return net_; }
+  /// The network's chaos engine: scheduled fault plans, drop/duplicate/
+  /// reorder rates, partitions, crashes (net/fault.h).
+  net::FaultController& faults() { return net_.faults(); }
   const ClusterOptions& options() const { return opts_; }
   plat::Platform& replica_platform(int i) { return *replicas_.at(static_cast<std::size_t>(i))->platform; }
   Servant& servant(int i) { return *replicas_.at(static_cast<std::size_t>(i))->servant; }
   CactusServer* cactus_server(int i) {
-    return replicas_.at(static_cast<std::size_t>(i))->cactus_server.get();
+    return replicas_.at(static_cast<std::size_t>(i))->endpoint->cactus();
   }
 
   static std::string replica_host(int i) {
@@ -140,8 +139,7 @@ class Cluster {
     std::string host;
     std::unique_ptr<plat::Platform> platform;
     std::shared_ptr<Servant> servant;
-    std::shared_ptr<CactusServer> cactus_server;
-    std::shared_ptr<CqosSkeleton> skeleton;
+    std::unique_ptr<QosServerEndpoint> endpoint;
   };
 
   std::unique_ptr<plat::Platform> make_platform(const std::string& host);

@@ -1,0 +1,421 @@
+#include "soak/soak.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::soak {
+
+using net::FaultEvent;
+using net::FaultKind;
+using net::FaultPlan;
+using sim::BankAccountServant;
+using sim::BankAccountStub;
+using sim::ClientHandle;
+using sim::Cluster;
+using sim::ClusterOptions;
+using sim::PlatformKind;
+
+namespace {
+
+// --- configurations ----------------------------------------------------------
+
+struct ConfigSpec {
+  const char* name;
+  int replicas;
+  /// Loss-type faults (drops, bursts, crashes, partitions) are sound: the
+  /// config's invariants hold under message loss.
+  bool loss_ok;
+  /// Replica deposit logs must agree elementwise after quiescence.
+  bool agreement;
+  void (*apply)(ClusterOptions&);
+};
+
+const ConfigSpec kConfigs[] = {
+    // Unreplicated server behind retransmission; the shared dedup
+    // micro-protocol provides at-most-once execution.
+    {"retransmit-dedup", 1, true, false,
+     [](ClusterOptions& o) {
+       o.invoke_timeout = ms(150);
+       o.qos.add(Side::kClient, "retransmit", {{"retries", "8"}})
+           .add(Side::kServer, "dedup");
+     }},
+    // Primary-backup replication with failover, retransmission and a
+    // failure detector (dedup is built into passive_rep).
+    {"passive-rep", 3, true, false,
+     [](ClusterOptions& o) {
+       o.invoke_timeout = ms(400);
+       o.qos.add(Side::kClient, "passive_rep")
+           .add(Side::kClient, "retransmit", {{"retries", "6"}})
+           .add(Side::kClient, "failure_detector", {{"period_ms", "40"}})
+           .add(Side::kServer, "passive_rep");
+     }},
+    // Active replication under total order: every replica applies the same
+    // deposit sequence. Loss-type faults are excluded (a drop toward one
+    // replica stalls the total order, making agreement unsound to assert),
+    // so this config runs the duplication/reordering/latency profiles.
+    {"active-total", 3, false, true,
+     [](ClusterOptions& o) {
+       o.invoke_timeout = ms(800);
+       o.qos.add(Side::kClient, "active_rep")
+           .add(Side::kServer, "total_order")
+           .add(Side::kServer, "dedup");
+     }},
+    // The passive-rep stack with security micro-protocols on the
+    // client<->primary edge: chaos must not break at-most-once under
+    // encrypted+signed traffic. Backups run passive_rep without the
+    // security pair — the primary's forwarding path sends intra-cluster
+    // replication traffic in the clear, so a backup with des_privacy
+    // installed would reject every forward.
+    {"secured-passive", 3, true, false,
+     [](ClusterOptions& o) {
+       constexpr const char* kKey = "0123456789abcdef";
+       o.invoke_timeout = ms(400);
+       o.qos.add(Side::kClient, "passive_rep")
+           .add(Side::kClient, "retransmit", {{"retries", "6"}})
+           .add(Side::kClient, "failure_detector", {{"period_ms", "40"}})
+           .add(Side::kClient, "des_privacy", {{"key", kKey}})
+           .add(Side::kClient, "integrity", {{"key", kKey}});
+       o.server_specs_fn = [](int replica) -> std::vector<MicroProtocolSpec> {
+         if (replica == 0) {
+           return {{"des_privacy", {{"key", "0123456789abcdef"}}},
+                   {"integrity", {{"key", "0123456789abcdef"}}},
+                   {"passive_rep"}};
+         }
+         return {{"passive_rep"}};
+       };
+     }},
+};
+
+const ConfigSpec& find_config(const std::string& name) {
+  for (const ConfigSpec& c : kConfigs) {
+    if (name == c.name) return c;
+  }
+  throw ConfigError("soak: unknown config: " + name);
+}
+
+// --- chaos profiles ----------------------------------------------------------
+
+const char* kProfiles[] = {
+    "backup-churn",   "partition-flap", "drop-storm",      "dup-flood",
+    "reorder-storm",  "latency-quake",  "mixed-mayhem",    "calm-then-chaos",
+};
+
+/// Loss-type profiles (unsound for agreement configs).
+bool profile_needs_loss(const std::string& p) {
+  return p == "backup-churn" || p == "partition-flap" || p == "drop-storm";
+}
+
+std::uint64_t mix_profile(std::string_view profile, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the profile name
+  for (char c : profile) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h ^ seed;
+}
+
+void add(FaultPlan& plan, Duration at, FaultKind kind, FaultEvent proto = {}) {
+  proto.at = at;
+  proto.kind = kind;
+  plan.events.push_back(proto);
+}
+
+}  // namespace
+
+FaultPlan make_profile_plan(const std::string& profile, std::uint64_t seed,
+                            std::vector<std::string> crashable,
+                            bool allow_loss) {
+  Rng rng(mix_profile(profile, seed));
+  FaultPlan plan;
+  plan.name = profile;
+  plan.seed = seed;
+  auto pick_host = [&]() -> std::string {
+    return crashable[rng.next_below(crashable.size())];
+  };
+
+  if (profile == "backup-churn") {
+    for (int k = 0; k < 4 && !crashable.empty(); ++k) {
+      Duration t = ms(100 + 250 * k);
+      std::string victim = pick_host();
+      add(plan, t, FaultKind::kCrash, {.host_a = victim});
+      add(plan, t + ms(60 + rng.next_below(80)), FaultKind::kRecover,
+          {.host_a = victim});
+    }
+  } else if (profile == "partition-flap") {
+    for (int k = 0; k < 4 && !crashable.empty(); ++k) {
+      Duration t = ms(120 + 240 * k);
+      std::string a = pick_host();
+      // Flap against the primary or another backup, whichever the draw
+      // picks (self-pairs degenerate to the primary).
+      std::string b = rng.next_bool(0.5) ? Cluster::replica_host(0) : pick_host();
+      if (a == b) b = Cluster::replica_host(0);
+      add(plan, t, FaultKind::kPartition, {.host_a = a, .host_b = b});
+      add(plan, t + ms(60 + rng.next_below(60)), FaultKind::kHeal,
+          {.host_a = a, .host_b = b});
+    }
+  } else if (profile == "drop-storm") {
+    add(plan, ms(0), FaultKind::kDropRate, {.rate = 0.15});
+    add(plan, ms(250), FaultKind::kDropBurst,
+        {.host_a = "*", .host_b = Cluster::replica_host(0), .rate = 1.0,
+         .duration = ms(60 + rng.next_below(40))});
+    add(plan, ms(400), FaultKind::kDropRate,
+        {.rate = 0.25 + 0.1 * rng.next_double()});
+    add(plan, ms(650), FaultKind::kDropBurst,
+        {.host_a = Cluster::replica_host(0), .host_b = "*", .rate = 1.0,
+         .duration = ms(50 + rng.next_below(40))});
+    add(plan, ms(850), FaultKind::kDropRate, {.rate = 0.1});
+    add(plan, ms(1100), FaultKind::kDropRate, {.rate = 0.0});
+  } else if (profile == "dup-flood") {
+    add(plan, ms(0), FaultKind::kDuplicate, {.rate = 0.5});
+    add(plan, ms(350), FaultKind::kDuplicate,
+        {.rate = 0.7 + 0.25 * rng.next_double()});
+    add(plan, ms(750), FaultKind::kDuplicate, {.rate = 0.3});
+    add(plan, ms(1100), FaultKind::kDuplicate, {.rate = 0.0});
+  } else if (profile == "reorder-storm") {
+    add(plan, ms(0), FaultKind::kReorder, {.rate = 0.5, .window = 4});
+    add(plan, ms(400), FaultKind::kReorder,
+        {.rate = 0.6 + 0.2 * rng.next_double(), .window = 6});
+    add(plan, ms(800), FaultKind::kReorder, {.rate = 0.3, .window = 3});
+    add(plan, ms(1100), FaultKind::kReorder, {.rate = 0.0, .window = 0});
+  } else if (profile == "latency-quake") {
+    for (int k = 0; k < 3; ++k) {
+      add(plan, ms(100 + 320 * k), FaultKind::kLatencySpike,
+          {.duration = ms(100 + rng.next_below(60)),
+           .factor = 4.0 + 4.0 * rng.next_double()});
+    }
+  } else if (profile == "mixed-mayhem") {
+    add(plan, ms(0), FaultKind::kDuplicate, {.rate = 0.3});
+    add(plan, ms(100), FaultKind::kReorder, {.rate = 0.4, .window = 4});
+    if (allow_loss) {
+      add(plan, ms(200), FaultKind::kDropRate, {.rate = 0.15});
+      add(plan, ms(500), FaultKind::kDropBurst,
+          {.host_a = "*", .host_b = Cluster::replica_host(0), .rate = 1.0,
+           .duration = ms(60)});
+    }
+    if (allow_loss && !crashable.empty()) {
+      std::string victim = pick_host();
+      add(plan, ms(600), FaultKind::kCrash, {.host_a = victim});
+      add(plan, ms(720 + rng.next_below(60)), FaultKind::kRecover,
+          {.host_a = victim});
+    }
+    add(plan, ms(800), FaultKind::kLatencySpike,
+        {.duration = ms(100), .factor = 5.0});
+    add(plan, ms(900), FaultKind::kDuplicate, {.rate = 0.6});
+    add(plan, ms(1100), FaultKind::kDuplicate, {.rate = 0.0});
+    if (allow_loss) add(plan, ms(1100), FaultKind::kDropRate, {.rate = 0.0});
+    add(plan, ms(1100), FaultKind::kReorder, {.rate = 0.0, .window = 0});
+  } else if (profile == "calm-then-chaos") {
+    add(plan, ms(600), FaultKind::kDuplicate, {.rate = 0.7});
+    add(plan, ms(650), FaultKind::kReorder, {.rate = 0.5, .window = 5});
+    add(plan, ms(700), FaultKind::kLatencySpike,
+        {.duration = ms(120 + rng.next_below(60)), .factor = 6.0});
+    if (allow_loss) {
+      add(plan, ms(750), FaultKind::kDropRate,
+          {.rate = 0.2 + 0.1 * rng.next_double()});
+      add(plan, ms(1050), FaultKind::kDropRate, {.rate = 0.0});
+    }
+    add(plan, ms(1100), FaultKind::kDuplicate, {.rate = 0.0});
+    add(plan, ms(1100), FaultKind::kReorder, {.rate = 0.0, .window = 0});
+  } else {
+    throw ConfigError("soak: unknown profile: " + profile);
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+std::vector<std::string> soak_configs() {
+  std::vector<std::string> names;
+  for (const ConfigSpec& c : kConfigs) names.push_back(c.name);
+  return names;
+}
+
+std::vector<std::string> soak_profiles() {
+  return {std::begin(kProfiles), std::end(kProfiles)};
+}
+
+std::vector<std::string> soak_profiles_for(const std::string& config) {
+  const ConfigSpec& spec = find_config(config);
+  std::vector<std::string> names;
+  for (const char* p : kProfiles) {
+    if (!spec.loss_ok && profile_needs_loss(p)) continue;
+    names.push_back(p);
+  }
+  return names;
+}
+
+std::string SoakOutcome::repro() const {
+  return "chaos_soak --config=" + config + " --profile=" + profile +
+         " --seed=" + std::to_string(seed);
+}
+
+std::string SoakOutcome::summary() const {
+  std::string s = ok() ? "PASS " : "FAIL ";
+  s += config + "/" + profile + " seed=" + std::to_string(seed) +
+       " acked=" + std::to_string(acked) + " failed=" + std::to_string(failed);
+  if (!ok()) {
+    s += " violations=" + std::to_string(violations.size()) + " [repro: " +
+         repro() + "]";
+  }
+  return s;
+}
+
+SoakOutcome run_soak(const std::string& config, const std::string& profile,
+                     std::uint64_t seed, const SoakOptions& opts) {
+  const ConfigSpec& spec = find_config(config);
+  {
+    auto sound = soak_profiles_for(config);
+    if (std::find(sound.begin(), sound.end(), profile) == sound.end()) {
+      throw ConfigError("soak: profile " + profile + " is unsound for " +
+                        config);
+    }
+  }
+
+  std::vector<std::string> crashable;
+  for (int i = 1; i < spec.replicas; ++i) {
+    crashable.push_back(Cluster::replica_host(i));
+  }
+  FaultPlan plan = make_profile_plan(profile, seed, crashable, spec.loss_ok);
+
+  SoakOutcome out;
+  out.config = config;
+  out.profile = profile;
+  out.seed = seed;
+  out.plan_text = plan.serialize();
+
+  ClusterOptions copts;
+  copts.platform = PlatformKind::kRmi;
+  copts.num_replicas = spec.replicas;
+  copts.net.seed = seed;
+  copts.net.jitter = 0.05;
+  copts.request_timeout = ms(8000);
+  auto servants =
+      std::make_shared<std::vector<std::shared_ptr<BankAccountServant>>>();
+  copts.servant_factory = [servants] {
+    auto s = std::make_shared<BankAccountServant>();
+    servants->push_back(s);
+    return s;
+  };
+  spec.apply(copts);
+  Cluster cluster(copts);
+
+  std::vector<std::unique_ptr<ClientHandle>> clients;
+  for (int c = 0; c < opts.clients; ++c) {
+    clients.push_back(cluster.make_client());
+    // Warm the path (name resolution, composite spin-up) before the chaos
+    // starts, so the plan measures the steady state.
+    try {
+      BankAccountStub(clients.back()->stub_ptr()).get_balance();
+    } catch (const std::exception&) {
+    }
+  }
+
+  cluster.faults().run_plan(plan);
+
+  Mutex mu;
+  std::set<std::int64_t> acked;
+  std::atomic<int> failed{0};
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < opts.clients; ++c) {
+    drivers.emplace_back([&, c] {
+      BankAccountStub account(clients[static_cast<std::size_t>(c)]->stub_ptr());
+      for (int k = 0; k < opts.ops_per_client; ++k) {
+        // Unique per-op amount: the deposit log identifies every op.
+        std::int64_t amount = (c + 1) * 1'000'000 + k + 1;
+        try {
+          account.deposit(amount);
+          MutexLock lk(mu);
+          acked.insert(amount);
+        } catch (const std::exception&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+
+  cluster.faults().wait_plan_done(plan.duration() + ms(3000));
+  cluster.faults().clear_all_faults();
+
+  // Settle: forwarded/parked work may still be draining. Wait until every
+  // replica's log stops growing (and, for agreement configs, the logs
+  // converge) before judging.
+  auto logs = [&] {
+    std::vector<std::vector<std::int64_t>> all;
+    for (const auto& s : *servants) all.push_back(s->deposit_log());
+    return all;
+  };
+  std::vector<std::vector<std::int64_t>> stable = logs();
+  TimePoint deadline = now() + ms(3000);
+  for (;;) {
+    std::this_thread::sleep_for(ms(150));
+    auto next = logs();
+    bool converged = next == stable;
+    if (spec.agreement) {
+      for (const auto& log : next) converged = converged && log == next[0];
+    }
+    stable = std::move(next);
+    if (converged || now() >= deadline) break;
+  }
+
+  out.trace = cluster.faults().event_trace();
+  {
+    MutexLock lk(mu);
+    out.acked = static_cast<int>(acked.size());
+  }
+  out.failed = failed.load();
+
+  // Invariant: no amount applied twice at any replica.
+  for (std::size_t r = 0; r < stable.size(); ++r) {
+    std::set<std::int64_t> seen;
+    for (std::int64_t amount : stable[r]) {
+      if (!seen.insert(amount).second) {
+        out.violations.push_back("double-applied deposit " +
+                                 std::to_string(amount) + " at replica " +
+                                 std::to_string(r));
+      }
+    }
+  }
+  // Invariant: every acked deposit is applied somewhere.
+  {
+    MutexLock lk(mu);
+    for (std::int64_t amount : acked) {
+      bool found = false;
+      for (const auto& log : stable) {
+        found = found ||
+                std::find(log.begin(), log.end(), amount) != log.end();
+      }
+      if (!found) {
+        out.violations.push_back("acked deposit " + std::to_string(amount) +
+                                 " lost (applied nowhere)");
+      }
+    }
+  }
+  // Invariant: total-order replicas agree on the full deposit sequence.
+  if (spec.agreement) {
+    for (std::size_t r = 1; r < stable.size(); ++r) {
+      if (stable[r] != stable[0]) {
+        out.violations.push_back(
+            "replica " + std::to_string(r) + " log (" +
+            std::to_string(stable[r].size()) +
+            " deposits) disagrees with replica 0 (" +
+            std::to_string(stable[0].size()) + ")");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cqos::soak

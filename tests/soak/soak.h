@@ -1,0 +1,76 @@
+// Invariant-checked chaos soak harness.
+//
+// One soak run = one QoS configuration of the bank-account cluster sim
+// driven by concurrent depositing clients while a seeded FaultPlan (a
+// "chaos profile") executes against the network. Every deposit carries a
+// unique amount, and the servant keeps a per-replica deposit log, so after
+// the plan finishes and all faults clear the harness can check:
+//
+//   no-double-apply   no amount appears twice in any replica's log, despite
+//                     message duplication and client retransmission
+//   no-lost-ack       every deposit the client saw succeed is in at least
+//                     one replica's log
+//   agreement         (total-order configs) every replica applied the same
+//                     deposit sequence, elementwise
+//
+// A violated run prints the seed and the plan text; re-running the same
+// (config, profile, seed) triple through the chaos_soak binary reproduces
+// the same fault schedule and per-message fault decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+
+namespace cqos::soak {
+
+struct SoakOptions {
+  int clients = 2;
+  int ops_per_client = 20;
+};
+
+struct SoakOutcome {
+  std::string config;
+  std::string profile;
+  std::uint64_t seed = 0;
+  int acked = 0;   // deposits the clients saw succeed
+  int failed = 0;  // deposits that visibly failed (allowed)
+  std::vector<std::string> violations;
+  std::vector<std::string> trace;  // applied fault events, in order
+  std::string plan_text;
+
+  bool ok() const { return violations.empty(); }
+  /// Command line that reproduces this run.
+  std::string repro() const;
+  /// One-line summary ("PASS config/profile seed=N acked=K ...").
+  std::string summary() const;
+};
+
+/// QoS configurations under soak. All include the dedup hardening they need
+/// for the no-double-apply invariant.
+std::vector<std::string> soak_configs();
+
+/// All chaos profiles.
+std::vector<std::string> soak_profiles();
+
+/// Profiles sound for `config`: total-order agreement configs exclude
+/// loss-type faults (drops, crashes, partitions toward a replica stall the
+/// total order), so they run the duplication/reordering/latency profiles.
+std::vector<std::string> soak_profiles_for(const std::string& config);
+
+/// Build the seeded fault plan for one profile. `crashable` hosts may be
+/// crashed or partitioned (the harness passes backup replicas only);
+/// `allow_loss` gates drop-type events.
+net::FaultPlan make_profile_plan(const std::string& profile,
+                                 std::uint64_t seed,
+                                 std::vector<std::string> crashable,
+                                 bool allow_loss);
+
+/// Execute one soak run. Throws ConfigError for unknown config/profile
+/// names (including profiles unsound for the config).
+SoakOutcome run_soak(const std::string& config, const std::string& profile,
+                     std::uint64_t seed, const SoakOptions& opts = {});
+
+}  // namespace cqos::soak

@@ -1,0 +1,91 @@
+// chaos_soak: run the invariant-checked chaos soak matrix.
+//
+//   chaos_soak                         # full matrix, seeds 1..N per cell
+//   chaos_soak --seeds=3               # N seeds per (config, profile) cell
+//   chaos_soak --config=passive-rep    # one config, all sound profiles
+//   chaos_soak --config=X --profile=Y --seed=7   # reproduce one run
+//
+// Exit status 0 iff every run held all invariants. A failing run prints its
+// seed, plan text and applied-event trace; the printed repro command
+// re-executes the identical fault schedule.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "soak/soak.h"
+
+namespace {
+
+const char* arg_value(const char* arg, const char* name) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+void print_failure(const cqos::soak::SoakOutcome& out) {
+  std::printf("%s\n", out.summary().c_str());
+  for (const std::string& v : out.violations) {
+    std::printf("  violation: %s\n", v.c_str());
+  }
+  std::printf("  plan:\n");
+  std::printf("%s", out.plan_text.c_str());
+  std::printf("  applied trace:\n");
+  for (const std::string& line : out.trace) {
+    std::printf("    %s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config;
+  std::string profile;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  int seeds_per_cell = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--config")) {
+      config = v;
+    } else if (const char* v = arg_value(argv[i], "--profile")) {
+      profile = v;
+    } else if (const char* v = arg_value(argv[i], "--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+      seed_set = true;
+    } else if (const char* v = arg_value(argv[i], "--seeds")) {
+      seeds_per_cell = std::atoi(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--config=NAME] [--profile=NAME] "
+                   "[--seed=N] [--seeds=N]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::string> configs =
+      config.empty() ? cqos::soak::soak_configs()
+                     : std::vector<std::string>{config};
+  int runs = 0, failures = 0;
+  for (const std::string& c : configs) {
+    std::vector<std::string> profiles =
+        profile.empty() ? cqos::soak::soak_profiles_for(c)
+                        : std::vector<std::string>{profile};
+    for (const std::string& p : profiles) {
+      for (int s = 0; s < (seed_set ? 1 : seeds_per_cell); ++s) {
+        std::uint64_t run_seed = seed_set ? seed : 1 + static_cast<std::uint64_t>(s);
+        cqos::soak::SoakOutcome out = cqos::soak::run_soak(c, p, run_seed);
+        ++runs;
+        if (out.ok()) {
+          std::printf("%s\n", out.summary().c_str());
+        } else {
+          ++failures;
+          print_failure(out);
+        }
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("chaos_soak: %d runs, %d failed\n", runs, failures);
+  return failures == 0 ? 0 : 1;
+}

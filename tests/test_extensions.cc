@@ -47,7 +47,7 @@ TEST(Retransmit, SurvivesLossyNetwork) {
   // Deploy cleanly, then inject loss (the paper assumes the platform
   // handles network failures; retransmit is the micro-protocol that would
   // add it, so it is what copes with the lossy steady state here).
-  cluster.network().set_drop_rate(0.25);
+  cluster.faults().set_drop_rate(0.25);
   int ok = 0;
   for (int i = 0; i < 30; ++i) {
     try {
@@ -302,7 +302,7 @@ TEST(RequestLog, FullReplayAntiEntropyConvergesInterleavedLosses) {
   // (under extreme loss the retransmit budget can exhaust and passive_rep
   // fails over, so writes may split across replicas), and best-effort
   // forwards are dropped at random positions.
-  cluster.network().set_drop_rate(0.25);
+  cluster.faults().set_drop_rate(0.25);
   int confirmed = 0;
   for (int i = 0; i < 20; ++i) {
     try {
@@ -311,7 +311,7 @@ TEST(RequestLog, FullReplayAntiEntropyConvergesInterleavedLosses) {
     } catch (const InvocationError&) {
     }
   }
-  cluster.network().set_drop_rate(0);
+  cluster.faults().set_drop_rate(0);
   ASSERT_GT(confirmed, 0);
 
   // A suffix replay cannot fix interleaved holes; bidirectional full replay

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/sync.h"
+#include "net/fault.h"
 #include "net/sim_network.h"
 
 namespace cqos::net {
@@ -82,8 +83,8 @@ TEST(SimNetwork, CrashedHostDropsTraffic) {
   auto a = net.create_endpoint("hostA/x");
   auto b = net.create_endpoint("hostB/y");
   (void)a;
-  net.crash_host("hostB");
-  EXPECT_TRUE(net.is_crashed("hostB"));
+  net.faults().crash_host("hostB");
+  EXPECT_TRUE(net.faults().is_crashed("hostB"));
   EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{1}));
   EXPECT_FALSE(b->recv(ms(20)).has_value());
   // Crashed hosts cannot send either.
@@ -96,7 +97,7 @@ TEST(SimNetwork, CrashLosesQueuedMessages) {
   auto b = net.create_endpoint("hostB/y");
   (void)a;
   net.send("hostA/x", "hostB/y", Bytes{1});  // in flight
-  net.crash_host("hostB");
+  net.faults().crash_host("hostB");
   EXPECT_FALSE(b->recv(ms(50)).has_value());
 }
 
@@ -118,7 +119,7 @@ TEST(SimNetwork, DepositAfterCrashRefused) {
     EXPECT_TRUE(net.send("hostA/x", "hostB/y", Bytes{7}));
   });
   ASSERT_TRUE(in_window.wait_for(ms(5000)));  // validated, not yet deposited
-  net.crash_host("hostB");                    // guarantees no later delivery
+  net.faults().crash_host("hostB");  // guarantees no later delivery
   resume.set();
   sender.join();
   EXPECT_FALSE(b->recv(ms(50)).has_value());
@@ -144,7 +145,7 @@ TEST(SimNetwork, CrashStormNeverDeliversAfterCrash) {
   }
   while (!b->recv(ms(1000)).has_value()) {
   }  // storm is flowing
-  net.crash_host("hostB");
+  net.faults().crash_host("hostB");
   EXPECT_FALSE(b->recv(ms(100)).has_value());
   stop.store(true);
   for (auto& t : senders) t.join();
@@ -178,7 +179,7 @@ TEST(SimNetwork, MetricsCountSendsAndDrops) {
   ASSERT_TRUE(b->recv(ms(1000)).has_value());
   ASSERT_TRUE(b->recv(ms(1000)).has_value());
   EXPECT_FALSE(net.send("hostA/x", "nowhere/z", Bytes{1}));
-  net.partition("hostA", "hostB");
+  net.faults().partition("hostA", "hostB");
   EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{1}));
 
   EXPECT_EQ(reg.counter("net.sent.msgs").value(), 2u);
@@ -195,9 +196,9 @@ TEST(SimNetwork, RecoveredHostReceivesAgain) {
   auto a = net.create_endpoint("hostA/x");
   auto b = net.create_endpoint("hostB/y");
   (void)a;
-  net.crash_host("hostB");
-  net.recover_host("hostB");
-  EXPECT_FALSE(net.is_crashed("hostB"));
+  net.faults().crash_host("hostB");
+  net.faults().recover_host("hostB");
+  EXPECT_FALSE(net.faults().is_crashed("hostB"));
   ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes{7}));
   auto msg = b->recv(ms(1000));
   ASSERT_TRUE(msg.has_value());
@@ -208,10 +209,10 @@ TEST(SimNetwork, PartitionBlocksBothDirectionsUntilHealed) {
   SimNetwork net(fast_config());
   auto a = net.create_endpoint("hostA/x");
   auto b = net.create_endpoint("hostB/y");
-  net.partition("hostA", "hostB");
+  net.faults().partition("hostA", "hostB");
   EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{1}));
   EXPECT_FALSE(net.send("hostB/y", "hostA/x", Bytes{1}));
-  net.heal("hostA", "hostB");
+  net.faults().heal("hostA", "hostB");
   EXPECT_TRUE(net.send("hostA/x", "hostB/y", Bytes{1}));
   EXPECT_TRUE(b->recv(ms(1000)).has_value());
   (void)a;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "net/fault.h"
 #include "platform/corba/agent.h"
 #include "platform/corba/cdr.h"
 #include "platform/corba/giop.h"
@@ -128,7 +129,7 @@ TEST_P(BothPlatforms, PingAliveAndDead) {
                            plat::DispatchMode::kStatic);
   auto ref = client->resolve(client->direct_name("Echo"), ms(500));
   EXPECT_TRUE(ref->ping(ms(300)));
-  fix.net.crash_host("srv");
+  fix.net.faults().crash_host("srv");
   EXPECT_FALSE(ref->ping(ms(100)));
 }
 
@@ -140,7 +141,7 @@ TEST_P(BothPlatforms, CrashedServerYieldsUnreachable) {
                            std::make_shared<EchoHandler>(),
                            plat::DispatchMode::kStatic);
   auto ref = client->resolve(client->direct_name("Echo"), ms(500));
-  fix.net.crash_host("srv");
+  fix.net.faults().crash_host("srv");
   plat::Reply reply = ref->invoke("m", {}, {}, ms(150));
   EXPECT_EQ(reply.status, plat::ReplyStatus::kUnreachable);
 }

@@ -1,0 +1,165 @@
+// Chaos soak: the at-most-once regression pair plus a sampled matrix of the
+// invariant-checked soak harness (the full seeded matrix runs through the
+// chaos_soak binary; tools/chaos_smoke.sh).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+#include "soak/soak.h"
+
+namespace cqos::sim {
+namespace {
+
+BankAccountServant& account_servant(Cluster& cluster, int i) {
+  return static_cast<BankAccountServant&>(cluster.servant(i));
+}
+
+ClusterOptions plain_options() {
+  ClusterOptions opts;
+  opts.platform = PlatformKind::kRmi;
+  opts.num_replicas = 1;
+  opts.net.jitter = 0.0;
+  opts.net.seed = 7;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  return opts;
+}
+
+void wait_for(const std::function<bool()>& cond, Duration timeout = ms(3000)) {
+  TimePoint deadline = now() + timeout;
+  while (!cond() && now() < deadline) std::this_thread::sleep_for(ms(10));
+}
+
+/// The regression the dedup micro-protocol exists for: with duplication on
+/// and NO dedup in the server stack, a duplicated deposit is applied twice.
+/// This test pins the vulnerable behaviour — it is what the soak's
+/// no-double-apply invariant would catch, demonstrated without the fix.
+TEST(DedupRegression, DuplicatedDepositDoubleAppliesWithoutDedup) {
+  ClusterOptions opts = plain_options();  // server_base only: no dedup
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(0);
+
+  cluster.faults().set_duplicate_rate(1.0);
+  account.deposit(7);
+  cluster.faults().set_duplicate_rate(0.0);
+
+  // The duplicate of the request is dispatched independently of the reply
+  // the client already got.
+  wait_for([&] { return account_servant(cluster, 0).deposit_log().size() >= 2; });
+  EXPECT_EQ(account_servant(cluster, 0).deposit_log(),
+            (std::vector<std::int64_t>{7, 7}))
+      << "expected the unprotected server to double-apply — if this fails, "
+         "the regression pair in DedupPreventsDoubleApply is vacuous";
+  EXPECT_EQ(account_servant(cluster, 0).balance(), 14);
+}
+
+TEST(DedupRegression, DedupPreventsDoubleApply) {
+  ClusterOptions opts = plain_options();
+  opts.qos.add(Side::kServer, "dedup");
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(0);
+
+  cluster.faults().set_duplicate_rate(1.0);
+  account.deposit(7);
+  cluster.faults().set_duplicate_rate(0.0);
+
+  // Give the duplicate time to arrive and (correctly) be swallowed.
+  std::this_thread::sleep_for(ms(400));
+  EXPECT_EQ(account_servant(cluster, 0).deposit_log(),
+            (std::vector<std::int64_t>{7}));
+  EXPECT_EQ(account_servant(cluster, 0).balance(), 7);
+}
+
+/// Retransmission crossing a duplicated wire is the compound case: the
+/// retry and the duplicate both reach the server; exactly one application
+/// must survive.
+TEST(DedupRegression, RetransmitPlusDuplicationStaysAtMostOnce) {
+  ClusterOptions opts = plain_options();
+  opts.invoke_timeout = ms(150);
+  opts.request_timeout = ms(8000);
+  opts.qos.add(Side::kClient, "retransmit", {{"retries", "6"}})
+      .add(Side::kServer, "dedup");
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(0);
+
+  cluster.faults().set_duplicate_rate(0.5);
+  cluster.faults().set_drop_rate(0.2);
+  for (int i = 0; i < 15; ++i) account.deposit(i + 1);
+  cluster.faults().clear_all_faults();
+
+  std::this_thread::sleep_for(ms(400));
+  auto log = account_servant(cluster, 0).deposit_log();
+  std::set<std::int64_t> seen;
+  for (std::int64_t amount : log) {
+    EXPECT_TRUE(seen.insert(amount).second)
+        << "deposit " << amount << " applied twice";
+  }
+  EXPECT_EQ(log.size(), 15u);  // all acked deposits applied exactly once
+}
+
+/// TotalOrder agreement under reordering + duplication: every replica
+/// applies the same deposit sequence (satellite of the chaos engine; the
+/// full profile matrix runs in chaos_soak).
+TEST(SoakMatrix, TotalOrderAgreesUnderReorderStorm) {
+  soak::SoakOutcome out = soak::run_soak("active-total", "reorder-storm", 5);
+  EXPECT_TRUE(out.ok()) << out.summary() << "\n" << out.plan_text;
+  EXPECT_GT(out.acked, 0);
+}
+
+TEST(SoakMatrix, TotalOrderAgreesUnderDupFlood) {
+  soak::SoakOutcome out = soak::run_soak("active-total", "dup-flood", 3);
+  EXPECT_TRUE(out.ok()) << out.summary() << "\n" << out.plan_text;
+  EXPECT_GT(out.acked, 0);
+}
+
+TEST(SoakMatrix, RetransmitDedupSurvivesMixedMayhem) {
+  soak::SoakOutcome out = soak::run_soak("retransmit-dedup", "mixed-mayhem", 2);
+  EXPECT_TRUE(out.ok()) << out.summary() << "\n" << out.plan_text;
+}
+
+TEST(SoakMatrix, PassiveRepSurvivesBackupChurn) {
+  soak::SoakOutcome out = soak::run_soak("passive-rep", "backup-churn", 4);
+  EXPECT_TRUE(out.ok()) << out.summary() << "\n" << out.plan_text;
+  EXPECT_GT(out.acked, 0);
+}
+
+TEST(SoakMatrix, SecuredPassiveSurvivesDupFlood) {
+  soak::SoakOutcome out = soak::run_soak("secured-passive", "dup-flood", 6);
+  EXPECT_TRUE(out.ok()) << out.summary() << "\n" << out.plan_text;
+  EXPECT_GT(out.acked, 0);
+}
+
+TEST(SoakMatrix, SameSeedReproducesTheFaultSchedule) {
+  soak::SoakOutcome a = soak::run_soak("retransmit-dedup", "calm-then-chaos", 9);
+  soak::SoakOutcome b = soak::run_soak("retransmit-dedup", "calm-then-chaos", 9);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_EQ(a.plan_text, b.plan_text);
+  EXPECT_EQ(a.trace, b.trace);  // identical applied-event schedule
+  EXPECT_EQ(a.repro(),
+            "chaos_soak --config=retransmit-dedup --profile=calm-then-chaos "
+            "--seed=9");
+}
+
+TEST(SoakMatrix, ProfileSoundnessIsEnforced) {
+  // Loss-type profiles are rejected for the agreement config instead of
+  // producing an unsound run.
+  EXPECT_THROW(soak::run_soak("active-total", "drop-storm", 1), ConfigError);
+  auto sound = soak::soak_profiles_for("active-total");
+  EXPECT_EQ(sound.size(), 5u);
+  EXPECT_EQ(soak::soak_profiles().size(), 8u);
+  EXPECT_EQ(soak::soak_configs().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cqos::sim

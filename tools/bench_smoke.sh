@@ -13,17 +13,17 @@ mkdir -p "$OUT_DIR"
 export CQOS_BENCH_OUT_DIR="$OUT_DIR"
 export CQOS_BENCH_PAIRS="${CQOS_BENCH_PAIRS:-20}"
 
-for t in 1 2 3; do
-  bin="$BUILD_DIR/bench/bench_table$t"
+for b in bench_table1 bench_table2 bench_table3 bench_degraded; do
+  bin="$BUILD_DIR/bench/$b"
   if [ ! -x "$bin" ]; then
     echo "bench_smoke: missing $bin — build the repo first" >&2
     exit 1
   fi
-  echo "== bench_table$t (CQOS_BENCH_PAIRS=$CQOS_BENCH_PAIRS)"
-  "$bin" >"$OUT_DIR/bench_table$t.log" 2>&1
-  grep "wrote " "$OUT_DIR/bench_table$t.log" || {
-    echo "bench_smoke: bench_table$t did not report writing its JSON" >&2
-    tail -n 20 "$OUT_DIR/bench_table$t.log" >&2
+  echo "== $b (CQOS_BENCH_PAIRS=$CQOS_BENCH_PAIRS)"
+  "$bin" >"$OUT_DIR/$b.log" 2>&1
+  grep "wrote " "$OUT_DIR/$b.log" || {
+    echo "bench_smoke: $b did not report writing its JSON" >&2
+    tail -n 20 "$OUT_DIR/$b.log" >&2
     exit 1
   }
 done
@@ -79,5 +79,33 @@ for t, want in expected_rows.items():
     print(f"{path.name}: {len(rows)} rows OK, "
           f"{len(counters)} counters, {len(metrics['histograms'])} histograms")
 
-print("bench_smoke: all BENCH_table JSON files valid")
+# BENCH_degraded.json: 3 configs x clean/degraded, named-report schema
+# ("bench" in place of "table"), and the degraded rows must show the chaos
+# engine actually ran (net.fault.* counters).
+path = out_dir / "BENCH_degraded.json"
+if not path.exists():
+    fail(f"{path} missing")
+doc = json.loads(path.read_text())
+if doc.get("bench") != "degraded":
+    fail(f"{path}: bench={doc.get('bench')!r}, want 'degraded'")
+rows = doc.get("rows")
+if not isinstance(rows, list) or len(rows) != 6:
+    fail(f"{path}: {len(rows or [])} rows, want 6")
+labels = {row.get("label") for row in rows}
+for cfg in ("retransmit-dedup", "passive-rep", "active-total"):
+    for kind in ("clean", "degraded"):
+        if f"{cfg}/{kind}" not in labels:
+            fail(f"{path}: missing row {cfg}/{kind}")
+for row in rows:
+    missing = row_keys - row.keys()
+    if missing:
+        fail(f"{path}: row {row.get('label')} missing {sorted(missing)}")
+counters = doc.get("metrics", {}).get("counters", {})
+if counters.get("net.fault.duplicate", 0) <= 0:
+    fail(f"{path}: net.fault.duplicate counter missing — chaos plan never ran")
+if counters.get("net.fault.reorder.held", 0) <= 0:
+    fail(f"{path}: net.fault.reorder.held counter missing — chaos plan never ran")
+print(f"{path.name}: {len(rows)} rows OK")
+
+print("bench_smoke: all BENCH JSON files valid")
 EOF

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Bounded chaos-soak run for CI: the full (config x sound-profile) matrix of
+# the invariant-checked soak harness with a fixed number of seeds per cell.
+# Every run is reproducible — a failure prints a `chaos_soak --config=...
+# --profile=... --seed=N` command that re-executes the identical fault
+# schedule.
+#
+# Usage: tools/chaos_smoke.sh [BUILD_DIR]   (default: build)
+#   CQOS_CHAOS_SEEDS  seeds per (config, profile) cell (default 2)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SEEDS="${CQOS_CHAOS_SEEDS:-2}"
+
+bin="$BUILD_DIR/tests/soak/chaos_soak"
+if [ ! -x "$bin" ]; then
+  echo "chaos_smoke: missing $bin — build the repo first" >&2
+  exit 1
+fi
+
+echo "== chaos_soak matrix (seeds per cell: $SEEDS)"
+"$bin" --seeds="$SEEDS"
