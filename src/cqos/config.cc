@@ -320,6 +320,24 @@ void MicroProtocolRegistry::add(Side side, const std::string& name,
   factories_[{static_cast<int>(side), name}] = std::move(factory);
 }
 
+void MicroProtocolRegistry::add(Side side, const std::string& name,
+                                Factory factory, MicroManifest manifest) {
+  MutexLock lk(mu_);
+  factories_[{static_cast<int>(side), name}] = std::move(factory);
+  manifest.name = name;
+  manifest.side = side;
+  manifests_[{static_cast<int>(side), name}] = std::move(manifest);
+}
+
+const MicroManifest* MicroProtocolRegistry::find_manifest(
+    Side side, const std::string& name) const {
+  MutexLock lk(mu_);
+  auto it = manifests_.find({static_cast<int>(side), name});
+  // Map nodes are stable and the registry is append-only, so the pointer
+  // outlives the lock.
+  return it == manifests_.end() ? nullptr : &it->second;
+}
+
 bool MicroProtocolRegistry::contains(Side side, const std::string& name) const {
   MutexLock lk(mu_);
   return factories_.contains({static_cast<int>(side), name});

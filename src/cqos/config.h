@@ -25,10 +25,9 @@
 
 #include "common/sync.h"
 #include "common/thread_annotations.h"
+#include "cqos/manifest.h"
 
 namespace cqos {
-
-enum class Side { kClient, kServer };
 
 struct MicroProtocolSpec {
   std::string name;
@@ -85,8 +84,20 @@ class MicroProtocolRegistry {
   static MicroProtocolRegistry& instance();
 
   void add(Side side, const std::string& name, Factory factory);
+  /// Register a factory together with its effect model. The standard
+  /// micro-protocols all use this overload (enforced by cqos_lint's
+  /// manifest-sync rule); manifest-less registrations are treated as
+  /// opaque by the composition verifier.
+  void add(Side side, const std::string& name, Factory factory,
+           MicroManifest manifest);
   bool contains(Side side, const std::string& name) const;
   std::vector<std::string> names(Side side) const;
+
+  /// Effect model registered for (side, name); nullptr when the protocol
+  /// is unknown or was registered without a manifest. The pointer stays
+  /// valid for the process lifetime (the registry is append-only).
+  const MicroManifest* find_manifest(Side side,
+                                     const std::string& name) const;
 
   /// Instantiate one micro-protocol. Throws ConfigError for unknown names.
   std::unique_ptr<cactus::MicroProtocol> create(
@@ -99,6 +110,8 @@ class MicroProtocolRegistry {
  private:
   mutable Mutex mu_;
   std::map<std::pair<int, std::string>, Factory> factories_
+      CQOS_GUARDED_BY(mu_);
+  std::map<std::pair<int, std::string>, MicroManifest> manifests_
       CQOS_GUARDED_BY(mu_);
 };
 

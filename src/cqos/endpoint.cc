@@ -1,8 +1,10 @@
 #include "cqos/endpoint.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/error.h"
+#include "cqos/verify.h"
 
 namespace cqos {
 namespace {
@@ -11,6 +13,31 @@ bool has_spec(const std::vector<MicroProtocolSpec>& specs,
               std::string_view name) {
   return std::any_of(specs.begin(), specs.end(),
                      [&](const auto& s) { return s.name == name; });
+}
+
+// Duplicate names are rejected unconditionally (even under verify(false)):
+// a composite keys handlers per instance, so a duplicated protocol silently
+// double-handles every event it binds.
+void reject_duplicate_specs(Side side,
+                            const std::vector<MicroProtocolSpec>& specs) {
+  std::set<std::string> seen;
+  for (const auto& spec : specs) {
+    if (!seen.insert(spec.name).second) {
+      throw ConfigError(std::string("QosEndpoint: duplicate micro-protocol '") +
+                        spec.name + "' in the " + side_name(side) + " stack");
+    }
+  }
+}
+
+// Fail-fast hook for kFull builds: run the side-local static analysis and
+// surface every diagnostic at once instead of the first runtime symptom.
+void verify_specs_or_throw(Side side,
+                           const std::vector<MicroProtocolSpec>& specs) {
+  VerifyResult result = verify_side(side, specs);
+  if (result.ok()) return;
+  throw ConfigError(std::string("QosEndpoint: ") + side_name(side) +
+                    " stack failed composition verification:\n" +
+                    result.text());
 }
 
 std::vector<std::string> derived_names(const plat::Platform& platform,
@@ -65,6 +92,10 @@ QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::replicas(int n) {
 QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::qos(
     std::vector<MicroProtocolSpec> specs) {
   specs_ = std::move(specs);
+  return *this;
+}
+QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::verify(bool on) {
+  verify_ = on;
   return *this;
 }
 QosEndpoint::ClientBuilder& QosEndpoint::ClientBuilder::invoke_timeout(
@@ -125,6 +156,8 @@ std::unique_ptr<QosClientEndpoint> QosEndpoint::ClientBuilder::build() {
                                                  qos_opts_);
   auto ep = std::unique_ptr<QosClientEndpoint>(new QosClientEndpoint());
   if (mode_ == EndpointMode::kFull) {
+    reject_duplicate_specs(Side::kClient, specs_);
+    if (verify_) verify_specs_or_throw(Side::kClient, specs_);
     if (!composite_name_set_) {
       cactus_opts_.composite.name = "cactus-client-" + object_id_;
     }
@@ -188,6 +221,10 @@ QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::qos(
   specs_ = std::move(specs);
   return *this;
 }
+QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::verify(bool on) {
+  verify_ = on;
+  return *this;
+}
 QosEndpoint::ServerBuilder& QosEndpoint::ServerBuilder::peer_timeout(
     Duration d) {
   qos_opts_.peer_timeout = d;
@@ -241,6 +278,8 @@ std::unique_ptr<QosServerEndpoint> QosEndpoint::ServerBuilder::build() {
       break;
     }
     case EndpointMode::kFull: {
+      reject_duplicate_specs(Side::kServer, specs_);
+      if (verify_) verify_specs_or_throw(Side::kServer, specs_);
       std::vector<std::string> peers =
           peers_.empty()
               ? derived_names(platform_, object_id_, replicas_, mode_)

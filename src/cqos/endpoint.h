@@ -30,6 +30,11 @@
 // callers must have populated it (micro::register_standard_micro_protocols()
 // or custom add() calls) before build(). The base protocols
 // (client_base/server_base) are appended automatically when missing.
+//
+// In kFull mode build() runs the static composition verifier (cqos/verify.h)
+// over the stack and throws ConfigError with every diagnostic when the
+// side-local analysis reports errors. verify(false) skips the analysis for
+// experimental stacks; duplicate micro-protocol names are rejected even then.
 #pragma once
 
 #include <memory>
@@ -117,6 +122,12 @@ class QosEndpoint {
     /// Client-side micro-protocol stack (kFull only). client_base is
     /// appended when missing.
     ClientBuilder& qos(std::vector<MicroProtocolSpec> specs);
+    /// Run the static composition verifier (verify_side) on the stack before
+    /// installing it, and fail build() with every diagnostic when it reports
+    /// errors (default on). verify(false) is the escape hatch for
+    /// experimental stacks; duplicate micro-protocol names are rejected
+    /// regardless.
+    ClientBuilder& verify(bool on);
 
     // Transport / QoS-interface knobs (ClientQosOptions).
     ClientBuilder& invoke_timeout(Duration d);
@@ -147,6 +158,7 @@ class QosEndpoint {
     CactusClient::Options cactus_opts_;
     CqosStub::Options stub_opts_;
     bool composite_name_set_ = false;
+    bool verify_ = true;
   };
 
   class ServerBuilder {
@@ -166,6 +178,12 @@ class QosEndpoint {
     /// Server-side micro-protocol stack (kFull only). server_base is
     /// appended when missing.
     ServerBuilder& qos(std::vector<MicroProtocolSpec> specs);
+    /// Run the static composition verifier (verify_side) on the stack before
+    /// installing it, and fail build() with every diagnostic when it reports
+    /// errors (default on). verify(false) is the escape hatch for
+    /// experimental stacks; duplicate micro-protocol names are rejected
+    /// regardless.
+    ServerBuilder& verify(bool on);
 
     // Transport / QoS-interface knobs (ServerQosOptions).
     ServerBuilder& peer_timeout(Duration d);
@@ -193,6 +211,7 @@ class QosEndpoint {
     ServerQosOptions qos_opts_;
     CactusServer::Options cactus_opts_;
     bool composite_name_set_ = false;
+    bool verify_ = true;
   };
 
   static ClientBuilder client(plat::Platform& platform, std::string object_id) {

@@ -1,0 +1,432 @@
+#include "cqos/verify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "cqos/events.h"
+
+namespace cqos {
+namespace {
+
+using Severity = VerifyIssue::Severity;
+
+const char* base_name(Side side) {
+  return side == Side::kClient ? "client_base" : "server_base";
+}
+
+/// Mirror of the builders' normalization: append the side's base protocol
+/// when the stack doesn't configure it explicitly.
+std::vector<MicroProtocolSpec> with_base(Side side,
+                                         std::vector<MicroProtocolSpec> specs) {
+  const char* base = base_name(side);
+  bool present = std::any_of(specs.begin(), specs.end(),
+                             [&](const auto& s) { return s.name == base; });
+  if (!present) specs.push_back(MicroProtocolSpec{base, {}});
+  return specs;
+}
+
+/// Events the runtime itself raises into the composite (exempt sources for
+/// graph analysis): the client raises newRequest per invocation; the server
+/// raises newServerRequest per delivery and requestReturned after the reply
+/// is released. Control events ("ctl:*") are raised by the skeleton when a
+/// control invocation arrives.
+bool runtime_raises(Side side, std::string_view event) {
+  if (event.substr(0, 4) == "ctl:") return true;
+  if (side == Side::kClient) return event == ev::kNewRequest;
+  return event == ev::kNewServerRequest || event == ev::kRequestReturned;
+}
+
+struct Constraint {
+  enum class Kind {
+    kRequires,
+    kConflicts,
+    kAfter,
+    kBefore,
+    kRequiresPeer,
+    kRequiresPeerProperty,
+    kUnknown,
+  };
+  Kind kind = Kind::kUnknown;
+  std::vector<std::string> args;  // alternatives for requires-peer
+};
+
+Constraint parse_constraint(const std::string& text) {
+  Constraint c;
+  auto colon = text.find(':');
+  if (colon == std::string::npos) return c;
+  std::string kind = text.substr(0, colon);
+  std::string arg = text.substr(colon + 1);
+  if (kind == "requires") c.kind = Constraint::Kind::kRequires;
+  else if (kind == "conflicts") c.kind = Constraint::Kind::kConflicts;
+  else if (kind == "after") c.kind = Constraint::Kind::kAfter;
+  else if (kind == "before") c.kind = Constraint::Kind::kBefore;
+  else if (kind == "requires-peer") c.kind = Constraint::Kind::kRequiresPeer;
+  else if (kind == "requires-peer-property")
+    c.kind = Constraint::Kind::kRequiresPeerProperty;
+  for (std::size_t pos = 0; pos <= arg.size();) {
+    auto bar = arg.find('|', pos);
+    if (bar == std::string::npos) bar = arg.size();
+    if (bar > pos) c.args.push_back(arg.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  return c;
+}
+
+/// One side's resolved stack: specs (normalized), manifests where known.
+struct SideView {
+  Side side;
+  std::vector<MicroProtocolSpec> specs;
+  std::vector<const MicroManifest*> manifests;  // parallel; null = opaque
+  int opaque = 0;
+
+  const char* label() const { return side_name(side); }
+
+  bool has(std::string_view name) const {
+    return std::any_of(specs.begin(), specs.end(),
+                       [&](const auto& s) { return s.name == name; });
+  }
+  int index_of(std::string_view name) const {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  bool has_property(std::string_view p) const {
+    return std::any_of(manifests.begin(), manifests.end(), [&](const auto* m) {
+      return m != nullptr && m->has_property(p);
+    });
+  }
+  /// Names of protocols declaring property `p` (for diagnostics).
+  std::vector<std::string> providers_of(std::string_view p) const {
+    std::vector<std::string> out;
+    for (const auto* m : manifests) {
+      if (m != nullptr && m->has_property(p)) out.push_back(m->name);
+    }
+    return out;
+  }
+};
+
+SideView resolve(Side side, std::vector<MicroProtocolSpec> specs) {
+  SideView v;
+  v.side = side;
+  v.specs = with_base(side, std::move(specs));
+  const auto& reg = MicroProtocolRegistry::instance();
+  for (const auto& spec : v.specs) {
+    const MicroManifest* m = reg.contains(side, spec.name)
+                                 ? reg.find_manifest(side, spec.name)
+                                 : nullptr;
+    v.manifests.push_back(m);
+    if (m == nullptr) ++v.opaque;
+  }
+  return v;
+}
+
+void add_issue(VerifyResult& out, Severity sev, std::string rule,
+               std::string message) {
+  out.issues.push_back(
+      VerifyIssue{sev, std::move(rule), std::move(message)});
+}
+
+void verify_one_side(const SideView& v, VerifyResult& out) {
+  const std::string label = v.label();
+  const auto& reg = MicroProtocolRegistry::instance();
+
+  // duplicate-protocol: a composite installs handlers per instance, so a
+  // repeated protocol double-handles every event it binds.
+  std::map<std::string, int> counts;
+  for (const auto& spec : v.specs) ++counts[spec.name];
+  for (const auto& [name, n] : counts) {
+    if (n > 1) {
+      add_issue(out, Severity::kError, "duplicate-protocol",
+                label + ": micro-protocol '" + name + "' appears " +
+                    std::to_string(n) +
+                    " times in one stack — each protocol may be configured "
+                    "at most once");
+    }
+  }
+
+  // unknown-protocol + config-key checks (manifested protocols only).
+  for (std::size_t i = 0; i < v.specs.size(); ++i) {
+    const auto& spec = v.specs[i];
+    if (!reg.contains(v.side, spec.name)) {
+      add_issue(out, Severity::kError, "unknown-protocol",
+                label + ": unknown micro-protocol '" + spec.name + "'");
+      continue;
+    }
+    const MicroManifest* m = v.manifests[i];
+    if (m == nullptr) continue;  // opaque: parameters unchecked
+    for (const auto& [key, value] : spec.params) {
+      if (!m->accepts_config(key)) {
+        std::string accepted;
+        for (const auto& k : m->config_keys) {
+          if (!accepted.empty()) accepted += ", ";
+          accepted += k;
+        }
+        add_issue(out, Severity::kError, "unknown-config-key",
+                  label + ": '" + spec.name + "' does not accept config key '" +
+                      key + "'" +
+                      (accepted.empty() ? std::string(" (no keys accepted)")
+                                        : " (accepted: " + accepted + ")"));
+      }
+    }
+    for (const auto& key : m->required_keys) {
+      if (!spec.params.contains(key)) {
+        add_issue(out, Severity::kError, "missing-config-key",
+                  label + ": '" + spec.name + "' requires config key '" + key +
+                      "'");
+      }
+    }
+  }
+
+  // Event-flow graph: bound/raised sets across the stack plus the runtime
+  // anchors. With opaque protocols present the graph is incomplete, so
+  // findings degrade to warnings.
+  Severity graph_sev = v.opaque > 0 ? Severity::kWarning : Severity::kError;
+  std::set<std::string> bound;
+  std::set<std::string> raised;
+  for (const auto* m : v.manifests) {
+    if (m == nullptr) continue;
+    bound.insert(m->bind_events.begin(), m->bind_events.end());
+    raised.insert(m->raise_events.begin(), m->raise_events.end());
+  }
+  for (const auto* m : v.manifests) {
+    if (m == nullptr) continue;
+    for (const auto& e : m->raise_events) {
+      if (!bound.contains(e)) {
+        add_issue(out, graph_sev, "dangling-raise",
+                  label + ": '" + m->name + "' raises '" + e +
+                      "' but no handler in the stack binds it");
+      }
+    }
+    for (const auto& e : m->bind_events) {
+      if (!raised.contains(e) && !runtime_raises(v.side, e)) {
+        add_issue(out, graph_sev, "unreachable-handler",
+                  label + ": '" + m->name + "' binds '" + e +
+                      "' but nothing in the stack raises it");
+      }
+    }
+  }
+
+  // pb-conflict: two distinct protocols writing one piggyback key clobber
+  // each other (per-request piggyback values are single-slot).
+  std::map<std::string, std::vector<std::string>> writers;
+  for (const auto* m : v.manifests) {
+    if (m == nullptr) continue;
+    for (const auto& key : m->pb_writes) writers[key].push_back(m->name);
+  }
+  for (const auto& [key, names] : writers) {
+    std::vector<std::string> distinct = names;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() > 1) {
+      std::string who;
+      for (const auto& n : distinct) {
+        if (!who.empty()) who += "' and '";
+        who += n;
+      }
+      add_issue(out, Severity::kError, "pb-conflict",
+                label + ": piggyback key '" + key + "' is written by both '" +
+                    who + "'");
+    }
+  }
+
+  // Same-stack constraints.
+  for (std::size_t i = 0; i < v.specs.size(); ++i) {
+    const MicroManifest* m = v.manifests[i];
+    if (m == nullptr) continue;
+    for (const auto& text : m->constraints) {
+      Constraint c = parse_constraint(text);
+      if (c.args.empty()) continue;
+      const std::string& other = c.args.front();
+      switch (c.kind) {
+        case Constraint::Kind::kRequires:
+          if (!v.has(other)) {
+            add_issue(out, Severity::kError, "requires",
+                      label + ": '" + m->name + "' requires '" + other +
+                          "' in the same stack");
+          }
+          break;
+        case Constraint::Kind::kConflicts:
+          if (v.has(other)) {
+            add_issue(out, Severity::kError, "conflicts",
+                      label + ": '" + m->name + "' conflicts with '" + other +
+                          "' — configure at most one");
+          }
+          break;
+        case Constraint::Kind::kAfter:
+          if (v.has(other) &&
+              v.index_of(m->name) < v.index_of(other)) {
+            add_issue(out, Severity::kError, "order-constraint",
+                      label + ": '" + m->name + "' must come after '" + other +
+                          "' in the stack order");
+          }
+          break;
+        case Constraint::Kind::kBefore:
+          if (v.has(other) &&
+              v.index_of(m->name) > v.index_of(other)) {
+            add_issue(out, Severity::kError, "order-constraint",
+                      label + ": '" + m->name + "' must come before '" + other +
+                          "' in the stack order");
+          }
+          break;
+        default:
+          break;  // cross-side kinds handled in verify_cross
+      }
+    }
+  }
+}
+
+void verify_cross(const SideView& a, const SideView& b, VerifyResult& out) {
+  for (const auto* m : a.manifests) {
+    if (m == nullptr) continue;
+    for (const auto& text : m->constraints) {
+      Constraint c = parse_constraint(text);
+      if (c.args.empty()) continue;
+      if (c.kind == Constraint::Kind::kRequiresPeer) {
+        bool met = std::any_of(c.args.begin(), c.args.end(),
+                               [&](const std::string& n) { return b.has(n); });
+        // An opaque peer protocol may provide the capability; stay quiet
+        // only when the peer stack is fully known.
+        if (!met && b.opaque == 0) {
+          std::string alts;
+          for (const auto& n : c.args) {
+            if (!alts.empty()) alts += ", ";
+            alts += n;
+          }
+          add_issue(out, Severity::kError, "asymmetric-pair",
+                    std::string(a.label()) + ": '" + m->name +
+                        "' has no matching peer on the " + b.label() +
+                        " side (requires one of: " + alts + ")");
+        }
+      } else if (c.kind == Constraint::Kind::kRequiresPeerProperty) {
+        const std::string& prop = c.args.front();
+        if (!b.has_property(prop) && b.opaque == 0) {
+          add_issue(out, Severity::kError, "asymmetric-pair",
+                    std::string(a.label()) + ": '" + m->name + "' requires a " +
+                        b.label() + "-side protocol providing '" + prop +
+                        "'; none is configured");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> VerifyResult::errors() const {
+  std::vector<std::string> out;
+  for (const auto& i : issues) {
+    if (i.severity == Severity::kError) out.push_back(i.text());
+  }
+  return out;
+}
+
+std::vector<std::string> VerifyResult::warnings() const {
+  std::vector<std::string> out;
+  for (const auto& i : issues) {
+    if (i.severity == Severity::kWarning) out.push_back(i.text());
+  }
+  return out;
+}
+
+std::string VerifyResult::text() const {
+  std::string out;
+  for (const auto& line : errors()) out += line + "\n";
+  for (const auto& line : warnings()) out += line + "\n";
+  return out;
+}
+
+VerifyResult verify_side(Side side, std::vector<MicroProtocolSpec> specs) {
+  VerifyResult result;
+  verify_one_side(resolve(side, std::move(specs)), result);
+  return result;
+}
+
+VerifyResult verify_composition(const QosConfig& config) {
+  VerifyResult result;
+  SideView client = resolve(Side::kClient, config.client);
+  SideView server = resolve(Side::kServer, config.server);
+  verify_one_side(client, result);
+  verify_one_side(server, result);
+  verify_cross(client, server, result);
+  verify_cross(server, client, result);
+  return result;
+}
+
+CompositionTraits composition_traits(const QosConfig& config) {
+  SideView client = resolve(Side::kClient, config.client);
+  SideView server = resolve(Side::kServer, config.server);
+  CompositionTraits t;
+  t.total_order = server.has_property("total-order");
+  t.at_most_once = server.has_property("at-most-once");
+  t.replicated = client.has_property("replication") ||
+                 server.has_property("replication");
+  t.loss_tolerant = !t.total_order;
+  return t;
+}
+
+std::string event_flow_report(const QosConfig& config) {
+  std::ostringstream os;
+  auto join = [](const std::vector<std::string>& v) {
+    std::string out;
+    for (const auto& s : v) {
+      if (!out.empty()) out += ", ";
+      out += s;
+    }
+    return out.empty() ? std::string("-") : out;
+  };
+  for (Side side : {Side::kClient, Side::kServer}) {
+    SideView v = resolve(side, config.side(side));
+    os << v.label() << " stack:\n";
+    for (std::size_t i = 0; i < v.specs.size(); ++i) {
+      const auto& spec = v.specs[i];
+      const MicroManifest* m = v.manifests[i];
+      os << "  " << spec.name;
+      if (m == nullptr) {
+        os << "  (opaque: no manifest registered)\n";
+        continue;
+      }
+      os << "\n    binds:  " << join(m->bind_events) << "\n"
+         << "    raises: " << join(m->raise_events) << "\n";
+      if (!m->pb_reads.empty() || !m->pb_writes.empty()) {
+        os << "    piggyback: reads [" << join(m->pb_reads) << "] writes ["
+           << join(m->pb_writes) << "]\n";
+      }
+      if (!m->properties.empty()) {
+        os << "    properties: " << join(m->properties) << "\n";
+      }
+    }
+    // Raise -> handler edges over the whole stack.
+    std::map<std::string, std::vector<std::string>> sources;
+    std::map<std::string, std::vector<std::string>> sinks;
+    for (const auto* m : v.manifests) {
+      if (m == nullptr) continue;
+      for (const auto& e : m->raise_events) sources[e].push_back(m->name);
+      for (const auto& e : m->bind_events) {
+        sinks[e].push_back(m->name);
+        if (runtime_raises(side, e)) sources[e];  // ensure edge line exists
+      }
+    }
+    os << "  event flow:\n";
+    for (const auto& [event, handlers] : sinks) {
+      std::vector<std::string> from = sources[event];
+      if (runtime_raises(side, event)) {
+        from.insert(from.begin(), "[runtime]");
+      }
+      os << "    " << event << ": " << join(from) << " -> " << join(handlers)
+         << "\n";
+    }
+  }
+  CompositionTraits t = composition_traits(config);
+  os << "traits: total-order=" << (t.total_order ? "yes" : "no")
+     << " at-most-once=" << (t.at_most_once ? "yes" : "no")
+     << " replication=" << (t.replicated ? "yes" : "no")
+     << " loss-tolerant=" << (t.loss_tolerant ? "yes" : "no") << "\n";
+  return os.str();
+}
+
+}  // namespace cqos

@@ -1,0 +1,99 @@
+// Static composition verifier for micro-protocol stacks.
+//
+// validate() (config.h) instantiates factories and applies coarse pairing
+// rules; this verifier goes further: it analyzes a composition *without
+// constructing it*, purely from the MicroManifest effect models registered
+// alongside the factories, treating the composite as an event-flow graph.
+// That makes it safe to run at build() time in QosEndpoint (fail-fast), from
+// the standalone tools/cqos_verify CLI, and — eventually — before a live
+// reconfiguration swaps a handler graph under traffic (ROADMAP).
+//
+// Rules (rule ids appear verbatim in diagnostics and tests):
+//   duplicate-protocol    the same micro-protocol name appears twice in one
+//                         stack (a composite keys handlers per instance, so
+//                         duplicates double-handle every event)
+//   unknown-protocol      spec names no registered factory
+//   unknown-config-key    spec passes a parameter the manifest doesn't accept
+//   missing-config-key    manifest marks a parameter required; spec omits it
+//   dangling-raise        an event is raised but nothing in the stack (or
+//                         the runtime) handles it
+//   unreachable-handler   a handler is bound to an event nothing raises
+//   pb-conflict           two protocols write the same piggyback key
+//   requires              same-stack dependency missing
+//   conflicts             mutually exclusive protocols configured together
+//   order-constraint      before:/after: ordering violated by spec order
+//   asymmetric-pair       requires-peer[-property] unmet on the other side
+//                         (encryptor without decryptor, retransmit without
+//                         at-most-once delivery, ...)
+//
+// Stacks are normalized exactly like QosEndpoint::*Builder::build():
+// client_base/server_base are appended when missing. Protocols registered
+// without a manifest are "opaque": their parameters are not checked and the
+// graph rules (dangling-raise / unreachable-handler) degrade to warnings,
+// since the opaque protocol may provide the missing edge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cqos/config.h"
+
+namespace cqos {
+
+struct VerifyIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string rule;     // rule id from the table above
+  std::string message;  // full human-readable diagnostic
+
+  std::string text() const {
+    return std::string(severity == Severity::kError ? "error" : "warning") +
+           " [" + rule + "] " + message;
+  }
+};
+
+struct VerifyResult {
+  std::vector<VerifyIssue> issues;
+
+  bool ok() const {
+    for (const auto& i : issues) {
+      if (i.severity == VerifyIssue::Severity::kError) return false;
+    }
+    return true;
+  }
+  std::vector<std::string> errors() const;
+  std::vector<std::string> warnings() const;
+  /// All issues, one per line (errors first).
+  std::string text() const;
+};
+
+/// Verify one stack in isolation (side-local rules only; cross-side rules
+/// like asymmetric-pair need verify_composition). The stack is normalized
+/// with the side's base protocol first.
+VerifyResult verify_side(Side side, std::vector<MicroProtocolSpec> specs);
+
+/// Verify a full client+server composition: both side-local analyses plus
+/// the cross-side rules.
+VerifyResult verify_composition(const QosConfig& config);
+
+/// Semantic traits derived from the manifests of a composition. The soak
+/// harness derives its profile gating from these instead of hand-maintained
+/// per-config flags.
+struct CompositionTraits {
+  bool total_order = false;   // some server protocol declares "total-order"
+  bool at_most_once = false;  // some server protocol declares "at-most-once"
+  bool replicated = false;    // some protocol declares "replication"
+  /// Loss-type faults (drops, crashes, partitions) are sound to inject:
+  /// false for total-order compositions, where a stalled replica stalls the
+  /// agreed sequence.
+  bool loss_tolerant = true;
+};
+
+CompositionTraits composition_traits(const QosConfig& config);
+
+/// Human-readable event-flow report of a composition: per side, each
+/// protocol with the events it binds/raises, piggyback keys, and the
+/// resolved raise->handler edges. Purely informational.
+std::string event_flow_report(const QosConfig& config);
+
+}  // namespace cqos

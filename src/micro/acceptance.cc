@@ -31,6 +31,13 @@ std::unique_ptr<cactus::MicroProtocol> FirstSuccess::make(
   return std::make_unique<FirstSuccess>();
 }
 
+MicroManifest FirstSuccess::manifest() {
+  return MicroManifest("first_success", Side::kClient)
+      .binds(ev::kInvokeFailure)
+      .constraint("requires:active_rep")
+      .constraint("conflicts:majority_vote");
+}
+
 // --- MajorityVote --------------------------------------------------------------
 
 void MajorityVote::init(cactus::CompositeProtocol& proto) {
@@ -96,6 +103,14 @@ std::unique_ptr<cactus::MicroProtocol> MajorityVote::make(
     const MicroProtocolSpec& spec) {
   (void)spec;
   return std::make_unique<MajorityVote>();
+}
+
+MicroManifest MajorityVote::manifest() {
+  return MicroManifest("majority_vote", Side::kClient)
+      .binds(ev::kInvokeSuccess)
+      .binds(ev::kInvokeFailure)
+      .constraint("requires:active_rep")
+      .constraint("conflicts:first_success");
 }
 
 }  // namespace cqos::micro

@@ -28,6 +28,7 @@ class FirstSuccess : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 };
 
 class MajorityVote : public MicroBase {
@@ -37,6 +38,7 @@ class MajorityVote : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   /// Per-request tallies, shared between the success and failure handlers.
   struct State {

@@ -37,4 +37,13 @@ std::unique_ptr<cactus::MicroProtocol> ActiveRep::make(
   return std::make_unique<ActiveRep>();
 }
 
+MicroManifest ActiveRep::manifest() {
+  return MicroManifest("active_rep", Side::kClient)
+      .binds(ev::kNewRequest)
+      .raises(ev::kReadyToSend)
+      .constraint("conflicts:passive_rep")
+      .constraint("conflicts:load_balance")
+      .property("replication");
+}
+
 }  // namespace cqos::micro

@@ -19,6 +19,7 @@ class ActiveRep : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 };
 
 }  // namespace cqos::micro

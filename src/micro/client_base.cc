@@ -85,4 +85,15 @@ std::unique_ptr<cactus::MicroProtocol> ClientBase::make(
   return std::make_unique<ClientBase>();
 }
 
+MicroManifest ClientBase::manifest() {
+  return MicroManifest("client_base", Side::kClient)
+      .binds(ev::kNewRequest)
+      .binds(ev::kReadyToSend)
+      .binds(ev::kInvokeSuccess)
+      .binds(ev::kInvokeFailure)
+      .raises(ev::kReadyToSend)
+      .raises(ev::kInvokeSuccess)
+      .raises(ev::kInvokeFailure);
+}
+
 }  // namespace cqos::micro

@@ -22,6 +22,9 @@ class ClientBase : public MicroBase {
   /// Factory for the registry ("client_base", client side, no parameters).
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  /// Effect model (see cqos/manifest.h); kept in sync with init() by the
+  /// manifest-sync lint rule.
+  static MicroManifest manifest();
 };
 
 }  // namespace cqos::micro

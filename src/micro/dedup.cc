@@ -75,4 +75,12 @@ std::unique_ptr<cactus::MicroProtocol> Dedup::make(
       static_cast<std::size_t>(spec.param_int("max_cache", 1024)));
 }
 
+MicroManifest Dedup::manifest() {
+  return MicroManifest("dedup", Side::kServer)
+      .binds(ev::kReadyToInvoke)
+      .binds(ev::kInvokeReturn)
+      .config("max_cache")
+      .property("at-most-once");
+}
+
 }  // namespace cqos::micro

@@ -64,6 +64,7 @@ class Dedup : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   static constexpr const char* kStateKey = "dedup.server.state";
 

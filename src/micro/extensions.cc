@@ -82,6 +82,18 @@ std::unique_ptr<cactus::MicroProtocol> Retransmit::make(
       static_cast<int>(spec.param_int("retries", 2)));
 }
 
+MicroManifest Retransmit::manifest() {
+  // requires-peer-property:at-most-once — a retry may duplicate a request
+  // that actually executed (the reply, not the request, was lost); the
+  // server stack must be able to answer duplicates from a result cache.
+  return MicroManifest("retransmit", Side::kClient)
+      .binds(ev::kNewRequest)
+      .binds(ev::kInvokeFailure)
+      .raises(ev::kReadyToSend)
+      .config("retries")
+      .constraint("requires-peer-property:at-most-once");
+}
+
 // --- FailureDetector --------------------------------------------------------------
 
 FailureDetector::~FailureDetector() = default;
@@ -119,6 +131,13 @@ void FailureDetector::shutdown() {
 std::unique_ptr<cactus::MicroProtocol> FailureDetector::make(
     const MicroProtocolSpec& spec) {
   return std::make_unique<FailureDetector>(ms(spec.param_int("period_ms", 50)));
+}
+
+MicroManifest FailureDetector::manifest() {
+  return MicroManifest("failure_detector", Side::kClient)
+      .binds("fd:tick")
+      .raises("fd:tick")
+      .config("period_ms");
 }
 
 // --- LoadBalance ------------------------------------------------------------------
@@ -165,6 +184,16 @@ std::unique_ptr<cactus::MicroProtocol> LoadBalance::make(
     const MicroProtocolSpec& spec) {
   (void)spec;
   return std::make_unique<LoadBalance>();
+}
+
+MicroManifest LoadBalance::manifest() {
+  // Both replication assigners pick their own replica set; a round-robin
+  // assigner composed with either would fight over kNewRequest.
+  return MicroManifest("load_balance", Side::kClient)
+      .binds(ev::kNewRequest)
+      .raises(ev::kReadyToSend)
+      .constraint("conflicts:active_rep")
+      .constraint("conflicts:passive_rep");
 }
 
 // --- ClientCache ------------------------------------------------------------------
@@ -232,6 +261,14 @@ std::unique_ptr<cactus::MicroProtocol> ClientCache::make(
                                        ms(spec.param_int("ttl_ms", 100)));
 }
 
+MicroManifest ClientCache::manifest() {
+  return MicroManifest("client_cache", Side::kClient)
+      .binds(ev::kNewRequest)
+      .binds(ev::kInvokeSuccess)
+      .config("methods")
+      .config("ttl_ms");
+}
+
 // --- RequestLog -------------------------------------------------------------------
 
 void RequestLog::init(cactus::CompositeProtocol& proto) {
@@ -274,6 +311,13 @@ std::unique_ptr<cactus::MicroProtocol> RequestLog::make(
     const MicroProtocolSpec& spec) {
   return std::make_unique<RequestLog>(
       parse_method_list(spec.param("reads", "get_balance")));
+}
+
+MicroManifest RequestLog::manifest() {
+  return MicroManifest("request_log", Side::kServer)
+      .binds(ev::kInvokeReturn)
+      .binds(ev::ctl(kSyncControl))
+      .config("reads");
 }
 
 std::size_t RequestLog::log_size(CactusServer& server) {

@@ -47,6 +47,7 @@ class Retransmit : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   int max_retries_;
@@ -64,6 +65,7 @@ class FailureDetector : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   Duration period_;
@@ -77,6 +79,7 @@ class LoadBalance : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   struct State {
     Mutex mu;
@@ -96,6 +99,7 @@ class ClientCache : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   struct Entry {
     Value value;
@@ -126,6 +130,7 @@ class RequestLog : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   struct LoggedRequest {
     std::uint64_t id;

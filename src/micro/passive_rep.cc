@@ -65,6 +65,18 @@ std::unique_ptr<cactus::MicroProtocol> PassiveRepClient::make(
   return std::make_unique<PassiveRepClient>();
 }
 
+MicroManifest PassiveRepClient::manifest() {
+  return MicroManifest("passive_rep", Side::kClient)
+      .binds(ev::kNewRequest)
+      .binds(ev::kInvokeFailure)
+      .raises(ev::kReadyToSend)
+      .raises(ev::kNewRequest)
+      .constraint("conflicts:active_rep")
+      .constraint("conflicts:load_balance")
+      .constraint("requires-peer:passive_rep")
+      .property("replication");
+}
+
 // --- server side -----------------------------------------------------------------
 
 void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
@@ -142,6 +154,18 @@ std::unique_ptr<cactus::MicroProtocol> PassiveRepServer::make(
     const MicroProtocolSpec& spec) {
   (void)spec;
   return std::make_unique<PassiveRepServer>();
+}
+
+MicroManifest PassiveRepServer::manifest() {
+  return MicroManifest("passive_rep", Side::kServer)
+      .binds(ev::kReadyToInvoke)
+      .binds(ev::kInvokeReturn)
+      .binds("pas:forward")
+      .binds(ev::ctl(kForwardControl))
+      .raises("pas:forward")
+      .constraint("requires-peer:passive_rep")
+      .property("at-most-once")
+      .property("replication");
 }
 
 }  // namespace cqos::micro

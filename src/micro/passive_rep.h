@@ -35,6 +35,7 @@ class PassiveRepClient : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 };
 
 class PassiveRepServer : public MicroBase {
@@ -44,6 +45,7 @@ class PassiveRepServer : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   /// Shared-data state (exposed for tests). The dedup mechanism is the
   /// shared one from micro/dedup.h, under PassiveRep's own state key so a

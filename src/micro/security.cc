@@ -121,6 +121,18 @@ std::unique_ptr<cactus::MicroProtocol> DesPrivacyClient::make(
       us(spec.param_int("emulate_us_per_op", 0)));
 }
 
+MicroManifest DesPrivacyClient::manifest() {
+  return MicroManifest("des_privacy", Side::kClient)
+      .binds(ev::kReadyToSend)
+      .binds(ev::kInvokeSuccess)
+      .raises(ev::kInvokeFailure)
+      .writes_pb(pbkey::kEncrypted)
+      .config("key")
+      .config("iv")
+      .config("emulate_us_per_op")
+      .constraint("requires-peer:des_privacy");
+}
+
 void DesPrivacyServer::init(cactus::CompositeProtocol& proto) {
   server_holder(proto);
   crypto::Des::for_key(key_);  // validate + prime the schedule cache
@@ -184,6 +196,18 @@ std::unique_ptr<cactus::MicroProtocol> DesPrivacyServer::make(
       us(spec.param_int("emulate_us_per_op", 0)));
 }
 
+MicroManifest DesPrivacyServer::manifest() {
+  return MicroManifest("des_privacy", Side::kServer)
+      .binds(ev::kNewServerRequest)
+      .binds(ev::kInvokeReturn)
+      .reads_pb(pbkey::kEncrypted)
+      .config("key")
+      .config("iv")
+      .config("require")
+      .config("emulate_us_per_op")
+      .constraint("requires-peer:des_privacy");
+}
+
 // --- SignedIntegrity --------------------------------------------------------------
 
 void IntegrityClient::init(cactus::CompositeProtocol& proto) {
@@ -237,6 +261,19 @@ std::unique_ptr<cactus::MicroProtocol> IntegrityClient::make(
       parse_hex_key(spec.param("key", kDefaultMacKey), "integrity.key"));
 }
 
+MicroManifest IntegrityClient::manifest() {
+  // after:des_privacy — the MAC covers the ciphertext (encrypt-then-MAC),
+  // so the stack reads in processing order when both are configured.
+  return MicroManifest("integrity", Side::kClient)
+      .binds(ev::kReadyToSend)
+      .binds(ev::kInvokeSuccess)
+      .raises(ev::kInvokeFailure)
+      .writes_pb(pbkey::kHmac)
+      .config("key")
+      .constraint("requires-peer:integrity")
+      .constraint("after:des_privacy");
+}
+
 void IntegrityServer::init(cactus::CompositeProtocol& proto) {
   server_holder(proto);
   Bytes key = key_;
@@ -284,6 +321,17 @@ std::unique_ptr<cactus::MicroProtocol> IntegrityServer::make(
     const MicroProtocolSpec& spec) {
   return std::make_unique<IntegrityServer>(
       parse_hex_key(spec.param("key", kDefaultMacKey), "integrity.key"));
+}
+
+MicroManifest IntegrityServer::manifest() {
+  return MicroManifest("integrity", Side::kServer)
+      .binds(ev::kNewServerRequest)
+      .binds(ev::kInvokeReturn)
+      .reads_pb(pbkey::kHmac)
+      .writes_pb(pbkey::kHmac)
+      .config("key")
+      .constraint("requires-peer:integrity")
+      .constraint("after:des_privacy");
 }
 
 // --- AccessControl ----------------------------------------------------------------
@@ -339,6 +387,16 @@ std::unique_ptr<cactus::MicroProtocol> AccessControl::make(
     const MicroProtocolSpec& spec) {
   return std::make_unique<AccessControl>(
       Acl::parse(spec.param("allow", ""), spec.param("default", "deny")));
+}
+
+MicroManifest AccessControl::manifest() {
+  // allow is mandatory: with default=deny an empty ACL rejects every call,
+  // which is never the intended deployment.
+  return MicroManifest("access_control", Side::kServer)
+      .binds(ev::kReadyToInvoke)
+      .reads_pb(pbkey::kPrincipal)
+      .requires_config("allow")
+      .config("default");
 }
 
 }  // namespace cqos::micro

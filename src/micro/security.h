@@ -46,6 +46,7 @@ class DesPrivacyClient : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   Bytes key_;
@@ -70,6 +71,7 @@ class DesPrivacyServer : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   Bytes key_;
@@ -87,6 +89,7 @@ class IntegrityClient : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   Bytes key_;
@@ -101,6 +104,7 @@ class IntegrityServer : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   Bytes key_;
@@ -125,6 +129,7 @@ class AccessControl : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
  private:
   Acl acl_;

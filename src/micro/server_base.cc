@@ -40,4 +40,13 @@ std::unique_ptr<cactus::MicroProtocol> ServerBase::make(
   return std::make_unique<ServerBase>();
 }
 
+MicroManifest ServerBase::manifest() {
+  return MicroManifest("server_base", Side::kServer)
+      .binds(ev::kNewServerRequest)
+      .binds(ev::kReadyToInvoke)
+      .binds(ev::kInvokeReturn)
+      .raises(ev::kReadyToInvoke)
+      .raises(ev::kInvokeReturn);
+}
+
 }  // namespace cqos::micro

@@ -21,6 +21,7 @@ class ServerBase : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 };
 
 }  // namespace cqos::micro

@@ -21,29 +21,50 @@ void register_standard_micro_protocols() {
   std::call_once(once, [] {
     auto& reg = MicroProtocolRegistry::instance();
 
-    reg.add(Side::kClient, "client_base", &ClientBase::make);
-    reg.add(Side::kClient, "active_rep", &ActiveRep::make);
-    reg.add(Side::kClient, "passive_rep", &PassiveRepClient::make);
-    reg.add(Side::kClient, "first_success", &FirstSuccess::make);
-    reg.add(Side::kClient, "majority_vote", &MajorityVote::make);
-    reg.add(Side::kClient, "des_privacy", &DesPrivacyClient::make);
-    reg.add(Side::kClient, "integrity", &IntegrityClient::make);
-    reg.add(Side::kClient, "retransmit", &Retransmit::make);
-    reg.add(Side::kClient, "failure_detector", &FailureDetector::make);
-    reg.add(Side::kClient, "load_balance", &LoadBalance::make);
-    reg.add(Side::kClient, "client_cache", &ClientCache::make);
+    reg.add(Side::kClient, "client_base", &ClientBase::make,
+            ClientBase::manifest());
+    reg.add(Side::kClient, "active_rep", &ActiveRep::make,
+            ActiveRep::manifest());
+    reg.add(Side::kClient, "passive_rep", &PassiveRepClient::make,
+            PassiveRepClient::manifest());
+    reg.add(Side::kClient, "first_success", &FirstSuccess::make,
+            FirstSuccess::manifest());
+    reg.add(Side::kClient, "majority_vote", &MajorityVote::make,
+            MajorityVote::manifest());
+    reg.add(Side::kClient, "des_privacy", &DesPrivacyClient::make,
+            DesPrivacyClient::manifest());
+    reg.add(Side::kClient, "integrity", &IntegrityClient::make,
+            IntegrityClient::manifest());
+    reg.add(Side::kClient, "retransmit", &Retransmit::make,
+            Retransmit::manifest());
+    reg.add(Side::kClient, "failure_detector", &FailureDetector::make,
+            FailureDetector::manifest());
+    reg.add(Side::kClient, "load_balance", &LoadBalance::make,
+            LoadBalance::manifest());
+    reg.add(Side::kClient, "client_cache", &ClientCache::make,
+            ClientCache::manifest());
 
-    reg.add(Side::kServer, "server_base", &ServerBase::make);
-    reg.add(Side::kServer, "passive_rep", &PassiveRepServer::make);
-    reg.add(Side::kServer, "dedup", &Dedup::make);
-    reg.add(Side::kServer, "total_order", &TotalOrder::make);
-    reg.add(Side::kServer, "des_privacy", &DesPrivacyServer::make);
-    reg.add(Side::kServer, "integrity", &IntegrityServer::make);
-    reg.add(Side::kServer, "access_control", &AccessControl::make);
-    reg.add(Side::kServer, "priority_sched", &PrioritySched::make);
-    reg.add(Side::kServer, "queued_sched", &QueuedSched::make);
-    reg.add(Side::kServer, "timed_sched", &TimedSched::make);
-    reg.add(Side::kServer, "request_log", &RequestLog::make);
+    reg.add(Side::kServer, "server_base", &ServerBase::make,
+            ServerBase::manifest());
+    reg.add(Side::kServer, "passive_rep", &PassiveRepServer::make,
+            PassiveRepServer::manifest());
+    reg.add(Side::kServer, "dedup", &Dedup::make, Dedup::manifest());
+    reg.add(Side::kServer, "total_order", &TotalOrder::make,
+            TotalOrder::manifest());
+    reg.add(Side::kServer, "des_privacy", &DesPrivacyServer::make,
+            DesPrivacyServer::manifest());
+    reg.add(Side::kServer, "integrity", &IntegrityServer::make,
+            IntegrityServer::manifest());
+    reg.add(Side::kServer, "access_control", &AccessControl::make,
+            AccessControl::manifest());
+    reg.add(Side::kServer, "priority_sched", &PrioritySched::make,
+            PrioritySched::manifest());
+    reg.add(Side::kServer, "queued_sched", &QueuedSched::make,
+            QueuedSched::manifest());
+    reg.add(Side::kServer, "timed_sched", &TimedSched::make,
+            TimedSched::manifest());
+    reg.add(Side::kServer, "request_log", &RequestLog::make,
+            RequestLog::manifest());
   });
 }
 

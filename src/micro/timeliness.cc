@@ -25,6 +25,11 @@ std::unique_ptr<cactus::MicroProtocol> PrioritySched::make(
   return std::make_unique<PrioritySched>();
 }
 
+MicroManifest PrioritySched::manifest() {
+  return MicroManifest("priority_sched", Side::kServer)
+      .binds(ev::kReadyToInvoke);
+}
+
 // --- QueuedSched ------------------------------------------------------------------
 
 void QueuedSched::init(cactus::CompositeProtocol& proto) {
@@ -98,6 +103,17 @@ std::unique_ptr<cactus::MicroProtocol> QueuedSched::make(
     const MicroProtocolSpec& spec) {
   return std::make_unique<QueuedSched>(
       static_cast<int>(spec.param_int("high", kDefaultHighFloor)));
+}
+
+MicroManifest QueuedSched::manifest() {
+  return MicroManifest("queued_sched", Side::kServer)
+      .binds(ev::kReadyToInvoke)
+      .binds(ev::kInvokeReturn)
+      .binds(ev::kRequestReturned)
+      .raises(ev::kRequestReturned)
+      .raises(ev::kReadyToInvoke)
+      .config("high")
+      .constraint("conflicts:timed_sched");
 }
 
 // --- TimedSched -------------------------------------------------------------------
@@ -176,6 +192,18 @@ std::unique_ptr<cactus::MicroProtocol> TimedSched::make(
       static_cast<int>(spec.param_int("high", kDefaultHighFloor)),
       ms(spec.param_int("period_ms", 50)),
       static_cast<int>(spec.param_int("threshold", 8)));
+}
+
+MicroManifest TimedSched::manifest() {
+  return MicroManifest("timed_sched", Side::kServer)
+      .binds(ev::kReadyToInvoke)
+      .binds("ts:tick")
+      .raises("ts:tick")
+      .raises(ev::kReadyToInvoke)
+      .config("high")
+      .config("period_ms")
+      .config("threshold")
+      .constraint("conflicts:queued_sched");
 }
 
 }  // namespace cqos::micro

@@ -36,6 +36,7 @@ class PrioritySched : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 };
 
 class QueuedSched : public MicroBase {
@@ -47,6 +48,7 @@ class QueuedSched : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   struct State {
     Mutex mu;
@@ -72,6 +74,7 @@ class TimedSched : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   struct State {
     Mutex mu;

@@ -164,4 +164,19 @@ std::unique_ptr<cactus::MicroProtocol> TotalOrder::make(
       static_cast<int>(spec.param_int("coordinator", 0)));
 }
 
+MicroManifest TotalOrder::manifest() {
+  // requires-peer:active_rep — ordering is only meaningful when every
+  // replica sees every request, which active replication provides.
+  return MicroManifest("total_order", Side::kServer)
+      .binds(ev::kReadyToInvoke)
+      .binds("to:multicast")
+      .binds(ev::kInvokeReturn)
+      .binds(ev::ctl(kOrderControl))
+      .raises("to:multicast")
+      .raises(ev::kReadyToInvoke)
+      .config("coordinator")
+      .constraint("requires-peer:active_rep")
+      .property("total-order");
+}
+
 }  // namespace cqos::micro

@@ -32,6 +32,7 @@ class TotalOrder : public MicroBase {
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
 
   /// Parameters: coordinator=<replica index> (default 0).
   explicit TotalOrder(int coordinator = 0) : coordinator_(coordinator) {}

@@ -9,6 +9,8 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "cqos/verify.h"
+#include "micro/standard.h"
 #include "sim/bank_account.h"
 #include "sim/cluster.h"
 
@@ -28,21 +30,19 @@ namespace {
 
 // --- configurations ----------------------------------------------------------
 
+// Soundness gating (which fault profiles may run, whether replica logs must
+// agree) is NOT stored here: it is derived from the composition's manifests
+// via composition_traits() — see config_traits() below.
 struct ConfigSpec {
   const char* name;
   int replicas;
-  /// Loss-type faults (drops, bursts, crashes, partitions) are sound: the
-  /// config's invariants hold under message loss.
-  bool loss_ok;
-  /// Replica deposit logs must agree elementwise after quiescence.
-  bool agreement;
   void (*apply)(ClusterOptions&);
 };
 
 const ConfigSpec kConfigs[] = {
     // Unreplicated server behind retransmission; the shared dedup
     // micro-protocol provides at-most-once execution.
-    {"retransmit-dedup", 1, true, false,
+    {"retransmit-dedup", 1,
      [](ClusterOptions& o) {
        o.invoke_timeout = ms(150);
        o.qos.add(Side::kClient, "retransmit", {{"retries", "8"}})
@@ -50,7 +50,7 @@ const ConfigSpec kConfigs[] = {
      }},
     // Primary-backup replication with failover, retransmission and a
     // failure detector (dedup is built into passive_rep).
-    {"passive-rep", 3, true, false,
+    {"passive-rep", 3,
      [](ClusterOptions& o) {
        o.invoke_timeout = ms(400);
        o.qos.add(Side::kClient, "passive_rep")
@@ -59,10 +59,11 @@ const ConfigSpec kConfigs[] = {
            .add(Side::kServer, "passive_rep");
      }},
     // Active replication under total order: every replica applies the same
-    // deposit sequence. Loss-type faults are excluded (a drop toward one
-    // replica stalls the total order, making agreement unsound to assert),
-    // so this config runs the duplication/reordering/latency profiles.
-    {"active-total", 3, false, true,
+    // deposit sequence. The "total-order" manifest property makes the
+    // derived traits exclude loss-type faults (a drop toward one replica
+    // stalls the total order, making agreement unsound to assert), so this
+    // config runs the duplication/reordering/latency profiles.
+    {"active-total", 3,
      [](ClusterOptions& o) {
        o.invoke_timeout = ms(800);
        o.qos.add(Side::kClient, "active_rep")
@@ -75,7 +76,7 @@ const ConfigSpec kConfigs[] = {
     // security pair — the primary's forwarding path sends intra-cluster
     // replication traffic in the clear, so a backup with des_privacy
     // installed would reject every forward.
-    {"secured-passive", 3, true, false,
+    {"secured-passive", 3,
      [](ClusterOptions& o) {
        constexpr const char* kKey = "0123456789abcdef";
        o.invoke_timeout = ms(400);
@@ -100,6 +101,14 @@ const ConfigSpec& find_config(const std::string& name) {
     if (name == c.name) return c;
   }
   throw ConfigError("soak: unknown config: " + name);
+}
+
+/// Semantic traits of a soak config, derived from its manifests: agreement
+/// is asserted exactly when the composition provides total order, and
+/// loss-type faults are injected exactly when it tolerates loss.
+CompositionTraits config_traits(const std::string& name) {
+  micro::register_standard_micro_protocols();
+  return composition_traits(soak_qos_config(name));
 }
 
 // --- chaos profiles ----------------------------------------------------------
@@ -246,11 +255,20 @@ std::vector<std::string> soak_profiles() {
   return {std::begin(kProfiles), std::end(kProfiles)};
 }
 
-std::vector<std::string> soak_profiles_for(const std::string& config) {
+QosConfig soak_qos_config(const std::string& config) {
   const ConfigSpec& spec = find_config(config);
+  ClusterOptions copts;
+  spec.apply(copts);
+  QosConfig qc = copts.qos;
+  if (copts.server_specs_fn) qc.server = copts.server_specs_fn(0);
+  return qc;
+}
+
+std::vector<std::string> soak_profiles_for(const std::string& config) {
+  const CompositionTraits traits = config_traits(config);
   std::vector<std::string> names;
   for (const char* p : kProfiles) {
-    if (!spec.loss_ok && profile_needs_loss(p)) continue;
+    if (!traits.loss_tolerant && profile_needs_loss(p)) continue;
     names.push_back(p);
   }
   return names;
@@ -275,6 +293,7 @@ std::string SoakOutcome::summary() const {
 SoakOutcome run_soak(const std::string& config, const std::string& profile,
                      std::uint64_t seed, const SoakOptions& opts) {
   const ConfigSpec& spec = find_config(config);
+  const CompositionTraits traits = config_traits(config);
   {
     auto sound = soak_profiles_for(config);
     if (std::find(sound.begin(), sound.end(), profile) == sound.end()) {
@@ -282,12 +301,23 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
                         config);
     }
   }
+  // Every soak composition must be statically sound before it is allowed to
+  // produce runtime evidence: a verifier error here means the matrix itself
+  // regressed, not the protocols under test.
+  {
+    VerifyResult vr = verify_composition(soak_qos_config(config));
+    if (!vr.ok()) {
+      throw ConfigError("soak: config " + config +
+                        " failed composition verification:\n" + vr.text());
+    }
+  }
 
   std::vector<std::string> crashable;
   for (int i = 1; i < spec.replicas; ++i) {
     crashable.push_back(Cluster::replica_host(i));
   }
-  FaultPlan plan = make_profile_plan(profile, seed, crashable, spec.loss_ok);
+  FaultPlan plan =
+      make_profile_plan(profile, seed, crashable, traits.loss_tolerant);
 
   SoakOutcome out;
   out.config = config;
@@ -363,7 +393,7 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
     std::this_thread::sleep_for(ms(150));
     auto next = logs();
     bool converged = next == stable;
-    if (spec.agreement) {
+    if (traits.total_order) {
       for (const auto& log : next) converged = converged && log == next[0];
     }
     stable = std::move(next);
@@ -404,7 +434,8 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
     }
   }
   // Invariant: total-order replicas agree on the full deposit sequence.
-  if (spec.agreement) {
+  // Asserted exactly when the manifests declare a total-order property.
+  if (traits.total_order) {
     for (std::size_t r = 1; r < stable.size(); ++r) {
       if (stable[r] != stable[0]) {
         out.violations.push_back(

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cqos/config.h"
 #include "net/fault.h"
 
 namespace cqos::soak {
@@ -55,9 +56,16 @@ std::vector<std::string> soak_configs();
 /// All chaos profiles.
 std::vector<std::string> soak_profiles();
 
-/// Profiles sound for `config`: total-order agreement configs exclude
-/// loss-type faults (drops, crashes, partitions toward a replica stall the
-/// total order), so they run the duplication/reordering/latency profiles.
+/// The effective client + replica-0 QoS composition of a soak config (the
+/// replica-0 stack is the fullest one when a per-replica override is set).
+/// This is what the composition verifier and the trait derivation see.
+QosConfig soak_qos_config(const std::string& config);
+
+/// Profiles sound for `config`, derived from the manifests via
+/// composition_traits(): total-order compositions exclude loss-type faults
+/// (drops, crashes, partitions toward a replica stall the agreed sequence),
+/// so they run the duplication/reordering/latency profiles. There is no
+/// hand-maintained per-config flag to drift out of sync.
 std::vector<std::string> soak_profiles_for(const std::string& config);
 
 /// Build the seeded fault plan for one profile. `crashable` hosts may be

@@ -1,0 +1,356 @@
+// Static composition verifier (cqos/verify.h): one negative test per rule
+// asserting the documented diagnostic, plus builder fail-fast behavior and
+// the trait derivation the soak harness gates on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "common/error.h"
+#include "cqos/endpoint.h"
+#include "cqos/verify.h"
+#include "micro/standard.h"
+#include "net/sim_network.h"
+#include "platform/rmi/registry.h"
+#include "platform/rmi/rmi.h"
+#include "sim/bank_account.h"
+#include "soak/soak.h"
+
+namespace cqos {
+namespace {
+
+/// Synthetic protocols with targeted effect models (the factory is never
+/// invoked — the verifier analyzes manifests without constructing).
+void register_test_protocols() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = MicroProtocolRegistry::instance();
+    auto noop = [](const MicroProtocolSpec&)
+        -> std::unique_ptr<cactus::MicroProtocol> { return nullptr; };
+    reg.add(Side::kClient, "zz_dangler", noop,
+            MicroManifest("zz_dangler", Side::kClient).raises("zz:nowhere"));
+    reg.add(Side::kClient, "zz_binder", noop,
+            MicroManifest("zz_binder", Side::kClient).binds("zz:never"));
+    reg.add(Side::kClient, "zz_writer_a", noop,
+            MicroManifest("zz_writer_a", Side::kClient).writes_pb("zz.key"));
+    reg.add(Side::kClient, "zz_writer_b", noop,
+            MicroManifest("zz_writer_b", Side::kClient).writes_pb("zz.key"));
+    reg.add(Side::kClient, "zz_opaque", noop);  // no manifest: opaque
+  });
+}
+
+const VerifyIssue* find_rule(const VerifyResult& r, std::string_view rule) {
+  for (const auto& issue : r.issues) {
+    if (issue.rule == rule) return &issue;
+  }
+  return nullptr;
+}
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    micro::register_standard_micro_protocols();
+    register_test_protocols();
+  }
+};
+
+// --- side-local rules --------------------------------------------------------
+
+TEST_F(VerifyTest, DuplicateProtocol) {
+  VerifyResult r = verify_side(Side::kServer, {{"dedup"}, {"dedup"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "duplicate-protocol");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "server: micro-protocol 'dedup' appears 2 times in one stack — "
+            "each protocol may be configured at most once");
+}
+
+TEST_F(VerifyTest, UnknownProtocol) {
+  VerifyResult r = verify_side(Side::kClient, {{"zz_no_such"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "unknown-protocol");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message, "client: unknown micro-protocol 'zz_no_such'");
+}
+
+TEST_F(VerifyTest, UnknownConfigKey) {
+  VerifyResult r =
+      verify_side(Side::kServer, {{"dedup", {{"bogus", "1"}}}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "unknown-config-key");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "server: 'dedup' does not accept config key 'bogus' "
+            "(accepted: max_cache)");
+}
+
+TEST_F(VerifyTest, MissingConfigKey) {
+  VerifyResult r = verify_side(Side::kServer, {{"access_control"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "missing-config-key");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "server: 'access_control' requires config key 'allow'");
+}
+
+TEST_F(VerifyTest, DanglingRaise) {
+  VerifyResult r = verify_side(Side::kClient, {{"zz_dangler"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "dangling-raise");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->severity, VerifyIssue::Severity::kError);
+  EXPECT_EQ(issue->message,
+            "client: 'zz_dangler' raises 'zz:nowhere' but no handler in the "
+            "stack binds it");
+}
+
+TEST_F(VerifyTest, UnreachableHandler) {
+  VerifyResult r = verify_side(Side::kClient, {{"zz_binder"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "unreachable-handler");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: 'zz_binder' binds 'zz:never' but nothing in the stack "
+            "raises it");
+}
+
+TEST_F(VerifyTest, GraphRulesDegradeToWarningsWithOpaqueProtocols) {
+  // An opaque protocol may provide the missing edge, so the graph findings
+  // must not hard-fail the composition.
+  VerifyResult r = verify_side(Side::kClient, {{"zz_dangler"}, {"zz_opaque"}});
+  EXPECT_TRUE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "dangling-raise");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->severity, VerifyIssue::Severity::kWarning);
+}
+
+TEST_F(VerifyTest, PiggybackWriteConflict) {
+  VerifyResult r =
+      verify_side(Side::kClient, {{"zz_writer_a"}, {"zz_writer_b"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "pb-conflict");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: piggyback key 'zz.key' is written by both 'zz_writer_a' "
+            "and 'zz_writer_b'");
+}
+
+TEST_F(VerifyTest, RequiresInSameStack) {
+  VerifyResult r = verify_side(Side::kClient, {{"first_success"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "requires");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: 'first_success' requires 'active_rep' in the same stack");
+}
+
+TEST_F(VerifyTest, ConflictingProtocols) {
+  VerifyResult r =
+      verify_side(Side::kClient, {{"active_rep"}, {"load_balance"}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "conflicts");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: 'active_rep' conflicts with 'load_balance' — configure "
+            "at most one");
+}
+
+TEST_F(VerifyTest, OrderConstraint) {
+  // Integrity is encrypt-then-MAC: it must come after des_privacy.
+  VerifyResult r = verify_side(
+      Side::kClient, {{"integrity", {{"key", "0123456789abcdef"}}},
+                      {"des_privacy", {{"key", "0123456789abcdef"}}}});
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "order-constraint");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: 'integrity' must come after 'des_privacy' in the stack "
+            "order");
+}
+
+// --- cross-side rules --------------------------------------------------------
+
+TEST_F(VerifyTest, AsymmetricPairEncryptorWithoutDecryptor) {
+  QosConfig config;
+  config.add(Side::kClient, "des_privacy", {{"key", "0123456789abcdef"}});
+  VerifyResult r = verify_composition(config);
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "asymmetric-pair");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: 'des_privacy' has no matching peer on the server side "
+            "(requires one of: des_privacy)");
+}
+
+TEST_F(VerifyTest, AsymmetricPairRetransmitWithoutAtMostOnce) {
+  QosConfig config;
+  config.add(Side::kClient, "retransmit");
+  VerifyResult r = verify_composition(config);
+  ASSERT_FALSE(r.ok());
+  const VerifyIssue* issue = find_rule(r, "asymmetric-pair");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->message,
+            "client: 'retransmit' requires a server-side protocol providing "
+            "'at-most-once'; none is configured");
+}
+
+TEST_F(VerifyTest, RetransmitSatisfiedByAnyAtMostOnceProvider) {
+  // dedup and passive_rep both declare at-most-once; either peer satisfies
+  // the retransmit pairing.
+  for (const char* provider : {"dedup", "passive_rep"}) {
+    QosConfig config;
+    config.add(Side::kClient, "retransmit");
+    if (std::string(provider) == "passive_rep") {
+      config.add(Side::kClient, "passive_rep");
+    }
+    config.add(Side::kServer, provider);
+    VerifyResult r = verify_composition(config);
+    EXPECT_TRUE(r.ok()) << provider << ":\n" << r.text();
+  }
+}
+
+TEST_F(VerifyTest, SampleCompositionIsClean) {
+  QosConfig config = QosConfig::parse(
+      "client: active_rep, majority_vote\n"
+      "server: total_order, dedup\n");
+  VerifyResult r = verify_composition(config);
+  EXPECT_TRUE(r.ok()) << r.text();
+}
+
+// --- traits ------------------------------------------------------------------
+
+TEST_F(VerifyTest, TraitsDerivedFromManifests) {
+  QosConfig total;
+  total.add(Side::kClient, "active_rep")
+      .add(Side::kServer, "total_order")
+      .add(Side::kServer, "dedup");
+  CompositionTraits t = composition_traits(total);
+  EXPECT_TRUE(t.total_order);
+  EXPECT_TRUE(t.at_most_once);
+  EXPECT_TRUE(t.replicated);
+  EXPECT_FALSE(t.loss_tolerant);
+
+  QosConfig plain;
+  plain.add(Side::kServer, "dedup");
+  t = composition_traits(plain);
+  EXPECT_FALSE(t.total_order);
+  EXPECT_TRUE(t.at_most_once);
+  EXPECT_FALSE(t.replicated);
+  EXPECT_TRUE(t.loss_tolerant);
+}
+
+TEST_F(VerifyTest, EveryRegisteredSoakCompositionVerifies) {
+  for (const std::string& name : soak::soak_configs()) {
+    QosConfig config = soak::soak_qos_config(name);
+    VerifyResult r = verify_composition(config);
+    EXPECT_TRUE(r.ok()) << name << ":\n" << r.text();
+  }
+}
+
+TEST_F(VerifyTest, SoakProfileGatingFollowsDerivedTraits) {
+  // The total-order soak config must exclude exactly the loss-type
+  // profiles; every loss-tolerant config runs the full matrix.
+  auto total = soak::soak_profiles_for("active-total");
+  for (const char* excluded : {"backup-churn", "partition-flap", "drop-storm"}) {
+    EXPECT_EQ(std::find(total.begin(), total.end(), excluded), total.end())
+        << excluded;
+  }
+  EXPECT_EQ(total.size(), soak::soak_profiles().size() - 3);
+  EXPECT_EQ(soak::soak_profiles_for("passive-rep").size(),
+            soak::soak_profiles().size());
+}
+
+// --- builder integration -----------------------------------------------------
+
+class BuilderVerifyTest : public VerifyTest {
+ protected:
+  BuilderVerifyTest()
+      : net_(net::NetConfig{}),
+        registry_(net_, "nameserver"),
+        server_platform_(net_, "server0", rmi_config()),
+        client_platform_(net_, "client0", rmi_config()) {}
+
+  static rmi::RmiConfig rmi_config() {
+    rmi::RmiConfig cfg;
+    cfg.registry_host = "nameserver";
+    return cfg;
+  }
+
+  net::SimNetwork net_;
+  rmi::Registry registry_;
+  rmi::RmiRuntime server_platform_;
+  rmi::RmiRuntime client_platform_;
+};
+
+TEST_F(BuilderVerifyTest, ClientBuildFailsFastOnVerifierError) {
+  try {
+    QosEndpoint::client(client_platform_, "BankAccount")
+        .qos({{"first_success"}})  // requires active_rep
+        .build();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("failed composition verification"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("[requires]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(BuilderVerifyTest, ServerBuildFailsFastOnVerifierError) {
+  auto servant = std::make_shared<sim::BankAccountServant>();
+  try {
+    QosEndpoint::server(server_platform_, servant, "BankAccount")
+        .qos({{"access_control"}})  // missing required 'allow'
+        .build();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("[missing-config-key]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(BuilderVerifyTest, EscapeHatchSkipsVerification) {
+  // verify(false) builds the empty-ACL server the verifier would reject —
+  // the deliberate opt-out for experimental stacks.
+  auto servant = std::make_shared<sim::BankAccountServant>();
+  auto server = QosEndpoint::server(server_platform_, servant, "BankAccount")
+                    .qos({{"access_control"}})
+                    .verify(false)
+                    .build();
+  EXPECT_NE(server, nullptr);
+}
+
+TEST_F(BuilderVerifyTest, DuplicatesRejectedEvenWithVerifyOff) {
+  try {
+    QosEndpoint::client(client_platform_, "BankAccount")
+        .qos({{"retransmit"}, {"retransmit"}})
+        .verify(false)
+        .build();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("duplicate micro-protocol 'retransmit'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(BuilderVerifyTest, CleanStackBuildsWithVerificationOn) {
+  auto servant = std::make_shared<sim::BankAccountServant>();
+  auto server = QosEndpoint::server(server_platform_, servant, "BankAccount")
+                    .qos({{"dedup"}})
+                    .build();
+  auto client = QosEndpoint::client(client_platform_, "BankAccount")
+                    .qos({{"retransmit"}})
+                    .build();
+  EXPECT_NE(server, nullptr);
+  EXPECT_NE(client, nullptr);
+}
+
+}  // namespace
+}  // namespace cqos

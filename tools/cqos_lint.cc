@@ -19,6 +19,16 @@
 //      code (timed wait(ms(...)) overloads are allowed).
 //   4. cfg-factories  — every protocol named in examples/sample.cfg must
 //      map to a factory registered for that side in src/micro/standard.cc.
+//   5. manifest-sync  — every class that defines
+//      init(cactus::CompositeProtocol&) must define a manifest() in the same
+//      file; every event the source binds/raises (statically nameable) must
+//      be declared in the manifest via .binds()/.raises(); every event the
+//      manifest declares must still be mentioned somewhere in the class's
+//      method bodies (stale entries are drift too); and every reg.add()
+//      in src/micro/standard.cc must pass a manifest. This pins the effect
+//      models the composition verifier (cqos/verify.h) analyzes to what the
+//      handlers actually do — drift is a build failure, not a latent
+//      misanalysis.
 //
 // Usage: cqos_lint --root <repo_root> [--micro <dir>] [--cfg <file>]
 //   --micro / --cfg default to src/micro and examples/sample.cfg under
@@ -29,6 +39,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -431,6 +442,252 @@ void check_cfg(const fs::path& cfg_path, const Registry& reg) {
   flush(ln);
 }
 
+// ---------------------------------------------------------------------------
+// Rule 5: manifest-sync.
+// ---------------------------------------------------------------------------
+struct MethodDef {
+  std::string method;
+  std::string params;  // text inside the parameter parens
+  std::string body;    // text inside the outer braces
+  int line;
+};
+
+/// Walk a brace-balanced body starting at `open` ('{'); returns one past the
+/// matching close brace, or npos. Braces inside string literals are skipped.
+std::size_t body_end(const std::string& s, std::size_t open) {
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Qualified method definitions (`X::method(params) ... { body }`) grouped
+/// by class name. A definition is distinguished from a call by what follows
+/// the balanced parameter list: '{' (possibly after const/noexcept/override)
+/// or — for constructors only (X::X) — an initializer list.
+std::map<std::string, std::vector<MethodDef>> parse_method_defs(
+    const FlatText& f) {
+  std::map<std::string, std::vector<MethodDef>> defs;
+  const std::string& s = f.text;
+  std::size_t pos = 0;
+  while ((pos = s.find("::", pos)) != std::string::npos) {
+    std::size_t sep = pos;
+    pos += 2;
+    // Identifier before '::' — skip multi-level qualifications (std::…::)
+    // by requiring the class name not itself be preceded by '::'.
+    std::size_t cb = sep;
+    while (cb > 0 && is_identifier_char(s[cb - 1])) --cb;
+    if (cb == sep || (cb >= 2 && s[cb - 1] == ':' && s[cb - 2] == ':')) {
+      continue;
+    }
+    std::string cls = s.substr(cb, sep - cb);
+    // Identifier after '::', immediately followed by '('.
+    std::size_t me = sep + 2;
+    while (me < s.size() && is_identifier_char(s[me])) ++me;
+    if (me == sep + 2 || me >= s.size() || s[me] != '(') continue;
+    std::string method = s.substr(sep + 2, me - sep - 2);
+    // Balanced parameter list.
+    int depth = 0;
+    bool in_str = false;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = me; i < s.size(); ++i) {
+      char c = s[i];
+      if (in_str) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_str = false;
+        continue;
+      }
+      if (c == '"') in_str = true;
+      else if (c == '(') ++depth;
+      else if (c == ')' && --depth == 0) { close = i; break; }
+    }
+    if (close == std::string::npos) continue;
+    std::string params = s.substr(me + 1, close - me - 1);
+    // What follows decides: definition body, ctor initializer list, or a
+    // mere call (rejected).
+    std::size_t after = close + 1;
+    for (;;) {
+      while (after < s.size() && s[after] == ' ') ++after;
+      bool skipped = false;
+      for (const char* kw : {"const", "noexcept", "override"}) {
+        std::size_t n = std::strlen(kw);
+        if (s.compare(after, n, kw) == 0 &&
+            (after + n >= s.size() || !is_identifier_char(s[after + n]))) {
+          after += n;
+          skipped = true;
+          break;
+        }
+      }
+      if (!skipped) break;
+    }
+    std::size_t open = std::string::npos;
+    if (after < s.size() && s[after] == '{') {
+      open = after;
+    } else if (after < s.size() && s[after] == ':' && cls == method) {
+      // Constructor initializer list: scan to the body's '{' outside parens.
+      int pd = 0;
+      for (std::size_t i = after + 1; i < s.size(); ++i) {
+        char c = s[i];
+        if (c == '(') ++pd;
+        else if (c == ')') --pd;
+        else if (c == '{' && pd == 0) { open = i; break; }
+        else if (c == ';' && pd == 0) break;
+      }
+    }
+    if (open == std::string::npos) continue;
+    std::size_t end = body_end(s, open);
+    if (end == std::string::npos) continue;
+    MethodDef def;
+    def.method = method;
+    def.params = params;
+    def.body = s.substr(open + 1, end - open - 2);
+    def.line = line_at(f, cb);
+    defs[cls].push_back(std::move(def));
+    pos = end;
+  }
+  return defs;
+}
+
+/// Statically nameable event expression of a bind/raise call site: the
+/// literal or ev::k symbol text, or "" when the name is computed (ternary,
+/// variable) or a control event (ev::ctl(...) — runtime-anchored, exempt).
+std::string nameable_event(const std::string& arg) {
+  if (!literal_of(arg).empty()) return arg;
+  if (arg.rfind("ev::ctl(", 0) == 0) return "";
+  if (arg.rfind("ev::k", 0) == 0 &&
+      std::all_of(arg.begin() + 4, arg.end(), is_identifier_char)) {
+    return arg;
+  }
+  return "";
+}
+
+/// Collect the event arguments of `.binds(...)` / `.raises(...)` chains in a
+/// manifest() body.
+std::set<std::string> manifest_decls(const std::string& body,
+                                     const std::string& needle) {
+  std::set<std::string> out;
+  for (std::size_t pos : find_calls(body, needle)) {
+    std::string arg = first_arg(body, pos + needle.size() - 1);
+    if (!arg.empty()) out.insert(arg);
+  }
+  return out;
+}
+
+void check_manifest_sync(const std::string& fname, const FlatText& f) {
+  for (const auto& [cls, methods] : parse_method_defs(f)) {
+    const MethodDef* init = nullptr;
+    const MethodDef* manifest = nullptr;
+    for (const MethodDef& m : methods) {
+      if (m.method == "init" &&
+          m.params.find("cactus::CompositeProtocol") != std::string::npos) {
+        init = &m;
+      }
+      if (m.method == "manifest") manifest = &m;
+    }
+    if (init == nullptr) continue;  // not a micro-protocol class
+    if (manifest == nullptr) {
+      fail(fname + ":" + std::to_string(init->line), "manifest-sync",
+           cls + " defines init(cactus::CompositeProtocol&) but no "
+                 "manifest() in this file — every micro-protocol must "
+                 "publish its effect model for the composition verifier");
+      continue;
+    }
+
+    // The class's behavior, excluding the manifest body itself (else the
+    // staleness check below would be vacuously satisfied).
+    std::string behavior;
+    for (const MethodDef& m : methods) {
+      if (&m != manifest) behavior += m.body + "\n";
+    }
+    std::set<std::string> binds = manifest_decls(manifest->body, ".binds(");
+    std::set<std::string> raises = manifest_decls(manifest->body, ".raises(");
+
+    // Direction 1: what the source does, the manifest must declare.
+    auto require_declared = [&](const std::string& needle, bool is_bind) {
+      for (std::size_t pos : find_calls(behavior, needle)) {
+        std::size_t open = pos + needle.size() - 1;
+        std::string arg;
+        if (needle.find("bind_tracked") != std::string::npos) {
+          std::size_t comma = behavior.find(',', open);
+          if (comma == std::string::npos) continue;
+          arg = first_arg("(" + behavior.substr(comma + 1), 0);
+        } else {
+          arg = first_arg(behavior, open);
+        }
+        std::string event = nameable_event(arg);
+        if (event.empty()) continue;
+        const std::set<std::string>& declared = is_bind ? binds : raises;
+        if (!declared.count(event)) {
+          fail(fname, "manifest-sync",
+               cls + (is_bind ? " binds " : " raises ") + event +
+                   " but its manifest() does not declare it via " +
+                   (is_bind ? ".binds()" : ".raises()") + " — manifest drift");
+        }
+      }
+    };
+    require_declared("bind_tracked(", /*is_bind=*/true);
+    require_declared("raise(", /*is_bind=*/false);
+    require_declared("raise_async(", /*is_bind=*/false);
+    require_declared("raise_delayed(", /*is_bind=*/false);
+
+    // Direction 2: what the manifest declares, the source must mention.
+    auto require_mentioned = [&](const std::set<std::string>& declared,
+                                 const char* what) {
+      for (const std::string& event : declared) {
+        if (behavior.find(event) == std::string::npos) {
+          fail(fname + ":" + std::to_string(manifest->line), "manifest-sync",
+               cls + "'s manifest() declares " + std::string(what) + " " +
+                   event + " but no method of " + cls +
+                   " mentions it — stale manifest entry");
+        }
+      }
+    };
+    require_mentioned(binds, "bind of");
+    require_mentioned(raises, "raise of");
+  }
+}
+
+/// Every factory registration in standard.cc must carry a manifest: an
+/// add() without one makes the protocol opaque to the verifier, silently
+/// weakening every composition it appears in.
+void check_registry_manifests(const fs::path& standard_cc) {
+  FlatText f = flatten(strip_comments(read_file(standard_cc)));
+  std::size_t pos = 0;
+  while ((pos = f.text.find("reg.add(", pos)) != std::string::npos) {
+    std::size_t open = pos + 7;
+    int depth = 0;
+    std::size_t close = open;
+    for (std::size_t i = open; i < f.text.size(); ++i) {
+      char c = f.text[i];
+      if (c == '(') ++depth;
+      else if (c == ')' && --depth == 0) { close = i; break; }
+    }
+    std::string call = f.text.substr(open, close - open + 1);
+    if (call.find("manifest()") == std::string::npos) {
+      std::size_t q1 = call.find('"');
+      std::size_t q2 = q1 == std::string::npos ? q1 : call.find('"', q1 + 1);
+      std::string name = q2 == std::string::npos
+                             ? "?"
+                             : call.substr(q1 + 1, q2 - q1 - 1);
+      fail(standard_cc.string() + ":" + std::to_string(line_at(f, pos)),
+           "manifest-sync",
+           "registration of '" + name + "' does not pass a manifest — "
+           "use reg.add(side, name, factory, Class::manifest())");
+    }
+    pos = close;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -485,11 +742,13 @@ int main(int argc, char** argv) {
     std::string fname = p.string();
     check_bind_discipline(fname, f);
     check_no_blocking_wait(fname, f);
+    check_manifest_sync(fname, f);
     collect_events(fname, f, corpus);
   }
 
   check_events(corpus, vocab);
   check_cfg(cfg_path, parse_registry(root / "src" / "micro" / "standard.cc"));
+  check_registry_manifests(root / "src" / "micro" / "standard.cc");
 
   if (g_errors > 0) {
     std::cerr << "cqos_lint: " << g_errors << " violation(s)\n";

@@ -1,0 +1,150 @@
+// cqos_verify: static composition verifier CLI.
+//
+// Where cqos_config instantiates factories and applies coarse pairing rules,
+// cqos_verify analyzes compositions WITHOUT constructing them, purely from
+// the MicroManifest effect models (cqos/verify.h): event-flow graph rules
+// (dangling raises, unreachable handlers), piggyback write conflicts,
+// same-stack constraints, client/server asymmetry, and config-key checks.
+//
+// Usage:
+//   cqos_verify --config <file> [--report]
+//       Verify one configuration file.
+//   cqos_verify --all --root <repo> [--report]
+//       Verify every registered composition: examples/sample.cfg plus every
+//       chaos-soak config, and enumerate the soak profile matrix with its
+//       manifest-derived gating.
+//
+// Exit codes: 0 all verified, 1 verifier errors, 2 usage/IO.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "cqos/config.h"
+#include "cqos/verify.h"
+#include "micro/standard.h"
+#include "soak/soak.h"
+
+namespace {
+
+struct Options {
+  bool all = false;
+  bool report = false;
+  std::string config_file;
+  std::string root = ".";
+};
+
+int usage() {
+  std::cerr << "usage: cqos_verify --config <file> [--report]\n"
+               "       cqos_verify --all --root <repo> [--report]\n";
+  return 2;
+}
+
+/// Verify one named composition; print its diagnostics and (optionally) the
+/// event-flow report. Returns the number of errors.
+std::size_t verify_one(const std::string& label, const cqos::QosConfig& config,
+                       bool report) {
+  cqos::VerifyResult result = cqos::verify_composition(config);
+  const std::size_t errors = result.errors().size();
+  std::cout << (errors == 0 ? "PASS " : "FAIL ") << label;
+  if (!result.issues.empty()) {
+    std::cout << " (" << errors << " error(s), " << result.warnings().size()
+              << " warning(s))";
+  }
+  std::cout << "\n";
+  for (const auto& issue : result.issues) {
+    std::cout << "  " << issue.text() << "\n";
+  }
+  if (report) {
+    std::istringstream lines(cqos::event_flow_report(config));
+    for (std::string line; std::getline(lines, line);) {
+      std::cout << "    " << line << "\n";
+    }
+  }
+  return errors;
+}
+
+cqos::QosConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw cqos::ConfigError("cannot open " + path);
+  std::ostringstream source;
+  source << in.rdbuf();
+  return cqos::QosConfig::parse(source.str());
+}
+
+/// --all: every composition this repository registers anywhere.
+std::size_t verify_all(const Options& opts) {
+  std::size_t errors = 0;
+
+  // The example configuration shipped with the repo.
+  const std::string sample = opts.root + "/examples/sample.cfg";
+  errors += verify_one("examples/sample.cfg", load_config(sample),
+                       opts.report);
+
+  // Every chaos-soak composition, plus the profile matrix its manifests
+  // derive. The gating line makes drift visible in CI logs: a manifest
+  // change that flips a config's loss tolerance shows up as a changed
+  // profile list, not as a silent soak-matrix reshuffle.
+  for (const std::string& name : cqos::soak::soak_configs()) {
+    cqos::QosConfig config = cqos::soak::soak_qos_config(name);
+    errors += verify_one("soak/" + name, config, opts.report);
+    cqos::CompositionTraits traits = cqos::composition_traits(config);
+    std::cout << "  traits: total-order=" << traits.total_order
+              << " at-most-once=" << traits.at_most_once
+              << " replicated=" << traits.replicated
+              << " loss-tolerant=" << traits.loss_tolerant << "\n";
+    std::cout << "  profiles:";
+    for (const std::string& p : cqos::soak::soak_profiles_for(name)) {
+      std::cout << " " << p;
+    }
+    std::cout << "\n";
+  }
+
+  const std::size_t total = cqos::soak::soak_profiles().size();
+  std::cout << "profile matrix: " << cqos::soak::soak_configs().size()
+            << " configs x " << total << " profiles (gated per traits)\n";
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--all") {
+      opts.all = true;
+    } else if (arg == "--report") {
+      opts.report = true;
+    } else if (arg == "--config" && i + 1 < argc) {
+      opts.config_file = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (opts.all == !opts.config_file.empty()) return usage();
+
+  cqos::micro::register_standard_micro_protocols();
+  try {
+    std::size_t errors = 0;
+    if (opts.all) {
+      errors = verify_all(opts);
+    } else {
+      errors = verify_one(opts.config_file, load_config(opts.config_file),
+                          opts.report);
+    }
+    if (errors > 0) {
+      std::cout << "INVALID (" << errors << " error(s))\n";
+      return 1;
+    }
+    std::cout << "OK\n";
+    return 0;
+  } catch (const cqos::Error& e) {
+    std::cerr << "cqos_verify: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -13,3 +13,10 @@ void GoodProtocol::shutdown() {
   stopped_.store(true);
   MicroBase::shutdown();
 }
+
+MicroManifest GoodProtocol::manifest() {
+  return MicroManifest("good_protocol", Side::kClient)
+      .binds(ev::kNewRequest)
+      .binds("good:internal")
+      .raises("good:internal");
+}

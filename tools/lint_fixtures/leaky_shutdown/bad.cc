@@ -10,3 +10,8 @@ void BadProtocol::shutdown() {
   stopped_.store(true);
   // Missing: unbind_all() / MicroBase::shutdown().
 }
+
+MicroManifest BadProtocol::manifest() {
+  return MicroManifest("bad_protocol", Side::kClient)
+      .binds(ev::kNewRequest);
+}

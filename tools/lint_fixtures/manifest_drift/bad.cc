@@ -1,0 +1,20 @@
+// Lint self-test fixture: the source binds an event ("md:extra") that the
+// manifest() fails to declare — the effect model has drifted from the code,
+// so the composition verifier would misanalyze every stack containing this
+// protocol. Must trip 'manifest-sync'. Not compiled — only scanned by
+// cqos_lint.
+void BadProtocol::init(cactus::CompositeProtocol& proto) {
+  bind_tracked(proto, ev::kNewRequest, "bad.entry",
+               [](cactus::EventContext& ctx) {
+                 ctx.protocol().raise("md:extra", std::any{});
+               });
+  bind_tracked(proto, "md:extra", "bad.extra",
+               [](cactus::EventContext& ctx) { (void)ctx; });
+}
+
+MicroManifest BadProtocol::manifest() {
+  // Drift: the bind of "md:extra" above is not declared here.
+  return MicroManifest("bad_protocol", Side::kClient)
+      .binds(ev::kNewRequest)
+      .raises("md:extra");
+}

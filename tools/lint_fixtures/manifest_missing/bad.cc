@@ -1,0 +1,12 @@
+// Lint self-test fixture: a micro-protocol class that defines
+// init(cactus::CompositeProtocol&) without publishing a manifest(), so the
+// composition verifier would treat it as opaque. Must trip 'manifest-sync'.
+// Not compiled — only scanned by cqos_lint.
+void BadProtocol::init(cactus::CompositeProtocol& proto) {
+  bind_tracked(proto, ev::kNewRequest, "bad.entry",
+               [](cactus::EventContext& ctx) {
+                 ctx.protocol().raise("mm:internal", std::any{});
+               });
+  bind_tracked(proto, "mm:internal", "bad.internal",
+               [](cactus::EventContext& ctx) { (void)ctx; });
+}
