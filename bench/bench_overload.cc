@@ -1,0 +1,221 @@
+// Two-class overload benchmark: traffic-class scheduling + admission control.
+//
+// The tables measure the clean-path price of configurability; this bench
+// measures what the overload-protection stack buys when best-effort demand
+// exceeds capacity. One deployment, three measured rows:
+//
+//   high/uncontended — the high-priority client alone (baseline p99)
+//   high/overload    — the same client while closed-loop best-effort
+//                      clients offer several times the best-effort capacity
+//   low/overload     — the surviving best-effort calls (the ones admitted)
+//
+// The claim under test (ISSUE 7 acceptance): with per-class WRR dispatch
+// queues, an admission bound with a high-priority reserve, and deadline
+// piggybacking in place, high-priority p99 stays within 2x its uncontended
+// value while the best-effort overflow is REJECTED immediately (the
+// cqos.overload-rejected marker) instead of collapsing into timeouts.
+//
+// Emits BENCH_overload.json (validated by tools/bench_smoke.sh).
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "platform/api.h"
+
+namespace cqos::bench {
+namespace {
+
+// Deployment shape. Best-effort capacity is max_pending - reserve = 2
+// concurrent requests; kLowClients closed-loop clients offer 8x that.
+constexpr int kPlatformThreads = 16;
+constexpr int kMaxPending = 8;
+constexpr int kReserve = 6;
+constexpr int kLowClients = 16;
+const auto kServiceTime = ms(2);
+
+/// Fixed service time per call so "capacity" is well defined.
+class FixedWorkServant : public Servant {
+ public:
+  Value dispatch(const std::string&, const ValueList&) override {
+    std::this_thread::sleep_for(kServiceTime);
+    return Value(true);
+  }
+};
+
+struct LowSideTally {
+  std::mutex mu;
+  LatencyRecorder ok;   // latency of successful best-effort calls
+  long rejected = 0;    // cqos.overload-rejected fast failures
+  long deadline = 0;    // cqos.deadline-exceeded sheds
+  long timeouts = 0;    // the failure mode the stack must prevent
+  long other = 0;
+};
+
+/// One measured high-priority pass: `calls` sequential invocations.
+LatencyRecorder run_high(sim::ClientHandle& client, int calls) {
+  LatencyRecorder lat;
+  for (int i = 0; i < calls; ++i) {
+    TimePoint t0 = now();
+    client.call("work", {Value(i)});
+    lat.add(to_ms(now() - t0));
+  }
+  return lat;
+}
+
+JsonRow make_row(const char* label, const char* cls,
+                 const LatencyRecorder& lat) {
+  JsonRow row;
+  row.platform = "Java RMI";
+  row.label = label;
+  row.servers = 1;
+  row.mean_ms = lat.mean();
+  row.p50_ms = lat.percentile(50);
+  row.p99_ms = lat.percentile(99);
+  row.cov_pct = lat.cov_pct();
+  row.cls = cls;
+  return row;
+}
+
+}  // namespace
+}  // namespace cqos::bench
+
+int main() {
+  using namespace cqos;
+  using namespace cqos::bench;
+
+  const int calls = bench_pairs();
+  const int warmup = bench_warmup();
+  global_warmup();
+
+  sim::ClusterOptions opts;
+  opts.platform = sim::PlatformKind::kRmi;
+  opts.num_replicas = 1;
+  opts.net = bench_net();
+  opts.request_timeout = ms(8000);
+  opts.platform_threads = kPlatformThreads;
+  // Dispatch seam: WRR classes keyed off the piggybacked cq.prio, with a
+  // bounded best-effort queue so dispatch overflow is bounced pre-worker.
+  opts.platform_classes = {
+      cactus::TrafficClass{"high", 6, 4, 0},
+      cactus::TrafficClass{"low", 0, 1, 16},
+  };
+  opts.qos.add(Side::kServer, "priority_sched")
+      .add(Side::kServer, "admission",
+           {{"max_pending", std::to_string(kMaxPending)},
+            {"reserve", std::to_string(kReserve)}});
+  opts.servant_factory = [] { return std::make_shared<FixedWorkServant>(); };
+  sim::Cluster cluster(opts);
+
+  CqosStub::Options high_opts;
+  high_opts.priority = 9;
+  auto high_client = cluster.make_client(high_opts);
+
+  // Best-effort clients carry a deadline budget so any call that is already
+  // late by the time a worker would run it is shed, not executed.
+  std::vector<MicroProtocolSpec> low_specs{{"deadline", {{"budget_ms", "2000"}}}};
+  CqosStub::Options low_opts;
+  low_opts.priority = 2;
+  std::vector<std::unique_ptr<sim::ClientHandle>> low_clients;
+  for (int i = 0; i < kLowClients; ++i) {
+    low_clients.push_back(cluster.make_client(low_opts, &low_specs));
+  }
+
+  // --- Phase 1: uncontended high-priority baseline -------------------------
+  run_high(*high_client, warmup);
+  LatencyRecorder uncontended = run_high(*high_client, calls);
+
+  // --- Phase 2: overload — closed-loop best-effort demand ------------------
+  LowSideTally tally;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> low_threads;
+  for (auto& low : low_clients) {
+    low_threads.emplace_back([&tally, &stop, client = low.get()] {
+      int i = 0;
+      while (!stop.load()) {
+        TimePoint t0 = now();
+        try {
+          client->call("work", {Value(i++)});
+          double elapsed = to_ms(now() - t0);
+          std::scoped_lock lk(tally.mu);
+          tally.ok.add(elapsed);
+        } catch (const InvocationError& e) {
+          std::scoped_lock lk(tally.mu);
+          if (status::is_overload_rejected(e.what())) {
+            ++tally.rejected;
+          } else if (status::is_deadline_exceeded(e.what())) {
+            ++tally.deadline;
+          } else if (std::string_view(e.what()).find("timed out") !=
+                     std::string_view::npos) {
+            ++tally.timeouts;
+          } else {
+            ++tally.other;
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(ms(100));  // overload reaches steady state
+  run_high(*high_client, warmup);
+  LatencyRecorder overload_high = run_high(*high_client, calls);
+  stop.store(true);
+  for (auto& t : low_threads) t.join();
+
+  // --- Report ---------------------------------------------------------------
+  LatencyRecorder low_ok;
+  long rejected, deadline, timeouts, other;
+  {
+    std::scoped_lock lk(tally.mu);
+    low_ok = tally.ok;
+    rejected = tally.rejected;
+    deadline = tally.deadline;
+    timeouts = tally.timeouts;
+    other = tally.other;
+  }
+
+  double ratio = uncontended.percentile(99) == 0
+                     ? 0.0
+                     : overload_high.percentile(99) / uncontended.percentile(99);
+  std::printf("\nTwo-class overload (%d best-effort clients, capacity %d)\n",
+              kLowClients, kMaxPending - kReserve);
+  std::printf("%-20s %9s %9s %9s\n", "Row", "mean", "p50", "p99");
+  std::printf("%-20s %9.3f %9.3f %9.3f\n", "high/uncontended",
+              uncontended.mean(), uncontended.percentile(50),
+              uncontended.percentile(99));
+  std::printf("%-20s %9.3f %9.3f %9.3f\n", "high/overload",
+              overload_high.mean(), overload_high.percentile(50),
+              overload_high.percentile(99));
+  std::printf("%-20s %9.3f %9.3f %9.3f\n", "low/overload (ok)", low_ok.mean(),
+              low_ok.percentile(50), low_ok.percentile(99));
+  std::printf("high p99 overload/uncontended: %.2fx (acceptance: <= 2x)\n",
+              ratio);
+  std::printf(
+      "best-effort outcomes: %zu ok, %ld rejected, %ld deadline-shed, "
+      "%ld timeouts, %ld other\n",
+      low_ok.count(), rejected, deadline, timeouts, other);
+
+  JsonReport report("overload", calls);
+  report.add_row(make_row("uncontended", "high", uncontended));
+  report.add_row(make_row("overload", "high", overload_high));
+  report.add_row(make_row("overload", "low", low_ok));
+  if (!report.write()) return 1;
+
+  // The bench doubles as the acceptance harness: overflow must be shed via
+  // backpressure (rejections, zero timeouts) and the high class protected.
+  bool ok = true;
+  if (rejected <= 0) {
+    std::fprintf(stderr, "FAIL: no overload rejections recorded\n");
+    ok = false;
+  }
+  if (timeouts > 0) {
+    std::fprintf(stderr, "FAIL: %ld best-effort calls timed out\n", timeouts);
+    ok = false;
+  }
+  if (ratio > 2.0) {
+    std::fprintf(stderr, "FAIL: high-priority p99 degraded %.2fx\n", ratio);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -3,14 +3,20 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/priority.h"
 
 namespace cqos::cactus {
 
 CompositeProtocol::CompositeProtocol(Options opts) : opts_(std::move(opts)) {
   if (opts_.use_thread_pool) {
-    pool_ = std::make_unique<PriorityThreadPool>(opts_.pool_threads,
-                                                 opts_.name + "-pool");
+    if (opts_.pool_classes.empty()) {
+      pool_ = std::make_unique<PriorityThreadPool>(opts_.pool_threads,
+                                                   opts_.name + "-pool");
+    } else {
+      pool_ = std::make_unique<PriorityThreadPool>(
+          opts_.pool_threads, opts_.pool_classes, opts_.name + "-pool");
+    }
   }
 }
 
@@ -133,9 +139,22 @@ void CompositeProtocol::raise_async(std::string_view event, std::any dyn,
   if (binding_count(event) == 0) return;
   if (priority == kInheritPriority) priority = current_thread_priority();
   std::string name(event);
-  auto task = [this, name, dyn = std::move(dyn)] { run_activation(name, dyn); };
+  // dyn is captured by copy (cheap: it usually holds a shared_ptr) so the
+  // drop path below can still hand the subject to on_async_drop after the
+  // task — which owns the other copy — was consumed by try_submit.
+  auto task = [this, name, dyn] { run_activation(name, dyn); };
   if (pool_) {
-    pool_->submit(priority, std::move(task));
+    SubmitResult r = pool_->try_submit(priority, std::move(task));
+    if (r != SubmitResult::kAccepted) {
+      // A silently dropped activation is how clients end up hanging until
+      // their timeout: count it and let the owner fail the subject.
+      metrics::Registry::global().counter("cactus.pool.async_dropped").inc();
+      CQOS_LOG_WARN(opts_.name, ": async raise '", name,
+                    "' dropped (pool ",
+                    r == SubmitResult::kShutdown ? "shut down" : "rejected",
+                    ")");
+      if (opts_.on_async_drop) opts_.on_async_drop(name, dyn);
+    }
     return;
   }
   // Unoptimized thread-per-event mode (ablation baseline).

@@ -147,6 +147,14 @@ class CompositeProtocol {
     /// instead of using the pool (the unoptimized mode measured by
     /// bench_ablation_threadpool).
     bool use_thread_pool = true;
+    /// Non-empty: the runtime pool runs in traffic-class mode (per-class
+    /// bounded FIFO queues, weighted round robin across classes).
+    std::vector<TrafficClass> pool_classes;
+    /// Called when an asynchronous raise could not be enqueued (pool
+    /// rejected the task or is shutting down) — the owner gets a chance to
+    /// fail the activation's subject instead of leaving a caller hanging.
+    std::function<void(std::string_view event, const std::any& dyn)>
+        on_async_drop;
   };
 
   CompositeProtocol() : CompositeProtocol(Options{}) {}

@@ -6,15 +6,26 @@
 // implemented (the per-event mode lives in CompositeProtocol) so the
 // bench_ablation_threadpool harness can quantify the difference.
 //
-// Each task carries a logical priority. Workers pop the highest-priority
-// pending task (FIFO within a priority) and run it with the thread-local
-// priority set accordingly, preserving the paper's guarantee that handlers
-// run at the priority of the raising thread unless overridden.
+// Each task carries a logical priority. Two scheduling modes:
+//
+//   legacy (no traffic classes configured): workers pop the highest-priority
+//   pending task (FIFO within a priority) and run it with the thread-local
+//   priority set accordingly, preserving the paper's guarantee that handlers
+//   run at the priority of the raising thread unless overridden.
+//
+//   traffic-class (one or more TrafficClass specs): tasks are mapped to the
+//   first class (descending min_priority order) whose min_priority the task
+//   priority reaches; each class has its own bounded FIFO queue and workers
+//   drain the queues weighted-round-robin by class weight. A full bounded
+//   queue rejects at submit time (SubmitResult::kRejected) instead of
+//   queueing unboundedly — the overload-protection seam the admission layer
+//   and the platform dispatchers build on.
 //
 // Shutdown contract (drain-then-join, deterministic):
-//   - every task accepted by submit() (it returned true) is RUN before
+//   - every task accepted by submit()/try_submit() (kAccepted) is RUN before
 //     shutdown() returns; tasks are never dropped;
-//   - submit() after shutdown() began returns false and the task never runs;
+//   - submit() after shutdown() began returns false (kShutdown) and the task
+//     never runs;
 //   - shutdown() returns only once all workers have exited, including when
 //     several threads race to call it — late callers block until the join
 //     completes rather than returning early;
@@ -22,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
 #include <string>
@@ -31,25 +43,63 @@
 #include "common/sync.h"
 #include "common/thread_annotations.h"
 
+namespace cqos::metrics {
+class Counter;
+}  // namespace cqos::metrics
+
 namespace cqos::cactus {
+
+/// One scheduling class of a traffic-class pool. Tasks with
+/// priority >= min_priority (and not claimed by a higher class) land in this
+/// class's FIFO queue; workers visit classes weighted-round-robin, taking up
+/// to `weight` tasks per visit while other classes are backlogged.
+struct TrafficClass {
+  std::string name;        // metrics label ("high", "best_effort", ...)
+  int min_priority = 0;    // lowest task priority mapped to this class
+  int weight = 1;          // WRR share while contended (>= 1)
+  std::size_t max_queue = 0;  // bounded queue depth; 0 = unbounded
+};
+
+/// Outcome of try_submit. kRejected is the backpressure signal: the target
+/// class queue is at max_queue and the task was NOT enqueued.
+enum class SubmitResult { kAccepted, kRejected, kShutdown };
 
 class PriorityThreadPool {
  public:
   explicit PriorityThreadPool(int num_threads, std::string name = "cactus");
+  /// Traffic-class mode. Classes may be given in any order; they are kept
+  /// sorted by descending min_priority and the lowest class is the
+  /// catch-all for priorities below every min_priority.
+  PriorityThreadPool(int num_threads, std::vector<TrafficClass> classes,
+                     std::string name = "cactus");
   ~PriorityThreadPool();
 
   PriorityThreadPool(const PriorityThreadPool&) = delete;
   PriorityThreadPool& operator=(const PriorityThreadPool&) = delete;
 
-  /// Enqueue a task at `priority` (larger runs first). Returns false if the
-  /// pool is shut down.
-  bool submit(int priority, std::function<void()> task);
+  /// Enqueue a task at `priority` (larger runs first). Returns kAccepted,
+  /// kRejected (traffic-class mode, target class queue full) or kShutdown.
+  SubmitResult try_submit(int priority, std::function<void()> task);
+
+  /// Compatibility wrapper: true iff the task was accepted. Callers that
+  /// need to distinguish rejection from shutdown use try_submit.
+  bool submit(int priority, std::function<void()> task) {
+    return try_submit(priority, std::move(task)) == SubmitResult::kAccepted;
+  }
 
   /// Stop accepting tasks, finish everything queued, join workers. Safe to
   /// call concurrently; every caller returns only after the workers exited.
   void shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  bool class_mode() const { return !classes_.empty(); }
+  /// Configured classes, descending min_priority (empty in legacy mode).
+  const std::vector<TrafficClass>& classes() const { return classes_; }
+  /// Index of the class a task at `priority` maps to (class mode only).
+  std::size_t class_index_for(int priority) const;
+  /// Current queued depth of class `idx` (class mode only; for tests/bench).
+  std::size_t queue_depth(std::size_t idx) const;
 
  private:
   struct Item {
@@ -64,14 +114,25 @@ class PriorityThreadPool {
     }
   };
 
+  void start_workers(int num_threads);
   void worker_loop();
+  bool pop_next(Item& out) CQOS_REQUIRES(mu_);
+  void advance_wrr() CQOS_REQUIRES(mu_);
 
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar cv_;
   std::priority_queue<Item, std::vector<Item>, ItemLess> queue_
-      CQOS_GUARDED_BY(mu_);
+      CQOS_GUARDED_BY(mu_);  // legacy mode
+  std::vector<std::deque<Item>> class_queues_ CQOS_GUARDED_BY(mu_);
+  std::size_t wrr_idx_ CQOS_GUARDED_BY(mu_) = 0;   // class being served
+  int wrr_credit_ CQOS_GUARDED_BY(mu_) = 0;        // remaining weight share
   std::uint64_t next_seq_ CQOS_GUARDED_BY(mu_) = 0;
   bool shutdown_ CQOS_GUARDED_BY(mu_) = false;
+
+  // Immutable after construction.
+  std::vector<TrafficClass> classes_;  // sorted by descending min_priority
+  std::vector<metrics::Counter*> enqueued_;  // per class, global registry
+  std::vector<metrics::Counter*> rejected_;
 
   // Lock hierarchy: join_mu_ is acquired strictly after mu_ is released —
   // shutdown() never holds both, so there is no inversion with worker_loop.

@@ -5,10 +5,30 @@
 #include "cqos/events.h"
 
 namespace cqos {
+namespace {
+
+// Mirror of the server-side default: a dropped async activation fails its
+// request instead of hanging the caller (composite.cc counts the drop).
+cactus::CompositeProtocol::Options with_drop_handler(
+    cactus::CompositeProtocol::Options o) {
+  if (!o.on_async_drop) {
+    o.on_async_drop = [](std::string_view event, const std::any& dyn) {
+      if (const RequestPtr* req = std::any_cast<RequestPtr>(&dyn)) {
+        (*req)->complete(false, Value(),
+                         "cqos: client runtime dropped '" +
+                             std::string(event) +
+                             "' (pool rejected or shut down)");
+      }
+    };
+  }
+  return o;
+}
+
+}  // namespace
 
 CactusClient::CactusClient(std::unique_ptr<ClientQosInterface> qos,
                            Options opts)
-    : proto_(opts.composite),
+    : proto_(with_drop_handler(std::move(opts.composite))),
       qos_(std::move(qos)),
       request_timeout_(opts.request_timeout) {
   auto holder = proto_.shared().get_or_create<ClientQosHolder>(kClientQosKey);

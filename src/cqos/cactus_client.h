@@ -26,9 +26,13 @@ inline constexpr const char* kClientQosKey = "cqos.client.holder";
 class CactusClient {
  public:
   struct Options {
-    cactus::CompositeProtocol::Options composite{.name = "cactus-client",
-                                                 .pool_threads = 4,
-                                                 .use_thread_pool = true};
+    cactus::CompositeProtocol::Options composite = [] {
+      cactus::CompositeProtocol::Options o;
+      o.name = "cactus-client";
+      o.pool_threads = 4;
+      o.use_thread_pool = true;
+      return o;
+    }();
     /// Upper bound on one request's end-to-end completion.
     Duration request_timeout = ms(3000);
   };

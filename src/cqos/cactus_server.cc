@@ -5,10 +5,32 @@
 #include "cqos/events.h"
 
 namespace cqos {
+namespace {
+
+// Default drop handler: an async activation the runtime pool could not run
+// (rejected or shutting down) must fail its request instead of leaving the
+// waiting skeleton thread — and through it the client — to hang until the
+// timeout. composite.cc already counted the drop (cactus.pool.async_dropped).
+cactus::CompositeProtocol::Options with_drop_handler(
+    cactus::CompositeProtocol::Options o) {
+  if (!o.on_async_drop) {
+    o.on_async_drop = [](std::string_view event, const std::any& dyn) {
+      if (const RequestPtr* req = std::any_cast<RequestPtr>(&dyn)) {
+        (*req)->complete(false, Value(),
+                         "cqos: server runtime dropped '" +
+                             std::string(event) +
+                             "' (pool rejected or shut down)");
+      }
+    };
+  }
+  return o;
+}
+
+}  // namespace
 
 CactusServer::CactusServer(std::unique_ptr<ServerQosInterface> qos,
                            Options opts)
-    : proto_(opts.composite),
+    : proto_(with_drop_handler(std::move(opts.composite))),
       qos_(std::move(qos)),
       process_timeout_(opts.process_timeout) {
   auto holder = proto_.shared().get_or_create<ServerQosHolder>(kServerQosKey);

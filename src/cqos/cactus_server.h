@@ -35,9 +35,13 @@ inline constexpr const char* kServerQosKey = "cqos.server.holder";
 class CactusServer {
  public:
   struct Options {
-    cactus::CompositeProtocol::Options composite{.name = "cactus-server",
-                                                 .pool_threads = 4,
-                                                 .use_thread_pool = true};
+    cactus::CompositeProtocol::Options composite = [] {
+      cactus::CompositeProtocol::Options o;
+      o.name = "cactus-server";
+      o.pool_threads = 4;
+      o.use_thread_pool = true;
+      return o;
+    }();
     /// Upper bound on one request's server-side processing (covers queueing
     /// delays introduced by the scheduling micro-protocols).
     Duration process_timeout = ms(3000);

@@ -209,6 +209,7 @@ void Request::reset(std::string object_id_in, std::string method_in,
   encoded_cache_.reset();
   piggyback.clear();
   forwarded = false;
+  deadline = TimePoint{};
   done_ = false;
   success_ = false;
   result_ = Value();

@@ -55,7 +55,21 @@ inline constexpr const char* kForwarded = "cq.fwd";
 /// request piggyback and echoed back in the reply piggyback so one id
 /// spans stub -> micro-protocols -> skeleton -> reply.
 inline constexpr const char* kTraceId = "cq.trace";
+/// Remaining deadline budget in milliseconds, stamped by the client-side
+/// "deadline" micro-protocol. Relative (not an absolute timestamp) so it is
+/// clock-skew safe: the skeleton anchors it to the request's arrival time.
+inline constexpr const char* kDeadline = "cq.deadline";
+/// Reply-piggyback flow-control status ("overload-rejected",
+/// "deadline-exceeded") set by the admission micro-protocol alongside the
+/// cqos::status error marker, so tooling can key on a structured field.
+inline constexpr const char* kStatus = "cq.status";
 }  // namespace pbkey
+
+/// Values carried under pbkey::kStatus.
+namespace pbstatus {
+inline constexpr const char* kOverloadRejected = "overload-rejected";
+inline constexpr const char* kDeadlineExceeded = "deadline-exceeded";
+}  // namespace pbstatus
 
 class Request {
  public:
@@ -102,6 +116,12 @@ class Request {
   /// Server side: true when this request arrived via replica-to-replica
   /// forwarding (PassiveRep) rather than from a client; no reply is due.
   bool forwarded = false;
+
+  /// Absolute completion deadline, anchored by the skeleton at arrival from
+  /// the relative pbkey::kDeadline budget (default: none). The admission
+  /// micro-protocol sheds requests whose deadline passed before invoke.
+  TimePoint deadline{};
+  bool has_deadline() const { return deadline != TimePoint{}; }
 
   // --- completion (guarded) -------------------------------------------------
 

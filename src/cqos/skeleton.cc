@@ -41,6 +41,13 @@ RequestPtr CqosSkeleton::build_request(const std::string& method,
   if (trace_it != piggyback.end()) {
     req->trace_id = static_cast<std::uint64_t>(trace_it->second.as_i64());
   }
+  // The client stamps a *relative* budget (clock-skew safe); anchor it to
+  // the arrival time so server-side layers can shed already-late work.
+  auto dl_it = piggyback.find(pbkey::kDeadline);
+  if (dl_it != piggyback.end()) {
+    std::int64_t budget_ms = dl_it->second.as_i64();
+    if (budget_ms > 0) req->deadline = now() + ms(budget_ms);
+  }
   req->piggyback = std::move(piggyback);
   return req;
 }

@@ -1,0 +1,127 @@
+#include "micro/admission.h"
+
+#include "platform/api.h"
+
+namespace cqos::micro {
+namespace {
+
+constexpr const char* kCountedFlag = "adm.counted";
+constexpr const char* kRetiredFlag = "adm.retired";
+
+metrics::Counter& rejected_counter(bool high) {
+  static metrics::Counter& high_c =
+      metrics::Registry::global().counter("cqos.admission.rejected.high");
+  static metrics::Counter& low_c =
+      metrics::Registry::global().counter("cqos.admission.rejected.low");
+  return high ? high_c : low_c;
+}
+
+}  // namespace
+
+void Admission::init(cactus::CompositeProtocol& proto) {
+  server_holder(proto);
+  auto state = proto.shared().get_or_create<State>(kStateKey);
+  const int max_pending = max_pending_;
+  const int high_floor = high_floor_;
+  const int reserve = reserve_;
+
+  // admissionGate: first handler of newServerRequest — rejection must cost
+  // nothing (no verify/decrypt/dispatch work for a request we bounce).
+  bind_tracked(proto,
+      ev::kNewServerRequest, "admissionGate",
+      [state, max_pending, high_floor, reserve](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        // Replica-to-replica traffic is bounded at the serving replica; a
+        // forwarded copy must be applied, not bounced.
+        if (req->forwarded) return;
+        const bool high = req->priority >= high_floor;
+        const int limit = high ? max_pending : max_pending - reserve;
+        bool admitted = false;
+        {
+          MutexLock lk(state->mu);
+          if (state->pending < limit) {
+            ++state->pending;
+            admitted = true;
+          }
+        }
+        if (admitted) {
+          req->once(kCountedFlag, [] {});
+          return;
+        }
+        rejected_counter(high).inc();
+        req->merge_reply_piggyback(
+            {{pbkey::kStatus, Value(pbstatus::kOverloadRejected)}});
+        req->complete(false, Value(),
+                      std::string(status::kOverloadRejected) +
+                          ": server at capacity (limit " +
+                          std::to_string(limit) + ")");
+        ctx.halt();
+      },
+      order::kAdmissionGate);
+
+  // deadlineShed: between the priority stamp and the scheduling gate, so
+  // already-late work neither parks in a scheduler queue nor consumes an
+  // ordering sequence number — and is re-checked when a parked request is
+  // released and readyToInvoke is re-raised.
+  bind_tracked(proto,
+      ev::kReadyToInvoke, "deadlineShed",
+      [](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        if (req->forwarded || !req->has_deadline() || req->is_done()) return;
+        if (now() <= req->deadline) return;
+        metrics::Registry::global()
+            .counter("cqos.admission.deadline_shed")
+            .inc();
+        req->merge_reply_piggyback(
+            {{pbkey::kStatus, Value(pbstatus::kDeadlineExceeded)}});
+        req->complete(false, Value(),
+                      std::string(status::kDeadlineExceeded) +
+                          ": deadline passed before invoke");
+        ctx.halt();
+      },
+      order::kDeadlineShed);
+
+  // retireReturned: the runtime raises requestReturned for every terminal
+  // outcome, so this is the one release point; the retired flag makes it
+  // exactly-once even though schedulers may raise extra wakeup activations
+  // of the same event.
+  bind_tracked(proto,
+      ev::kRequestReturned, "retireReturned",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        if (!req->has_flag(kCountedFlag)) return;
+        req->once(kRetiredFlag, [&state] {
+          MutexLock lk(state->mu);
+          --state->pending;
+        });
+      },
+      order::kSchedRetire);
+}
+
+std::unique_ptr<cactus::MicroProtocol> Admission::make(
+    const MicroProtocolSpec& spec) {
+  int max_pending = static_cast<int>(spec.param_int("max_pending", 64));
+  int high = static_cast<int>(spec.param_int("high", kNormalPriority + 1));
+  int reserve = static_cast<int>(spec.param_int("reserve", max_pending / 4));
+  if (max_pending < 1) {
+    throw ConfigError("admission: max_pending must be >= 1");
+  }
+  if (reserve < 0 || reserve >= max_pending) {
+    throw ConfigError("admission: reserve must be in [0, max_pending)");
+  }
+  return std::make_unique<Admission>(max_pending, high, reserve);
+}
+
+MicroManifest Admission::manifest() {
+  return MicroManifest("admission", Side::kServer)
+      .binds(ev::kNewServerRequest)
+      .binds(ev::kReadyToInvoke)
+      .binds(ev::kRequestReturned)
+      .reads_pb(pbkey::kDeadline)
+      .writes_pb(pbkey::kStatus)
+      .config("max_pending")
+      .config("high")
+      .config("reserve");
+}
+
+}  // namespace cqos::micro

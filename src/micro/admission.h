@@ -1,0 +1,60 @@
+// Admission control (overload protection) micro-protocol.
+//
+// The paper's timeliness protocols (§3.4) differentiate admitted work; this
+// protocol decides what is admitted at all. Under saturation an unbounded
+// server queue converts overload into timeout collapse — every client waits
+// the full timeout and still fails. Admission bounds the number of requests
+// concurrently inside the Cactus server and converts the overflow into an
+// immediate, distinguishable backpressure reply (status::kOverloadRejected)
+// the moment it arrives:
+//
+//   admissionGate   (newServerRequest, first) — reject when the pending
+//       count is at the class bound; best-effort traffic (priority below
+//       `high`) is capped `reserve` slots below `max_pending`, so a burst of
+//       low-priority work can never starve high-priority admission.
+//   deadlineShed    (readyToInvoke, before the sched gate) — a request
+//       whose client-stamped deadline (pbkey::kDeadline, anchored by the
+//       skeleton) already passed is completed with status::kDeadlineExceeded
+//       instead of being parked or invoked: already-late work is shed before
+//       it costs anything more.
+//   retireReturned  (requestReturned) — pending-count release on EVERY
+//       terminal outcome (the runtime raises requestReturned for success,
+//       failure, halt-completion and timeout alike), made exactly-once by a
+//       per-request flag.
+//
+// Parameters: max_pending (total bound, default 64), high (priority floor of
+// the protected class, default kNormalPriority+1), reserve (slots only the
+// protected class may use, default max_pending/4).
+#pragma once
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "micro/base.h"
+
+namespace cqos::micro {
+
+class Admission : public MicroBase {
+ public:
+  Admission(int max_pending, int high_floor, int reserve)
+      : max_pending_(max_pending), high_floor_(high_floor), reserve_(reserve) {}
+
+  std::string_view name() const override { return "admission"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
+
+  struct State {
+    Mutex mu;
+    int pending CQOS_GUARDED_BY(mu) = 0;  // admitted, not yet returned
+  };
+  static constexpr const char* kStateKey = "admission.state";
+
+ private:
+  int max_pending_;
+  int high_floor_;
+  int reserve_;
+};
+
+}  // namespace cqos::micro

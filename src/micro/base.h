@@ -25,6 +25,10 @@ namespace cqos::micro {
 /// place makes the composition contract (paper §3.5) auditable.
 namespace order {
 // newRequest / newServerRequest
+// Admission runs before any per-request work (verify/decrypt) is spent on a
+// request the server is about to reject.
+inline constexpr int kAdmissionGate = -90;
+inline constexpr int kDeadlineStamp = -85;    // client stamps cq.deadline
 inline constexpr int kIntegrityVerify = -60;  // verify before decrypt
 inline constexpr int kPrivacyCrypt = -50;     // decrypt before base handlers
 inline constexpr int kReplicaAssign = -10;    // override base assigner
@@ -41,6 +45,10 @@ inline constexpr int kSetPriority = -90;
 // requests are queued before they consume a sequence number, so the total
 // order respects request priorities.
 inline constexpr int kSchedGate = -85;
+// Deadline shedding sits between the priority stamp and the scheduling
+// gate: already-late work must not park in a scheduler queue (it would be
+// shed again on release anyway) nor consume a sequence number.
+inline constexpr int kDeadlineShed = -88;
 inline constexpr int kOrderAssign = -80;
 inline constexpr int kOrderCheck = -70;
 inline constexpr int kAccessCheck = -60;
@@ -59,6 +67,11 @@ inline constexpr int kIntegritySignReply = -10;
 inline constexpr int kForward = 10;          // PassiveRep forwarding
 inline constexpr int kOrderAdvance = 50;     // TotalOrder checkNext
 inline constexpr int kSchedNotify = 90;      // QueuedSched notifyWaiting
+
+// requestReturned
+// Terminal-outcome bookkeeping (scheduler/admission retire) runs before the
+// wakeup handlers that depend on the updated counts.
+inline constexpr int kSchedRetire = -90;
 }  // namespace order
 
 /// Base class for the micro-protocol suite: tracks every handler binding so

@@ -5,6 +5,7 @@
 #include "cqos/config.h"
 #include "micro/acceptance.h"
 #include "micro/active_rep.h"
+#include "micro/admission.h"
 #include "micro/client_base.h"
 #include "micro/dedup.h"
 #include "micro/extensions.h"
@@ -43,6 +44,7 @@ void register_standard_micro_protocols() {
             LoadBalance::manifest());
     reg.add(Side::kClient, "client_cache", &ClientCache::make,
             ClientCache::manifest());
+    reg.add(Side::kClient, "deadline", &Deadline::make, Deadline::manifest());
 
     reg.add(Side::kServer, "server_base", &ServerBase::make,
             ServerBase::manifest());
@@ -65,6 +67,8 @@ void register_standard_micro_protocols() {
             TimedSched::manifest());
     reg.add(Side::kServer, "request_log", &RequestLog::make,
             RequestLog::manifest());
+    reg.add(Side::kServer, "admission", &Admission::make,
+            Admission::manifest());
   });
 }
 

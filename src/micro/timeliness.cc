@@ -59,17 +59,19 @@ void QueuedSched::init(cactus::CompositeProtocol& proto) {
 
   // notifyWaiting: bound last to invokeReturn. Uses the modified raise()
   // that specifies a low thread priority so the wakeup never competes with
-  // the thread returning the high-priority reply.
-  bind_tracked(proto, 
+  // the thread returning the high-priority reply. This is the fast-path
+  // decrement only — invokeReturn is NOT raised for every terminal outcome
+  // (a pre-invoke handler may complete+halt, the invoke may throw, or the
+  // server may time the request out), so retireReturned below is the
+  // authoritative cleanup.
+  bind_tracked(proto,
       ev::kInvokeReturn, "notifyWaiting",
       [state](cactus::EventContext& ctx) {
         auto req = ctx.dyn<RequestPtr>();
         bool wake = false;
         {
           MutexLock lk(state->mu);
-          auto it = state->counted_high.find(req->id);
-          if (it != state->counted_high.end()) {
-            state->counted_high.erase(it);
+          if (state->counted_high.erase(req->id) != 0) {
             --state->high_active;
           }
           wake = state->high_active == 0 && !state->low_waiting.empty();
@@ -80,20 +82,51 @@ void QueuedSched::init(cactus::CompositeProtocol& proto) {
       },
       order::kSchedNotify);
 
-  // wakeupNext: release one waiting low-priority request if still eligible.
-  bind_tracked(proto, 
+  // retireReturned: terminal-outcome backstop. The server runtime raises
+  // requestReturned for EVERY request (success, failure, halt-completed,
+  // timed out), so a counted high-priority request that never reached
+  // invokeReturn is still uncounted here instead of pinning high_active > 0
+  // and stranding the parked low-priority queue forever. counted_high makes
+  // the decrement exactly-once across both handlers.
+  bind_tracked(proto,
+      ev::kRequestReturned, "retireReturned",
+      [state](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        MutexLock lk(state->mu);
+        if (state->counted_high.erase(req->id) != 0) {
+          --state->high_active;
+        }
+      },
+      order::kSchedRetire);
+
+  // wakeupNext: release one waiting low-priority request if still eligible,
+  // then RE-ARM: while waiters remain releasable, raise another wake so one
+  // lost/absorbed wake (shutdown race, dropped pool task) can never strand
+  // the rest of the queue behind a single released request.
+  bind_tracked(proto,
       ev::kRequestReturned, "wakeupNext",
       [state](cactus::EventContext& ctx) {
         RequestPtr next;
+        bool rearm = false;
         {
           MutexLock lk(state->mu);
-          if (state->high_active == 0 && !state->low_waiting.empty()) {
+          while (state->high_active == 0 && !state->low_waiting.empty()) {
             next = std::move(state->low_waiting.front());
             state->low_waiting.pop_front();
+            // A parked request may have timed out (server completed it
+            // while it waited): releasing it would be a wasted invoke.
+            if (!next->is_done()) break;
+            next.reset();
           }
+          rearm = next != nullptr && state->high_active == 0 &&
+                  !state->low_waiting.empty();
         }
         if (next) {
           ctx.protocol().raise_async(ev::kReadyToInvoke, next, next->priority);
+        }
+        if (rearm) {
+          ctx.protocol().raise_async(ev::kRequestReturned,
+                                     ctx.dyn<RequestPtr>(), kMinPriority);
         }
       },
       cactus::kOrderDefault);
@@ -114,6 +147,41 @@ MicroManifest QueuedSched::manifest() {
       .raises(ev::kReadyToInvoke)
       .config("high")
       .constraint("conflicts:timed_sched");
+}
+
+// --- Deadline ---------------------------------------------------------------------
+
+void Deadline::init(cactus::CompositeProtocol& proto) {
+  client_holder(proto);
+  const std::int64_t budget = budget_ms_;
+
+  // stampDeadline: early on newRequest so the budget is part of the request
+  // before replica assignment (forwarded copies carry it too). The stamp is
+  // a RELATIVE budget; the skeleton anchors it at arrival (clock-skew safe).
+  bind_tracked(proto,
+      ev::kNewRequest, "stampDeadline",
+      [budget](cactus::EventContext& ctx) {
+        auto req = ctx.dyn<RequestPtr>();
+        req->piggyback[pbkey::kDeadline] = Value(budget);
+        req->deadline = now() + ms(budget);
+      },
+      order::kDeadlineStamp);
+}
+
+std::unique_ptr<cactus::MicroProtocol> Deadline::make(
+    const MicroProtocolSpec& spec) {
+  std::int64_t budget = spec.param_int("budget_ms", 1000);
+  if (budget <= 0) {
+    throw ConfigError("deadline: budget_ms must be positive");
+  }
+  return std::make_unique<Deadline>(budget);
+}
+
+MicroManifest Deadline::manifest() {
+  return MicroManifest("deadline", Side::kClient)
+      .binds(ev::kNewRequest)
+      .writes_pb(pbkey::kDeadline)
+      .config("budget_ms");
 }
 
 // --- TimedSched -------------------------------------------------------------------

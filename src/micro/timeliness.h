@@ -62,6 +62,25 @@ class QueuedSched : public MicroBase {
   int high_floor_;
 };
 
+/// Client-side deadline stamping: writes the configured budget (relative
+/// milliseconds, clock-skew safe) into pbkey::kDeadline on every new request
+/// so server-side layers (the admission micro-protocol) can shed work that
+/// is already late before the servant is invoked.
+class Deadline : public MicroBase {
+ public:
+  explicit Deadline(std::int64_t budget_ms) : budget_ms_(budget_ms) {}
+
+  std::string_view name() const override { return "deadline"; }
+  void init(cactus::CompositeProtocol& proto) override;
+
+  static std::unique_ptr<cactus::MicroProtocol> make(
+      const MicroProtocolSpec& spec);
+  static MicroManifest manifest();
+
+ private:
+  std::int64_t budget_ms_;
+};
+
 class TimedSched : public MicroBase {
  public:
   TimedSched(int high_floor, Duration period, int threshold)

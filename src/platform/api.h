@@ -9,11 +9,57 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/clock.h"
 #include "common/value.h"
 
+namespace cqos::status {
+
+// Well-known error-string markers for flow-control outcomes. They ride in
+// Reply::error (and through it in InvocationError::what()), so every layer —
+// platform dispatch, the admission micro-protocol, stubs and benches — can
+// distinguish deliberate backpressure from a genuine failure or a timeout
+// without a new wire field.
+inline constexpr std::string_view kOverloadRejected = "cqos.overload-rejected";
+inline constexpr std::string_view kDeadlineExceeded = "cqos.deadline-exceeded";
+
+inline bool has_marker(std::string_view error, std::string_view marker) {
+  return error.find(marker) != std::string_view::npos;
+}
+inline bool is_overload_rejected(std::string_view error) {
+  return has_marker(error, kOverloadRejected);
+}
+inline bool is_deadline_exceeded(std::string_view error) {
+  return has_marker(error, kDeadlineExceeded);
+}
+/// Either flavour of deliberate shedding (reject-now rather than time out).
+inline bool is_backpressure(std::string_view error) {
+  return is_overload_rejected(error) || is_deadline_exceeded(error);
+}
+
+}  // namespace cqos::status
+
 namespace cqos::plat {
+
+/// Piggyback key carrying the request's logical priority (stamped by the
+/// CQoS stub as "cq.prio"). The platform dispatchers read it — without
+/// depending on the cqos layer — to classify requests into worker-pool
+/// traffic classes before a worker thread is committed.
+inline constexpr const char* kPriorityPiggybackKey = "cq.prio";
+
+/// Reply-piggyback status key/value an early-rejecting dispatcher stamps
+/// (same literals as cqos's pbkey::kStatus / pbstatus::kOverloadRejected —
+/// duplicated here because the platform layer cannot depend on cqos).
+inline constexpr const char* kStatusPiggybackKey = "cq.status";
+inline constexpr const char* kStatusOverloadRejected = "overload-rejected";
+
+/// Best-effort priority lift from a decoded request piggyback.
+inline int piggyback_priority(const PiggybackMap& pb, int fallback) {
+  auto it = pb.find(kPriorityPiggybackKey);
+  if (it == pb.end()) return fallback;
+  return static_cast<int>(it->second.as_i64());
+}
 
 enum class ReplyStatus {
   kOk,           // servant returned a result

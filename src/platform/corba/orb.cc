@@ -76,7 +76,8 @@ CorbaOrb::CorbaOrb(net::SimNetwork& network, std::string host, OrbConfig cfg)
       host_(std::move(host)),
       cfg_(std::move(cfg)),
       agent_endpoint_(SmartAgent::endpoint_for_host(cfg_.agent_host)),
-      workers_(cfg_.server_threads, host_ + "-orb-workers") {
+      workers_(cfg_.server_threads, cfg_.dispatch_classes,
+               host_ + "-orb-workers") {
   int instance = g_orb_instance.fetch_add(1);
   client_ep_ = network_.create_endpoint(host_ + "/orbcli" + std::to_string(instance));
   server_ep_ = network_.create_endpoint(host_ + "/orb" + std::to_string(instance));
@@ -328,10 +329,24 @@ void CorbaOrb::server_loop() {
       }
       RequestBody body = decode_request_body(r);
       std::uint64_t id = header.request_id;
-      workers_.submit(kNormalPriority,
-                      [this, id, body = std::move(body)]() mutable {
-                        dispatch_request(id, std::move(body));
-                      });
+      // Classify by the piggybacked priority (service context) before a
+      // worker is committed; legacy single-queue mode never rejects.
+      int prio = plat::piggyback_priority(body.service_context,
+                                          kNormalPriority);
+      std::string reply_to = body.reply_to;
+      auto res = workers_.try_submit(
+          prio, [this, id, body = std::move(body)]() mutable {
+            dispatch_request(id, std::move(body));
+          });
+      if (res == cactus::SubmitResult::kRejected) {
+        ReplyBody reply;
+        reply.status = GiopReplyStatus::kUserException;
+        reply.error = std::string(status::kOverloadRejected) +
+                      ": orb dispatch queue full";
+        reply.service_context[plat::kStatusPiggybackKey] =
+            Value(plat::kStatusOverloadRejected);
+        network_.send(server_ep_->id(), reply_to, encode_reply(id, reply));
+      }
     } catch (const std::exception& e) {
       CQOS_LOG_ERROR("orb server loop: ", e.what());
     }

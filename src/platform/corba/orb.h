@@ -34,6 +34,9 @@ struct OrbConfig {
   std::string agent_host = "nameserver";
   /// Worker threads for server-side request dispatch.
   int server_threads = 8;
+  /// Non-empty: traffic-class dispatch (per-class bounded WRR queues,
+  /// immediate backpressure reply when a class queue is full).
+  std::vector<cactus::TrafficClass> dispatch_classes;
   Duration ping_timeout = ms(60);
   Duration resolve_timeout = ms(500);
 

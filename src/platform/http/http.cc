@@ -236,7 +236,8 @@ HttpPlatform::HttpPlatform(net::SimNetwork& network, std::string host,
     : network_(network),
       host_(std::move(host)),
       cfg_(std::move(cfg)),
-      workers_(cfg_.server_threads, host_ + "-http-workers") {
+      workers_(cfg_.server_threads, cfg_.dispatch_classes,
+               host_ + "-http-workers") {
   int instance = g_http_instance.fetch_add(1);
   client_ep_ = network_.create_endpoint(host_ + "/httpcli" + std::to_string(instance));
   // The server side listens on the host's well-known port-0 endpoint so
@@ -394,10 +395,27 @@ void HttpPlatform::server_loop() {
         CQOS_LOG_WARN("http server loop: unexpected message kind");
         continue;
       }
-      workers_.submit(kNormalPriority, [this, parsed = std::move(parsed)]() mutable {
-        dispatch(parsed.call_id, parsed.reply_to, parsed.path, parsed.method,
-                 std::move(parsed.piggyback), std::move(parsed.params));
-      });
+      // Classify by the piggybacked priority before a worker is committed;
+      // legacy single-queue mode never rejects.
+      int prio = plat::piggyback_priority(parsed.piggyback, kNormalPriority);
+      std::uint64_t call_id = parsed.call_id;
+      std::string reply_to = parsed.reply_to;
+      auto res = workers_.try_submit(
+          prio, [this, parsed = std::move(parsed)]() mutable {
+            dispatch(parsed.call_id, parsed.reply_to, parsed.path,
+                     parsed.method, std::move(parsed.piggyback),
+                     std::move(parsed.params));
+          });
+      if (res == cactus::SubmitResult::kRejected) {
+        PiggybackMap pb;
+        pb[plat::kStatusPiggybackKey] = Value(plat::kStatusOverloadRejected);
+        network_.send(server_ep_->id(), reply_to,
+                      wire::encode_response(
+                          call_id, false, Value(),
+                          std::string(status::kOverloadRejected) +
+                              ": http dispatch queue full",
+                          pb));
+      }
     } catch (const std::exception& e) {
       CQOS_LOG_ERROR("http server loop: ", e.what());
     }

@@ -48,6 +48,9 @@ namespace cqos::http {
 
 struct HttpConfig {
   int server_threads = 8;
+  /// Non-empty: traffic-class dispatch (per-class bounded WRR queues,
+  /// immediate backpressure reply when a class queue is full).
+  std::vector<cactus::TrafficClass> dispatch_classes;
   Duration resolve_timeout = ms(500);
   /// Host that serves replica i (1-based) of any object. Defaults to the
   /// cluster convention "server<i-1>" — the DNS-style deployment knowledge

@@ -34,7 +34,8 @@ RmiRuntime::RmiRuntime(net::SimNetwork& network, std::string host, RmiConfig cfg
       host_(std::move(host)),
       cfg_(std::move(cfg)),
       registry_endpoint_(Registry::endpoint_for_host(cfg_.registry_host)),
-      workers_(cfg_.server_threads, host_ + "-rmi-workers") {
+      workers_(cfg_.server_threads, cfg_.dispatch_classes,
+               host_ + "-rmi-workers") {
   int instance = g_rmi_instance.fetch_add(1);
   client_ep_ = network_.create_endpoint(host_ + "/rmicli" + std::to_string(instance));
   server_ep_ = network_.create_endpoint(host_ + "/rmi" + std::to_string(instance));
@@ -234,10 +235,26 @@ void RmiRuntime::server_loop() {
       }
       CallBody body = decode_call_body(r);
       std::uint64_t id = h.call_id;
-      workers_.submit(kNormalPriority,
-                      [this, id, body = std::move(body)]() mutable {
-                        dispatch_call(id, std::move(body));
-                      });
+      // Classify before committing a worker: the piggybacked priority maps
+      // the call into a traffic class of the dispatch pool (no-op in legacy
+      // single-queue mode).
+      int prio = plat::piggyback_priority(body.piggyback, kNormalPriority);
+      std::string reply_to = body.reply_to;
+      auto res = workers_.try_submit(
+          prio, [this, id, body = std::move(body)]() mutable {
+            dispatch_call(id, std::move(body));
+          });
+      if (res == cactus::SubmitResult::kRejected) {
+        // Early reject: an immediate backpressure reply instead of letting
+        // the client burn its full timeout against a saturated queue.
+        ReturnBody ret;
+        ret.ok = false;
+        ret.error = std::string(status::kOverloadRejected) +
+                    ": rmi dispatch queue full";
+        ret.piggyback[plat::kStatusPiggybackKey] =
+            Value(plat::kStatusOverloadRejected);
+        network_.send(server_ep_->id(), reply_to, encode_return(id, ret));
+      }
     } catch (const std::exception& e) {
       CQOS_LOG_ERROR("rmi server loop: ", e.what());
     }

@@ -27,6 +27,11 @@ namespace cqos::rmi {
 struct RmiConfig {
   std::string registry_host = "nameserver";
   int server_threads = 8;
+  /// Non-empty: server dispatch runs in traffic-class mode — requests are
+  /// classified by the piggybacked cq.prio into per-class bounded WRR
+  /// queues, and a full class queue is rejected immediately with a
+  /// backpressure reply instead of queueing toward timeout collapse.
+  std::vector<cactus::TrafficClass> dispatch_classes;
   Duration ping_timeout = ms(60);
   Duration resolve_timeout = ms(500);
 

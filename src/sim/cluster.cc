@@ -87,6 +87,7 @@ std::unique_ptr<plat::Platform> Cluster::make_platform(
     corba::OrbConfig cfg;
     cfg.agent_host = "nameserver";
     cfg.server_threads = opts_.platform_threads;
+    cfg.dispatch_classes = opts_.platform_classes;
     if (opts_.emulate_testbed) {
       // Calibrated to reproduce Table 1's shape: the heavier ORB runtime,
       // with DII as the largest single conversion cost.
@@ -100,11 +101,13 @@ std::unique_ptr<plat::Platform> Cluster::make_platform(
   if (opts_.platform == PlatformKind::kHttp) {
     http::HttpConfig cfg;
     cfg.server_threads = opts_.platform_threads;
+    cfg.dispatch_classes = opts_.platform_classes;
     return std::make_unique<http::HttpPlatform>(net_, host, cfg);
   }
   rmi::RmiConfig cfg;
   cfg.registry_host = "nameserver";
   cfg.server_threads = opts_.platform_threads;
+  cfg.dispatch_classes = opts_.platform_classes;
   if (opts_.emulate_testbed) {
     cfg.emu_call_cost = us(180);
     cfg.emu_dispatch_cost = us(180);

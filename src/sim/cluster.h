@@ -66,6 +66,10 @@ struct ClusterOptions {
   Duration invoke_timeout = ms(1000);
   /// Platform server-side dispatch threads.
   int platform_threads = 8;
+  /// Non-empty: the platform dispatch pools run in traffic-class mode
+  /// (per-class bounded WRR queues keyed off the piggybacked cq.prio, full
+  /// class queues rejected immediately with a backpressure reply).
+  std::vector<cactus::TrafficClass> platform_classes;
   /// Enable the testbed-emulation cost model: the platforms charge
   /// busy-wait costs calibrated to the paper's environment (Visibroker
   /// 4.1 / JDK 1.3 / 600 MHz PIII) at the mechanism points they model

@@ -45,7 +45,12 @@ const ConfigSpec kConfigs[] = {
     {"retransmit-dedup", 1,
      [](ClusterOptions& o) {
        o.invoke_timeout = ms(150);
+       // admission sits in front with a bound generous enough never to
+       // reject at soak load: overload protection must be invariant-neutral
+       // (a reject is a VISIBLE failure, so no-lost-ack still holds), and
+       // having it here keeps the composition under verifier + soak gating.
        o.qos.add(Side::kClient, "retransmit", {{"retries", "8"}})
+           .add(Side::kServer, "admission", {{"max_pending", "256"}})
            .add(Side::kServer, "dedup");
      }},
     // Primary-backup replication with failover, retransmission and a

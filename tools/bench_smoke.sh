@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Smoke-run the table bench binaries and validate the BENCH_table<N>.json
-# files they emit (schema in bench/harness.h). Meant for CI: a reduced
-# CQOS_BENCH_PAIRS makes this a correctness check of the reporting pipeline,
-# not a performance measurement.
+# Smoke-run the bench binaries and validate the BENCH_*.json files they emit
+# (schema in bench/harness.h). Meant for CI: a reduced CQOS_BENCH_PAIRS makes
+# this a correctness check of the reporting pipeline, not a performance
+# measurement.
 #
-# Usage: tools/bench_smoke.sh [BUILD_DIR]   (default: build)
+# Usage: tools/bench_smoke.sh [BUILD_DIR] [BENCH...]
+#   BUILD_DIR default: build
+#   BENCH...  subset of benches to run (default: all of them); lets a
+#             focused CI job (e.g. overload-smoke) validate one binary
+#             without building the rest.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+BENCHES=("$@")
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+  BENCHES=(bench_table1 bench_table2 bench_table3 bench_degraded
+           bench_overload)
+fi
 OUT_DIR="${CQOS_BENCH_OUT_DIR:-$BUILD_DIR/bench-out}"
 mkdir -p "$OUT_DIR"
 export CQOS_BENCH_OUT_DIR="$OUT_DIR"
 export CQOS_BENCH_PAIRS="${CQOS_BENCH_PAIRS:-20}"
 
-for b in bench_table1 bench_table2 bench_table3 bench_degraded; do
+for b in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$b"
   if [ ! -x "$bin" ]; then
     echo "bench_smoke: missing $bin — build the repo first" >&2
@@ -28,11 +38,12 @@ for b in bench_table1 bench_table2 bench_table3 bench_degraded; do
   }
 done
 
-python3 - "$OUT_DIR" <<'EOF'
+python3 - "$OUT_DIR" "${BENCHES[@]}" <<'EOF'
 import json, sys
 from pathlib import Path
 
 out_dir = Path(sys.argv[1])
+benches = set(sys.argv[2:])
 # rows per table: t1 = 5 levels x 2 platforms; t2 = 7 configs x 2;
 # t3 = 5 configs x 2 priority classes x 2.
 expected_rows = {1: 10, 2: 14, 3: 20}
@@ -43,7 +54,22 @@ def fail(msg):
     print(f"bench_smoke: {msg}", file=sys.stderr)
     sys.exit(1)
 
+def check_rows(path, rows):
+    for row in rows:
+        missing = row_keys - row.keys()
+        if missing:
+            fail(f"{path}: row {row.get('label')} missing {sorted(missing)}")
+        for k in ("mean_ms", "p50_ms", "p99_ms", "cov_pct"):
+            if not isinstance(row[k], (int, float)) or row[k] < 0:
+                fail(f"{path}: row {row['label']}: bad {k}={row[k]!r}")
+        if row["p50_ms"] > row["p99_ms"]:
+            fail(f"{path}: row {row['label']}: p50 > p99")
+        if "class" in row and row["class"] not in ("high", "low"):
+            fail(f"{path}: row {row['label']}: bad class {row['class']!r}")
+
 for t, want in expected_rows.items():
+    if f"bench_table{t}" not in benches:
+        continue
     path = out_dir / f"BENCH_table{t}.json"
     if not path.exists():
         fail(f"{path} missing")
@@ -57,17 +83,7 @@ for t, want in expected_rows.items():
     rows = doc.get("rows")
     if not isinstance(rows, list) or len(rows) != want:
         fail(f"{path}: {len(rows or [])} rows, want {want}")
-    for row in rows:
-        missing = row_keys - row.keys()
-        if missing:
-            fail(f"{path}: row {row.get('label')} missing {sorted(missing)}")
-        for k in ("mean_ms", "p50_ms", "p99_ms", "cov_pct"):
-            if not isinstance(row[k], (int, float)) or row[k] < 0:
-                fail(f"{path}: row {row['label']}: bad {k}={row[k]!r}")
-        if row["p50_ms"] > row["p99_ms"]:
-            fail(f"{path}: row {row['label']}: p50 > p99")
-        if "class" in row and row["class"] not in ("high", "low"):
-            fail(f"{path}: row {row['label']}: bad class {row['class']!r}")
+    check_rows(path, rows)
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         fail(f"{path}: metrics snapshot missing")
@@ -82,30 +98,67 @@ for t, want in expected_rows.items():
 # BENCH_degraded.json: 3 configs x clean/degraded, named-report schema
 # ("bench" in place of "table"), and the degraded rows must show the chaos
 # engine actually ran (net.fault.* counters).
-path = out_dir / "BENCH_degraded.json"
-if not path.exists():
-    fail(f"{path} missing")
-doc = json.loads(path.read_text())
-if doc.get("bench") != "degraded":
-    fail(f"{path}: bench={doc.get('bench')!r}, want 'degraded'")
-rows = doc.get("rows")
-if not isinstance(rows, list) or len(rows) != 6:
-    fail(f"{path}: {len(rows or [])} rows, want 6")
-labels = {row.get("label") for row in rows}
-for cfg in ("retransmit-dedup", "passive-rep", "active-total"):
-    for kind in ("clean", "degraded"):
-        if f"{cfg}/{kind}" not in labels:
-            fail(f"{path}: missing row {cfg}/{kind}")
-for row in rows:
-    missing = row_keys - row.keys()
-    if missing:
-        fail(f"{path}: row {row.get('label')} missing {sorted(missing)}")
-counters = doc.get("metrics", {}).get("counters", {})
-if counters.get("net.fault.duplicate", 0) <= 0:
-    fail(f"{path}: net.fault.duplicate counter missing — chaos plan never ran")
-if counters.get("net.fault.reorder.held", 0) <= 0:
-    fail(f"{path}: net.fault.reorder.held counter missing — chaos plan never ran")
-print(f"{path.name}: {len(rows)} rows OK")
+if "bench_degraded" in benches:
+    path = out_dir / "BENCH_degraded.json"
+    if not path.exists():
+        fail(f"{path} missing")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "degraded":
+        fail(f"{path}: bench={doc.get('bench')!r}, want 'degraded'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != 6:
+        fail(f"{path}: {len(rows or [])} rows, want 6")
+    labels = {row.get("label") for row in rows}
+    for cfg in ("retransmit-dedup", "passive-rep", "active-total"):
+        for kind in ("clean", "degraded"):
+            if f"{cfg}/{kind}" not in labels:
+                fail(f"{path}: missing row {cfg}/{kind}")
+    check_rows(path, rows)
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters.get("net.fault.duplicate", 0) <= 0:
+        fail(f"{path}: net.fault.duplicate counter missing — "
+             "chaos plan never ran")
+    if counters.get("net.fault.reorder.held", 0) <= 0:
+        fail(f"{path}: net.fault.reorder.held counter missing — "
+             "chaos plan never ran")
+    print(f"{path.name}: {len(rows)} rows OK")
+
+# BENCH_overload.json: two-class overload run. Three class-tagged rows, and
+# the metrics must prove the protection stack engaged: the admission layer
+# rejected best-effort overflow (not silently queued it), and the traffic-
+# class dispatch pools saw both classes.
+if "bench_overload" in benches:
+    path = out_dir / "BENCH_overload.json"
+    if not path.exists():
+        fail(f"{path} missing")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "overload":
+        fail(f"{path}: bench={doc.get('bench')!r}, want 'overload'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != 3:
+        fail(f"{path}: {len(rows or [])} rows, want 3")
+    tagged = {(row.get("label"), row.get("class")) for row in rows}
+    for want_row in (("uncontended", "high"), ("overload", "high"),
+                     ("overload", "low")):
+        if want_row not in tagged:
+            fail(f"{path}: missing row {want_row}")
+    check_rows(path, rows)
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters.get("cqos.admission.rejected.low", 0) <= 0:
+        fail(f"{path}: cqos.admission.rejected.low is zero — "
+             "overload never triggered admission control")
+    if not any(".high.enqueued" in n and v > 0 for n, v in counters.items()):
+        fail(f"{path}: no high-class dispatch enqueues recorded")
+    if not any(".low.enqueued" in n and v > 0 for n, v in counters.items()):
+        fail(f"{path}: no low-class dispatch enqueues recorded")
+    by_row = {(r["label"], r.get("class")): r for r in rows}
+    base = by_row[("uncontended", "high")]["p99_ms"]
+    over = by_row[("overload", "high")]["p99_ms"]
+    if base > 0 and over > 2.0 * base:
+        fail(f"{path}: high-priority p99 degraded {over / base:.2f}x under "
+             "overload (acceptance: <= 2x)")
+    print(f"{path.name}: {len(rows)} rows OK, "
+          f"{counters['cqos.admission.rejected.low']} admission rejects")
 
 print("bench_smoke: all BENCH JSON files valid")
 EOF
