@@ -30,14 +30,49 @@ namespace cqos::metrics {
 
 /// Monotonic event counter. Relaxed increments: totals are exact, ordering
 /// against other memory is not implied (snapshot readers only need totals).
+///
+/// Increments are striped across cache-line-sized slots keyed by thread, so
+/// a counter hammered from several threads at once (the network send path
+/// counts every message into a handful of aggregates) does not serialize
+/// those threads on one cache line. value() sums the stripes — exact, since
+/// every increment landed in exactly one of them. The cost is footprint
+/// (kStripes cache lines per counter), which is fine for the named
+/// instruments a process creates; don't mint counters per entity in
+/// unbounded populations.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
-  void reset() { v_.store(0, std::memory_order_relaxed); }
+  static constexpr std::size_t kStripes = 8;
+
+  void inc(std::uint64_t n = 1) {
+    stripes_[stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (Stripe& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Threads are assigned stripes round-robin at first use; the assignment
+  /// is per-thread, not per-counter, which keeps the lookup a thread-local
+  /// read.
+  static std::size_t stripe_index() {
+    static std::atomic<std::size_t> next{0};
+    thread_local std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return idx;
+  }
+
+  std::array<Stripe, kStripes> stripes_{};
 };
 
 /// Fixed-bucket latency histogram (microseconds). Bucket upper bounds are

@@ -192,8 +192,27 @@ Duration FaultPlan::duration() const {
 // --- FaultController ---------------------------------------------------------
 
 FaultController::FaultController(SimNetwork& net, std::uint64_t seed)
-    : net_(net), rng_(seed) {
-  worker_ = std::thread([this] { worker_loop(); });
+    : net_(net), stream_seed_(seed) {
+  // Virtual mode has no wall-clock deadlines to chase: plan events and hold
+  // sweeps are pulled by SimNetwork::run_until via next_virtual_deadline().
+  if (!net_.virtual_mode()) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+TimePoint FaultController::net_now() const { return net_.net_now(); }
+
+Rng& FaultController::stream(const std::string& from) {
+  return streams_.try_emplace(from, Rng(stream_seed_)).first->second;
+}
+
+void FaultController::refresh_quiescent() {
+  // Expired-but-unswept bursts/spikes keep this false; that only costs the
+  // fast path, never correctness (the locked path ignores expired entries).
+  bool q = crashed_.empty() && partitions_.empty() && bursts_.empty() &&
+           spikes_.empty() && drop_rate_ <= 0.0 && duplicate_rate_ <= 0.0 &&
+           reorder_rate_ <= 0.0;
+  quiescent_.store(q, std::memory_order_release);
 }
 
 FaultController::~FaultController() {
@@ -214,6 +233,7 @@ std::vector<Message> FaultController::take_all_held() {
     for (Held& h : vec) out.push_back(std::move(h.msg));
   }
   holds_.clear();
+  holds_active_.fetch_sub(out.size(), std::memory_order_release);
   return out;
 }
 
@@ -223,9 +243,12 @@ void FaultController::run_plan(FaultPlan plan) {
   MutexLock lk(mu_);
   plan_ = std::move(plan);
   next_event_ = 0;
-  plan_t0_ = now();
+  plan_t0_ = net_now();
   plan_active_ = !plan_.events.empty();
-  rng_ = Rng(plan_.seed);
+  // Restart every sender's decision stream from the plan seed: decisions
+  // become a deterministic function of (plan seed, per-sender traffic).
+  stream_seed_ = plan_.seed;
+  streams_.clear();
   trace_.clear();
   trace_.push_back("plan " + plan_.name + " seed " +
                    std::to_string(plan_.seed));
@@ -280,6 +303,7 @@ void FaultController::worker_loop() {
           for (auto h = vec.begin(); h != vec.end();) {
             if (h->deadline <= nw) {
               swept.push_back(std::move(h->msg));
+              holds_active_.fetch_sub(1, std::memory_order_release);
               h = vec.erase(h);
             } else {
               ++h;
@@ -312,6 +336,56 @@ void FaultController::worker_loop() {
         cv_.notify_all();
       }
     }
+  }
+}
+
+// --- virtual-time pull interface ---------------------------------------------
+
+TimePoint FaultController::next_virtual_deadline() const {
+  MutexLock lk(mu_);
+  TimePoint next = TimePoint::max();
+  if (plan_active_ && next_event_ < plan_.events.size()) {
+    next = plan_t0_ + plan_.events[next_event_].at;
+  }
+  for (const auto& [to, vec] : holds_) {
+    for (const Held& h : vec) next = std::min(next, h.deadline);
+  }
+  return next;
+}
+
+void FaultController::advance_virtual(TimePoint vnow) {
+  std::vector<FaultEvent> due;
+  std::vector<Message> swept;
+  bool finished = false;
+  {
+    MutexLock lk(mu_);
+    while (plan_active_ && next_event_ < plan_.events.size() &&
+           plan_t0_ + plan_.events[next_event_].at <= vnow) {
+      due.push_back(plan_.events[next_event_]);
+      trace_.push_back(plan_.events[next_event_].describe());
+      ++next_event_;
+    }
+    if (plan_active_ && next_event_ >= plan_.events.size()) finished = true;
+    for (auto it = holds_.begin(); it != holds_.end();) {
+      auto& vec = it->second;
+      for (auto h = vec.begin(); h != vec.end();) {
+        if (h->deadline <= vnow) {
+          swept.push_back(std::move(h->msg));
+          holds_active_.fetch_sub(1, std::memory_order_release);
+          h = vec.erase(h);
+        } else {
+          ++h;
+        }
+      }
+      it = vec.empty() ? holds_.erase(it) : std::next(it);
+    }
+  }
+  for (const FaultEvent& e : due) apply_event(e);
+  for (Message& m : swept) net_.deposit_swept(std::move(m));
+  if (finished) {
+    MutexLock lk(mu_);
+    plan_active_ = false;
+    cv_.notify_all();
   }
 }
 
@@ -353,6 +427,7 @@ void FaultController::crash_host(const std::string& host) {
   {
     MutexLock lk(mu_);
     crashed_.insert(host);
+    refresh_quiescent();
   }
   // Endpoint marks are applied outside mu_ (SimNetwork takes its own lock).
   net_.apply_crash(host);
@@ -362,6 +437,7 @@ void FaultController::recover_host(const std::string& host) {
   {
     MutexLock lk(mu_);
     crashed_.erase(host);
+    refresh_quiescent();
   }
   net_.apply_recover(host);
 }
@@ -371,6 +447,7 @@ void FaultController::partition(const std::string& host_a,
   auto pair = std::minmax(host_a, host_b);
   MutexLock lk(mu_);
   partitions_.insert({pair.first, pair.second});
+  refresh_quiescent();
 }
 
 void FaultController::heal(const std::string& host_a,
@@ -378,35 +455,41 @@ void FaultController::heal(const std::string& host_a,
   auto pair = std::minmax(host_a, host_b);
   MutexLock lk(mu_);
   partitions_.erase({pair.first, pair.second});
+  refresh_quiescent();
 }
 
 void FaultController::set_drop_rate(double p) {
   MutexLock lk(mu_);
   drop_rate_ = p;
+  refresh_quiescent();
 }
 
 void FaultController::set_duplicate_rate(double p) {
   MutexLock lk(mu_);
   duplicate_rate_ = p;
+  refresh_quiescent();
 }
 
 void FaultController::set_reorder(double p, int window) {
   MutexLock lk(mu_);
   reorder_rate_ = p;
   reorder_window_ = window;
+  refresh_quiescent();
 }
 
 void FaultController::drop_burst(const std::string& host_a,
                                  const std::string& host_b, Duration duration,
                                  double rate) {
   MutexLock lk(mu_);
-  bursts_.push_back(Burst{host_a, host_b, rate, now() + duration});
+  bursts_.push_back(Burst{host_a, host_b, rate, net_now() + duration});
+  refresh_quiescent();
 }
 
 void FaultController::latency_spike(Duration duration, double factor,
                                     Duration extra) {
   MutexLock lk(mu_);
-  spikes_.push_back(Spike{factor, extra, now() + duration});
+  spikes_.push_back(Spike{factor, extra, net_now() + duration});
+  refresh_quiescent();
 }
 
 void FaultController::clear_all_faults() {
@@ -423,6 +506,7 @@ void FaultController::clear_all_faults() {
     reorder_window_ = 0;
     bursts_.clear();
     spikes_.clear();
+    refresh_quiescent();
     held = take_all_held();
   }
   for (const std::string& host : to_recover) net_.apply_recover(host);
@@ -492,10 +576,15 @@ std::string FaultController::describe() const {
 
 // --- send-path hooks (called under SimNetwork::mu_) --------------------------
 
-FaultDecision FaultController::judge(const std::string& from_host,
+FaultDecision FaultController::judge(const std::string& from,
+                                     const std::string& from_host,
                                      const std::string& to_host,
                                      bool loopback) {
   FaultDecision d;
+  // Healthy-network fast path: with no fault state at all there is nothing
+  // to decide and nothing to draw, so skip the controller lock entirely —
+  // this is what keeps concurrent senders from serializing here.
+  if (quiescent_.load(std::memory_order_acquire)) return d;
   MutexLock lk(mu_);
   if (crashed_.contains(to_host) || crashed_.contains(from_host)) {
     d.drop = true;
@@ -512,7 +601,8 @@ FaultDecision FaultController::judge(const std::string& from_host,
   }
   if (loopback) return d;  // loopback is exempt from lossy/wire faults
 
-  TimePoint nw = now();
+  Rng& rng = stream(from);
+  TimePoint nw = net_now();
   for (auto it = bursts_.begin(); it != bursts_.end();) {
     if (it->until <= nw) {
       it = bursts_.erase(it);
@@ -524,7 +614,7 @@ FaultDecision FaultController::judge(const std::string& from_host,
     bool match_rev = it->a != "*" && it->b != "*" && it->a == to_host &&
                      it->b == from_host;
     if ((match_a && match_b) || match_rev) {
-      if (rng_.next_bool(it->rate)) {
+      if (rng.next_bool(it->rate)) {
         d.drop = true;
         d.drop_reason = "burst";
         return d;
@@ -532,7 +622,7 @@ FaultDecision FaultController::judge(const std::string& from_host,
     }
     ++it;
   }
-  if (drop_rate_ > 0 && rng_.next_bool(drop_rate_)) {
+  if (drop_rate_ > 0 && rng.next_bool(drop_rate_)) {
     d.drop = true;
     d.drop_reason = "random";
     return d;
@@ -546,12 +636,12 @@ FaultDecision FaultController::judge(const std::string& from_host,
     d.extra_latency += it->extra;
     ++it;
   }
-  if (duplicate_rate_ > 0 && rng_.next_bool(duplicate_rate_)) {
+  if (duplicate_rate_ > 0 && rng.next_bool(duplicate_rate_)) {
     d.duplicate = true;
   }
   if (reorder_rate_ > 0 && reorder_window_ > 0 &&
-      rng_.next_bool(reorder_rate_)) {
-    d.defer = 1 + static_cast<int>(rng_.next_below(
+      rng.next_bool(reorder_rate_)) {
+    d.defer = 1 + static_cast<int>(rng.next_below(
                       static_cast<std::uint64_t>(reorder_window_)));
   }
   return d;
@@ -559,13 +649,18 @@ FaultDecision FaultController::judge(const std::string& from_host,
 
 void FaultController::hold(const std::string& to, Message msg, int defer) {
   MutexLock lk(mu_);
-  holds_[to].push_back(Held{std::move(msg), defer, now() + max_hold_});
+  holds_[to].push_back(Held{std::move(msg), defer, net_now() + max_hold_});
+  holds_active_.fetch_add(1, std::memory_order_release);
   cv_.notify_all();  // worker recomputes its sweep deadline
 }
 
 std::vector<Message> FaultController::on_send(const std::string& to,
                                               TimePoint deliver_at) {
   std::vector<Message> released;
+  // Nothing held anywhere (the common case) — skip the controller lock.
+  // A hold for `to` racing with this send is impossible: both run under
+  // `to`'s clamp shard.
+  if (holds_active_.load(std::memory_order_acquire) == 0) return released;
   MutexLock lk(mu_);
   auto it = holds_.find(to);
   if (it == holds_.end()) return released;
@@ -577,6 +672,7 @@ std::vector<Message> FaultController::on_send(const std::string& to,
       // so the hold is overtaken by exactly the sends that released it.
       h->msg.deliver_at = deliver_at;
       released.push_back(std::move(h->msg));
+      holds_active_.fetch_sub(1, std::memory_order_release);
       h = vec.erase(h);
     } else {
       ++h;

@@ -23,11 +23,26 @@
 // remain only as thin forwarding shims. SimNetwork::send() consults the
 // controller for every message via judge()/hold()/on_send().
 //
-// Locking: SimNetwork::mu_ > FaultController::mu_. The controller's mutex
-// is a leaf on the send path (judge/hold/on_send are called under the
-// network lock); controller mutators never hold mu_ while calling back into
-// SimNetwork (crash/recover apply endpoint marks after releasing it, the
-// scheduler thread deposits swept messages lock-free of mu_).
+// Locking: SimNetwork's clamp shard > FaultController::mu_. The controller's
+// mutex is near-leaf on the send path: judge() is called with no network
+// lock held, hold()/on_send() under the destination's clamp shard only;
+// controller mutators never hold mu_ while calling back into SimNetwork
+// (crash/recover apply endpoint marks after releasing it, the scheduler
+// thread deposits swept messages lock-free of mu_).
+//
+// Per-message randomness comes from per-sender decision streams: each
+// sender endpoint id owns an independent Rng seeded with the stream seed
+// (NetConfig::seed, replaced by plan.seed when a plan runs), so one
+// sender's drop/duplicate/reorder sequence is a function of (seed, its own
+// traffic) only — adding concurrent senders does not perturb it, and a
+// single-sender run reproduces the pre-split shared-stream sequence.
+//
+// Time modes: in real time a worker thread fires plan events at wall-clock
+// offsets and sweeps expired reorder holds. In virtual time (NetConfig::
+// time_mode = kVirtual) no worker is spawned; plan offsets and hold
+// deadlines become virtual deadlines that SimNetwork::run_until() pulls via
+// next_virtual_deadline()/advance_virtual(), making chaos schedules exact
+// instead of best-effort.
 //
 // Bounded reordering: a deferred message is held back until `defer` (<=
 // window) later messages to the same destination endpoint have been sent,
@@ -37,6 +52,7 @@
 // holds so no message is ever lost to reordering.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -118,10 +134,11 @@ class FaultController {
 
   // --- plan execution ------------------------------------------------------
 
-  /// Start executing `plan` asynchronously: event k fires at start + at_k.
-  /// Reseeds the fault RNG with plan.seed so per-message decisions are a
-  /// deterministic function of (plan seed, traffic). Replaces any plan
-  /// still running.
+  /// Start executing `plan`: event k fires at start + at_k (wall clock in
+  /// real mode; pulled by SimNetwork::run_until in virtual mode). Reseeds
+  /// the per-sender decision streams with plan.seed so per-message
+  /// decisions are a deterministic function of (plan seed, each sender's
+  /// traffic). Replaces any plan still running.
   void run_plan(FaultPlan plan);
   /// Stop applying remaining events (already-applied state persists).
   void cancel_plan();
@@ -191,10 +208,12 @@ class FaultController {
     TimePoint deadline;  // sweep release (no releaser traffic)
   };
 
-  // Send-path hooks, called by SimNetwork::send() under the network lock
-  // (mu_ is a leaf there).
-  FaultDecision judge(const std::string& from_host, const std::string& to_host,
-                      bool loopback);
+  // Send-path hooks, called by SimNetwork::send(). judge() is called with
+  // no network lock held; hold()/on_send() under the destination's clamp
+  // shard (mu_ is below it in the hierarchy). `from` is the sender endpoint
+  // id selecting the per-sender decision stream.
+  FaultDecision judge(const std::string& from, const std::string& from_host,
+                      const std::string& to_host, bool loopback);
   void hold(const std::string& to, Message msg, int defer);
   /// A message to `to` is being sent with `deliver_at`: decrement all holds
   /// for `to` and return the ones that reached zero, stamped with
@@ -205,15 +224,51 @@ class FaultController {
   std::vector<Message> on_send(const std::string& to, TimePoint deliver_at);
 
   void worker_loop();
-  /// Apply one plan event (called by the worker with no locks held).
+  /// Apply one plan event (called by the worker / advance_virtual with no
+  /// locks held).
   void apply_event(const FaultEvent& e);
-  void crash_locked_then_apply(const std::string& host);
   std::vector<Message> take_all_held();
+  /// The per-sender decision stream for `from`, created on first use.
+  Rng& stream(const std::string& from) CQOS_REQUIRES(mu_);
+  /// Recompute `quiescent_` from the wire-fault state. Every mutation of
+  /// crashed_/partitions_/rates/bursts_/spikes_ must call this before
+  /// releasing mu_, or judge()'s lock-free fast path would keep using a
+  /// stale answer.
+  void refresh_quiescent() CQOS_REQUIRES(mu_);
+
+  // Virtual-time pull interface (no worker thread in virtual mode), called
+  // by SimNetwork::run_until on the driver thread.
+  /// Earliest pending virtual deadline: next unapplied plan event or
+  /// earliest reorder-hold sweep; TimePoint::max() when none.
+  TimePoint next_virtual_deadline() const;
+  /// Apply every plan event and sweep every hold with deadline <= vnow.
+  /// Postcondition: next_virtual_deadline() > vnow.
+  void advance_virtual(TimePoint vnow);
+
+  /// The network's notion of now (wall or virtual) — all fault deadlines
+  /// (bursts, spikes, hold sweeps, plan offsets) live on this clock.
+  TimePoint net_now() const;
 
   SimNetwork& net_;
   mutable Mutex mu_;
   CondVar cv_;
-  Rng rng_ CQOS_GUARDED_BY(mu_);
+  /// True when no wire fault can affect any send (no crashes, partitions,
+  /// rates, bursts or spikes). Lets judge() — called for EVERY send —
+  /// return without touching mu_, so fault bookkeeping costs nothing on
+  /// the healthy-network fast path and senders do not serialize on it.
+  /// A quiescent judge() also draws nothing from the per-sender streams,
+  /// which is exactly what the locked path does in that state, so the
+  /// decision sequences are unchanged.
+  std::atomic<bool> quiescent_{true};
+  /// Count of messages currently held back for reordering, mirrored outside
+  /// mu_ so on_send() — also called for every send, under the destination's
+  /// clamp shard — can skip the lock when nothing is held anywhere.
+  /// hold() and on_send() for one destination are serialized by that
+  /// destination's clamp shard, so a send that must release a hold always
+  /// observes the increment.
+  std::atomic<std::uint64_t> holds_active_{0};
+  std::uint64_t stream_seed_ CQOS_GUARDED_BY(mu_);
+  std::map<std::string, Rng> streams_ CQOS_GUARDED_BY(mu_);
 
   std::set<std::string> crashed_ CQOS_GUARDED_BY(mu_);
   std::set<std::pair<std::string, std::string>> partitions_
@@ -234,7 +289,7 @@ class FaultController {
   std::vector<std::string> trace_ CQOS_GUARDED_BY(mu_);
 
   bool stop_ CQOS_GUARDED_BY(mu_) = false;
-  std::thread worker_;
+  std::thread worker_;  // not spawned in virtual mode
 };
 
 }  // namespace cqos::net

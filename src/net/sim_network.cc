@@ -34,6 +34,11 @@ std::optional<Message> Endpoint::recv(Duration timeout) {
   }
 }
 
+void Endpoint::set_handler(Handler fn) {
+  MutexLock lk(mu_);
+  handler_ = std::move(fn);
+}
+
 void Endpoint::close() {
   MutexLock lk(mu_);
   closed_ = true;
@@ -49,9 +54,9 @@ bool Endpoint::closed() const {
 void Endpoint::deposit(Message msg) {
   {
     MutexLock lk(mu_);
-    // crashed_ re-validates what send() checked under the network lock:
-    // between that check and this deposit a crash_host() may have run, and
-    // a crashed host must not receive the in-flight message.
+    // crashed_ re-validates what send() checked at judge time: between that
+    // check and this deposit a crash_host() may have run, and a crashed
+    // host must not receive the in-flight message.
     if (!closed_ && !crashed_) {
       inbox_.emplace(msg.deliver_at, std::move(msg));
       cv_.notify_all();
@@ -59,6 +64,29 @@ void Endpoint::deposit(Message msg) {
     }
   }
   BufferPool::recycle(std::move(msg.payload));
+}
+
+bool Endpoint::deliver_now(Message msg) {
+  Handler h;
+  {
+    MutexLock lk(mu_);
+    if (closed_ || crashed_) {
+      // Unlock before recycling; the pool is lock-free but keep the
+      // critical section minimal.
+    } else if (!handler_) {
+      inbox_.emplace(msg.deliver_at, std::move(msg));
+      cv_.notify_all();
+      return true;
+    } else {
+      h = handler_;
+    }
+  }
+  if (h) {
+    h(std::move(msg));
+    return true;
+  }
+  BufferPool::recycle(std::move(msg.payload));
+  return false;
 }
 
 void Endpoint::mark_crashed() {
@@ -79,10 +107,13 @@ void Endpoint::clear_inbox() {
 
 // --- SimNetwork --------------------------------------------------------------
 
-SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
-  // The controller's fault RNG starts from the NetConfig seed: in
-  // jitter-free configurations this reproduces the exact drop sequence the
-  // pre-FaultController network produced (tests tune seeds against it).
+SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg) {
+  // The controller's fault streams start from the NetConfig seed: a
+  // single-sender, jitter-free configuration reproduces the exact drop
+  // sequence the pre-FaultController network produced (tests tune seeds
+  // against it).
+  sent_msgs_counter_ = &registry().counter("net.sent.msgs");
+  sent_bytes_counter_ = &registry().counter("net.sent.bytes");
   faults_ = std::make_unique<FaultController>(*this, cfg.seed);
   if (cfg.drop_rate > 0) faults_->set_drop_rate(cfg.drop_rate);
 }
@@ -111,31 +142,81 @@ void SimNetwork::remove_endpoint(const std::string& id) {
     if (it == endpoints_.end()) return;
     ep = std::move(it->second);
     endpoints_.erase(it);
+  }
+  {
     // Prune the FIFO clamp: long-lived simulations with endpoint churn
-    // would otherwise grow this map without bound.
-    last_deliver_.erase(id);
+    // would otherwise grow the shard maps without bound.
+    ClampShard& shard = clamp_shards_[shard_of(id)];
+    MutexLock lk(shard.mu);
+    shard.last.erase(id);
   }
   ep->close();
 }
 
+std::size_t SimNetwork::fifo_clamp_entries() const {
+  std::size_t n = 0;
+  for (const ClampShard& shard : clamp_shards_) {
+    MutexLock lk(shard.mu);
+    n += shard.last.size();
+  }
+  return n;
+}
+
+std::uint64_t SimNetwork::messages_sent() const {
+  std::uint64_t n = 0;
+  for (const ClampShard& shard : clamp_shards_) {
+    MutexLock lk(shard.mu);
+    n += shard.msgs;
+  }
+  return n;
+}
+
+std::uint64_t SimNetwork::bytes_sent() const {
+  std::uint64_t n = 0;
+  for (const ClampShard& shard : clamp_shards_) {
+    MutexLock lk(shard.mu);
+    n += shard.bytes;
+  }
+  return n;
+}
+
+SimNetwork::PairCounters& SimNetwork::pair_counters(
+    const std::string& from_host, const std::string& to_host) {
+  std::string key = from_host + ':' + to_host;
+  PairShard& shard = pair_shards_[shard_of(key)];
+  MutexLock lk(shard.mu);
+  auto it = shard.pairs.find(key);
+  if (it == shard.pairs.end()) {
+    // Miss path: build the three dotted names once and resolve the handles
+    // (registry references are stable for its lifetime, DESIGN.md §9).
+    metrics::Registry& reg = registry();
+    std::string stem = "net.pair." + key;
+    PairCounters pc{&reg.counter(stem + ".msgs"), &reg.counter(stem + ".bytes"),
+                    &reg.counter(stem + ".drops")};
+    it = shard.pairs.emplace(std::move(key), pc).first;
+  }
+  return it->second;
+}
+
 void SimNetwork::count_send(const std::string& from_host,
                             const std::string& to_host, std::size_t bytes) {
-  metrics::Registry& reg = registry();
-  reg.counter("net.sent.msgs").inc();
-  reg.counter("net.sent.bytes").inc(bytes);
-  std::string pair = "net.pair." + from_host + ":" + to_host;
-  reg.counter(pair + ".msgs").inc();
-  reg.counter(pair + ".bytes").inc(bytes);
+  sent_msgs_counter_->inc();
+  sent_bytes_counter_->inc(bytes);
+  if (cfg_.pair_metrics) {
+    PairCounters& pc = pair_counters(from_host, to_host);
+    pc.msgs->inc();
+    pc.bytes->inc(bytes);
+  }
 }
 
 void SimNetwork::count_drop(const std::string& from_host,
                             const std::string& to_host, const char* reason) {
-  metrics::Registry& reg = registry();
-  reg.counter(std::string("net.drop.") + reason).inc();
-  reg.counter("net.pair." + from_host + ":" + to_host + ".drops").inc();
+  registry().counter(std::string("net.drop.") + reason).inc();
+  if (cfg_.pair_metrics) pair_counters(from_host, to_host).drops->inc();
 }
 
-Duration SimNetwork::compute_latency(const std::string& from_host,
+Duration SimNetwork::compute_latency(const std::string& from,
+                                     const std::string& from_host,
                                      const std::string& to_host,
                                      std::size_t bytes) {
   Duration lat;
@@ -145,7 +226,14 @@ Duration SimNetwork::compute_latency(const std::string& from_host,
     lat = cfg_.base_latency + cfg_.per_byte * static_cast<std::int64_t>(bytes);
   }
   if (cfg_.jitter > 0) {
-    double j = rng_.next_double() * cfg_.jitter;
+    double draw;
+    {
+      JitterShard& shard = jitter_shards_[shard_of(from)];
+      MutexLock lk(shard.mu);
+      draw = shard.rngs.try_emplace(from, Rng(cfg_.seed))
+                 .first->second.next_double();
+    }
+    double j = draw * cfg_.jitter;
     lat += std::chrono::duration_cast<Duration>(
         std::chrono::duration<double>(std::chrono::duration<double>(lat).count() * j));
   }
@@ -154,64 +242,84 @@ Duration SimNetwork::compute_latency(const std::string& from_host,
 
 bool SimNetwork::send(const std::string& from, const std::string& to,
                       Bytes&& payload) {
+  if (cfg_.serialize_send) {
+    MutexLock lk(serial_mu_);
+    return send_impl(from, to, std::move(payload));
+  }
+  return send_impl(from, to, std::move(payload));
+}
+
+bool SimNetwork::send_impl(const std::string& from, const std::string& to,
+                           Bytes&& payload) {
+  std::string from_host = host_of(from);
+  std::string to_host = host_of(to);
+
   std::shared_ptr<Endpoint> dest;
+  {
+    MutexLock lk(mu_);
+    auto it = endpoints_.find(to);
+    if (it != endpoints_.end()) dest = it->second;
+  }
+  if (!dest) {
+    count_drop(from_host, to_host, "unknown_dest");
+    BufferPool::recycle(std::move(payload));
+    return false;
+  }
+
+  bool loopback = from_host == to_host;
+  FaultDecision verdict = faults_->judge(from, from_host, to_host, loopback);
+  if (verdict.drop) {
+    CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to, " (",
+                   verdict.drop_reason, ")");
+    count_drop(from_host, to_host, verdict.drop_reason);
+    BufferPool::recycle(std::move(payload));
+    return false;
+  }
+
   Message msg;
+  msg.from = from;
+  msg.to = to;
+  Duration lat = compute_latency(from, from_host, to_host, payload.size());
+  if (verdict.latency_factor != 1.0) {
+    lat = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(
+            std::chrono::duration<double>(lat).count() *
+            verdict.latency_factor));
+  }
+  lat += verdict.extra_latency;
+  Duration dup_lat{};
+  if (verdict.duplicate) {
+    // Draw the copy's jitter now, outside the clamp shard, from the same
+    // per-sender stream (second draw, as the shared-stream path did).
+    dup_lat = compute_latency(from, from_host, to_host, payload.size());
+  }
+  msg.payload = std::move(payload);
+  std::size_t msg_bytes = msg.payload.size();
+
   bool held = false;
   std::vector<Message> extra;  // duplicate copy + released reorder holds
   {
-    MutexLock lk(mu_);
-    std::string from_host = host_of(from);
-    std::string to_host = host_of(to);
-
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) {
-      count_drop(from_host, to_host, "unknown_dest");
-      BufferPool::recycle(std::move(payload));
-      return false;
-    }
-
-    bool loopback = from_host == to_host;
-    FaultDecision verdict = faults_->judge(from_host, to_host, loopback);
-    if (verdict.drop) {
-      CQOS_LOG_DEBUG("net: dropped message ", from, " -> ", to, " (",
-                     verdict.drop_reason, ")");
-      count_drop(from_host, to_host, verdict.drop_reason);
-      BufferPool::recycle(std::move(payload));
-      return false;
-    }
-
-    dest = it->second;
-    msg.from = from;
-    msg.to = to;
-    Duration lat = compute_latency(from_host, to_host, payload.size());
-    if (verdict.latency_factor != 1.0) {
-      lat = std::chrono::duration_cast<Duration>(
-          std::chrono::duration<double>(
-              std::chrono::duration<double>(lat).count() *
-              verdict.latency_factor));
-    }
-    lat += verdict.extra_latency;
-    msg.deliver_at = now() + lat;
+    // Clamp + seq assignment is atomic per destination: senders to the same
+    // destination serialize on this shard, senders to different ones don't.
+    ClampShard& shard = clamp_shards_[shard_of(to)];
+    MutexLock lk(shard.mu);
+    TimePoint nw = net_now();
+    msg.deliver_at = nw + lat;
     // FIFO per destination: never deliver before an earlier-sent message.
-    auto& clamp = last_deliver_[to];
+    TimePoint& clamp = shard.last[to];
     if (msg.deliver_at < clamp) msg.deliver_at = clamp;
     clamp = msg.deliver_at;
-    msg.seq = next_seq_++;
-    msg.payload = std::move(payload);
-    messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
-    count_send(from_host, to_host, msg.payload.size());
+    msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
 
     if (verdict.duplicate) {
       Message copy;
       copy.from = from;
       copy.to = to;
       copy.payload = msg.payload;  // deliberate copy: a second wire message
-      copy.deliver_at =
-          now() + compute_latency(from_host, to_host, copy.payload.size());
+      copy.deliver_at = nw + dup_lat;
       if (copy.deliver_at < clamp) copy.deliver_at = clamp;
       clamp = copy.deliver_at;
-      copy.seq = next_seq_++;
+      copy.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
       registry().counter("net.fault.duplicate").inc();
       extra.push_back(std::move(copy));
     }
@@ -219,7 +327,9 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
     // Every send to the destination — including one that is itself held
     // back below — counts as releaser traffic for earlier holds. That keeps
     // the overtake bound exact: a held message is passed by at most `defer`
-    // later sends, never by a chain of releases it did not count.
+    // later sends, never by a chain of releases it did not count. Called
+    // under the clamp shard so release bookkeeping stays atomic with the
+    // (clamp, seq) assignment for this destination.
     for (Message& rel : faults_->on_send(to, msg.deliver_at)) {
       extra.push_back(std::move(rel));
     }
@@ -230,17 +340,29 @@ bool SimNetwork::send(const std::string& from, const std::string& to,
       held = true;
       faults_->hold(to, std::move(msg), verdict.defer);
     }
+
+    shard.msgs += 1;
+    shard.bytes += msg_bytes;
   }
 
-  if (!held) {
-    {
-      MutexLock lk(tap_mu_);
-      if (tap_) tap_(msg);
-    }
-    dest->deposit(std::move(msg));
-  }
-  for (Message& m : extra) dest->deposit(std::move(m));
+  count_send(from_host, to_host, msg_bytes);
+
+  if (!held) deliver(dest, std::move(msg), /*tap=*/true);
+  for (Message& m : extra) deliver(dest, std::move(m), /*tap=*/false);
   return true;
+}
+
+void SimNetwork::deliver(std::shared_ptr<Endpoint> dest, Message&& msg,
+                         bool tap) {
+  if (tap && has_tap_.load(std::memory_order_acquire)) {
+    MutexLock lk(tap_mu_);
+    if (tap_) tap_(msg);
+  }
+  if (virtual_mode()) {
+    enqueue_virtual(std::move(msg));
+    return;
+  }
+  dest->deposit(std::move(msg));
 }
 
 void SimNetwork::apply_crash(const std::string& host) {
@@ -254,8 +376,8 @@ void SimNetwork::apply_crash(const std::string& host) {
   }
   // mark_crashed() both drops queued messages AND makes the endpoint
   // refuse deposits, closing the race with a send() that validated crash
-  // state under mu_ but deposits after releasing it. Once this returns, no
-  // in-flight message can land on the crashed host.
+  // state but deposits later. Once this returns, no in-flight message can
+  // land on the crashed host.
   for (auto& ep : eps) ep->mark_crashed();
 }
 
@@ -280,10 +402,118 @@ void SimNetwork::deposit_swept(Message msg) {
       return;
     }
     dest = it->second;
-    registry().counter("net.fault.reorder.swept").inc();
-    if (msg.deliver_at < now()) msg.deliver_at = now();
+  }
+  registry().counter("net.fault.reorder.swept").inc();
+  if (msg.deliver_at < net_now()) msg.deliver_at = net_now();
+  if (virtual_mode()) {
+    enqueue_virtual(std::move(msg));
+    return;
   }
   dest->deposit(std::move(msg));
+}
+
+// --- virtual-time event loop -------------------------------------------------
+
+void SimNetwork::enqueue_virtual(Message&& msg) {
+  MutexLock lk(vmu_);
+  vqueue_.push(VEvent{msg.deliver_at, vorder_++, std::move(msg), nullptr});
+}
+
+void SimNetwork::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (!virtual_mode()) {
+    throw Error("SimNetwork::schedule_at requires TimeMode::kVirtual");
+  }
+  TimePoint vnow = vclock_.now();
+  if (at < vnow) at = vnow;
+  MutexLock lk(vmu_);
+  vqueue_.push(VEvent{at, vorder_++, Message{}, std::move(fn)});
+}
+
+void SimNetwork::schedule_after(Duration d, std::function<void()> fn) {
+  schedule_at(net_now() + d, std::move(fn));
+}
+
+void SimNetwork::dispatch_delivery(Message&& msg) {
+  std::shared_ptr<Endpoint> dest;
+  {
+    MutexLock lk(mu_);
+    auto it = endpoints_.find(msg.to);
+    if (it != endpoints_.end()) dest = it->second;
+  }
+  if (!dest) {
+    registry().counter("net.vdeliver.gone").inc();
+    BufferPool::recycle(std::move(msg.payload));
+    return;
+  }
+  if (!dest->deliver_now(std::move(msg))) {
+    registry().counter("net.vdeliver.refused").inc();
+  }
+}
+
+std::size_t SimNetwork::run_until(TimePoint t) {
+  if (!virtual_mode()) {
+    throw Error("SimNetwork::run_until requires TimeMode::kVirtual");
+  }
+  std::size_t dispatched = 0;
+  for (;;) {
+    TimePoint qhead = TimePoint::max();
+    {
+      MutexLock lk(vmu_);
+      if (!vqueue_.empty()) qhead = vqueue_.top().at;
+    }
+    TimePoint fdl = faults_->next_virtual_deadline();
+    TimePoint next = std::min(qhead, fdl);
+    if (next > t) break;
+    vclock_.advance_to(next);
+    if (fdl <= next) {
+      // Fault deadlines first at equal timestamps: a plan event taking
+      // effect at T applies before deliveries stamped T, matching the
+      // threaded mode where the worker applies the event and in-flight
+      // messages land after.
+      faults_->advance_virtual(next);
+      ++dispatched;
+      vevents_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    VEvent ev{TimePoint{}, 0, Message{}, nullptr};
+    bool have = false;
+    {
+      MutexLock lk(vmu_);
+      if (!vqueue_.empty() && vqueue_.top().at <= next) {
+        ev = std::move(const_cast<VEvent&>(vqueue_.top()));
+        vqueue_.pop();
+        have = true;
+      }
+    }
+    if (!have) continue;  // a concurrent pop or sweep consumed it
+    ++dispatched;
+    vevents_.fetch_add(1, std::memory_order_relaxed);
+    if (ev.fn) {
+      ev.fn();
+    } else {
+      dispatch_delivery(std::move(ev.msg));
+    }
+  }
+  vclock_.advance_to(t);
+  return dispatched;
+}
+
+std::size_t SimNetwork::run_until_idle(std::size_t horizon) {
+  if (!virtual_mode()) {
+    throw Error("SimNetwork::run_until_idle requires TimeMode::kVirtual");
+  }
+  std::size_t dispatched = 0;
+  while (dispatched < horizon) {
+    TimePoint qhead = TimePoint::max();
+    {
+      MutexLock lk(vmu_);
+      if (!vqueue_.empty()) qhead = vqueue_.top().at;
+    }
+    TimePoint next = std::min(qhead, faults_->next_virtual_deadline());
+    if (next == TimePoint::max()) break;
+    dispatched += run_until(next);
+  }
+  return dispatched;
 }
 
 // --- deprecated forwarding shims over faults() -------------------------------
@@ -315,6 +545,7 @@ void SimNetwork::set_drop_rate(double p) {
 void SimNetwork::set_tap(Tap tap) {
   MutexLock lk(tap_mu_);
   tap_ = std::move(tap);
+  has_tap_.store(static_cast<bool>(tap_), std::memory_order_release);
 }
 
 }  // namespace cqos::net

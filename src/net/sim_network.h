@@ -11,15 +11,37 @@
 // the chaos soak harness and the examples.
 //
 // Delivery is FIFO per sender/receiver pair (latency is deterministic per
-// size ordering is enforced with a sequence tie-break and monotone clamp).
+// size; ordering is enforced with a sequence tie-break and monotone clamp).
+//
+// Two time modes (NetConfig::time_mode, DESIGN.md §14):
+//
+//   kReal    (default) the threaded mode: deliver_at is a wall-clock
+//            deadline and receivers block in Endpoint::recv() until it
+//            matures. The send path is deliberately lock-sharded — endpoint
+//            resolution under mu_, jitter from per-sender RNG streams,
+//            FIFO clamp + seq under per-destination shards, per-pair metric
+//            handles cached — so concurrent senders do not convoy on one
+//            global mutex.
+//
+//   kVirtual the discrete-event mode: nothing sleeps. send() enqueues a
+//            delivery event on a central priority queue; run_until() pops
+//            events in (timestamp, insertion) order, advances the
+//            VirtualClock straight to each event's timestamp and dispatches
+//            it (delivery handlers, timers scheduled via schedule_at, and
+//            the FaultController's plan events / reorder-hold sweeps, which
+//            become virtual deadlines instead of worker-thread waits).
+//            10^5..10^6 modeled endpoints simulate in wall-clock seconds,
+//            fully seeded and reproducible.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <set>
 #include <string>
 #include <utility>
@@ -65,15 +87,33 @@ struct NetConfig {
   /// Latency between endpoints on the same host.
   Duration loopback_latency = us(15);
   /// Uniform jitter fraction applied to the computed latency ([0, jitter]).
+  /// Drawn from a per-sender RNG stream seeded with `seed`, so one sender's
+  /// jitter sequence is independent of how many other senders exist.
   double jitter = 0.05;
   /// Probability that any inter-host message is silently dropped.
   double drop_rate = 0.0;
-  /// RNG seed for jitter/drops (deterministic tests).
+  /// RNG seed for jitter/drops (deterministic tests). Every per-sender
+  /// jitter stream and per-sender fault-decision stream starts from this
+  /// seed, so a single-sender run reproduces the sequences the pre-sharded
+  /// (one shared Rng) network produced.
   std::uint64_t seed = 42;
   /// Metrics registry for wire-level accounting (messages/bytes/drops,
   /// per host pair). Null means the process-wide global registry; tests
   /// that assert exact counter values pass their own.
   metrics::Registry* metrics = nullptr;
+  /// Mint per-host-pair counters ("net.pair.<a>:<b>.*"). Disable for
+  /// modeled scenarios with unbounded host populations — 10^5 modeled
+  /// clients would otherwise mint three counters per (client, server) pair
+  /// touched. Aggregate counters (net.sent.*, net.drop.*) stay on.
+  bool pair_metrics = true;
+  /// Clock the network schedules against (see file header). Virtual mode is
+  /// single-driver oriented: one thread sends and runs the event loop.
+  TimeMode time_mode = TimeMode::kReal;
+  /// Ablation/bench knob: funnel every real-time send through one global
+  /// mutex, reproducing the pre-sharding lock convoy so the contention
+  /// bench can measure what the sharding buys. Never set in production
+  /// paths.
+  bool serialize_send = false;
 };
 
 class SimNetwork;
@@ -88,8 +128,17 @@ class Endpoint {
   const std::string& host() const { return host_; }
 
   /// Block until a message is deliverable (its simulated latency elapsed) or
-  /// `timeout` passes. Returns nullopt on timeout or close.
+  /// `timeout` passes. Returns nullopt on timeout or close. Real-time mode;
+  /// in virtual mode messages land in the inbox already matured, so
+  /// recv(Duration::zero()) drains them without blocking.
   std::optional<Message> recv(Duration timeout);
+
+  /// Virtual-mode push delivery: the scheduler invokes `fn` the moment the
+  /// delivery event fires instead of parking the message in the inbox.
+  /// Handlers may re-enter SimNetwork::send() (e.g. to reply). Unused (and
+  /// never invoked) in real-time mode.
+  using Handler = std::function<void(Message&&)>;
+  void set_handler(Handler fn);
 
   /// Unblock all receivers; subsequent recv() returns nullopt immediately.
   void close();
@@ -100,11 +149,15 @@ class Endpoint {
   friend class FaultController;
   /// Refused (message dropped) while the endpoint's host is crashed or the
   /// endpoint is closed. The crash check lives HERE, at deposit time, not
-  /// only in SimNetwork::send: send() validates crash state under the
-  /// network lock but deposits after releasing it, so a concurrent
-  /// crash_host() would otherwise clear the inbox and still see this
-  /// in-flight message land on a "crashed" host.
+  /// only in SimNetwork::send: send() validates crash state before
+  /// depositing without holding the network lock through the deposit, so a
+  /// concurrent crash_host() would otherwise clear the inbox and still see
+  /// this in-flight message land on a "crashed" host.
   void deposit(Message msg);
+  /// Virtual-mode delivery at event-dispatch time: crash/close check, then
+  /// handler (outside the endpoint lock) or inbox. Returns false when the
+  /// message was refused.
+  bool deliver_now(Message msg);
   /// Crash transitions: mark_crashed() also drops queued messages.
   void mark_crashed();
   void mark_recovered();
@@ -116,6 +169,7 @@ class Endpoint {
   CondVar cv_;
   // Ordered by (deliver_at, seq).
   std::multimap<TimePoint, Message> inbox_ CQOS_GUARDED_BY(mu_);
+  Handler handler_ CQOS_GUARDED_BY(mu_);
   bool closed_ CQOS_GUARDED_BY(mu_) = false;
   bool crashed_ CQOS_GUARDED_BY(mu_) = false;
 };
@@ -158,6 +212,43 @@ class SimNetwork {
   void heal(const std::string& host_a, const std::string& host_b);
   void set_drop_rate(double p);
 
+  // --- time ----------------------------------------------------------------
+
+  TimeMode time_mode() const { return cfg_.time_mode; }
+  bool virtual_mode() const { return cfg_.time_mode == TimeMode::kVirtual; }
+  /// The network's notion of "now": wall clock in real mode, the
+  /// VirtualClock in virtual mode. Lock-free.
+  TimePoint net_now() const {
+    return virtual_mode() ? vclock_.now() : now();
+  }
+
+  // --- virtual-time event loop (kVirtual only; throws Error otherwise) ------
+
+  /// Schedule `fn` at virtual time `at` (clamped forward to the current
+  /// virtual time). Timer events share the delivery queue and fire in
+  /// (timestamp, insertion) order. Used for modeled-client arrivals and
+  /// test timers.
+  void schedule_at(TimePoint at, std::function<void()> fn);
+  void schedule_after(Duration d, std::function<void()> fn);
+
+  /// Advance virtual time to `t`, dispatching every event (delivery, timer,
+  /// fault-plan event, reorder-hold sweep) with timestamp <= t in order.
+  /// Returns the number of events dispatched. Single-driver: must not be
+  /// called concurrently with itself.
+  std::size_t run_until(TimePoint t);
+  std::size_t run_for(Duration d) { return run_until(net_now() + d); }
+
+  /// Run until no event or fault deadline remains (dispatching everything,
+  /// including future fault-plan events), or until `horizon` events have
+  /// been dispatched (a live-lock guard for handler chains that reschedule
+  /// forever). Returns events dispatched.
+  std::size_t run_until_idle(std::size_t horizon = SIZE_MAX);
+
+  /// Total events dispatched by the virtual scheduler so far.
+  std::uint64_t virtual_events() const {
+    return vevents_.load(std::memory_order_relaxed);
+  }
+
   // --- observation ----------------------------------------------------------
 
   /// Wire tap invoked (under no internal lock ordering guarantees) for every
@@ -166,21 +257,77 @@ class SimNetwork {
   using Tap = std::function<void(const Message&)>;
   void set_tap(Tap tap);
 
-  std::uint64_t messages_sent() const { return messages_sent_.load(); }
-  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
+
+  /// The registry this network counts into (cfg.metrics, or the process
+  /// global). Drivers read fault/delivery counters from here.
+  metrics::Registry& metrics_registry() const { return registry(); }
 
   /// Number of per-destination FIFO clamp entries currently retained
   /// (test hook: remove_endpoint must prune its entry or endpoint churn
   /// grows the map without bound).
-  std::size_t fifo_clamp_entries() const {
-    MutexLock lk(mu_);
-    return last_deliver_.size();
-  }
+  std::size_t fifo_clamp_entries() const;
 
   static std::string host_of(const std::string& endpoint_id);
 
  private:
   friend class FaultController;
+
+  static constexpr std::size_t kShards = 16;
+
+  /// Per-destination FIFO clamp + seq assignment, sharded by destination id
+  /// so senders to different destinations never contend. The shard lock is
+  /// what makes (clamp, seq) assignment atomic per destination.
+  struct ClampShard {
+    mutable Mutex mu;
+    std::map<std::string, TimePoint> last CQOS_GUARDED_BY(mu);
+    /// Sent-message tallies striped across the shards (the shard lock is
+    /// already held where they are bumped, so they cost nothing extra);
+    /// messages_sent()/bytes_sent() sum them. Keeping these off shared
+    /// atomics matters: they are touched by every send from every thread.
+    std::uint64_t msgs CQOS_GUARDED_BY(mu) = 0;
+    std::uint64_t bytes CQOS_GUARDED_BY(mu) = 0;
+  };
+  /// Per-sender jitter streams, sharded by sender id. Each stream is seeded
+  /// with cfg.seed, so a sender's jitter sequence is a function of (seed,
+  /// its own sends) only — adding senders does not perturb it, and a
+  /// single-sender run reproduces the pre-sharding shared-stream sequence.
+  struct JitterShard {
+    Mutex mu;
+    std::map<std::string, Rng> rngs CQOS_GUARDED_BY(mu);
+  };
+  /// Cached per-host-pair metric handles: the "net.pair.<from>:<to>.*"
+  /// names are built exactly once per pair instead of three string
+  /// concatenations per send under the network lock.
+  struct PairCounters {
+    metrics::Counter* msgs;
+    metrics::Counter* bytes;
+    metrics::Counter* drops;
+  };
+  struct PairShard {
+    Mutex mu;
+    std::map<std::string, PairCounters> pairs CQOS_GUARDED_BY(mu);
+  };
+
+  /// One entry on the virtual event queue: a delivery (fn empty) or a timer
+  /// callback. Ordered by (at, order) where `order` is queue-insertion
+  /// order — equal-timestamp events dispatch in the order they were
+  /// scheduled, mirroring the inbox multimap's insertion-order tie-break.
+  struct VEvent {
+    TimePoint at;
+    std::uint64_t order;
+    Message msg;
+    std::function<void()> fn;
+  };
+  struct VEventLater {
+    bool operator()(const VEvent& a, const VEvent& b) const {
+      return a.at != b.at ? a.at > b.at : a.order > b.order;
+    }
+  };
+
+  bool send_impl(const std::string& from, const std::string& to,
+                 Bytes&& payload);
 
   /// Crash/recover application: mark the host's endpoints (the fault state
   /// itself lives in the controller). Called by FaultController with no
@@ -192,40 +339,73 @@ class SimNetwork {
   /// the message is late by construction.
   void deposit_swept(Message msg);
 
+  /// Deliver in the current mode: enqueue a virtual delivery event, or tap
+  /// (when `tap` is set) + deposit into the destination's inbox.
+  void deliver(std::shared_ptr<Endpoint> dest, Message&& msg, bool tap);
+  void enqueue_virtual(Message&& msg);
+  void dispatch_delivery(Message&& msg);
+
   /// Wire-level accounting into cfg_.metrics (global registry when null):
   /// net.sent.{msgs,bytes}, net.drop.<reason>, and the per-host-pair
-  /// variants net.pair.<from>:<to>.{msgs,bytes,drops}.
+  /// variants net.pair.<from>:<to>.{msgs,bytes,drops}. Lock-cheap: handles
+  /// resolved once per host pair, counters are wait-free.
   void count_send(const std::string& from_host, const std::string& to_host,
-                  std::size_t bytes) CQOS_REQUIRES(mu_);
+                  std::size_t bytes);
   void count_drop(const std::string& from_host, const std::string& to_host,
-                  const char* reason) CQOS_REQUIRES(mu_);
-  metrics::Registry& registry() CQOS_REQUIRES(mu_) {
+                  const char* reason);
+  PairCounters& pair_counters(const std::string& from_host,
+                              const std::string& to_host);
+  metrics::Registry& registry() const {
     return cfg_.metrics != nullptr ? *cfg_.metrics
                                    : metrics::Registry::global();
   }
 
-  Duration compute_latency(const std::string& from_host,
-                           const std::string& to_host, std::size_t bytes)
-      CQOS_REQUIRES(mu_);
+  /// Latency model: base/loopback + per-byte, plus a jitter fraction drawn
+  /// from the sender's own stream.
+  Duration compute_latency(const std::string& from,
+                           const std::string& from_host,
+                           const std::string& to_host, std::size_t bytes);
 
-  // Lock hierarchy: mu_ > tap_mu_ > Endpoint::mu_, in the sense that send()
-  // releases mu_ before taking tap_mu_ and releases tap_mu_ before
-  // deposit() takes the endpoint lock. Exceptions consistent with that
-  // order: create_endpoint() marks a brand-new (unpublished) endpoint
-  // crashed under mu_, and the metrics registry mutex is a leaf taken by
-  // count_send()/count_drop() under mu_.
+  static std::size_t shard_of(const std::string& key) {
+    return std::hash<std::string>{}(key) % kShards;
+  }
+
+  // Lock hierarchy (DESIGN.md §8/§14): mu_ (endpoint map) > jitter shard >
+  // clamp shard > FaultController::mu_ > tap_mu_ > Endpoint::mu_. No two
+  // shard locks are ever held together; judge() takes the controller lock
+  // with nothing else held, hold()/on_send() are called under the
+  // destination's clamp shard (keeping per-destination release bookkeeping
+  // atomic with clamp/seq assignment); deposits take only Endpoint::mu_.
+  // The metrics registry mutex is a leaf of pair_counters() misses. The
+  // virtual queue lock vmu_ is a leaf (push/pop only, never held across
+  // dispatch).
   mutable Mutex mu_;
-  NetConfig cfg_ CQOS_GUARDED_BY(mu_);
+  const NetConfig cfg_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_
       CQOS_GUARDED_BY(mu_);
-  Rng rng_ CQOS_GUARDED_BY(mu_);
-  std::uint64_t next_seq_ CQOS_GUARDED_BY(mu_) = 1;
-  // Per-destination monotone deliver_at clamp: keeps FIFO even with jitter.
-  std::map<std::string, TimePoint> last_deliver_ CQOS_GUARDED_BY(mu_);
-  Mutex tap_mu_ CQOS_ACQUIRED_AFTER(mu_);
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::array<ClampShard, kShards> clamp_shards_;
+  std::array<JitterShard, kShards> jitter_shards_;
+  std::array<PairShard, kShards> pair_shards_;
+  /// serialize_send ablation: one global lock around the whole send body.
+  Mutex serial_mu_;
+  Mutex tap_mu_;
   Tap tap_ CQOS_GUARDED_BY(tap_mu_);
-  std::atomic<std::uint64_t> messages_sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<bool> has_tap_{false};
+  /// Aggregate send counters resolved once at construction: count_send runs
+  /// on every send, and a by-name registry lookup there is a global
+  /// mutex + map walk that serializes concurrent senders.
+  metrics::Counter* sent_msgs_counter_ = nullptr;
+  metrics::Counter* sent_bytes_counter_ = nullptr;
+
+  // Virtual-time scheduler state.
+  VirtualClock vclock_;
+  mutable Mutex vmu_;
+  std::priority_queue<VEvent, std::vector<VEvent>, VEventLater> vqueue_
+      CQOS_GUARDED_BY(vmu_);
+  std::uint64_t vorder_ CQOS_GUARDED_BY(vmu_) = 0;
+  std::atomic<std::uint64_t> vevents_{0};
+
   // Declared last: destroyed first, joining the controller's scheduler
   // thread while the endpoint map it deposits into is still alive.
   std::unique_ptr<FaultController> faults_;

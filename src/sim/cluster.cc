@@ -36,6 +36,14 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)), net_(opts_.net) 
   if (!opts_.servant_factory) {
     throw ConfigError("ClusterOptions.servant_factory is required");
   }
+  if (opts_.net.time_mode == TimeMode::kVirtual) {
+    // The cluster's replicas run real threads blocking in Endpoint::recv();
+    // virtual time has no scheduler driving those waits. Modeled-load
+    // scenarios (sim/modeled_load.h) are the virtual-mode driver.
+    throw ConfigError(
+        "ClusterOptions.net.time_mode: Cluster requires TimeMode::kReal "
+        "(use sim/modeled_load.h for virtual-time scenarios)");
+  }
 
   if (opts_.platform == PlatformKind::kCorba) {
     agent_ = std::make_unique<corba::SmartAgent>(net_, "nameserver");

@@ -1,0 +1,201 @@
+#include "sim/modeled_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/fault.h"
+
+namespace cqos::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_fold(std::uint64_t digest, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (v >> (i * 8)) & 0xffU;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+Duration exp_gap(Rng& rng, double rate_hz) {
+  // Inverse-CDF exponential inter-arrival; clamped to >= 1ns so the event
+  // chain always advances virtual time.
+  double u = rng.next_double();
+  double secs = -std::log1p(-u) / rate_hz;
+  auto ns = static_cast<std::int64_t>(secs * 1e9);
+  return std::chrono::nanoseconds(ns < 1 ? 1 : ns);
+}
+
+}  // namespace
+
+std::vector<std::string> ModeledStats::check(bool expect_fifo) const {
+  std::vector<std::string> v;
+  if (accepted + duplicates != delivered + refused) {
+    v.push_back("conservation: accepted " + std::to_string(accepted) +
+                " + duplicates " + std::to_string(duplicates) +
+                " != delivered " + std::to_string(delivered) + " + refused " +
+                std::to_string(refused));
+  }
+  if (attempted != accepted + send_drops) {
+    v.push_back("send accounting: attempted " + std::to_string(attempted) +
+                " != accepted " + std::to_string(accepted) + " + send_drops " +
+                std::to_string(send_drops));
+  }
+  if (double_deliveries != 0) {
+    v.push_back("double delivery: " + std::to_string(double_deliveries) +
+                " wire seqs arrived more than once");
+  }
+  if (expect_fifo && fifo_violations != 0) {
+    v.push_back("fifo: " + std::to_string(fifo_violations) +
+                " per-destination sequence regressions");
+  }
+  return v;
+}
+
+ModeledStats run_modeled(net::SimNetwork& net, const ModeledOptions& opts) {
+  if (!net.virtual_mode()) {
+    throw ConfigError(
+        "run_modeled requires NetConfig::time_mode = TimeMode::kVirtual");
+  }
+  if (opts.servers == 0 || opts.clients == 0) {
+    throw ConfigError("run_modeled: clients and servers must be > 0");
+  }
+
+  metrics::Registry& reg = net.metrics_registry();
+  const std::uint64_t dup0 = reg.counter("net.fault.duplicate").value();
+  const std::uint64_t refused0 = reg.counter("net.vdeliver.refused").value();
+  const std::uint64_t gone0 = reg.counter("net.vdeliver.gone").value();
+  const std::uint64_t events0 = net.virtual_events();
+  const TimePoint wall0 = now();
+  const TimePoint t0 = net.net_now();
+  const TimePoint t_end = t0 + opts.duration;
+
+  ModeledStats stats;
+
+  // Server endpoints with push handlers; delivery-order bookkeeping is
+  // single-threaded (the virtual scheduler is single-driver).
+  std::vector<std::shared_ptr<net::Endpoint>> eps;
+  std::vector<std::string> dest_ids;
+  std::vector<std::uint64_t> last_seq(opts.servers, 0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(
+      opts.arrival_rate_hz * std::chrono::duration<double>(opts.duration).count() * 1.3));
+  stats.order_digest = kFnvOffset;
+  Rng fwd_rng(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < opts.servers; ++i) {
+    dest_ids.push_back("s" + std::to_string(i) + "/srv");
+    auto ep = net.create_endpoint(dest_ids.back());
+    ep->set_handler([&, i](net::Message&& m) {
+      ++stats.delivered;
+      stats.order_digest = fnv_fold(stats.order_digest, i);
+      stats.order_digest = fnv_fold(stats.order_digest, m.seq);
+      if (!seen.insert(m.seq).second) ++stats.double_deliveries;
+      if (m.seq <= last_seq[i]) ++stats.fifo_violations;
+      last_seq[i] = std::max(last_seq[i], m.seq);
+      // One-hop ring forward of client traffic (server->server replication
+      // model): the only flow a rolling server-pair partition can cut.
+      if (opts.forward_rate > 0 && !m.from.empty() && m.from[0] == 'c' &&
+          fwd_rng.next_bool(opts.forward_rate)) {
+        Bytes copy = m.payload;
+        ++stats.attempted;
+        if (net.send(dest_ids[i], dest_ids[(i + 1) % opts.servers],
+                     std::move(copy))) {
+          ++stats.accepted;
+        } else {
+          ++stats.send_drops;
+        }
+      }
+      BufferPool::recycle(std::move(m.payload));
+    });
+    eps.push_back(std::move(ep));
+  }
+
+  // Zipf(s) CDF over server rank (rank 0 hottest); s = 0 degrades to
+  // uniform.
+  std::vector<double> cdf(opts.servers);
+  double total = 0.0;
+  for (std::size_t i = 0; i < opts.servers; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), opts.zipf_s);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  if (opts.rolling_partition) {
+    // Partition each adjacent server-host pair in turn; heal half a period
+    // later. Ring sweep: the last pair wraps to server 0.
+    net::FaultPlan plan;
+    plan.name = "rolling-partition-sweep";
+    plan.seed = opts.seed;
+    for (std::size_t i = 0; i < opts.servers; ++i) {
+      std::string a = "s" + std::to_string(i);
+      std::string b = "s" + std::to_string((i + 1) % opts.servers);
+      net::FaultEvent cut;
+      cut.at = opts.partition_period * static_cast<std::int64_t>(i);
+      cut.kind = net::FaultKind::kPartition;
+      cut.host_a = a;
+      cut.host_b = b;
+      plan.events.push_back(cut);
+      net::FaultEvent mend = cut;
+      mend.at = cut.at + opts.partition_period / 2;
+      mend.kind = net::FaultKind::kHeal;
+      plan.events.push_back(mend);
+    }
+    std::stable_sort(
+        plan.events.begin(), plan.events.end(),
+        [](const net::FaultEvent& a, const net::FaultEvent& b) { return a.at < b.at; });
+    net.faults().run_plan(std::move(plan));
+  }
+
+  Rng rng(opts.seed);
+  const Bytes payload_template(opts.payload_bytes, 0xa5);
+  const Duration flash_end = opts.flash_start + opts.flash_len;
+
+  // Open-loop arrival chain: each tick sends one message from a uniformly
+  // drawn client to a zipf-drawn server, then schedules the next arrival.
+  std::function<void()> tick = [&]() {
+    TimePoint nw = net.net_now();
+    if (nw >= t_end) return;  // stop offering load; in-flight drains below
+    std::size_t client = static_cast<std::size_t>(rng.next_below(opts.clients));
+    double u = rng.next_double();
+    std::size_t dest = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (dest >= opts.servers) dest = opts.servers - 1;
+    ++stats.attempted;
+    Bytes buf = payload_template;
+    if (net.send("c" + std::to_string(client), dest_ids[dest], std::move(buf))) {
+      ++stats.accepted;
+    } else {
+      ++stats.send_drops;
+    }
+    double rate = opts.arrival_rate_hz;
+    Duration off = nw - t0;
+    if (opts.flash_crowd && off >= opts.flash_start && off < flash_end) {
+      rate *= opts.flash_multiplier;
+    }
+    net.schedule_after(exp_gap(rng, rate), tick);
+  };
+  net.schedule_after(exp_gap(rng, opts.arrival_rate_hz), tick);
+
+  net.run_until(t_end);
+  // Drain: in-flight deliveries and any remaining plan events (heals past
+  // t_end) — conservation is only checkable on a drained network.
+  net.run_until_idle();
+
+  stats.duplicates = reg.counter("net.fault.duplicate").value() - dup0;
+  stats.refused = reg.counter("net.vdeliver.refused").value() - refused0 +
+                  reg.counter("net.vdeliver.gone").value() - gone0;
+  stats.events = net.virtual_events() - events0;
+  stats.virtual_elapsed = net.net_now() - t0;
+  stats.wall_ms = to_ms(now() - wall0);
+
+  for (auto& ep : eps) net.remove_endpoint(ep->id());
+  return stats;
+}
+
+}  // namespace cqos::sim

@@ -1,0 +1,110 @@
+// Modeled-client load driver for virtual-time SimNetwork scenarios.
+//
+// The Cluster (sim/cluster.h) runs real replica threads and therefore only
+// works in TimeMode::kReal. This driver is its virtual-time counterpart: it
+// models 10^5..10^6 clients WITHOUT an endpoint or thread per client —
+// clients are sender identities drawn per arrival, servers are push-handler
+// endpoints, and the open-loop arrival process is a chained timer event on
+// the SimNetwork's discrete-event queue. A 100k-client, multi-hundred-
+// thousand-message scenario simulates in wall-clock seconds, fully seeded.
+//
+// Traffic model
+//   - Open-loop Poisson arrivals at an aggregate rate (arrivals never wait
+//     for responses, so overload cannot throttle the offered load).
+//   - Destination skew: zipf(s) over the server rank (s = 0 gives uniform),
+//     the classic hot-shard shape.
+//   - Profiles: a flash crowd (rate multiplied within a window) and a
+//     rolling partition sweep (a FaultPlan that partitions each adjacent
+//     server pair in turn, then heals it).
+//
+// Invariants checked on the delivered stream (ModeledStats::check):
+//   - conservation: every accepted send is delivered or accounted as
+//     refused/expired by a crash — nothing vanishes;
+//   - no double delivery: each wire sequence number arrives at most once;
+//   - per-destination FIFO: sequence numbers arrive monotonically per
+//     server unless reorder faults are enabled.
+//
+// Determinism: with a fixed ModeledOptions::seed and NetConfig::seed the
+// run is exactly reproducible — ModeledStats::order_digest (FNV-1a over the
+// delivery order) and every counter match across runs (the mode-equivalence
+// and scale benches rely on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/sim_network.h"
+
+namespace cqos::sim {
+
+struct ModeledOptions {
+  /// Modeled client population: senders are "c<k>" identities drawn
+  /// uniformly per arrival (each owns its jitter/fault RNG streams).
+  std::size_t clients = 100000;
+  /// Server endpoints "s<i>/srv", one per simulated server host.
+  std::size_t servers = 16;
+  /// Zipf exponent for destination skew; 0 = uniform over servers.
+  double zipf_s = 1.0;
+  /// Aggregate open-loop arrival rate (messages per simulated second).
+  double arrival_rate_hz = 100000.0;
+  /// Simulated run length (virtual time).
+  Duration duration = std::chrono::seconds(2);
+  std::size_t payload_bytes = 64;
+  /// Seed for the driver's own draws (arrival gaps, sender/destination
+  /// picks). Independent of NetConfig::seed (jitter/fault streams).
+  std::uint64_t seed = 1;
+
+  /// Flash crowd: multiply the arrival rate within [flash_start,
+  /// flash_start + flash_len).
+  bool flash_crowd = false;
+  Duration flash_start = std::chrono::milliseconds(500);
+  Duration flash_len = std::chrono::milliseconds(500);
+  double flash_multiplier = 8.0;
+
+  /// Rolling partition sweep: partition server pair (i, i+1) at
+  /// i * partition_period, heal it half a period later, sweeping the whole
+  /// ring over the run.
+  bool rolling_partition = false;
+  Duration partition_period = std::chrono::milliseconds(200);
+
+  /// Probability a delivered client message is forwarded once from its
+  /// server to the next server on the ring (a one-hop replication model).
+  /// This is the traffic a rolling partition actually cuts — client->server
+  /// sends never cross a server-pair partition.
+  double forward_rate = 0.0;
+
+  /// Expect per-destination FIFO (disable when enabling reorder faults).
+  bool expect_fifo = true;
+};
+
+struct ModeledStats {
+  std::uint64_t attempted = 0;   // send() calls issued by the driver
+  std::uint64_t accepted = 0;    // send() returned true
+  std::uint64_t send_drops = 0;  // send() returned false (faults)
+  std::uint64_t delivered = 0;   // messages handed to server handlers
+  std::uint64_t duplicates = 0;  // extra wire copies injected by faults
+  std::uint64_t refused = 0;     // queued deliveries refused (crash/close)
+  std::uint64_t events = 0;      // virtual events dispatched during the run
+  std::uint64_t fifo_violations = 0;
+  std::uint64_t double_deliveries = 0;
+  /// FNV-1a over (destination, seq) in delivery order: two runs at the same
+  /// seeds match bit-for-bit.
+  std::uint64_t order_digest = 0;
+  /// Virtual time consumed and wall-clock time spent.
+  Duration virtual_elapsed{};
+  double wall_ms = 0.0;
+
+  /// Invariant violations, empty when the run is clean. `expect_fifo`
+  /// mirrors ModeledOptions::expect_fifo.
+  std::vector<std::string> check(bool expect_fifo = true) const;
+};
+
+/// Run a modeled-client scenario on `net`, which must be in
+/// TimeMode::kVirtual (throws ConfigError otherwise). Registers `servers`
+/// endpoints, drives arrivals for opts.duration of virtual time, then runs
+/// the event queue to idle so every in-flight delivery lands.
+ModeledStats run_modeled(net::SimNetwork& net, const ModeledOptions& opts);
+
+}  // namespace cqos::sim

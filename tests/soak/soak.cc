@@ -8,8 +8,10 @@
 #include <thread>
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "cqos/verify.h"
+#include "sim/modeled_load.h"
 #include "micro/standard.h"
 #include "sim/bank_account.h"
 #include "sim/cluster.h"
@@ -450,6 +452,60 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
             std::to_string(stable[0].size()) + ")");
       }
     }
+  }
+  return out;
+}
+
+// --- virtual-time soak -------------------------------------------------------
+
+std::vector<std::string> virtual_soak_profiles() {
+  return {"zipf-flash-crowd", "rolling-partition-sweep"};
+}
+
+SoakOutcome run_virtual_soak(const std::string& profile, std::uint64_t seed) {
+  sim::ModeledOptions opts;
+  opts.seed = seed;
+  opts.clients = 20000;
+  opts.servers = 8;
+  opts.arrival_rate_hz = 80000;
+  opts.duration = std::chrono::seconds(1);
+  if (profile == "zipf-flash-crowd") {
+    opts.zipf_s = 1.2;
+    opts.flash_crowd = true;
+    opts.flash_start = ms(300);
+    opts.flash_len = ms(300);
+    opts.flash_multiplier = 6.0;
+  } else if (profile == "rolling-partition-sweep") {
+    opts.zipf_s = 0.8;
+    opts.rolling_partition = true;
+    opts.partition_period = ms(120);
+    opts.forward_rate = 0.25;  // ring traffic the partitions actually cut
+  } else {
+    throw ConfigError("soak: unknown virtual profile " + profile);
+  }
+
+  net::NetConfig net_cfg;
+  net_cfg.time_mode = TimeMode::kVirtual;
+  net_cfg.seed = seed;
+  net_cfg.pair_metrics = false;  // 20k modeled clients: no per-pair counters
+  metrics::Registry reg;
+  net_cfg.metrics = &reg;
+  net::SimNetwork net(net_cfg);
+  sim::ModeledStats stats = sim::run_modeled(net, opts);
+
+  SoakOutcome out;
+  out.config = "modeled-virtual";
+  out.profile = profile;
+  out.seed = seed;
+  out.acked = static_cast<int>(stats.delivered);
+  out.failed = static_cast<int>(stats.send_drops);
+  out.violations = stats.check(opts.expect_fifo);
+  out.trace = net.faults().event_trace();
+  if (opts.rolling_partition) {
+    // The plan the driver built, for the failure printout.
+    out.plan_text = "rolling partition sweep over " +
+                    std::to_string(opts.servers) + " hosts, period " +
+                    std::to_string(to_ms(opts.partition_period)) + "ms\n";
   }
   return out;
 }

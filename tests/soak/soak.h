@@ -81,4 +81,21 @@ net::FaultPlan make_profile_plan(const std::string& profile,
 SoakOutcome run_soak(const std::string& config, const std::string& profile,
                      std::uint64_t seed, const SoakOptions& opts = {});
 
+// --- virtual-time soak (discrete-event SimNetwork, DESIGN.md §14) ------------
+
+/// Profiles for the modeled-load virtual-time driver: "zipf-flash-crowd"
+/// (hot-shard skew + an arrival-rate flash window) and
+/// "rolling-partition-sweep" (each adjacent server-host pair partitioned in
+/// turn). Tens of thousands of modeled clients simulate in well under a
+/// second of wall clock, so these run in CI at scales the threaded cluster
+/// soak cannot touch.
+std::vector<std::string> virtual_soak_profiles();
+
+/// Run one virtual-time soak: modeled-load invariants (conservation, no
+/// double delivery, per-destination FIFO) stand in for the cluster
+/// invariants; `acked` counts delivered messages, `failed` counts sends
+/// dropped by faults. Fully seeded and bit-reproducible. Throws ConfigError
+/// for unknown profiles.
+SoakOutcome run_virtual_soak(const std::string& profile, std::uint64_t seed);
+
 }  // namespace cqos::soak

@@ -4,6 +4,8 @@
 //   chaos_soak --seeds=3               # N seeds per (config, profile) cell
 //   chaos_soak --config=passive-rep    # one config, all sound profiles
 //   chaos_soak --config=X --profile=Y --seed=7   # reproduce one run
+//   chaos_soak --virtual               # virtual-time modeled-load profiles
+//   chaos_soak --virtual --profile=zipf-flash-crowd --seed=3
 //
 // Exit status 0 iff every run held all invariants. A failing run prints its
 // seed, plan text and applied-event trace; the printed repro command
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   std::string profile;
   std::uint64_t seed = 0;
   bool seed_set = false;
+  bool virtual_mode = false;
   int seeds_per_cell = 1;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = arg_value(argv[i], "--config")) {
@@ -55,12 +58,38 @@ int main(int argc, char** argv) {
       seed_set = true;
     } else if (const char* v = arg_value(argv[i], "--seeds")) {
       seeds_per_cell = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--virtual") == 0) {
+      virtual_mode = true;
     } else {
       std::fprintf(stderr,
-                   "usage: chaos_soak [--config=NAME] [--profile=NAME] "
-                   "[--seed=N] [--seeds=N]\n");
+                   "usage: chaos_soak [--virtual] [--config=NAME] "
+                   "[--profile=NAME] [--seed=N] [--seeds=N]\n");
       return 2;
     }
+  }
+
+  if (virtual_mode) {
+    std::vector<std::string> profiles =
+        profile.empty() ? cqos::soak::virtual_soak_profiles()
+                        : std::vector<std::string>{profile};
+    int runs = 0, failures = 0;
+    for (const std::string& p : profiles) {
+      for (int s = 0; s < (seed_set ? 1 : seeds_per_cell); ++s) {
+        std::uint64_t run_seed =
+            seed_set ? seed : 1 + static_cast<std::uint64_t>(s);
+        cqos::soak::SoakOutcome out = cqos::soak::run_virtual_soak(p, run_seed);
+        ++runs;
+        if (out.ok()) {
+          std::printf("%s\n", out.summary().c_str());
+        } else {
+          ++failures;
+          print_failure(out);
+        }
+        std::fflush(stdout);
+      }
+    }
+    std::printf("chaos_soak: %d virtual runs, %d failed\n", runs, failures);
+    return failures == 0 ? 0 : 1;
   }
 
   std::vector<std::string> configs =

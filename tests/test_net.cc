@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/sync.h"
 #include "net/fault.h"
 #include "net/sim_network.h"
@@ -303,6 +306,112 @@ TEST(SimNetwork, ConcurrentSendersAllDeliver) {
   int received = 0;
   while (sink->recv(ms(200)).has_value()) ++received;
   EXPECT_EQ(received, kSenders * kEach);
+}
+
+// --- RNG stream split regressions --------------------------------------------
+// Jitter and fault decisions each come from per-sender streams seeded with
+// NetConfig::seed. These pin the single-sender sequences to the pre-split
+// shared-Rng behaviour (one Rng(seed) consumed in traffic order) and verify
+// sender independence — the property the split buys.
+
+TEST(SimNetworkRngSplit, SingleSenderDropSequenceMatchesSeededRng) {
+  constexpr std::uint64_t kSeed = 7;
+  constexpr double kDrop = 0.5;
+  constexpr int kSends = 200;
+  NetConfig cfg = fast_config();
+  cfg.seed = kSeed;
+  cfg.drop_rate = kDrop;
+  SimNetwork net(cfg);
+  auto dst = net.create_endpoint("hostB/y");
+  std::vector<bool> got;
+  for (int i = 0; i < kSends; ++i) {
+    got.push_back(net.send("hostA/x", "hostB/y", Bytes{1}));
+  }
+  // Pre-split reference: one shared Rng(seed), one next_bool(drop) per
+  // inter-host message.
+  Rng ref(kSeed);
+  std::vector<bool> want;
+  for (int i = 0; i < kSends; ++i) want.push_back(!ref.next_bool(kDrop));
+  EXPECT_EQ(got, want);
+  (void)dst;
+}
+
+TEST(SimNetworkRngSplit, SingleSenderJitterSequenceMatchesSeededRng) {
+  constexpr std::uint64_t kSeed = 13;
+  constexpr int kSends = 50;
+  NetConfig cfg;
+  cfg.seed = kSeed;
+  cfg.jitter = 0.25;
+  cfg.time_mode = TimeMode::kVirtual;  // deliver_at is exact virtual latency
+  SimNetwork net(cfg);
+  auto dst = net.create_endpoint("hostB/y");
+  std::vector<TimePoint> stamps;
+  net.set_tap([&](const Message& m) { stamps.push_back(m.deliver_at); });
+  for (int i = 0; i < kSends; ++i) {
+    ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes(16, 0)));
+  }
+  ASSERT_EQ(stamps.size(), static_cast<std::size_t>(kSends));
+  // Pre-split reference: one shared Rng(seed), one next_double per message.
+  Rng ref(kSeed);
+  Duration base = cfg.base_latency + cfg.per_byte * 16;
+  for (int i = 0; i < kSends; ++i) {
+    double j = ref.next_double() * cfg.jitter;
+    Duration want = base + std::chrono::duration_cast<Duration>(
+                               std::chrono::duration<double>(
+                                   std::chrono::duration<double>(base).count() * j));
+    // Sent at virtual t=0 with no clamp interference beyond monotonicity;
+    // jitter >= 0 keeps the sequence non-decreasing only per coincidence,
+    // so compare against the unclamped expectation via max-so-far.
+    TimePoint unclamped = TimePoint{} + want;
+    TimePoint expect = i == 0 ? unclamped : std::max(stamps[i - 1], unclamped);
+    EXPECT_EQ(stamps[i], expect) << "jitter draw " << i << " diverged";
+  }
+  (void)dst;
+}
+
+TEST(SimNetworkRngSplit, SenderSequencesIndependentOfOtherSenders) {
+  constexpr std::uint64_t kSeed = 21;
+  constexpr double kDrop = 0.4;
+  constexpr int kSends = 120;
+  auto run = [&](bool with_b) {
+    NetConfig cfg = fast_config();
+    cfg.seed = kSeed;
+    cfg.drop_rate = kDrop;
+    SimNetwork net(cfg);
+    auto dst = net.create_endpoint("hostC/z");
+    std::vector<bool> a_outcomes;
+    for (int i = 0; i < kSends; ++i) {
+      if (with_b) {
+        // Interleave another sender's traffic; pre-split this shifted A's
+        // draws, post-split it must not.
+        net.send("hostB/other", "hostC/z", Bytes{2});
+      }
+      a_outcomes.push_back(net.send("hostA/x", "hostC/z", Bytes{1}));
+    }
+    (void)dst;
+    return a_outcomes;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SimNetworkRngSplit, PairCountersSurviveEndpointChurn) {
+  // The cached per-pair metric handles must keep counting across endpoint
+  // remove/recreate cycles (handles cache counters, not endpoints).
+  metrics::Registry reg;
+  NetConfig cfg = fast_config();
+  cfg.metrics = &reg;
+  SimNetwork net(cfg);
+  for (int round = 0; round < 3; ++round) {
+    auto ep = net.create_endpoint("hostB/y");
+    ASSERT_TRUE(net.send("hostA/x", "hostB/y", Bytes{1, 2}));
+    ASSERT_TRUE(ep->recv(ms(1000)).has_value());
+    net.remove_endpoint("hostB/y");
+    EXPECT_FALSE(net.send("hostA/x", "hostB/y", Bytes{3}));
+  }
+  EXPECT_EQ(reg.counter("net.pair.hostA:hostB.msgs").value(), 3u);
+  EXPECT_EQ(reg.counter("net.pair.hostA:hostB.bytes").value(), 6u);
+  EXPECT_EQ(reg.counter("net.pair.hostA:hostB.drops").value(), 3u);
+  EXPECT_EQ(reg.counter("net.drop.unknown_dest").value(), 3u);
 }
 
 }  // namespace

@@ -161,5 +161,18 @@ TEST(SoakMatrix, ProfileSoundnessIsEnforced) {
   EXPECT_EQ(soak::soak_configs().size(), 4u);
 }
 
+TEST(VirtualSoak, ProfilesHoldInvariantsAndReproduce) {
+  for (const std::string& p : soak::virtual_soak_profiles()) {
+    soak::SoakOutcome a = soak::run_virtual_soak(p, 1);
+    EXPECT_TRUE(a.ok()) << a.summary();
+    EXPECT_GT(a.acked, 1000);
+    soak::SoakOutcome b = soak::run_virtual_soak(p, 1);
+    EXPECT_EQ(a.acked, b.acked) << p;  // bit-reproducible at the same seed
+    EXPECT_EQ(a.failed, b.failed) << p;
+    EXPECT_EQ(a.trace, b.trace) << p;
+  }
+  EXPECT_THROW(soak::run_virtual_soak("no-such-profile", 1), ConfigError);
+}
+
 }  // namespace
 }  // namespace cqos::sim

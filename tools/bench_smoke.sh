@@ -16,7 +16,7 @@ shift $(( $# > 0 ? 1 : 0 ))
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(bench_table1 bench_table2 bench_table3 bench_degraded
-           bench_overload)
+           bench_overload bench_scale)
 fi
 OUT_DIR="${CQOS_BENCH_OUT_DIR:-$BUILD_DIR/bench-out}"
 mkdir -p "$OUT_DIR"
@@ -64,7 +64,8 @@ def check_rows(path, rows):
                 fail(f"{path}: row {row['label']}: bad {k}={row[k]!r}")
         if row["p50_ms"] > row["p99_ms"]:
             fail(f"{path}: row {row['label']}: p50 > p99")
-        if "class" in row and row["class"] not in ("high", "low"):
+        if "class" in row and row["class"] not in ("high", "low",
+                                                   "virtual", "real"):
             fail(f"{path}: row {row['label']}: bad class {row['class']!r}")
 
 for t, want in expected_rows.items():
@@ -159,6 +160,42 @@ if "bench_overload" in benches:
              "overload (acceptance: <= 2x)")
     print(f"{path.name}: {len(rows)} rows OK, "
           f"{counters['cqos.admission.rejected.low']} admission rejects")
+
+# BENCH_scale.json: virtual-time scale + send-path contention. The virtual
+# rows must carry a positive wall-per-event cost, and the exported scale.*
+# counters must prove the acceptance scenario ran: >= 100k modeled clients,
+# a non-trivial event count, and bit-identical same-seed runs.
+if "bench_scale" in benches:
+    path = out_dir / "BENCH_scale.json"
+    if not path.exists():
+        fail(f"{path} missing")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "scale":
+        fail(f"{path}: bench={doc.get('bench')!r}, want 'scale'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != 5:
+        fail(f"{path}: {len(rows or [])} rows, want 5")
+    labels = {row.get("label") for row in rows}
+    for want_label in ("virtual-zipf-flash-100k",
+                       "virtual-rolling-partition-100k",
+                       "contend-1", "contend-4", "contend-4-serialized"):
+        if want_label not in labels:
+            fail(f"{path}: missing row {want_label}")
+    check_rows(path, rows)
+    for row in rows:
+        if row["label"].startswith("virtual-") and row["mean_ms"] <= 0:
+            fail(f"{path}: row {row['label']}: wall-per-event is zero")
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters.get("scale.clients", 0) < 100000:
+        fail(f"{path}: scale.clients={counters.get('scale.clients')} — "
+             "the 100k-modeled-client scenario never ran")
+    if counters.get("scale.events", 0) <= 100000:
+        fail(f"{path}: scale.events={counters.get('scale.events')} — "
+             "suspiciously few virtual events dispatched")
+    if counters.get("scale.runs_match", 0) < 1:
+        fail(f"{path}: scale.runs_match=0 — same-seed runs diverged")
+    print(f"{path.name}: {len(rows)} rows OK, "
+          f"{counters['scale.events']} virtual events, runs match")
 
 print("bench_smoke: all BENCH JSON files valid")
 EOF

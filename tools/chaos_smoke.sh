@@ -20,3 +20,6 @@ fi
 
 echo "== chaos_soak matrix (seeds per cell: $SEEDS)"
 "$bin" --seeds="$SEEDS"
+
+echo "== chaos_soak virtual-time modeled-load profiles (seeds per cell: $SEEDS)"
+"$bin" --virtual --seeds="$SEEDS"
