@@ -312,6 +312,7 @@ void BM_NetDeliver(benchmark::State& state, bool pooled) {
   cfg.per_byte = {};
   cfg.loopback_latency = {};
   cfg.jitter = 0;
+  // cqos-lint: allow-transport-construction (sim-only ablation: needs the concrete simulator)
   net::SimNetwork net(cfg);
   net.create_endpoint("host/a");
   auto b = net.create_endpoint("host/b");

@@ -42,6 +42,7 @@ sim::ModeledStats run_zipf(std::uint64_t seed) {
   cfg.seed = 4242;
   cfg.metrics = &reg;
   cfg.pair_metrics = false;  // 100k clients would mint a counter per pair
+  // cqos-lint: allow-transport-construction (virtual-time scenario: simulator-specific API)
   net::SimNetwork net(cfg);
   sim::ModeledOptions opts;
   opts.clients = 100000;
@@ -64,6 +65,7 @@ sim::ModeledStats run_rolling(std::uint64_t seed) {
   cfg.seed = 4242;
   cfg.metrics = &reg;
   cfg.pair_metrics = false;
+  // cqos-lint: allow-transport-construction (virtual-time scenario: simulator-specific API)
   net::SimNetwork net(cfg);
   sim::ModeledOptions opts;
   opts.clients = 100000;
@@ -88,6 +90,7 @@ double contention_run(int senders, int per_sender, bool serialize, int reps) {
     cfg.jitter = 0.05;
     cfg.seed = 99;
     cfg.serialize_send = serialize;
+    // cqos-lint: allow-transport-construction (lock-convoy ablation: simulator-specific knob)
     net::SimNetwork net(cfg);
     std::vector<std::shared_ptr<net::Endpoint>> eps;
     for (int s = 0; s < senders; ++s) {

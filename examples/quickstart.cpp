@@ -12,7 +12,7 @@
 
 #include "cqos/endpoint.h"
 #include "micro/standard.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "platform/rmi/registry.h"
 #include "platform/rmi/rmi.h"
 #include "sim/bank_account.h"
@@ -21,16 +21,18 @@ int main() {
   using namespace cqos;
   using namespace cqos::sim;
 
-  // 1. The deployment substrate: a simulated network, an RMI registry, and
-  //    one platform instance per "machine". Micro-protocols resolve by name
-  //    through the registry, so register the standard set once.
+  // 1. The deployment substrate: a transport (here the simulated network —
+  //    TransportConfig::real_tcp() would put the same stacks on real
+  //    sockets), an RMI registry, and one platform instance per "machine".
+  //    Micro-protocols resolve by name through the registry, so register
+  //    the standard set once.
   micro::register_standard_micro_protocols();
-  net::SimNetwork net(net::NetConfig{});
-  rmi::Registry registry(net, "nameserver");
+  auto net = net::make_transport(net::TransportConfig::simulated());
+  rmi::Registry registry(*net, "nameserver");
   rmi::RmiConfig rmi_cfg;
   rmi_cfg.registry_host = "nameserver";
-  rmi::RmiRuntime server_platform(net, "server0", rmi_cfg);
-  rmi::RmiRuntime client_platform(net, "client0", rmi_cfg);
+  rmi::RmiRuntime server_platform(*net, "server0", rmi_cfg);
+  rmi::RmiRuntime client_platform(*net, "client0", rmi_cfg);
 
   // 2. The server side: servant behind a CQoS skeleton + Cactus server.
   //    build() installs the stack (server_base is appended automatically)
@@ -70,7 +72,7 @@ int main() {
   }
 
   std::printf("network messages sent:  %llu\n",
-              static_cast<unsigned long long>(net.messages_sent()));
+              static_cast<unsigned long long>(net->messages_sent()));
 
   // 6. Teardown: client endpoint first, then the platforms, then the server
   //    composite (its handlers may still be draining).

@@ -1,0 +1,81 @@
+// Length-prefixed message framing for the TCP transport.
+//
+// A TCP stream has no message boundaries, so every transport message is
+// wrapped in one frame:
+//
+//     [u32 LE body_len][u8 type][varint-len from][varint-len to][payload]
+//
+// body_len counts everything after the 4-byte prefix. `from`/`to` are the
+// endpoint ids exactly as the application addressed them — the receiving
+// transport routes on `to` and learns a return route for `from`'s host.
+// The payload is the opaque byte string the layers above produced (CDR,
+// JRMP, micro-protocol stack output); framing never inspects it.
+//
+// FrameDecoder is a pure incremental parser: feed() it whatever the socket
+// produced — one byte at a time or a megabyte — and pop complete frames
+// with next(). It owns exactly two failure modes, both of which must close
+// the connection (DESIGN.md §15): a declared body length over the
+// configured maximum (a corrupt or hostile prefix must not drive an
+// unbounded allocation), and a body that does not decode as a frame.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace cqos::net {
+
+/// Frame type tag. One value today; the byte exists so the wire format can
+/// grow control frames without a flag day.
+enum class FrameType : std::uint8_t { kData = 1 };
+
+/// One decoded frame.
+struct Frame {
+  std::string from;
+  std::string to;
+  Bytes payload;
+};
+
+/// Encode one data frame ready to write to a socket.
+Bytes encode_frame(const std::string& from, const std::string& to,
+                   std::span<const std::uint8_t> payload);
+
+/// Size of the encoded frame for `payload_bytes` of payload, without
+/// building it (backpressure accounting before encoding).
+std::size_t frame_overhead(const std::string& from, const std::string& to);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Append raw stream bytes and parse as far as possible. Returns false on
+  /// a protocol error (oversized or malformed frame) — the connection must
+  /// be closed; the decoder accepts nothing further.
+  bool feed(std::span<const std::uint8_t> data);
+
+  /// Pop the next complete frame, if any.
+  std::optional<Frame> next();
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet parsed into a frame (test hook).
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  bool fail(const std::string& why);
+
+  const std::size_t max_frame_bytes_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  // parse cursor into buf_
+  std::deque<Frame> ready_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace cqos::net

@@ -8,104 +8,8 @@
 
 namespace cqos::net {
 
-// --- Endpoint ---------------------------------------------------------------
-
-std::optional<Message> Endpoint::recv(Duration timeout) {
-  TimePoint deadline = now() + timeout;
-  MutexLock lk(mu_);
-  for (;;) {
-    if (closed_) return std::nullopt;
-    if (!inbox_.empty()) {
-      auto first = inbox_.begin();
-      TimePoint ready_at = first->first;
-      if (ready_at <= now()) {
-        Message msg = std::move(first->second);
-        inbox_.erase(first);
-        return msg;
-      }
-      // The head message has not matured. Give up once the caller's
-      // deadline passed and the head cannot mature before it.
-      if (ready_at > deadline && now() >= deadline) return std::nullopt;
-      cv_.wait_until(mu_, std::min(ready_at, deadline));
-    } else {
-      if (now() >= deadline) return std::nullopt;
-      cv_.wait_until(mu_, deadline);
-    }
-  }
-}
-
-void Endpoint::set_handler(Handler fn) {
-  MutexLock lk(mu_);
-  handler_ = std::move(fn);
-}
-
-void Endpoint::close() {
-  MutexLock lk(mu_);
-  closed_ = true;
-  inbox_.clear();
-  cv_.notify_all();
-}
-
-bool Endpoint::closed() const {
-  MutexLock lk(mu_);
-  return closed_;
-}
-
-void Endpoint::deposit(Message msg) {
-  {
-    MutexLock lk(mu_);
-    // crashed_ re-validates what send() checked at judge time: between that
-    // check and this deposit a crash_host() may have run, and a crashed
-    // host must not receive the in-flight message.
-    if (!closed_ && !crashed_) {
-      inbox_.emplace(msg.deliver_at, std::move(msg));
-      cv_.notify_all();
-      return;
-    }
-  }
-  BufferPool::recycle(std::move(msg.payload));
-}
-
-bool Endpoint::deliver_now(Message msg) {
-  Handler h;
-  {
-    MutexLock lk(mu_);
-    if (closed_ || crashed_) {
-      // Unlock before recycling; the pool is lock-free but keep the
-      // critical section minimal.
-    } else if (!handler_) {
-      inbox_.emplace(msg.deliver_at, std::move(msg));
-      cv_.notify_all();
-      return true;
-    } else {
-      h = handler_;
-    }
-  }
-  if (h) {
-    h(std::move(msg));
-    return true;
-  }
-  BufferPool::recycle(std::move(msg.payload));
-  return false;
-}
-
-void Endpoint::mark_crashed() {
-  MutexLock lk(mu_);
-  crashed_ = true;
-  inbox_.clear();
-}
-
-void Endpoint::mark_recovered() {
-  MutexLock lk(mu_);
-  crashed_ = false;
-}
-
-void Endpoint::clear_inbox() {
-  MutexLock lk(mu_);
-  inbox_.clear();
-}
-
 // --- SimNetwork --------------------------------------------------------------
+// (Endpoint lives in net/transport.cc — it is shared with TcpTransport.)
 
 SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg) {
   // The controller's fault streams start from the NetConfig seed: a
@@ -119,11 +23,6 @@ SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg) {
 }
 
 SimNetwork::~SimNetwork() = default;
-
-std::string SimNetwork::host_of(const std::string& endpoint_id) {
-  auto pos = endpoint_id.find('/');
-  return pos == std::string::npos ? endpoint_id : endpoint_id.substr(0, pos);
-}
 
 std::shared_ptr<Endpoint> SimNetwork::create_endpoint(const std::string& id) {
   MutexLock lk(mu_);

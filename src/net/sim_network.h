@@ -53,137 +53,22 @@
 #include "common/rng.h"
 #include "common/sync.h"
 #include "common/thread_annotations.h"
+#include "net/transport.h"
 
 namespace cqos::net {
 
-struct Message {
-  std::string from;
-  std::string to;
-  Bytes payload;
-  TimePoint deliver_at{};
-  std::uint64_t seq = 0;
-};
-
-/// Scope guard for receive loops: recycles the message's payload into the
-/// BufferPool when the iteration finishes decoding it — the last hop of
-/// zero-copy delivery (DESIGN.md §10). The payload must not be referenced
-/// (including via ByteReader::view spans) after the guard fires.
-class PayloadRecycler {
- public:
-  explicit PayloadRecycler(Message& msg) : msg_(msg) {}
-  ~PayloadRecycler() { BufferPool::recycle(std::move(msg_.payload)); }
-  PayloadRecycler(const PayloadRecycler&) = delete;
-  PayloadRecycler& operator=(const PayloadRecycler&) = delete;
-
- private:
-  Message& msg_;
-};
-
-struct NetConfig {
-  /// One-way latency between distinct hosts for a zero-byte message.
-  Duration base_latency = us(120);
-  /// Additional latency per payload byte (models wire + serialization DMA).
-  Duration per_byte = std::chrono::nanoseconds(12);
-  /// Latency between endpoints on the same host.
-  Duration loopback_latency = us(15);
-  /// Uniform jitter fraction applied to the computed latency ([0, jitter]).
-  /// Drawn from a per-sender RNG stream seeded with `seed`, so one sender's
-  /// jitter sequence is independent of how many other senders exist.
-  double jitter = 0.05;
-  /// Probability that any inter-host message is silently dropped.
-  double drop_rate = 0.0;
-  /// RNG seed for jitter/drops (deterministic tests). Every per-sender
-  /// jitter stream and per-sender fault-decision stream starts from this
-  /// seed, so a single-sender run reproduces the sequences the pre-sharded
-  /// (one shared Rng) network produced.
-  std::uint64_t seed = 42;
-  /// Metrics registry for wire-level accounting (messages/bytes/drops,
-  /// per host pair). Null means the process-wide global registry; tests
-  /// that assert exact counter values pass their own.
-  metrics::Registry* metrics = nullptr;
-  /// Mint per-host-pair counters ("net.pair.<a>:<b>.*"). Disable for
-  /// modeled scenarios with unbounded host populations — 10^5 modeled
-  /// clients would otherwise mint three counters per (client, server) pair
-  /// touched. Aggregate counters (net.sent.*, net.drop.*) stay on.
-  bool pair_metrics = true;
-  /// Clock the network schedules against (see file header). Virtual mode is
-  /// single-driver oriented: one thread sends and runs the event loop.
-  TimeMode time_mode = TimeMode::kReal;
-  /// Ablation/bench knob: funnel every real-time send through one global
-  /// mutex, reproducing the pre-sharding lock convoy so the contention
-  /// bench can measure what the sharding buys. Never set in production
-  /// paths.
-  bool serialize_send = false;
-};
-
-class SimNetwork;
-class FaultController;
-
-/// Receiving side of one registered endpoint.
-class Endpoint {
- public:
-  Endpoint(std::string id, std::string host) : id_(std::move(id)), host_(std::move(host)) {}
-
-  const std::string& id() const { return id_; }
-  const std::string& host() const { return host_; }
-
-  /// Block until a message is deliverable (its simulated latency elapsed) or
-  /// `timeout` passes. Returns nullopt on timeout or close. Real-time mode;
-  /// in virtual mode messages land in the inbox already matured, so
-  /// recv(Duration::zero()) drains them without blocking.
-  std::optional<Message> recv(Duration timeout);
-
-  /// Virtual-mode push delivery: the scheduler invokes `fn` the moment the
-  /// delivery event fires instead of parking the message in the inbox.
-  /// Handlers may re-enter SimNetwork::send() (e.g. to reply). Unused (and
-  /// never invoked) in real-time mode.
-  using Handler = std::function<void(Message&&)>;
-  void set_handler(Handler fn);
-
-  /// Unblock all receivers; subsequent recv() returns nullopt immediately.
-  void close();
-  bool closed() const;
-
- private:
-  friend class SimNetwork;
-  friend class FaultController;
-  /// Refused (message dropped) while the endpoint's host is crashed or the
-  /// endpoint is closed. The crash check lives HERE, at deposit time, not
-  /// only in SimNetwork::send: send() validates crash state before
-  /// depositing without holding the network lock through the deposit, so a
-  /// concurrent crash_host() would otherwise clear the inbox and still see
-  /// this in-flight message land on a "crashed" host.
-  void deposit(Message msg);
-  /// Virtual-mode delivery at event-dispatch time: crash/close check, then
-  /// handler (outside the endpoint lock) or inbox. Returns false when the
-  /// message was refused.
-  bool deliver_now(Message msg);
-  /// Crash transitions: mark_crashed() also drops queued messages.
-  void mark_crashed();
-  void mark_recovered();
-  void clear_inbox();
-
-  const std::string id_;
-  const std::string host_;
-  mutable Mutex mu_;
-  CondVar cv_;
-  // Ordered by (deliver_at, seq).
-  std::multimap<TimePoint, Message> inbox_ CQOS_GUARDED_BY(mu_);
-  Handler handler_ CQOS_GUARDED_BY(mu_);
-  bool closed_ CQOS_GUARDED_BY(mu_) = false;
-  bool crashed_ CQOS_GUARDED_BY(mu_) = false;
-};
-
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
   explicit SimNetwork(NetConfig cfg = {});
-  ~SimNetwork();
+  ~SimNetwork() override;
+
+  // --- net::Transport --------------------------------------------------------
 
   /// Register a new endpoint. Id format "host/service"; the host part drives
   /// latency and crash semantics. Throws Error if the id is taken.
-  std::shared_ptr<Endpoint> create_endpoint(const std::string& id);
+  std::shared_ptr<Endpoint> create_endpoint(const std::string& id) override;
 
-  void remove_endpoint(const std::string& id);
+  void remove_endpoint(const std::string& id) override;
 
   /// Send `payload` from endpoint `from` to endpoint `to`. Returns false if
   /// the message was dropped (unknown destination, crashed host, partition,
@@ -194,7 +79,11 @@ class SimNetwork {
   /// Message and from there into the receiver's inbox without copying
   /// (zero-copy delivery; DESIGN.md §10). Dropped/refused payloads are
   /// recycled into the BufferPool.
-  bool send(const std::string& from, const std::string& to, Bytes&& payload);
+  bool send(const std::string& from, const std::string& to,
+            Bytes&& payload) override;
+
+  std::string kind() const override { return "sim"; }
+  SimNetwork* as_sim() override { return this; }
 
   // --- fault injection -----------------------------------------------------
 
@@ -218,7 +107,7 @@ class SimNetwork {
   bool virtual_mode() const { return cfg_.time_mode == TimeMode::kVirtual; }
   /// The network's notion of "now": wall clock in real mode, the
   /// VirtualClock in virtual mode. Lock-free.
-  TimePoint net_now() const {
+  TimePoint net_now() const override {
     return virtual_mode() ? vclock_.now() : now();
   }
 
@@ -257,8 +146,8 @@ class SimNetwork {
   using Tap = std::function<void(const Message&)>;
   void set_tap(Tap tap);
 
-  std::uint64_t messages_sent() const;
-  std::uint64_t bytes_sent() const;
+  std::uint64_t messages_sent() const override;
+  std::uint64_t bytes_sent() const override;
 
   /// The registry this network counts into (cfg.metrics, or the process
   /// global). Drivers read fault/delivery counters from here.
@@ -268,8 +157,6 @@ class SimNetwork {
   /// (test hook: remove_endpoint must prune its entry or endpoint churn
   /// grows the map without bound).
   std::size_t fifo_clamp_entries() const;
-
-  static std::string host_of(const std::string& endpoint_id);
 
  private:
   friend class FaultController;

@@ -4,7 +4,7 @@
 
 namespace cqos::corba {
 
-SmartAgent::SmartAgent(net::SimNetwork& network, const std::string& host)
+SmartAgent::SmartAgent(net::Transport& network, const std::string& host)
     : network_(network),
       endpoint_(network.create_endpoint(endpoint_for_host(host))),
       thread_([this] { loop(); }) {}

@@ -10,7 +10,7 @@
 #include <string>
 #include <thread>
 
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "platform/corba/giop.h"
 
 namespace cqos::corba {
@@ -22,7 +22,7 @@ class SmartAgent {
     return host + "/osagent";
   }
 
-  SmartAgent(net::SimNetwork& network, const std::string& host);
+  SmartAgent(net::Transport& network, const std::string& host);
   ~SmartAgent();
 
   SmartAgent(const SmartAgent&) = delete;
@@ -35,7 +35,7 @@ class SmartAgent {
  private:
   void loop();
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   std::map<std::pair<std::string, std::string>, Ior> table_;
   std::thread thread_;

@@ -71,7 +71,7 @@ std::string CorbaObjectRef::description() const {
 
 // --- CorbaOrb -------------------------------------------------------------------
 
-CorbaOrb::CorbaOrb(net::SimNetwork& network, std::string host, OrbConfig cfg)
+CorbaOrb::CorbaOrb(net::Transport& network, std::string host, OrbConfig cfg)
     : network_(network),
       host_(std::move(host)),
       cfg_(std::move(cfg)),

@@ -19,7 +19,7 @@
 #include <thread>
 
 #include "cactus/thread_pool.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "platform/api.h"
 #include "platform/corba/giop.h"
 #include "platform/pending.h"
@@ -101,7 +101,7 @@ class CorbaObjectRef : public plat::ObjectRef {
 
 class CorbaOrb : public plat::Platform {
  public:
-  CorbaOrb(net::SimNetwork& network, std::string host, OrbConfig cfg = {});
+  CorbaOrb(net::Transport& network, std::string host, OrbConfig cfg = {});
   ~CorbaOrb() override;
 
   CorbaOrb(const CorbaOrb&) = delete;
@@ -152,7 +152,7 @@ class CorbaOrb : public plat::Platform {
   void server_loop();
   void dispatch_request(std::uint64_t request_id, RequestBody body);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   std::string host_;
   OrbConfig cfg_;
   std::string agent_endpoint_;

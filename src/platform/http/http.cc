@@ -222,7 +222,7 @@ bool HttpObjectRef::ping(Duration timeout) {
 }
 
 std::string HttpObjectRef::description() const {
-  return "http://" + net::SimNetwork::host_of(endpoint_) + "/" + path_;
+  return "http://" + net::Transport::host_of(endpoint_) + "/" + path_;
 }
 
 // --- HttpPlatform ------------------------------------------------------------------
@@ -231,7 +231,7 @@ namespace {
 std::atomic<int> g_http_instance{0};
 }  // namespace
 
-HttpPlatform::HttpPlatform(net::SimNetwork& network, std::string host,
+HttpPlatform::HttpPlatform(net::Transport& network, std::string host,
                            HttpConfig cfg)
     : network_(network),
       host_(std::move(host)),

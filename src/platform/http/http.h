@@ -37,7 +37,7 @@
 #include <thread>
 
 #include "cactus/thread_pool.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "platform/api.h"
 #include "platform/pending.h"
 
@@ -81,7 +81,7 @@ class HttpObjectRef : public plat::ObjectRef {
 
 class HttpPlatform : public plat::Platform {
  public:
-  HttpPlatform(net::SimNetwork& network, std::string host, HttpConfig cfg = {});
+  HttpPlatform(net::Transport& network, std::string host, HttpConfig cfg = {});
   ~HttpPlatform() override;
 
   HttpPlatform(const HttpPlatform&) = delete;
@@ -128,7 +128,7 @@ class HttpPlatform : public plat::Platform {
                 const std::string& path, const std::string& method,
                 PiggybackMap piggyback, ValueList params);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   std::string host_;
   HttpConfig cfg_;
 

@@ -6,7 +6,7 @@
 
 namespace cqos::rmi {
 
-Registry::Registry(net::SimNetwork& network, const std::string& host)
+Registry::Registry(net::Transport& network, const std::string& host)
     : network_(network),
       endpoint_(network.create_endpoint(endpoint_for_host(host))),
       thread_([this] { loop(); }) {}

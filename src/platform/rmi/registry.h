@@ -7,7 +7,7 @@
 #include <string>
 #include <thread>
 
-#include "net/sim_network.h"
+#include "net/transport.h"
 
 namespace cqos::rmi {
 
@@ -17,7 +17,7 @@ class Registry {
     return host + "/rmiregistry";
   }
 
-  Registry(net::SimNetwork& network, const std::string& host);
+  Registry(net::Transport& network, const std::string& host);
   ~Registry();
 
   Registry(const Registry&) = delete;
@@ -30,7 +30,7 @@ class Registry {
  private:
   void loop();
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   std::map<std::string, std::string> bindings_;  // name -> server endpoint
   std::thread thread_;

@@ -29,7 +29,7 @@ std::string RmiObjectRef::description() const {
 
 // --- RmiRuntime ----------------------------------------------------------------
 
-RmiRuntime::RmiRuntime(net::SimNetwork& network, std::string host, RmiConfig cfg)
+RmiRuntime::RmiRuntime(net::Transport& network, std::string host, RmiConfig cfg)
     : network_(network),
       host_(std::move(host)),
       cfg_(std::move(cfg)),

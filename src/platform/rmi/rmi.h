@@ -14,7 +14,7 @@
 #include <thread>
 
 #include "cactus/thread_pool.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "platform/api.h"
 #include "platform/pending.h"
 #include "platform/rmi/jrmp.h"
@@ -62,7 +62,7 @@ class RmiObjectRef : public plat::ObjectRef {
 
 class RmiRuntime : public plat::Platform {
  public:
-  RmiRuntime(net::SimNetwork& network, std::string host, RmiConfig cfg = {});
+  RmiRuntime(net::Transport& network, std::string host, RmiConfig cfg = {});
   ~RmiRuntime() override;
 
   RmiRuntime(const RmiRuntime&) = delete;
@@ -106,7 +106,7 @@ class RmiRuntime : public plat::Platform {
   void server_loop();
   void dispatch_call(std::uint64_t call_id, CallBody body);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   std::string host_;
   RmiConfig cfg_;
   std::string registry_endpoint_;

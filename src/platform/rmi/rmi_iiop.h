@@ -19,7 +19,7 @@ namespace cqos::rmi {
 
 class RmiIiopRuntime : public plat::Platform {
  public:
-  RmiIiopRuntime(net::SimNetwork& network, std::string host,
+  RmiIiopRuntime(net::Transport& network, std::string host,
                  corba::OrbConfig cfg = {})
       : orb_(network, std::move(host), std::move(cfg)) {}
 

@@ -31,12 +31,18 @@ EndpointMode endpoint_mode(InterceptionLevel level, Side side) {
 
 }  // namespace
 
-Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)), net_(opts_.net) {
+Cluster::Cluster(ClusterOptions opts)
+    : opts_(std::move(opts)),
+      net_(net::make_transport(
+          opts_.transport_kind == net::TransportKind::kTcp
+              ? net::TransportConfig::real_tcp(opts_.tcp)
+              : net::TransportConfig::simulated(opts_.net))) {
   micro::register_standard_micro_protocols();
   if (!opts_.servant_factory) {
     throw ConfigError("ClusterOptions.servant_factory is required");
   }
-  if (opts_.net.time_mode == TimeMode::kVirtual) {
+  if (opts_.transport_kind == net::TransportKind::kSim &&
+      opts_.net.time_mode == TimeMode::kVirtual) {
     // The cluster's replicas run real threads blocking in Endpoint::recv();
     // virtual time has no scheduler driving those waits. Modeled-load
     // scenarios (sim/modeled_load.h) are the virtual-mode driver.
@@ -46,9 +52,9 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)), net_(opts_.net) 
   }
 
   if (opts_.platform == PlatformKind::kCorba) {
-    agent_ = std::make_unique<corba::SmartAgent>(net_, "nameserver");
+    agent_ = std::make_unique<corba::SmartAgent>(*net_, "nameserver");
   } else if (opts_.platform == PlatformKind::kRmi) {
-    registry_ = std::make_unique<rmi::Registry>(net_, "nameserver");
+    registry_ = std::make_unique<rmi::Registry>(*net_, "nameserver");
   }
   // kHttp needs no naming service: names are URLs resolved by convention.
 
@@ -104,13 +110,13 @@ std::unique_ptr<plat::Platform> Cluster::make_platform(
       cfg.emu_dii_cost = us(170);
       cfg.emu_dsi_cost = us(90);
     }
-    return std::make_unique<corba::CorbaOrb>(net_, host, cfg);
+    return std::make_unique<corba::CorbaOrb>(*net_, host, cfg);
   }
   if (opts_.platform == PlatformKind::kHttp) {
     http::HttpConfig cfg;
     cfg.server_threads = opts_.platform_threads;
     cfg.dispatch_classes = opts_.platform_classes;
-    return std::make_unique<http::HttpPlatform>(net_, host, cfg);
+    return std::make_unique<http::HttpPlatform>(*net_, host, cfg);
   }
   rmi::RmiConfig cfg;
   cfg.registry_host = "nameserver";
@@ -120,7 +126,7 @@ std::unique_ptr<plat::Platform> Cluster::make_platform(
     cfg.emu_call_cost = us(180);
     cfg.emu_dispatch_cost = us(180);
   }
-  return std::make_unique<rmi::RmiRuntime>(net_, host, cfg);
+  return std::make_unique<rmi::RmiRuntime>(*net_, host, cfg);
 }
 
 std::vector<std::string> Cluster::server_names(
@@ -175,12 +181,23 @@ ClientHandle::~ClientHandle() {
   if (platform_) platform_->shutdown();
 }
 
+net::SimNetwork& Cluster::network() {
+  net::SimNetwork* sim = net_->as_sim();
+  if (sim == nullptr) {
+    throw ConfigError(
+        "Cluster::network(): this cluster runs on the '" + net_->kind() +
+        "' transport; the simulated network (fault injection, latency "
+        "model) is only available with TransportKind::kSim");
+  }
+  return *sim;
+}
+
 void Cluster::crash_replica(int i) {
-  net_.faults().crash_host(replica_host(i));
+  faults().crash_host(replica_host(i));
 }
 
 void Cluster::recover_replica(int i) {
-  net_.faults().recover_host(replica_host(i));
+  faults().recover_host(replica_host(i));
 }
 
 }  // namespace cqos::sim

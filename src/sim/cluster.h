@@ -54,7 +54,14 @@ struct ClusterOptions {
   /// micro-protocols only at the TotalOrder coordinator, the paper's
   /// resolution of the ordering-vs-priority conflict (§3.4).
   std::function<std::vector<MicroProtocolSpec>(int replica)> server_specs_fn;
+  /// Which transport the cluster assembles on. kSim (default) keeps the
+  /// deterministic simulated network; kTcp runs the same stacks over real
+  /// loopback sockets (net/tcp_transport.h). Fault injection and virtual
+  /// time are simulator features — faults()/crash_replica throw on TCP.
+  net::TransportKind transport_kind = net::TransportKind::kSim;
   net::NetConfig net;
+  /// Read when transport_kind == kTcp.
+  net::TcpOptions tcp;
   /// One servant per replica.
   std::function<std::shared_ptr<Servant>()> servant_factory;
   /// Cactus runtime options.
@@ -123,10 +130,14 @@ class Cluster {
   void crash_replica(int i);
   void recover_replica(int i);
 
-  net::SimNetwork& network() { return net_; }
+  /// The transport everything runs on (either kind).
+  net::Transport& transport() { return *net_; }
+  /// The simulated network. Throws ConfigError when the cluster runs on
+  /// TCP — fault injection and the latency model are simulator features.
+  net::SimNetwork& network();
   /// The network's chaos engine: scheduled fault plans, drop/duplicate/
-  /// reorder rates, partitions, crashes (net/fault.h).
-  net::FaultController& faults() { return net_.faults(); }
+  /// reorder rates, partitions, crashes (net/fault.h). Simulator only.
+  net::FaultController& faults() { return network().faults(); }
   const ClusterOptions& options() const { return opts_; }
   plat::Platform& replica_platform(int i) { return *replicas_.at(static_cast<std::size_t>(i))->platform; }
   Servant& servant(int i) { return *replicas_.at(static_cast<std::size_t>(i))->servant; }
@@ -150,7 +161,7 @@ class Cluster {
   std::vector<std::string> server_names(const plat::Platform& platform) const;
 
   ClusterOptions opts_;
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_;
   std::unique_ptr<corba::SmartAgent> agent_;
   std::unique_ptr<rmi::Registry> registry_;
   std::vector<std::unique_ptr<Replica>> replicas_;

@@ -1,0 +1,262 @@
+// Multi-process TCP smoke test (ISSUE 9 satellite): fork a real server
+// process, run the secured and retransmit+dedup compositions over the TCP
+// transport, and assert reply parity (final balances, reply values, trace-id
+// echo) with the same workload on the SimNetwork — proving the stacks above
+// the net::Transport seam are transport-neutral in fact, not just in type.
+//
+// Process layout: the parent forks FIRST (before any transport exists, so
+// no threads cross the fork), then the child assembles the server world —
+// TcpTransport on an ephemeral port, RMI registry, platform, two QoS server
+// endpoints — and writes its port down an inherited pipe. The parent runs
+// the client workload against that port, reruns it on a single-process
+// SimNetwork deployment, compares, and closes a second pipe to stop the
+// child.
+//
+//   exit 0: parity holds.   exit 1: a check failed (message on stderr).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cqos/endpoint.h"
+#include "cqos/request.h"
+#include "micro/standard.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "platform/rmi/registry.h"
+#include "platform/rmi/rmi.h"
+#include "sim/bank_account.h"
+
+namespace {
+
+using namespace cqos;
+using namespace cqos::sim;
+
+constexpr const char* kKey = "0123456789abcdef";
+
+#define CHECK(cond, what)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "tcp_smoke FAIL: %s (%s:%d)\n", what,       \
+                   __FILE__, __LINE__);                                \
+      return false;                                                    \
+    }                                                                  \
+  } while (0)
+
+std::vector<MicroProtocolSpec> secured_client_specs() {
+  return {{"des_privacy", {{"key", kKey}}}, {"integrity", {{"key", kKey}}}};
+}
+std::vector<MicroProtocolSpec> secured_server_specs() {
+  return {{"des_privacy", {{"key", kKey}}}, {"integrity", {{"key", kKey}}}};
+}
+
+/// What one client-side run of the workload observed. Compared field by
+/// field between the TCP and SimNetwork runs.
+struct WorkloadResult {
+  std::int64_t secure_balance = -1;
+  std::int64_t reliable_balance = -1;
+  bool trace_echoed = false;
+};
+
+bool operator==(const WorkloadResult& a, const WorkloadResult& b) {
+  return a.secure_balance == b.secure_balance &&
+         a.reliable_balance == b.reliable_balance &&
+         a.trace_echoed == b.trace_echoed;
+}
+
+/// Install the two server-side endpoints on `platform`. Returns them so the
+/// caller controls teardown order.
+struct ServerWorld {
+  std::shared_ptr<BankAccountServant> secure_servant;
+  std::shared_ptr<BankAccountServant> reliable_servant;
+  std::unique_ptr<QosServerEndpoint> secure;
+  std::unique_ptr<QosServerEndpoint> reliable;
+};
+
+ServerWorld make_servers(plat::Platform& platform) {
+  ServerWorld w;
+  w.secure_servant = std::make_shared<BankAccountServant>();
+  w.reliable_servant = std::make_shared<BankAccountServant>();
+  w.secure = QosEndpoint::server(platform, w.secure_servant, "SecureAccount")
+                 .qos(secured_server_specs())
+                 .build();
+  w.reliable =
+      QosEndpoint::server(platform, w.reliable_servant, "ReliableAccount")
+          .qos({{"dedup"}})
+          .build();
+  return w;
+}
+
+/// The client workload: secured composition + retransmit/dedup composition,
+/// plus a trace-id echo check. Identical regardless of transport.
+bool run_workload(plat::Platform& platform, WorkloadResult* out) {
+  auto secure_client = QosEndpoint::client(platform, "SecureAccount")
+                           .replicas(1)
+                           .qos(secured_client_specs())
+                           .invoke_timeout(ms(2000))
+                           .build();
+  auto reliable_client = QosEndpoint::client(platform, "ReliableAccount")
+                             .replicas(1)
+                             .qos({{"retransmit", {{"retries", "4"}}}})
+                             .invoke_timeout(ms(2000))
+                             .build();
+
+  BankAccountStub secure(secure_client->stub_ptr());
+  secure.set_balance(50'000);
+  secure.deposit(1'234);
+  secure.withdraw(234);
+  out->secure_balance = secure.get_balance();
+
+  BankAccountStub reliable(reliable_client->stub_ptr());
+  reliable.set_balance(10);
+  reliable.deposit(20);
+  reliable.deposit(20);
+  reliable.withdraw(5);
+  out->reliable_balance = reliable.get_balance();
+
+  RequestPtr req = secure_client->stub().call_request(
+      "get_balance", {});
+  CHECK(req != nullptr && req->succeeded(), "trace request failed");
+  CHECK(req->trace_id != 0, "no trace id minted");
+  PiggybackMap pb = req->reply_piggyback();
+  auto it = pb.find(pbkey::kTraceId);
+  out->trace_echoed =
+      it != pb.end() &&
+      static_cast<std::uint64_t>(it->second.as_i64()) == req->trace_id;
+  CHECK(out->trace_echoed, "trace id not echoed in reply piggyback");
+  return true;
+}
+
+/// Child: the server process. Blocks until the parent closes stop_fd.
+int run_server_process(int port_fd, int stop_fd) {
+  micro::register_standard_micro_protocols();
+  auto net = net::make_transport(net::TransportConfig::real_tcp());
+  rmi::Registry registry(*net, "nameserver");
+  rmi::RmiConfig cfg;
+  cfg.registry_host = "nameserver";
+  rmi::RmiRuntime platform(*net, "server0", cfg);
+  ServerWorld servers = make_servers(platform);
+
+  std::uint16_t port = net->as_tcp()->listen_port();
+  std::string line = std::to_string(port) + "\n";
+  if (::write(port_fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    return 2;
+  }
+  ::close(port_fd);
+
+  char b;
+  while (::read(stop_fd, &b, 1) > 0) {
+  }
+  platform.shutdown();
+  servers.secure->stop();
+  servers.reliable->stop();
+  return 0;
+}
+
+bool run_tcp_client(std::uint16_t port, WorkloadResult* out) {
+  std::string addr = "127.0.0.1:" + std::to_string(port);
+  net::TcpOptions topts;
+  topts.peers["server0"] = addr;
+  topts.peers["nameserver"] = addr;
+  auto net = net::make_transport(net::TransportConfig::real_tcp(topts));
+  rmi::RmiConfig cfg;
+  cfg.registry_host = "nameserver";
+  rmi::RmiRuntime platform(*net, "client0", cfg);
+  bool ok = run_workload(platform, out);
+  platform.shutdown();
+  return ok;
+}
+
+bool run_sim_reference(WorkloadResult* out) {
+  auto net = net::make_transport(net::TransportConfig::simulated());
+  rmi::Registry registry(*net, "nameserver");
+  rmi::RmiConfig cfg;
+  cfg.registry_host = "nameserver";
+  rmi::RmiRuntime server_platform(*net, "server0", cfg);
+  rmi::RmiRuntime client_platform(*net, "client0", cfg);
+  ServerWorld servers = make_servers(server_platform);
+  bool ok = run_workload(client_platform, out);
+  client_platform.shutdown();
+  server_platform.shutdown();
+  servers.secure->stop();
+  servers.reliable->stop();
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  int port_pipe[2];
+  int stop_pipe[2];
+  if (::pipe(port_pipe) != 0 || ::pipe(stop_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    ::close(port_pipe[0]);
+    ::close(stop_pipe[1]);
+    int rc = run_server_process(port_pipe[1], stop_pipe[0]);
+    std::_Exit(rc);
+  }
+  ::close(port_pipe[1]);
+  ::close(stop_pipe[0]);
+
+  // Read the server's port (single short line).
+  char buf[16] = {};
+  ssize_t n = ::read(port_pipe[0], buf, sizeof(buf) - 1);
+  ::close(port_pipe[0]);
+  if (n <= 0) {
+    std::fprintf(stderr, "tcp_smoke FAIL: no port from server process\n");
+    ::close(stop_pipe[1]);
+    ::waitpid(pid, nullptr, 0);
+    return 1;
+  }
+  auto port = static_cast<std::uint16_t>(std::atoi(buf));
+
+  micro::register_standard_micro_protocols();
+
+  WorkloadResult tcp_result;
+  WorkloadResult sim_result;
+  bool ok = run_tcp_client(port, &tcp_result) && run_sim_reference(&sim_result);
+
+  // Stop the server (EOF on the stop pipe) and reap it.
+  ::close(stop_pipe[1]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+
+  if (!ok) return 1;
+  if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+    std::fprintf(stderr, "tcp_smoke FAIL: server process exited abnormally\n");
+    return 1;
+  }
+  if (!(tcp_result == sim_result)) {
+    std::fprintf(stderr,
+                 "tcp_smoke FAIL: parity broken: tcp {secure=%lld reliable=%lld "
+                 "trace=%d} vs sim {secure=%lld reliable=%lld trace=%d}\n",
+                 static_cast<long long>(tcp_result.secure_balance),
+                 static_cast<long long>(tcp_result.reliable_balance),
+                 tcp_result.trace_echoed ? 1 : 0,
+                 static_cast<long long>(sim_result.secure_balance),
+                 static_cast<long long>(sim_result.reliable_balance),
+                 sim_result.trace_echoed ? 1 : 0);
+    return 1;
+  }
+  std::printf(
+      "tcp_smoke OK: secure=%lld reliable=%lld trace_echoed=%d "
+      "(tcp == sim)\n",
+      static_cast<long long>(tcp_result.secure_balance),
+      static_cast<long long>(tcp_result.reliable_balance),
+      tcp_result.trace_echoed ? 1 : 0);
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "cqos/skeleton.h"
 #include "cqos/stub.h"
 #include "micro/standard.h"
+#include "net/sim_network.h"
 #include "platform/corba/agent.h"
 #include "platform/rmi/rmi_iiop.h"
 #include "sim/bank_account.h"

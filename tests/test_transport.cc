@@ -1,0 +1,387 @@
+// Transport seam + TCP transport tests: framing (partial reads, oversized
+// frames), the make_transport factory, raw TCP loopback delivery, learned
+// return routes, backpressure, and the existing QoS compositions running
+// unchanged on a TCP-backed Cluster.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/metrics.h"
+#include "cqos/request.h"
+#include "net/framing.h"
+#include "net/sim_network.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "sim/bank_account.h"
+#include "sim/cluster.h"
+
+namespace cqos::net {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// --- framing -----------------------------------------------------------------
+
+TEST(Framing, RoundtripSingleFrame) {
+  Bytes frame = encode_frame("hostA/cli", "hostB/srv", bytes_of("hello"));
+  FrameDecoder dec(1 << 20);
+  ASSERT_TRUE(dec.feed(frame));
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->from, "hostA/cli");
+  EXPECT_EQ(f->to, "hostB/srv");
+  EXPECT_EQ(f->payload, bytes_of("hello"));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(Framing, ByteAtATimeDelivery) {
+  // The regression the decoder exists for: a TCP read can return any split
+  // of the stream, down to one byte per read.
+  Bytes a = encode_frame("h/x", "h/y", bytes_of("first"));
+  Bytes b = encode_frame("h/y", "h/x", bytes_of("second message"));
+  Bytes stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  FrameDecoder dec(1 << 20);
+  int frames = 0;
+  for (std::uint8_t byte : stream) {
+    ASSERT_TRUE(dec.feed(std::span<const std::uint8_t>(&byte, 1)));
+    while (auto f = dec.next()) {
+      ++frames;
+      if (frames == 1) EXPECT_EQ(f->payload, bytes_of("first"));
+      if (frames == 2) EXPECT_EQ(f->payload, bytes_of("second message"));
+    }
+  }
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(Framing, ArbitrarySplitPoints) {
+  Bytes frame = encode_frame("hostA/cli", "hostB/srv", bytes_of("payload!"));
+  for (std::size_t split = 1; split < frame.size(); ++split) {
+    FrameDecoder dec(1 << 20);
+    ASSERT_TRUE(dec.feed(std::span<const std::uint8_t>(frame.data(), split)));
+    EXPECT_FALSE(dec.next().has_value()) << "split=" << split;
+    ASSERT_TRUE(dec.feed(std::span<const std::uint8_t>(
+        frame.data() + split, frame.size() - split)));
+    auto f = dec.next();
+    ASSERT_TRUE(f.has_value()) << "split=" << split;
+    EXPECT_EQ(f->payload, bytes_of("payload!"));
+  }
+}
+
+TEST(Framing, OversizedFrameRejectedBeforeBuffering) {
+  FrameDecoder dec(64);
+  // A 4-byte prefix declaring a body far over the max: the decoder must
+  // fail immediately, without waiting for (or buffering) the body.
+  std::uint8_t prefix[4] = {0xff, 0xff, 0xff, 0x7f};
+  EXPECT_FALSE(dec.feed(std::span<const std::uint8_t>(prefix, 4)));
+  EXPECT_TRUE(dec.failed());
+  EXPECT_NE(dec.error().find("exceeds max"), std::string::npos);
+  // Poisoned: further bytes are refused.
+  std::uint8_t more = 0;
+  EXPECT_FALSE(dec.feed(std::span<const std::uint8_t>(&more, 1)));
+}
+
+TEST(Framing, FrameAtExactlyMaxSizeAccepted) {
+  Bytes frame = encode_frame("a/b", "c/d", Bytes(100, 0x5a));
+  FrameDecoder dec(frame.size() - 4);  // body length == max
+  ASSERT_TRUE(dec.feed(frame));
+  EXPECT_TRUE(dec.next().has_value());
+}
+
+TEST(Framing, MalformedBodyFailsDecoder) {
+  // Valid length prefix, garbage body (unknown frame type).
+  std::uint8_t raw[] = {3, 0, 0, 0, 0xee, 0x01, 0x02};
+  FrameDecoder dec(1 << 20);
+  EXPECT_FALSE(dec.feed(std::span<const std::uint8_t>(raw, sizeof(raw))));
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(Framing, TruncatedStringFailsDecoder) {
+  // type ok, but `from` declares more bytes than the body holds.
+  std::uint8_t raw[] = {3, 0, 0, 0, 1, 0x7f, 'x'};
+  FrameDecoder dec(1 << 20);
+  EXPECT_FALSE(dec.feed(std::span<const std::uint8_t>(raw, sizeof(raw))));
+  EXPECT_TRUE(dec.failed());
+}
+
+// --- seam / factory ----------------------------------------------------------
+
+TEST(TransportSeam, FactoryBuildsSimByDefault) {
+  auto t = make_transport(TransportConfig{});
+  EXPECT_EQ(t->kind(), "sim");
+  EXPECT_NE(t->as_sim(), nullptr);
+  EXPECT_EQ(t->as_tcp(), nullptr);
+}
+
+TEST(TransportSeam, FactoryBuildsTcp) {
+  auto t = make_transport(TransportConfig::real_tcp());
+  EXPECT_EQ(t->kind(), "tcp");
+  EXPECT_EQ(t->as_sim(), nullptr);
+  ASSERT_NE(t->as_tcp(), nullptr);
+  EXPECT_GT(t->as_tcp()->listen_port(), 0);
+}
+
+TEST(TransportSeam, HostOfSharedByBothTransports) {
+  EXPECT_EQ(Transport::host_of("hostA/orb0"), "hostA");
+  EXPECT_EQ(SimNetwork::host_of("hostA/orb0"), "hostA");
+  EXPECT_EQ(Transport::host_of("bare"), "bare");
+}
+
+TEST(TransportSeam, SimBehavesIdenticallyThroughTheInterface) {
+  NetConfig cfg;
+  cfg.jitter = 0;
+  cfg.base_latency = us(50);
+  auto t = make_transport(TransportConfig::simulated(cfg));
+  auto a = t->create_endpoint("hostA/a");
+  auto b = t->create_endpoint("hostB/b");
+  ASSERT_TRUE(t->send("hostA/a", "hostB/b", bytes_of("ping")));
+  auto msg = b->recv(ms(500));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, "hostA/a");
+  EXPECT_EQ(msg->payload, bytes_of("ping"));
+  EXPECT_EQ(t->messages_sent(), 1u);
+}
+
+// --- TCP loopback ------------------------------------------------------------
+
+struct TcpFixture {
+  metrics::Registry registry;
+  std::unique_ptr<Transport> t;
+
+  explicit TcpFixture(TcpOptions opts = {}) {
+    opts.metrics = &registry;
+    t = make_transport(TransportConfig::real_tcp(opts));
+  }
+  TcpTransport& tcp() { return *t->as_tcp(); }
+};
+
+TEST(TcpTransport, SelfLoopbackDeliversThroughRealSockets) {
+  TcpFixture fx;
+  auto a = fx.t->create_endpoint("hostA/a");
+  auto b = fx.t->create_endpoint("hostB/b");
+  ASSERT_TRUE(fx.t->send("hostA/a", "hostB/b", bytes_of("over the wire")));
+  auto msg = b->recv(ms(2000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, "hostA/a");
+  EXPECT_EQ(msg->to, "hostB/b");
+  EXPECT_EQ(msg->payload, bytes_of("over the wire"));
+  // Real socket traffic, not a direct deposit.
+  EXPECT_GE(fx.tcp().open_connections(), 1u);
+  EXPECT_EQ(fx.registry.counter("net.recv.msgs").value(), 1u);
+}
+
+TEST(TcpTransport, DirectDepositWhenSelfLoopbackOff) {
+  TcpOptions opts;
+  opts.self_loopback = false;
+  TcpFixture fx(opts);
+  auto a = fx.t->create_endpoint("hostA/a");
+  auto b = fx.t->create_endpoint("hostB/b");
+  ASSERT_TRUE(fx.t->send("hostA/a", "hostB/b", bytes_of("direct")));
+  auto msg = b->recv(ms(500));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, bytes_of("direct"));
+  EXPECT_EQ(fx.tcp().open_connections(), 0u);
+}
+
+TEST(TcpTransport, TwoTransportsTalkAndRepliesUseLearnedRoutes) {
+  // "Server" transport knows nothing about the client (it is on an
+  // ephemeral port); the reply must ride the learned route.
+  TcpFixture server;
+  auto srv = server.t->create_endpoint("server0/svc");
+
+  TcpOptions copts;
+  copts.peers["server0"] =
+      "127.0.0.1:" + std::to_string(server.tcp().listen_port());
+  TcpFixture client(copts);
+  auto cli = client.t->create_endpoint("client0/cli");
+
+  ASSERT_TRUE(client.t->send("client0/cli", "server0/svc", bytes_of("req")));
+  auto req = srv->recv(ms(2000));
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->from, "client0/cli");
+
+  ASSERT_TRUE(server.t->send("server0/svc", "client0/cli", bytes_of("rsp")));
+  auto rsp = cli->recv(ms(2000));
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->payload, bytes_of("rsp"));
+}
+
+TEST(TcpTransport, NoRouteDropsAndCounts) {
+  TcpFixture fx;
+  auto a = fx.t->create_endpoint("hostA/a");
+  EXPECT_FALSE(fx.t->send("hostA/a", "nowhere/b", bytes_of("lost")));
+  EXPECT_EQ(fx.registry.counter("net.drop.noroute").value(), 1u);
+  EXPECT_EQ(fx.t->messages_sent(), 0u);
+}
+
+TEST(TcpTransport, OversizedSendRefused) {
+  TcpOptions opts;
+  opts.max_frame_bytes = 256;
+  TcpFixture fx(opts);
+  auto a = fx.t->create_endpoint("hostA/a");
+  auto b = fx.t->create_endpoint("hostB/b");
+  EXPECT_FALSE(fx.t->send("hostA/a", "hostB/b", Bytes(1024, 0xab)));
+  EXPECT_EQ(fx.registry.counter("net.drop.oversize").value(), 1u);
+}
+
+TEST(TcpTransport, BackpressureDropsOnceQueueFills) {
+  TcpOptions opts;
+  // Non-routable address (TEST-NET-1): the connect never completes, so
+  // frames pile up in the write queue until backpressure trips.
+  opts.peers["blackhole"] = "192.0.2.1:9";
+  opts.max_queued_bytes = 4 * 1024;
+  opts.connect_timeout = ms(60'000);  // keep kConnecting for the whole test
+  TcpFixture fx(opts);
+  auto a = fx.t->create_endpoint("hostA/a");
+  bool saw_drop = false;
+  for (int i = 0; i < 64 && !saw_drop; ++i) {
+    saw_drop = !fx.t->send("hostA/a", "blackhole/b", Bytes(256, 0x11));
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_GE(fx.registry.counter("net.drop.backpressure").value(), 1u);
+}
+
+TEST(TcpTransport, EndpointIdCollisionThrows) {
+  TcpFixture fx;
+  auto a = fx.t->create_endpoint("hostA/a");
+  EXPECT_THROW(fx.t->create_endpoint("hostA/a"), Error);
+  fx.t->remove_endpoint("hostA/a");
+  EXPECT_NO_THROW(fx.t->create_endpoint("hostA/a"));
+}
+
+TEST(TcpTransport, OversizedInboundFrameClosesConnection) {
+  // A raw client writes a hostile length prefix straight at the listen
+  // socket; the transport must close the connection (clean close, no
+  // unbounded allocation) and count a protocol drop.
+  TcpOptions opts;
+  opts.max_frame_bytes = 1024;
+  TcpFixture fx(opts);
+  auto srv = fx.t->create_endpoint("server0/svc");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(fx.tcp().listen_port());
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+
+  std::uint8_t evil[4] = {0xff, 0xff, 0xff, 0x3f};  // ~1 GiB frame
+  ASSERT_EQ(::write(fd, evil, sizeof(evil)), 4);
+
+  // The peer closes: read() must observe EOF (or reset) within the timeout.
+  char buf[16];
+  ssize_t n = ::read(fd, buf, sizeof(buf));
+  EXPECT_LE(n, 0);
+  ::close(fd);
+  EXPECT_GE(fx.registry.counter("net.drop.protocol").value(), 1u);
+}
+
+}  // namespace
+}  // namespace cqos::net
+
+// --- QoS compositions on a TCP-backed cluster --------------------------------
+
+namespace cqos::sim {
+namespace {
+
+constexpr const char* kKey = "0123456789abcdef";
+
+ClusterOptions tcp_options(PlatformKind kind) {
+  ClusterOptions opts;
+  opts.platform = kind;
+  opts.level = InterceptionLevel::kFull;
+  opts.num_replicas = 1;
+  opts.transport_kind = net::TransportKind::kTcp;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  return opts;
+}
+
+class TcpClusterBothPlatforms : public ::testing::TestWithParam<PlatformKind> {
+};
+
+TEST_P(TcpClusterBothPlatforms, RoundtripOverRealSockets) {
+  Cluster cluster(tcp_options(GetParam()));
+  EXPECT_EQ(cluster.transport().kind(), "tcp");
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(123456);
+  account.deposit(44);
+  EXPECT_EQ(account.get_balance(), 123500);
+}
+
+TEST_P(TcpClusterBothPlatforms, SecuredCompositionRunsUnchanged) {
+  auto opts = tcp_options(GetParam());
+  opts.qos.add(Side::kClient, "des_privacy", {{"key", kKey}})
+      .add(Side::kClient, "integrity", {{"key", kKey}})
+      .add(Side::kServer, "des_privacy", {{"key", kKey}})
+      .add(Side::kServer, "integrity", {{"key", kKey}});
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(987654);
+  EXPECT_EQ(account.get_balance(), 987654);
+}
+
+TEST_P(TcpClusterBothPlatforms, RetransmitDedupCompositionRunsUnchanged) {
+  auto opts = tcp_options(GetParam());
+  opts.qos.add(Side::kClient, "retransmit", {{"retries", "4"}})
+      .add(Side::kServer, "dedup");
+  Cluster cluster(opts);
+  auto client = cluster.make_client();
+  BankAccountStub account(client->stub_ptr());
+  account.set_balance(1000);
+  account.deposit(500);
+  account.withdraw(250);
+  EXPECT_EQ(account.get_balance(), 1250);
+}
+
+TEST_P(TcpClusterBothPlatforms, TraceIdCrossesTheRealWire) {
+  Cluster cluster(tcp_options(GetParam()));
+  auto client = cluster.make_client();
+  RequestPtr req =
+      client->stub().call_request("set_balance", {Value(std::int64_t{7})});
+  ASSERT_TRUE(req != nullptr);
+  EXPECT_TRUE(req->succeeded());
+  ASSERT_NE(req->trace_id, 0u);
+  PiggybackMap reply_pb = req->reply_piggyback();
+  auto it = reply_pb.find(pbkey::kTraceId);
+  ASSERT_TRUE(it != reply_pb.end());
+  EXPECT_EQ(static_cast<std::uint64_t>(it->second.as_i64()), req->trace_id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, TcpClusterBothPlatforms,
+                         ::testing::Values(PlatformKind::kRmi,
+                                           PlatformKind::kCorba),
+                         [](const auto& info) {
+                           return info.param == PlatformKind::kRmi ? "Rmi"
+                                                                   : "Corba";
+                         });
+
+TEST(TcpCluster, SimOnlyAccessorsThrowOnTcp) {
+  Cluster cluster(tcp_options(PlatformKind::kRmi));
+  EXPECT_THROW(cluster.network(), ConfigError);
+  EXPECT_THROW(cluster.faults(), ConfigError);
+  EXPECT_THROW(cluster.crash_replica(0), ConfigError);
+}
+
+TEST(TcpCluster, SimClusterStillExposesNetworkAndFaults) {
+  ClusterOptions opts;
+  opts.servant_factory = [] { return std::make_shared<BankAccountServant>(); };
+  Cluster cluster(opts);
+  EXPECT_EQ(cluster.transport().kind(), "sim");
+  EXPECT_NO_THROW(cluster.network());
+  EXPECT_NO_THROW(cluster.faults());
+}
+
+}  // namespace
+}  // namespace cqos::sim

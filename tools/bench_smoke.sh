@@ -16,7 +16,7 @@ shift $(( $# > 0 ? 1 : 0 ))
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(bench_table1 bench_table2 bench_table3 bench_degraded
-           bench_overload bench_scale)
+           bench_overload bench_scale bench_tcp)
 fi
 OUT_DIR="${CQOS_BENCH_OUT_DIR:-$BUILD_DIR/bench-out}"
 mkdir -p "$OUT_DIR"
@@ -196,6 +196,38 @@ if "bench_scale" in benches:
         fail(f"{path}: scale.runs_match=0 — same-seed runs diverged")
     print(f"{path.name}: {len(rows)} rows OK, "
           f"{counters['scale.events']} virtual events, runs match")
+
+# BENCH_tcp.json: real-socket transport rows. All four rows must be present
+# (the sim-raw calibration row included), and the metrics must prove frames
+# actually crossed the kernel: the TCP transport's receive counters only
+# move when the epoll loop decodes a frame off a real socket.
+if "bench_tcp" in benches:
+    path = out_dir / "BENCH_tcp.json"
+    if not path.exists():
+        fail(f"{path} missing")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "tcp":
+        fail(f"{path}: bench={doc.get('bench')!r}, want 'tcp'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != 4:
+        fail(f"{path}: {len(rows or [])} rows, want 4")
+    keyed = {(row.get("platform"), row.get("label")) for row in rows}
+    for want_row in (("tcp", "loopback-raw"), ("tcp", "multiproc-raw"),
+                     ("sim", "sim-raw"), ("tcp", "loopback-rmi-secured")):
+        if want_row not in keyed:
+            fail(f"{path}: missing row {want_row}")
+    check_rows(path, rows)
+    for row in rows:
+        if row["mean_ms"] <= 0:
+            fail(f"{path}: row {row['label']}: mean_ms is zero")
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters.get("net.recv.msgs", 0) <= 0:
+        fail(f"{path}: net.recv.msgs is zero — no frame ever crossed "
+             "a real socket")
+    if counters.get("net.sent.msgs", 0) <= 0:
+        fail(f"{path}: net.sent.msgs is zero")
+    print(f"{path.name}: {len(rows)} rows OK, "
+          f"{counters['net.recv.msgs']} frames received off real sockets")
 
 print("bench_smoke: all BENCH JSON files valid")
 EOF

@@ -29,11 +29,18 @@
 //      models the composition verifier (cqos/verify.h) analyzes to what the
 //      handlers actually do — drift is a build failure, not a latent
 //      misanalysis.
+//   6. transport-seam — code above the net/ library (src/ minus src/net/,
+//      bench/, examples/) must not construct SimNetwork/TcpTransport
+//      directly; deployments go through net::make_transport(TransportConfig)
+//      so they stay transport-neutral. Sim-only drivers waive a line with
+//      `// cqos-lint: allow-transport-construction`.
 //
 // Usage: cqos_lint --root <repo_root> [--micro <dir>] [--cfg <file>]
+//                  [--seam <dir>]
 //   --micro / --cfg default to src/micro and examples/sample.cfg under
-//   the root; the overrides exist so the self-test fixtures under
-//   tools/lint_fixtures/ can exercise each rule (registered WILL_FAIL).
+//   the root; --seam replaces the default transport-seam scan roots. The
+//   overrides exist so the self-test fixtures under tools/lint_fixtures/
+//   can exercise each rule (registered WILL_FAIL).
 //
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
 
@@ -688,10 +695,128 @@ void check_registry_manifests(const fs::path& standard_cc) {
   }
 }
 
+// --- Rule 7: transport-seam ---------------------------------------------------
+// Code above the net/ library must not construct a concrete transport
+// (SimNetwork, TcpTransport) directly: construction goes through
+// net::make_transport(TransportConfig), the single factory, so deployments
+// stay transport-neutral (src/net/transport.h). References (parameters,
+// pointers, forward declarations, friend declarations) are fine — only
+// instantiation is flagged. Sim-specific drivers that legitimately need a
+// concrete simulator (virtual-time benches) waive a line with
+//   // cqos-lint: allow-transport-construction
+// on the same or preceding line.
+
+void check_transport_seam_file(const std::string& fname,
+                               const std::string& raw) {
+  std::set<int> waived;
+  {
+    std::istringstream ss(raw);
+    std::string line;
+    int ln = 1;
+    while (std::getline(ss, line)) {
+      if (line.find("cqos-lint: allow-transport-construction") !=
+          std::string::npos) {
+        waived.insert(ln);
+        waived.insert(ln + 1);
+      }
+      ++ln;
+    }
+  }
+
+  FlatText f = flatten(strip_comments(raw));
+  const std::string& t = f.text;
+  for (const char* type : {"SimNetwork", "TcpTransport"}) {
+    const std::size_t len = std::strlen(type);
+    for (std::size_t pos = t.find(type); pos != std::string::npos;
+         pos = t.find(type, pos + len)) {
+      // Whole-identifier match only.
+      if (pos > 0 && is_identifier_char(t[pos - 1])) continue;
+      std::size_t after = pos + len;
+      if (after < t.size() && is_identifier_char(t[after])) continue;
+      int ln = line_at(f, pos);
+      if (waived.count(ln) != 0) continue;
+
+      // Skip any namespace qualifier so "new cqos::net::SimNetwork" is
+      // classified by what precedes the full qualified name.
+      std::size_t q = pos;
+      while (q >= 2 && t.compare(q - 2, 2, "::") == 0) {
+        std::size_t r = q - 2;
+        while (r > 0 && is_identifier_char(t[r - 1])) --r;
+        q = r;
+      }
+      auto preceded_by = [&](const std::string& kw) {
+        return q >= kw.size() && t.compare(q - kw.size(), kw.size(), kw) == 0;
+      };
+
+      bool violation = false;
+      std::string what;
+      if (preceded_by("new ")) {
+        violation = true;
+        what = std::string("new ") + type;
+      } else if (preceded_by("make_unique<") || preceded_by("make_shared<")) {
+        violation = true;
+        what = std::string("make_unique/make_shared<") + type + ">";
+      } else if (preceded_by("class ") || preceded_by("struct ")) {
+        // Forward / friend declaration: a type mention, not a construction.
+      } else {
+        // Declaration form: "<Type> ident (..." / "{...}" / ";" constructs
+        // an instance (stack variable or default-constructed member).
+        // "<Type>&", "<Type>*" and "<Type>>" are references/type args.
+        std::size_t p = after;
+        while (p < t.size() && t[p] == ' ') ++p;
+        if (p < t.size() && (std::isalpha(static_cast<unsigned char>(t[p])) ||
+                             t[p] == '_')) {
+          std::size_t id_end = p;
+          while (id_end < t.size() && is_identifier_char(t[id_end])) ++id_end;
+          std::size_t p2 = id_end;
+          while (p2 < t.size() && t[p2] == ' ') ++p2;
+          if (p2 < t.size() && (t[p2] == '(' || t[p2] == '{' || t[p2] == ';' ||
+                                t[p2] == '=')) {
+            violation = true;
+            what = std::string(type) + " " + t.substr(p, id_end - p);
+          }
+        }
+      }
+      if (violation) {
+        fail(fname + ":" + std::to_string(ln), "transport-seam",
+             "direct construction of " + what +
+                 " — build transports via net::make_transport("
+                 "TransportConfig); sim-only drivers may waive with "
+                 "'// cqos-lint: allow-transport-construction'");
+      }
+    }
+  }
+}
+
+void check_transport_seam(const fs::path& root, const fs::path& seam_dir) {
+  auto scan_tree = [&](const fs::path& dir, const fs::path& skip) {
+    if (!fs::exists(dir)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      const fs::path& p = entry.path();
+      if (!skip.empty()) {
+        auto rel = fs::relative(p, dir).string();
+        if (rel.rfind(skip.string(), 0) == 0) continue;
+      }
+      auto ext = p.extension();
+      if (ext != ".cc" && ext != ".cpp" && ext != ".h") continue;
+      check_transport_seam_file(p.string(), read_file(p));
+    }
+  };
+  if (!seam_dir.empty()) {
+    scan_tree(seam_dir, {});
+    return;
+  }
+  // The net/ library itself implements the seam; everything above it is in
+  // scope. Tests may construct concrete transports freely (they test them).
+  scan_tree(root / "src", fs::path("net"));
+  scan_tree(root / "bench", {});
+  scan_tree(root / "examples", {});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root, micro_dir, cfg_path;
+  fs::path root, micro_dir, cfg_path, seam_dir;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto need = [&](const char* flag) -> fs::path {
@@ -704,15 +829,16 @@ int main(int argc, char** argv) {
     if (a == "--root") root = need("--root");
     else if (a == "--micro") micro_dir = need("--micro");
     else if (a == "--cfg") cfg_path = need("--cfg");
+    else if (a == "--seam") seam_dir = need("--seam");
     else {
       std::cerr << "usage: cqos_lint --root <repo_root> [--micro <dir>] "
-                   "[--cfg <file>]\n";
+                   "[--cfg <file>] [--seam <dir>]\n";
       return 2;
     }
   }
   if (root.empty()) {
     std::cerr << "usage: cqos_lint --root <repo_root> [--micro <dir>] "
-                 "[--cfg <file>]\n";
+                 "[--cfg <file>] [--seam <dir>]\n";
     return 2;
   }
   if (micro_dir.empty()) micro_dir = root / "src" / "micro";
@@ -749,6 +875,7 @@ int main(int argc, char** argv) {
   check_events(corpus, vocab);
   check_cfg(cfg_path, parse_registry(root / "src" / "micro" / "standard.cc"));
   check_registry_manifests(root / "src" / "micro" / "standard.cc");
+  check_transport_seam(root, seam_dir);
 
   if (g_errors > 0) {
     std::cerr << "cqos_lint: " << g_errors << " violation(s)\n";

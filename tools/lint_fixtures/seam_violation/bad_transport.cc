@@ -1,0 +1,17 @@
+// Self-test fixture: constructs a concrete transport directly instead of
+// going through net::make_transport. The transport-seam rule must flag all
+// three forms (stack declaration, new, make_unique).
+namespace cqos::net {
+struct NetConfig {};
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetConfig) {}
+};
+class TcpTransport {};
+}  // namespace cqos::net
+
+void assemble() {
+  cqos::net::SimNetwork net(cqos::net::NetConfig{});
+  auto* raw = new cqos::net::TcpTransport();
+  delete raw;
+}
