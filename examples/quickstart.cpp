@@ -63,6 +63,19 @@ int main() {
   std::printf("balance after withdraw: %lld cents\n",
               static_cast<long long>(account.get_balance()));
 
+  // 4b. build() returned lifecycle handles: the composition is a runtime
+  //     policy object. Hot-swap the server to a deduplicating + secured
+  //     stack while the endpoint stays registered and live — the swap
+  //     drains in-flight work, parks arrivals, and hands dedup state to
+  //     the incoming stack (DESIGN.md §16).
+  const char* kKey = "00112233445566aa";
+  server->reconfigure({{"dedup", {}}, {"des_privacy", {{"key", kKey}}}});
+  client->reconfigure({{"retransmit", {}}, {"des_privacy", {{"key", kKey}}}});
+  account.deposit(100);
+  std::printf("balance after reconfig: %lld cents (revision %llu)\n",
+              static_cast<long long>(account.get_balance()),
+              static_cast<unsigned long long>(server->config_revision()));
+
   // 5. Application errors propagate as exceptions, exactly as with the
   //    plain middleware.
   try {

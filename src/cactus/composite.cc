@@ -40,6 +40,14 @@ MicroProtocol* CompositeProtocol::find_protocol(std::string_view name) const {
   return nullptr;
 }
 
+std::vector<std::unique_ptr<MicroProtocol>>
+CompositeProtocol::extract_protocols() {
+  std::vector<std::unique_ptr<MicroProtocol>> out;
+  MutexLock lk(mu_);
+  out.swap(protocols_);
+  return out;
+}
+
 std::vector<std::string> CompositeProtocol::protocol_names() const {
   MutexLock lk(mu_);
   std::vector<std::string> names;

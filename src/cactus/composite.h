@@ -128,14 +128,71 @@ class SharedData {
   std::map<std::string, std::any> map_ CQOS_GUARDED_BY(mu_);
 };
 
+/// Typed key/value container ferrying micro-protocol state across a
+/// reconfiguration (live hot-swap, DESIGN.md §16). Outgoing protocols
+/// export_state() into a bag after quiescence; incoming protocols
+/// import_state() from it after install. Unlike SharedData the bag is a
+/// plain value — it is only touched by the single thread driving the swap,
+/// so no lock.
+class StateBag {
+ public:
+  template <typename T>
+  std::shared_ptr<T> get_or_create(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      auto ptr = std::make_shared<T>();
+      map_.emplace(key, ptr);
+      return ptr;
+    }
+    auto ptr = std::any_cast<std::shared_ptr<T>>(&it->second);
+    if (ptr == nullptr) {
+      throw TypeError("state bag '" + key + "' has a different type");
+    }
+    return *ptr;
+  }
+
+  /// nullptr when the key is absent (typed mismatch still throws: a swap
+  /// that silently drops state would break at-most-once invariants).
+  template <typename T>
+  std::shared_ptr<T> find(const std::string& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    auto ptr = std::any_cast<std::shared_ptr<T>>(&it->second);
+    if (ptr == nullptr) {
+      throw TypeError("state bag '" + key + "' has a different type");
+    }
+    return *ptr;
+  }
+
+  bool contains(const std::string& key) const { return map_.count(key) != 0; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::string, std::any> map_;
+};
+
 /// Base class for micro-protocols. A micro-protocol binds its handlers in
 /// init() and may clean up in shutdown().
+///
+/// Reconfiguration lifecycle (all optional; defaults are no-ops): when a
+/// composite's stack is hot-swapped the runtime calls, in order and with
+/// zero in-flight requests guaranteed,
+///   quiesce()       — cancel timers / background raises so no handler of
+///                     this protocol fires after extraction;
+///   export_state()  — serialize invariants-bearing state (dedup caches,
+///                     retransmit windows) into the bag;
+///   shutdown()      — unbind handlers as usual;
+/// then, on the incoming stack, after init():
+///   import_state()  — adopt the exported state.
 class MicroProtocol {
  public:
   virtual ~MicroProtocol() = default;
   virtual std::string_view name() const = 0;
   virtual void init(CompositeProtocol& proto) = 0;
   virtual void shutdown() {}
+  virtual void quiesce() {}
+  virtual void export_state(StateBag&) {}
+  virtual void import_state(const StateBag&) {}
 };
 
 class CompositeProtocol {
@@ -178,6 +235,15 @@ class CompositeProtocol {
   MicroProtocol* find_protocol(std::string_view name) const;
 
   std::vector<std::string> protocol_names() const;
+
+  /// Remove and return every installed micro-protocol WITHOUT stopping the
+  /// pool, timers, or bindings — the reconfiguration primitive. The caller
+  /// (the reconfigure seam, src/cqos/reconfig.cc) owns quiesce/export/
+  /// shutdown of the extracted protocols; the composite keeps running and
+  /// can host a replacement stack via add_protocol(). Must only be called
+  /// with the composite externally quiesced (no in-flight activations that
+  /// depend on the outgoing handlers).
+  std::vector<std::unique_ptr<MicroProtocol>> extract_protocols();
 
   // --- event operations ----------------------------------------------------
 

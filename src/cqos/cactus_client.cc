@@ -43,10 +43,20 @@ void CactusClient::cactus_request(const RequestPtr& req) {
       metrics::Registry::global().histogram("cqos.cactus.client.request");
   trace::ScopedSpan span(req->trace_id, "cqos.cactus.client.request",
                          req->method, &hist);
+  // Reconfiguration gate: live requests count as in-flight; arrivals during
+  // a hot-swap park and release onto the new stack. A rejected entry (gate
+  // closed, parked queue full/timed out) is a visible failure, never a hang.
+  if (!gate_.enter()) {
+    req->complete(false, Value(),
+                  "cqos: client rejected during reconfiguration (gate " +
+                      std::string(gate_phase_name(gate_.phase())) + ")");
+    return;
+  }
   proto_.raise(ev::kNewRequest, req);
   if (!req->wait(request_timeout_)) {
     req->complete(false, Value(), "cqos: request timed out");
   }
+  gate_.exit();
 }
 
 }  // namespace cqos

@@ -10,6 +10,7 @@
 #include "cactus/composite.h"
 #include "common/clock.h"
 #include "cqos/qos_interface.h"
+#include "cqos/reconfig.h"
 
 namespace cqos {
 
@@ -48,8 +49,16 @@ class CactusClient {
   cactus::CompositeProtocol& protocol() { return proto_; }
   ClientQosInterface& qos() { return *qos_; }
 
-  /// Install a configured micro-protocol (convenience forward).
+  /// Admission gate used by live reconfiguration (reconfig.h). Requests
+  /// entering cactus_request() pass through it; the reconfigure seam
+  /// (QosEndpoint::Handle) drives it through drain/swap/resume.
+  QuiesceGate& reconfig_gate() { return gate_; }
+
+  /// Install a configured micro-protocol (convenience forward for
+  /// hand-assembled composites in tests/benches — live endpoints mutate
+  /// their stack through QosEndpoint::Handle::reconfigure()).
   void add_micro_protocol(std::unique_ptr<cactus::MicroProtocol> mp) {
+    // cqos-lint: allow-reconfig-seam (the sanctioned boot-time forward)
     proto_.add_protocol(std::move(mp));
   }
 
@@ -63,6 +72,7 @@ class CactusClient {
   cactus::CompositeProtocol proto_;
   std::unique_ptr<ClientQosInterface> qos_;
   Duration request_timeout_;
+  QuiesceGate gate_;
 };
 
 }  // namespace cqos

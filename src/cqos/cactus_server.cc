@@ -43,6 +43,15 @@ CactusServer::~CactusServer() { stop(); }
 void CactusServer::process_request(const RequestPtr& req) {
   static metrics::Histogram& hist =
       metrics::Registry::global().histogram("cqos.cactus.server.process");
+  // Reconfiguration gate: see cactus_client.cc. Forwarded replica requests
+  // arriving during a hot-swap park here too and execute on the new stack
+  // (whose dedup state was imported, preserving at-most-once).
+  if (!gate_.enter()) {
+    req->complete(false, Value(),
+                  "cqos: server rejected during reconfiguration (gate " +
+                      std::string(gate_phase_name(gate_.phase())) + ")");
+    return;
+  }
   {
     trace::ScopedSpan span(req->trace_id, "cqos.cactus.server.process",
                            req->method, &hist);
@@ -51,13 +60,20 @@ void CactusServer::process_request(const RequestPtr& req) {
       req->complete(false, Value(), "cqos: server-side processing timed out");
     }
   }
+  gate_.exit();
   // The reply is (about to be) sent back to the client; let scheduling
-  // micro-protocols release queued work.
+  // micro-protocols release queued work. Runs outside the gate: with zero
+  // in-flight requests a scheduler has nothing queued, so a concurrent swap
+  // is safe (the activation snapshots bindings).
   proto_.raise_async(ev::kRequestReturned, req);
 }
 
 Value CactusServer::handle_control(const std::string& control,
                                    ValueList args) {
+  // Controls are never blocked during draining (in-flight requests need
+  // replica forwards / ordering info to complete); they only pause for the
+  // brief handler-graph surgery window.
+  gate_.control_checkpoint();
   auto msg = std::make_shared<ControlMsg>();
   msg->control = control;
   msg->args = std::move(args);

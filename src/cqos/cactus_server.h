@@ -10,6 +10,7 @@
 #include "cactus/composite.h"
 #include "common/clock.h"
 #include "cqos/qos_interface.h"
+#include "cqos/reconfig.h"
 
 namespace cqos {
 
@@ -58,7 +59,11 @@ class CactusServer {
   cactus::CompositeProtocol& protocol() { return proto_; }
   ServerQosInterface& qos() { return *qos_; }
 
+  /// Convenience forward for hand-assembled composites in tests/benches —
+  /// live endpoints mutate their stack through
+  /// QosEndpoint::Handle::reconfigure().
   void add_micro_protocol(std::unique_ptr<cactus::MicroProtocol> mp) {
+    // cqos-lint: allow-reconfig-seam (the sanctioned boot-time forward)
     proto_.add_protocol(std::move(mp));
   }
 
@@ -77,10 +82,17 @@ class CactusServer {
 
   void stop() { proto_.stop(); }
 
+  /// Admission gate used by live reconfiguration (reconfig.h). Requests
+  /// entering process_request() pass through it; control messages take a
+  /// bounded checkpoint; the reconfigure seam (QosEndpoint::Handle) drives
+  /// it through drain/swap/resume.
+  QuiesceGate& reconfig_gate() { return gate_; }
+
  private:
   cactus::CompositeProtocol proto_;
   std::unique_ptr<ServerQosInterface> qos_;
   Duration process_timeout_;
+  QuiesceGate gate_;
 };
 
 }  // namespace cqos

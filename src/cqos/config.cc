@@ -208,6 +208,58 @@ QosConfig& QosConfig::add(Side s, std::string name,
   return *this;
 }
 
+// --- ConfigRevision ---------------------------------------------------------------
+
+ConfigRevision ConfigRevision::parse(std::string_view text) {
+  ConfigRevision rev;
+  // Headers are comment lines, so they are invisible to QosConfig::parse.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    // Trim leading whitespace.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string_view::npos) continue;
+    line.remove_prefix(start);
+    if (line.empty() || line[0] != '#') continue;
+    line.remove_prefix(1);
+    start = line.find_first_not_of(" \t");
+    if (start != std::string_view::npos) line.remove_prefix(start);
+    auto header_value = [&](std::string_view key) -> std::string_view {
+      if (line.substr(0, key.size()) != key) return {};
+      std::string_view v = line.substr(key.size());
+      std::size_t s = v.find_first_not_of(" \t");
+      if (s == std::string_view::npos) return {};
+      std::size_t e = v.find_last_not_of(" \t\r");
+      return v.substr(s, e - s + 1);
+    };
+    if (std::string_view v = header_value("revision:"); !v.empty()) {
+      std::uint64_t n = 0;
+      auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), n);
+      if (ec != std::errc() || ptr != v.data() + v.size()) {
+        throw ConfigError("malformed '# revision:' header: " +
+                          std::string(v));
+      }
+      rev.revision = n;
+    } else if (std::string_view p = header_value("provenance:"); !p.empty()) {
+      rev.provenance = std::string(p);
+    }
+  }
+  rev.config = QosConfig::parse(text);
+  return rev;
+}
+
+std::string ConfigRevision::serialize() const {
+  std::ostringstream os;
+  os << "# revision: " << revision << "\n";
+  if (!provenance.empty()) os << "# provenance: " << provenance << "\n";
+  os << config.serialize();
+  return os.str();
+}
+
 // --- validation -------------------------------------------------------------------
 
 namespace {

@@ -14,6 +14,7 @@
 // resolved against the registry at install time.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -55,6 +56,37 @@ struct QosConfig {
   /// Append a spec to one side (builder-style convenience).
   QosConfig& add(Side s, std::string name,
                  std::map<std::string, std::string> params = {});
+};
+
+/// A versioned configuration: the single value type `dynamic_config` and
+/// the configuration service exchange (replacing their formerly separate
+/// parse paths). `revision` increases monotonically per published
+/// configuration — consumers apply a revision only when it is newer than
+/// what they run, so replayed or reordered pushes are harmless no-ops.
+/// `provenance` records where the revision came from (config service key,
+/// file, test) for diagnostics.
+///
+/// Serialized as comment headers atop the standard QosConfig text:
+///
+///     # revision: 4
+///     # provenance: config-service:[alice,BankAccount]
+///     client: retransmit;
+///     server: dedup;
+///
+/// so any plain QosConfig::parse() also accepts a ConfigRevision payload
+/// (headers are comments) — old readers keep working.
+struct ConfigRevision {
+  std::uint64_t revision = 0;
+  QosConfig config;
+  std::string provenance;
+
+  /// Parse headers + configuration. Missing headers default to revision 0
+  /// / empty provenance (a bare QosConfig text is a valid revision 0).
+  /// Throws ConfigError on malformed input.
+  static ConfigRevision parse(std::string_view text);
+
+  /// Round-trippable serialization (headers first).
+  std::string serialize() const;
 };
 
 /// Result of statically checking a configuration (the role the paper

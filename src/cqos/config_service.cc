@@ -1,5 +1,8 @@
 #include "cqos/config_service.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
 #include "cqos/skeleton.h"
 
@@ -11,9 +14,9 @@ Value ConfigServiceServant::dispatch(const std::string& method,
     const std::string& user = params.at(0).as_string();
     const std::string& service = params.at(1).as_string();
     const std::string& text = params.at(2).as_string();
-    (void)QosConfig::parse(text);  // reject malformed configurations
+    ConfigRevision pushed = ConfigRevision::parse(text);  // rejects malformed
     MutexLock lk(mu_);
-    table_[{user, service}] = text;
+    store(user, service, std::move(pushed));
     return Value(true);
   }
   if (method == "get") {
@@ -25,7 +28,7 @@ Value ConfigServiceServant::dispatch(const std::string& method,
     if (it == table_.end()) {
       throw Error("no configuration for [" + user + ", " + service + "]");
     }
-    return Value(it->second);
+    return Value(it->second.serialize());
   }
   if (method == "remove") {
     const std::string& user = params.at(0).as_string();
@@ -36,11 +39,24 @@ Value ConfigServiceServant::dispatch(const std::string& method,
   throw Error("ConfigService: no such method: " + method);
 }
 
+void ConfigServiceServant::store(const std::string& user,
+                                 const std::string& service,
+                                 ConfigRevision pushed) {
+  ConfigRevision& slot = table_[{user, service}];
+  // Monotonic per pair: an unversioned put still advances the revision, a
+  // versioned put may jump it forward, and neither can move it backwards.
+  slot.revision = std::max(slot.revision + 1, pushed.revision);
+  slot.config = std::move(pushed.config);
+  slot.provenance = "config-service:[" + user + ", " + service + "]";
+}
+
 void ConfigServiceServant::put(const std::string& user,
                                const std::string& service,
                                const QosConfig& config) {
+  ConfigRevision pushed;
+  pushed.config = config;
   MutexLock lk(mu_);
-  table_[{user, service}] = config.serialize();
+  store(user, service, std::move(pushed));
 }
 
 void register_config_service(plat::Platform& platform,
@@ -69,15 +85,22 @@ void publish_config(plat::Platform& platform, const std::string& user,
   }
 }
 
-QosConfig fetch_config_for(plat::Platform& platform, const std::string& user,
-                           const std::string& service, Duration timeout) {
+ConfigRevision fetch_revision_for(plat::Platform& platform,
+                                  const std::string& user,
+                                  const std::string& service,
+                                  Duration timeout) {
   auto ref = resolve_service(platform, timeout);
   plat::Reply reply =
       ref->invoke("get", {Value(user), Value(service)}, {}, timeout);
   if (!reply.ok()) {
     throw InvocationError("config service get failed: " + reply.error);
   }
-  return QosConfig::parse(reply.result.as_string());
+  return ConfigRevision::parse(reply.result.as_string());
+}
+
+QosConfig fetch_config_for(plat::Platform& platform, const std::string& user,
+                           const std::string& service, Duration timeout) {
+  return fetch_revision_for(platform, user, service, timeout).config;
 }
 
 }  // namespace cqos

@@ -5,9 +5,14 @@
 // requiring direct manual configuration of protocols."
 //
 // The service is itself an ordinary distributed object: a servant holding a
-// [user, service] -> QosConfig table, registered under a well-known name.
-// Clients and servers fetch their micro-protocol stacks from it at startup;
-// lookups fall back from the exact user to the wildcard user "*".
+// [user, service] -> ConfigRevision table, registered under a well-known
+// name. Clients and servers fetch their micro-protocol stacks from it at
+// startup; lookups fall back from the exact user to the wildcard user "*".
+//
+// Every accepted put() bumps the pair's revision monotonically
+// (max(stored + 1, pushed)), so a fetcher — or a ConfigWatcher polling the
+// service through fetch_revision_for — can order concurrent updates and a
+// live endpoint can gate reconfigure() on the revision number alone.
 #pragma once
 
 #include <map>
@@ -27,9 +32,11 @@ namespace cqos {
 inline constexpr const char* kConfigServiceName = "CQoSConfigService";
 
 /// The service's servant. Methods (via generic dispatch):
-///   put(user, service, config_text) -> true
-///   get(user, service) -> config_text    (exact, then user "*"; error if
-///                                          neither is defined)
+///   put(user, service, config_text) -> true   (config_text may carry
+///       ConfigRevision headers; the stored revision always increases)
+///   get(user, service) -> revision_text  (ConfigRevision::serialize; exact,
+///                                          then user "*"; error if neither
+///                                          is defined)
 ///   remove(user, service) -> bool
 class ConfigServiceServant : public Servant {
  public:
@@ -40,8 +47,11 @@ class ConfigServiceServant : public Servant {
            const QosConfig& config);
 
  private:
+  void store(const std::string& user, const std::string& service,
+             ConfigRevision pushed) CQOS_REQUIRES(mu_);
+
   mutable Mutex mu_;
-  std::map<std::pair<std::string, std::string>, std::string> table_
+  std::map<std::pair<std::string, std::string>, ConfigRevision> table_
       CQOS_GUARDED_BY(mu_);
 };
 
@@ -59,5 +69,13 @@ void publish_config(plat::Platform& platform, const std::string& user,
 /// defined for the pair (or the wildcard user).
 QosConfig fetch_config_for(plat::Platform& platform, const std::string& user,
                            const std::string& service, Duration timeout);
+
+/// Fetch the full versioned record for [user, service] — same lookup and
+/// failure modes as fetch_config_for, keeping the revision number and
+/// provenance so the caller can gate a live reconfigure() on staleness.
+ConfigRevision fetch_revision_for(plat::Platform& platform,
+                                  const std::string& user,
+                                  const std::string& service,
+                                  Duration timeout);
 
 }  // namespace cqos

@@ -1,0 +1,229 @@
+#include "cqos/reconfig.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace cqos {
+
+std::string_view gate_phase_name(GatePhase p) {
+  switch (p) {
+    case GatePhase::kLive:
+      return "live";
+    case GatePhase::kDraining:
+      return "draining";
+    case GatePhase::kSwapping:
+      return "swapping";
+    case GatePhase::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+// --- QuiesceGate -------------------------------------------------------------
+
+bool QuiesceGate::enter() {
+  MutexLock lk(mu_);
+  if (phase_ == GatePhase::kLive) {
+    ++inflight_;
+    return true;
+  }
+  if (phase_ == GatePhase::kClosed) return false;
+  // Draining or swapping: park. Bounded queue — overflow is a visible
+  // rejection, never a silent drop.
+  if (parked_ >= max_parked_) {
+    metrics::Registry::global().counter("cqos.reconfig.park_overflow").inc();
+    return false;
+  }
+  ++parked_;
+  if (parked_ > parked_peak_) parked_peak_ = parked_;
+  TimePoint deadline = now() + park_timeout_;
+  bool admitted = false;
+  while (true) {
+    if (phase_ == GatePhase::kLive) {
+      ++inflight_;
+      ++released_;
+      admitted = true;
+      break;
+    }
+    if (phase_ == GatePhase::kClosed) break;
+    if (now() >= deadline) {
+      metrics::Registry::global().counter("cqos.reconfig.park_timeout").inc();
+      break;
+    }
+    cv_.wait_until(mu_, deadline);
+  }
+  --parked_;
+  cv_.notify_all();  // the drain driver may be waiting on parked_ == 0
+  return admitted;
+}
+
+void QuiesceGate::exit() {
+  MutexLock lk(mu_);
+  if (--inflight_ == 0) cv_.notify_all();
+}
+
+void QuiesceGate::control_checkpoint() {
+  MutexLock lk(mu_);
+  // Bounded: the swapping window is local surgery with zero in-flight
+  // requests, so this is milliseconds. The bound guards against a wedged
+  // swap thread turning a control into a hang.
+  TimePoint deadline = now() + ms(10'000);
+  while (phase_ == GatePhase::kSwapping && now() < deadline) {
+    cv_.wait_until(mu_, deadline);
+  }
+}
+
+bool QuiesceGate::begin_drain(const ReconfigOptions& opts) {
+  MutexLock lk(mu_);
+  if (phase_ != GatePhase::kLive) {
+    throw Error(std::string("QuiesceGate: begin_drain in phase ") +
+                std::string(gate_phase_name(phase_)));
+  }
+  phase_ = GatePhase::kDraining;
+  parked_peak_ = 0;
+  released_ = 0;
+  max_parked_ = opts.max_parked;
+  park_timeout_ = opts.park_timeout;
+  TimePoint deadline = now() + opts.drain_timeout;
+  while (inflight_ > 0 && now() < deadline) {
+    cv_.wait_until(mu_, deadline);
+  }
+  if (inflight_ > 0) {
+    // Abort: back to live, parked arrivals release onto the old stack.
+    phase_ = GatePhase::kLive;
+    cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void QuiesceGate::begin_swap() {
+  MutexLock lk(mu_);
+  if (phase_ != GatePhase::kDraining || inflight_ != 0) {
+    throw Error("QuiesceGate: begin_swap without a completed drain");
+  }
+  phase_ = GatePhase::kSwapping;
+}
+
+void QuiesceGate::resume() {
+  MutexLock lk(mu_);
+  if (phase_ == GatePhase::kClosed) return;
+  phase_ = GatePhase::kLive;
+  cv_.notify_all();
+}
+
+void QuiesceGate::close() {
+  MutexLock lk(mu_);
+  phase_ = GatePhase::kClosed;
+  cv_.notify_all();
+}
+
+GatePhase QuiesceGate::phase() const {
+  MutexLock lk(mu_);
+  return phase_;
+}
+
+int QuiesceGate::inflight() const {
+  MutexLock lk(mu_);
+  return inflight_;
+}
+
+int QuiesceGate::parked_peak() const {
+  MutexLock lk(mu_);
+  return parked_peak_;
+}
+
+std::uint64_t QuiesceGate::released() const {
+  MutexLock lk(mu_);
+  return released_;
+}
+
+// --- swap engine -------------------------------------------------------------
+
+namespace {
+
+// Tear a (possibly partially installed) stack out of the composite:
+// quiesce, export into `bag` (when non-null), shutdown (unbinds handlers).
+void teardown_stack(cactus::CompositeProtocol& proto, cactus::StateBag* bag) {
+  auto outgoing = proto.extract_protocols();
+  for (auto& mp : outgoing) mp->quiesce();
+  if (bag != nullptr) {
+    for (auto& mp : outgoing) mp->export_state(*bag);
+  }
+  for (auto& mp : outgoing) mp->shutdown();
+}
+
+// Install `specs` and import `bag` into the new instances. On any failure
+// the partial install is torn down (no export) and the exception
+// propagates.
+void install_stack(cactus::CompositeProtocol& proto, Side side,
+                   const std::vector<MicroProtocolSpec>& specs,
+                   const cactus::StateBag& bag) {
+  try {
+    MicroProtocolRegistry::instance().install(side, specs, proto);
+    for (const std::string& name : proto.protocol_names()) {
+      if (cactus::MicroProtocol* mp = proto.find_protocol(name)) {
+        mp->import_state(bag);
+      }
+    }
+  } catch (...) {
+    teardown_stack(proto, nullptr);
+    throw;
+  }
+}
+
+}  // namespace
+
+void swap_stack(cactus::CompositeProtocol& proto, QuiesceGate& gate,
+                Side side, const std::vector<MicroProtocolSpec>& old_specs,
+                const std::vector<MicroProtocolSpec>& new_specs,
+                const ReconfigOptions& opts, ReconfigReport& report) {
+  TimePoint t0 = now();
+  if (!gate.begin_drain(opts)) {
+    metrics::Registry::global().counter("cqos.reconfig.drain_timeout").inc();
+    throw TimeoutError("reconfigure: drain of in-flight requests timed out "
+                       "after " +
+                       std::to_string(to_ms(opts.drain_timeout)) +
+                       " ms (stack unchanged)");
+  }
+  TimePoint t1 = now();
+  report.drain_ms = to_ms(t1 - t0);
+  gate.begin_swap();
+
+  cactus::StateBag bag;
+  teardown_stack(proto, &bag);
+  try {
+    install_stack(proto, side, new_specs, bag);
+  } catch (const std::exception& e) {
+    // Roll back: re-create the OLD stack from its specs (fresh instances —
+    // re-initializing shut-down instances is not part of the micro-protocol
+    // contract) and re-import the exported state.
+    CQOS_LOG_WARN(proto.name(), ": reconfigure install failed (", e.what(),
+                  "), rolling back to previous composition");
+    metrics::Registry::global().counter("cqos.reconfig.rollback").inc();
+    report.rolled_back = true;
+    try {
+      install_stack(proto, side, old_specs, bag);
+    } catch (...) {
+      // The old stack no longer installs either: the composite is left
+      // empty. The endpoint stays up but unconfigured; the rollback
+      // failure propagates.
+      gate.resume();
+      throw;
+    }
+    gate.resume();
+    report.parked_peak = gate.parked_peak();
+    report.swap_ms = to_ms(now() - t1);
+    report.total_ms = to_ms(now() - t0);
+    throw;
+  }
+  gate.resume();
+  report.parked_peak = gate.parked_peak();
+  report.released = gate.released();
+  report.swap_ms = to_ms(now() - t1);
+  report.total_ms = to_ms(now() - t0);
+  metrics::Registry::global().counter("cqos.reconfig.swaps").inc();
+}
+
+}  // namespace cqos

@@ -55,18 +55,63 @@ cactus::Handler dedup_store_handler(std::shared_ptr<DedupState> state) {
   };
 }
 
+// One snapshot per bag: cache entries in FIFO (eviction) order. Merged by
+// every exporter and adopted by every importer so at-most-once history
+// crosses protocol boundaries (passive_rep ↔ dedup).
+struct DedupSnapshot {
+  std::map<std::uint64_t, DedupState::Cached> cache;
+  std::deque<std::uint64_t> fifo;
+};
+
+void export_dedup_state(DedupState& state, cactus::StateBag& bag) {
+  auto snap = bag.get_or_create<DedupSnapshot>(kDedupBagKey);
+  MutexLock lk(state.mu);
+  for (std::uint64_t id : state.cache_fifo) {
+    auto it = state.cache.find(id);
+    if (it == state.cache.end()) continue;
+    if (snap->cache.emplace(id, it->second).second) {
+      snap->fifo.push_back(id);
+    }
+  }
+}
+
+void import_dedup_state(const cactus::StateBag& bag, DedupState& state) {
+  auto snap = bag.find<DedupSnapshot>(kDedupBagKey);
+  if (snap == nullptr) return;
+  MutexLock lk(state.mu);
+  for (std::uint64_t id : snap->fifo) {
+    auto it = snap->cache.find(id);
+    if (it == snap->cache.end()) continue;
+    if (state.cache.emplace(id, it->second).second) {
+      state.cache_fifo.push_back(id);
+    }
+  }
+  while (state.cache_fifo.size() > state.max_cache) {
+    state.cache.erase(state.cache_fifo.front());
+    state.cache_fifo.pop_front();
+  }
+}
+
 void Dedup::init(cactus::CompositeProtocol& proto) {
   server_holder(proto);  // configuration check: server composites only
-  auto state = proto.shared().get_or_create<DedupState>(kStateKey);
+  state_ = proto.shared().get_or_create<DedupState>(kStateKey);
   {
-    MutexLock lk(state->mu);
-    state->max_cache = max_cache_;
+    MutexLock lk(state_->mu);
+    state_->max_cache = max_cache_;
   }
 
   bind_tracked(proto, ev::kReadyToInvoke, "dedupCheck",
-               dedup_check_handler(state), order::kDedup);
+               dedup_check_handler(state_), order::kDedup);
   bind_tracked(proto, ev::kInvokeReturn, "dedupStore",
-               dedup_store_handler(state), order::kStoreResult);
+               dedup_store_handler(state_), order::kStoreResult);
+}
+
+void Dedup::export_state(cactus::StateBag& bag) {
+  if (state_) export_dedup_state(*state_, bag);
+}
+
+void Dedup::import_state(const cactus::StateBag& bag) {
+  if (state_) import_dedup_state(bag, *state_);
 }
 
 std::unique_ptr<cactus::MicroProtocol> Dedup::make(

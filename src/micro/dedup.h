@@ -53,6 +53,19 @@ cactus::Handler dedup_check_handler(std::shared_ptr<DedupState> state);
 /// outcome for future duplicates and evicts FIFO past `max_cache`.
 cactus::Handler dedup_store_handler(std::shared_ptr<DedupState> state);
 
+/// Reconfiguration state handoff (DESIGN.md §16). All at-most-once caches —
+/// the standalone "dedup" protocol's AND PassiveRepServer's — travel under
+/// ONE canonical bag key, so e.g. a passive_rep → retransmit+dedup
+/// transition still answers a network duplicate of a pre-swap request from
+/// the cache instead of re-executing it. export MERGES into any entry a
+/// co-resident protocol already wrote; import merges into `state` and trims
+/// FIFO-oldest down to state.max_cache. The in-flight map is NOT exported:
+/// a swap only runs at quiescence (zero in-flight requests), so any residue
+/// there belongs to abandoned (timed-out) requests.
+inline constexpr const char* kDedupBagKey = "dedup.cache";
+void export_dedup_state(DedupState& state, cactus::StateBag& bag);
+void import_dedup_state(const cactus::StateBag& bag, DedupState& state);
+
 /// Standalone server-side dedup micro-protocol ("dedup" in QosConfig).
 /// Params: max_cache (default 1024) — result-cache bound.
 class Dedup : public MicroBase {
@@ -61,6 +74,8 @@ class Dedup : public MicroBase {
 
   std::string_view name() const override { return "dedup"; }
   void init(cactus::CompositeProtocol& proto) override;
+  void export_state(cactus::StateBag& bag) override;
+  void import_state(const cactus::StateBag& bag) override;
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
@@ -70,6 +85,7 @@ class Dedup : public MicroBase {
 
  private:
   std::size_t max_cache_;
+  std::shared_ptr<DedupState> state_;
 };
 
 }  // namespace cqos::micro

@@ -1,5 +1,6 @@
 #include "micro/extensions.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.h"
@@ -18,10 +19,70 @@ std::set<std::string> parse_method_list(const std::string& value) {
 
 // --- Retransmit ------------------------------------------------------------------
 
+int consume_retry_slot(RetransmitState& state, std::uint64_t request_id,
+                       int server, int max_retries) {
+  MutexLock lk(state.mu);
+  const auto key = std::make_pair(request_id, server);
+  auto [it, inserted] = state.used.try_emplace(key, 0);
+  if (inserted) state.fifo.push_back(key);
+  while (state.fifo.size() > state.max_windows && state.fifo.front() != key) {
+    state.used.erase(state.fifo.front());
+    state.fifo.pop_front();
+  }
+  if (it->second >= max_retries) return 0;
+  return ++it->second;
+}
+
+// One snapshot per bag: windows in FIFO (eviction) order, merged by taking
+// the larger slots-used count so no exporter can refund budget another
+// protocol instance already spent.
+struct RetransmitSnapshot {
+  std::map<std::pair<std::uint64_t, int>, int> used;
+  std::deque<std::pair<std::uint64_t, int>> fifo;
+};
+
+void export_retransmit_state(RetransmitState& state, cactus::StateBag& bag) {
+  auto snap = bag.get_or_create<RetransmitSnapshot>(kRetransmitBagKey);
+  MutexLock lk(state.mu);
+  for (const auto& key : state.fifo) {
+    auto it = state.used.find(key);
+    if (it == state.used.end()) continue;
+    auto [sit, inserted] = snap->used.emplace(key, it->second);
+    if (inserted) {
+      snap->fifo.push_back(key);
+    } else {
+      sit->second = std::max(sit->second, it->second);
+    }
+  }
+}
+
+void import_retransmit_state(const cactus::StateBag& bag,
+                             RetransmitState& state) {
+  auto snap = bag.find<RetransmitSnapshot>(kRetransmitBagKey);
+  if (snap == nullptr) return;
+  MutexLock lk(state.mu);
+  for (const auto& key : snap->fifo) {
+    auto it = snap->used.find(key);
+    if (it == snap->used.end()) continue;
+    auto [sit, inserted] = state.used.emplace(key, it->second);
+    if (inserted) {
+      state.fifo.push_back(key);
+    } else {
+      sit->second = std::max(sit->second, it->second);
+    }
+  }
+  while (state.fifo.size() > state.max_windows) {
+    state.used.erase(state.fifo.front());
+    state.fifo.pop_front();
+  }
+}
+
 void Retransmit::init(cactus::CompositeProtocol& proto) {
   ClientQosHolder& holder = client_holder(proto);
   ClientQosInterface* qos = holder.qos;
   const int max_retries = max_retries_;
+  state_ = proto.shared().get_or_create<RetransmitState>(kStateKey);
+  auto state = state_;
 
   // A transport failure under message loss does not mean the replica died.
   // Re-probe replicas that earlier timeouts marked failed so the assigners
@@ -43,26 +104,24 @@ void Retransmit::init(cactus::CompositeProtocol& proto) {
   // retried on the same replica; only when the budget is exhausted does the
   // failure propagate (and PassiveRep may then fail over). Failed rebinds
   // (the naming lookup itself may be lost) consume budget and are retried
-  // too.
-  bind_tracked(proto, 
+  // too. The budget authority is the shared window ledger, not a per-Request
+  // flag, so it survives a live reconfiguration of the stack.
+  bind_tracked(proto,
       ev::kInvokeFailure, "retransmitter",
-      [qos, max_retries](cactus::EventContext& ctx) {
+      [qos, max_retries, state](cactus::EventContext& ctx) {
         auto inv = ctx.dyn<InvocationPtr>();
         if (!inv->transport_failure) return;
         RequestPtr req = inv->request;
         if (req->is_done()) return;
-        const std::string budget_flag =
-            "rtx.s" + std::to_string(inv->server) + ".a";
-        for (int attempt = 0; attempt < max_retries; ++attempt) {
-          if (!req->once(budget_flag + std::to_string(attempt), [] {})) {
-            continue;  // slot consumed by an earlier failure of this request
-          }
+        int attempt;
+        while ((attempt = consume_retry_slot(*state, req->id, inv->server,
+                                             max_retries)) != 0) {
           try {
             qos->bind(inv->server);
           } catch (const Error&) {
             continue;  // lookup lost too: burn the slot, try the next one
           }
-          CQOS_LOG_DEBUG("retransmit: retry ", attempt + 1, " of request ",
+          CQOS_LOG_DEBUG("retransmit: retry ", attempt, " of request ",
                          req->id, " on replica ", inv->server);
           auto retry = std::make_shared<Invocation>();
           retry->request = req;
@@ -74,6 +133,14 @@ void Retransmit::init(cactus::CompositeProtocol& proto) {
         // Budget exhausted: let the failure propagate.
       },
       order::kFailover - 10);
+}
+
+void Retransmit::export_state(cactus::StateBag& bag) {
+  if (state_) export_retransmit_state(*state_, bag);
+}
+
+void Retransmit::import_state(const cactus::StateBag& bag) {
+  if (state_) import_retransmit_state(bag, *state_);
 }
 
 std::unique_ptr<cactus::MicroProtocol> Retransmit::make(

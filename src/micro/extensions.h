@@ -26,16 +26,46 @@
 //     a recovered replica replays the suffix it missed from a live peer.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 
 #include "common/sync.h"
 #include "micro/base.h"
 #include "common/thread_annotations.h"
 
 namespace cqos::micro {
+
+/// Shared retransmit window state (exposed for tests): how many retry slots
+/// each (request id, replica) pair has consumed. Request ids are minted from
+/// a process-global counter (including on stub-pool reset), so a window is
+/// never revived by an unrelated later call; the ledger is FIFO-bounded.
+struct RetransmitState {
+  Mutex mu;
+  std::map<std::pair<std::uint64_t, int>, int> used CQOS_GUARDED_BY(mu);
+  std::deque<std::pair<std::uint64_t, int>> fifo CQOS_GUARDED_BY(mu);
+  std::size_t max_windows CQOS_GUARDED_BY(mu) = 1024;
+};
+
+/// Consume one retry slot for (request, replica). Returns the 1-based
+/// attempt number consumed, or 0 once `max_retries` slots are gone. Failed
+/// rebinds burn their slot too, so callers loop until 0.
+int consume_retry_slot(RetransmitState& state, std::uint64_t request_id,
+                       int server, int max_retries);
+
+/// Reconfiguration state handoff (DESIGN.md §16): the window ledger travels
+/// in the bag so a composition swapped in mid-stream honours retry budget
+/// already spent by its predecessor instead of granting duplicated-failure
+/// events a fresh budget. export merges (max of slots used per window) into
+/// whatever an earlier exporter wrote; import merges the same way and trims
+/// FIFO-oldest down to state.max_windows.
+inline constexpr const char* kRetransmitBagKey = "retransmit.windows";
+void export_retransmit_state(RetransmitState& state, cactus::StateBag& bag);
+void import_retransmit_state(const cactus::StateBag& bag,
+                             RetransmitState& state);
 
 class Retransmit : public MicroBase {
  public:
@@ -44,13 +74,18 @@ class Retransmit : public MicroBase {
 
   std::string_view name() const override { return "retransmit"; }
   void init(cactus::CompositeProtocol& proto) override;
+  void export_state(cactus::StateBag& bag) override;
+  void import_state(const cactus::StateBag& bag) override;
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
   static MicroManifest manifest();
 
+  static constexpr const char* kStateKey = "retransmit.state";
+
  private:
   int max_retries_;
+  std::shared_ptr<RetransmitState> state_;
 };
 
 class FailureDetector : public MicroBase {

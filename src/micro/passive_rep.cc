@@ -83,7 +83,8 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
   ServerQosHolder& holder = server_holder(proto);
   ServerQosInterface* qos = holder.qos;
   CactusServer* server = holder.server;
-  auto state = proto.shared().get_or_create<State>(kStateKey);
+  state_ = proto.shared().get_or_create<State>(kStateKey);
+  auto state = state_;
 
   // dedup + storeResult: the shared at-most-once mechanism (micro/dedup.h),
   // under PassiveRep's own state key.
@@ -148,6 +149,14 @@ void PassiveRepServer::init(cactus::CompositeProtocol& proto) {
         msg->reply = Value(req->staged_success());
       },
       cactus::kOrderDefault);
+}
+
+void PassiveRepServer::export_state(cactus::StateBag& bag) {
+  if (state_) export_dedup_state(*state_, bag);
+}
+
+void PassiveRepServer::import_state(const cactus::StateBag& bag) {
+  if (state_) import_dedup_state(bag, *state_);
 }
 
 std::unique_ptr<cactus::MicroProtocol> PassiveRepServer::make(

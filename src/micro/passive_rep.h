@@ -42,6 +42,11 @@ class PassiveRepServer : public MicroBase {
  public:
   std::string_view name() const override { return "passive_rep"; }
   void init(cactus::CompositeProtocol& proto) override;
+  /// Reconfiguration handoff: the at-most-once cache travels under the
+  /// canonical dedup bag key (micro/dedup.h), so a transition between
+  /// passive_rep and plain dedup keeps answering pre-swap duplicates.
+  void export_state(cactus::StateBag& bag) override;
+  void import_state(const cactus::StateBag& bag) override;
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
@@ -55,6 +60,9 @@ class PassiveRepServer : public MicroBase {
 
   /// Control name used for replica-to-replica request transfer.
   static constexpr const char* kForwardControl = "pas_forward";
+
+ private:
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace cqos::micro

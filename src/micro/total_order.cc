@@ -1,19 +1,34 @@
 #include "micro/total_order.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/log.h"
 
 namespace cqos::micro {
+namespace {
+
+// A peer that is mid-reconfigure blocks its control checkpoint for the
+// swap window, so one peer_send can time out without the peer being gone.
+// Losing ordering info stalls that replica's execute sequence permanently
+// (every later seq parks behind the gap), so the multicast retries across
+// the window. Safe: orderInfo is idempotent.
+constexpr int kMulticastAttempts = 6;
+
+}  // namespace
 
 void TotalOrder::init(cactus::CompositeProtocol& proto) {
   ServerQosHolder& holder = server_holder(proto);
   ServerQosInterface* qos = holder.qos;
-  auto state = proto.shared().get_or_create<State>(kStateKey);
+  state_ = proto.shared().get_or_create<State>(kStateKey);
+  auto state = state_;
   const bool is_coordinator = qos->replica_index() == coordinator_;
 
   struct MulticastJob {
     std::uint64_t request_id;
     std::uint64_t seq;
     int peer;
+    int attempt = 0;
   };
 
   // assignOrder (coordinator only): allocate the sequence number on first
@@ -45,10 +60,17 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
           auto job = ctx.dyn<MulticastJob>();
           ValueList args{Value(static_cast<std::int64_t>(job.request_id)),
                          Value(static_cast<std::int64_t>(job.seq))};
-          if (!qos->peer_send(job.peer, kOrderControl, args)) {
-            CQOS_LOG_WARN("total_order: ordering multicast to replica ",
-                          job.peer, " failed");
+          if (qos->peer_send(job.peer, kOrderControl, args)) return;
+          if (job.attempt + 1 < kMulticastAttempts) {
+            std::this_thread::sleep_for(ms(100 * (job.attempt + 1)));
+            ctx.protocol().raise_async(
+                "to:multicast", MulticastJob{job.request_id, job.seq,
+                                             job.peer, job.attempt + 1});
+            return;
           }
+          CQOS_LOG_WARN("total_order: ordering multicast to replica ",
+                        job.peer, " failed after ", kMulticastAttempts,
+                        " attempts");
         },
         cactus::kOrderDefault);
   }
@@ -156,6 +178,38 @@ void TotalOrder::init(cactus::CompositeProtocol& proto) {
         msg->reply = Value(true);
       },
       cactus::kOrderDefault);
+}
+
+// The bag snapshot of the ordering state. Merged with max() on the
+// counters: two co-resident total_order instances share one State, so the
+// second exporter sees its own work already recorded.
+struct TotalOrderSnapshot {
+  std::uint64_t next_seq_to_assign = 1;
+  std::uint64_t next_seq_to_execute = 1;
+  std::map<std::uint64_t, std::uint64_t> order;
+};
+
+void TotalOrder::export_state(cactus::StateBag& bag) {
+  if (!state_) return;
+  auto snap = bag.get_or_create<TotalOrderSnapshot>(kBagKey);
+  MutexLock lk(state_->mu);
+  snap->next_seq_to_assign =
+      std::max(snap->next_seq_to_assign, state_->next_seq_to_assign);
+  snap->next_seq_to_execute =
+      std::max(snap->next_seq_to_execute, state_->next_seq_to_execute);
+  for (const auto& [id, seq] : state_->order) snap->order.emplace(id, seq);
+}
+
+void TotalOrder::import_state(const cactus::StateBag& bag) {
+  if (!state_) return;
+  auto snap = bag.find<TotalOrderSnapshot>(kBagKey);
+  if (snap == nullptr) return;
+  MutexLock lk(state_->mu);
+  state_->next_seq_to_assign =
+      std::max(state_->next_seq_to_assign, snap->next_seq_to_assign);
+  state_->next_seq_to_execute =
+      std::max(state_->next_seq_to_execute, snap->next_seq_to_execute);
+  for (const auto& [id, seq] : snap->order) state_->order.emplace(id, seq);
 }
 
 std::unique_ptr<cactus::MicroProtocol> TotalOrder::make(

@@ -29,6 +29,14 @@ class TotalOrder : public MicroBase {
  public:
   std::string_view name() const override { return "total_order"; }
   void init(cactus::CompositeProtocol& proto) override;
+  /// Reconfiguration handoff (DESIGN.md §16): sequence counters and the
+  /// (request id → seq) assignment map travel in the bag so a swapped-in
+  /// total_order resumes numbering where its predecessor stopped instead of
+  /// restarting at 1 and re-ordering history. Parked requests are NOT
+  /// exported — a swap only runs at quiescence, so both parking maps are
+  /// empty bar abandoned (timed-out) requests.
+  void export_state(cactus::StateBag& bag) override;
+  void import_state(const cactus::StateBag& bag) override;
 
   static std::unique_ptr<cactus::MicroProtocol> make(
       const MicroProtocolSpec& spec);
@@ -47,9 +55,11 @@ class TotalOrder : public MicroBase {
   };
   static constexpr const char* kStateKey = "total_order.state";
   static constexpr const char* kOrderControl = "to_order";
+  static constexpr const char* kBagKey = "total_order.sequence";
 
  private:
   int coordinator_;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace cqos::micro

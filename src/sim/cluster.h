@@ -97,6 +97,14 @@ class ClientHandle {
   /// Null below kFull.
   CactusClient* cactus_client() { return endpoint_->cactus(); }
   plat::Platform& platform() { return *platform_; }
+  /// The lifecycle handle: reconfigure()/config_revision()/drain()/close().
+  QosEndpoint::ClientHandle& endpoint() { return *endpoint_; }
+
+  /// Hot-swap this client's micro-protocol stack (see
+  /// QosEndpoint::Handle::reconfigure).
+  ReconfigReport reconfigure(std::vector<MicroProtocolSpec> specs) {
+    return endpoint_->reconfigure(std::move(specs));
+  }
 
   /// Convenience passthrough.
   Value call(const std::string& method, ValueList params) {
@@ -108,7 +116,7 @@ class ClientHandle {
   ClientHandle() = default;
 
   std::unique_ptr<plat::Platform> platform_;
-  std::unique_ptr<QosClientEndpoint> endpoint_;
+  std::unique_ptr<QosEndpoint::ClientHandle> endpoint_;
 };
 
 class Cluster {
@@ -144,6 +152,18 @@ class Cluster {
   CactusServer* cactus_server(int i) {
     return replicas_.at(static_cast<std::size_t>(i))->endpoint->cactus();
   }
+  /// Replica i's lifecycle handle (reconfigure/config_revision/close).
+  QosEndpoint::ServerHandle& server_handle(int i) {
+    return *replicas_.at(static_cast<std::size_t>(i))->endpoint;
+  }
+
+  /// Hot-swap replica i's server-side stack. `specs_fn` style overrides
+  /// (ClusterOptions::server_specs_fn) stay the caller's concern: pass the
+  /// exact per-replica specs.
+  ReconfigReport reconfigure_server(int i,
+                                    std::vector<MicroProtocolSpec> specs) {
+    return server_handle(i).reconfigure(std::move(specs));
+  }
 
   static std::string replica_host(int i) {
     return "server" + std::to_string(i);
@@ -154,7 +174,7 @@ class Cluster {
     std::string host;
     std::unique_ptr<plat::Platform> platform;
     std::shared_ptr<Servant> servant;
-    std::unique_ptr<QosServerEndpoint> endpoint;
+    std::unique_ptr<QosEndpoint::ServerHandle> endpoint;
   };
 
   std::unique_ptr<plat::Platform> make_platform(const std::string& host);

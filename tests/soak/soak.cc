@@ -300,27 +300,51 @@ std::string SoakOutcome::summary() const {
 SoakOutcome run_soak(const std::string& config, const std::string& profile,
                      std::uint64_t seed, const SoakOptions& opts) {
   const ConfigSpec& spec = find_config(config);
-  const CompositionTraits traits = config_traits(config);
-  {
-    auto sound = soak_profiles_for(config);
-    if (std::find(sound.begin(), sound.end(), profile) == sound.end()) {
-      throw ConfigError("soak: profile " + profile + " is unsound for " +
-                        config);
+
+  // The set of configs this run will serve: the starting one plus every
+  // cycle entry. Soundness (profile gating, agreement assertion) must hold
+  // for EVERY config the run passes through, so traits are AND-combined.
+  std::vector<std::string> cycle = opts.reconfig_cycle;
+  if (opts.reconfigure_every > 0 && cycle.empty()) cycle.push_back(config);
+  std::vector<std::string> all_configs{config};
+  for (const std::string& name : cycle) {
+    if (std::find(all_configs.begin(), all_configs.end(), name) ==
+        all_configs.end()) {
+      all_configs.push_back(name);
     }
   }
-  // Every soak composition must be statically sound before it is allowed to
-  // produce runtime evidence: a verifier error here means the matrix itself
-  // regressed, not the protocols under test.
-  {
-    VerifyResult vr = verify_composition(soak_qos_config(config));
+
+  CompositionTraits traits = config_traits(config);
+  for (const std::string& name : all_configs) {
+    const CompositionTraits t = config_traits(name);
+    traits.total_order = traits.total_order && t.total_order;
+    traits.loss_tolerant = traits.loss_tolerant && t.loss_tolerant;
+    auto sound = soak_profiles_for(name);
+    if (std::find(sound.begin(), sound.end(), profile) == sound.end()) {
+      throw ConfigError("soak: profile " + profile + " is unsound for " +
+                        name);
+    }
+    // Every soak composition must be statically sound before it is allowed
+    // to produce runtime evidence: a verifier error here means the matrix
+    // itself regressed, not the protocols under test.
+    VerifyResult vr = verify_composition(soak_qos_config(name));
     if (!vr.ok()) {
-      throw ConfigError("soak: config " + config +
+      throw ConfigError("soak: config " + name +
                         " failed composition verification:\n" + vr.text());
     }
   }
 
+  int replicas = spec.replicas;
+  Duration invoke_timeout{};
+  for (const std::string& name : all_configs) {
+    ClusterOptions scratch;
+    find_config(name).apply(scratch);
+    replicas = std::max(replicas, find_config(name).replicas);
+    invoke_timeout = std::max(invoke_timeout, scratch.invoke_timeout);
+  }
+
   std::vector<std::string> crashable;
-  for (int i = 1; i < spec.replicas; ++i) {
+  for (int i = 1; i < replicas; ++i) {
     crashable.push_back(Cluster::replica_host(i));
   }
   FaultPlan plan =
@@ -334,7 +358,6 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
 
   ClusterOptions copts;
   copts.platform = PlatformKind::kRmi;
-  copts.num_replicas = spec.replicas;
   copts.net.seed = seed;
   copts.net.jitter = 0.05;
   copts.request_timeout = ms(8000);
@@ -346,6 +369,13 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
     return s;
   };
   spec.apply(copts);
+  copts.num_replicas = replicas;
+  copts.invoke_timeout = invoke_timeout;
+  if (opts.start_plain) {
+    // Base-only stacks: the first hot-swap installs the real composition.
+    copts.qos = QosConfig{};
+    copts.server_specs_fn = nullptr;
+  }
   Cluster cluster(copts);
 
   std::vector<std::unique_ptr<ClientHandle>> clients;
@@ -359,11 +389,94 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
     }
   }
 
-  cluster.faults().run_plan(plan);
-
   Mutex mu;
   std::set<std::int64_t> acked;
   std::atomic<int> failed{0};
+  std::vector<std::string> reconfig_violations;  // guarded by mu
+
+  // Generous quiescence bounds: drain must outlast the 8s server-side
+  // processing timeout so a parked total-order request can still fail
+  // visibly (and release its skeleton thread) before the drain gives up.
+  auto apply_cycle_config = [&](const std::string& name) {
+    const ConfigSpec& cs = find_config(name);
+    ClusterOptions scratch;
+    cs.apply(scratch);
+    for (int i = 0; i < replicas; ++i) {
+      std::vector<MicroProtocolSpec> sspecs = scratch.server_specs_fn
+                                                  ? scratch.server_specs_fn(i)
+                                                  : scratch.qos.server;
+      cluster.reconfigure_server(i, std::move(sspecs));
+    }
+    for (auto& cl : clients) cl->reconfigure(scratch.qos.client);
+  };
+  auto swap_to = [&](const std::string& name) {
+    try {
+      apply_cycle_config(name);
+    } catch (const std::exception& e) {
+      MutexLock lk(mu);
+      reconfig_violations.push_back("reconfigure to " + name +
+                                    " failed: " + e.what());
+    }
+  };
+  if (opts.reconfigure_every > 0) {
+    ReconfigOptions ropts;
+    ropts.drain_timeout = ms(10000);
+    ropts.park_timeout = ms(15000);
+    ropts.max_parked = 1024;
+    for (int i = 0; i < replicas; ++i) {
+      cluster.server_handle(i).set_reconfig_options(ropts);
+    }
+    for (auto& cl : clients) cl->endpoint().set_reconfig_options(ropts);
+  }
+
+  std::size_t cycle_next = 0;
+  if (opts.start_plain && !cycle.empty()) {
+    // Plain → customized under live fault-free traffic: hammer deposits from
+    // every client while the first hot-swap runs, then settle before chaos.
+    std::atomic<bool> prelude_done{false};
+    std::vector<std::thread> prelude;
+    for (int c = 0; c < opts.clients; ++c) {
+      prelude.emplace_back([&, c] {
+        BankAccountStub account(
+            clients[static_cast<std::size_t>(c)]->stub_ptr());
+        for (int k = 0; !prelude_done.load(); ++k) {
+          std::int64_t amount = (c + 1) * 1'000'000 + 500'000 + k + 1;
+          try {
+            account.deposit(amount);
+            MutexLock lk(mu);
+            acked.insert(amount);
+          } catch (const std::exception&) {
+            failed.fetch_add(1);
+          }
+        }
+      });
+    }
+    swap_to(cycle[cycle_next % cycle.size()]);
+    ++cycle_next;
+    prelude_done.store(true);
+    for (std::thread& t : prelude) t.join();
+  }
+
+  cluster.faults().run_plan(plan);
+
+  std::atomic<int> ops_done{0};
+  std::atomic<bool> drivers_done{false};
+  std::thread reconfigurator;
+  if (opts.reconfigure_every > 0) {
+    reconfigurator = std::thread([&] {
+      int target = opts.reconfigure_every;
+      while (!drivers_done.load()) {
+        if (ops_done.load() < target) {
+          std::this_thread::sleep_for(ms(20));
+          continue;
+        }
+        swap_to(cycle[cycle_next % cycle.size()]);
+        ++cycle_next;
+        target += opts.reconfigure_every;
+      }
+    });
+  }
+
   std::vector<std::thread> drivers;
   for (int c = 0; c < opts.clients; ++c) {
     drivers.emplace_back([&, c] {
@@ -378,10 +491,13 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
         } catch (const std::exception&) {
           failed.fetch_add(1);
         }
+        ops_done.fetch_add(1);
       }
     });
   }
   for (std::thread& t : drivers) t.join();
+  drivers_done.store(true);
+  if (reconfigurator.joinable()) reconfigurator.join();
 
   cluster.faults().wait_plan_done(plan.duration() + ms(3000));
   cluster.faults().clear_all_faults();
@@ -411,6 +527,7 @@ SoakOutcome run_soak(const std::string& config, const std::string& profile,
   {
     MutexLock lk(mu);
     out.acked = static_cast<int>(acked.size());
+    out.violations = reconfig_violations;
   }
   out.failed = failed.load();
 

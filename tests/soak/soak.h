@@ -30,6 +30,18 @@ namespace cqos::soak {
 struct SoakOptions {
   int clients = 2;
   int ops_per_client = 20;
+  /// Live reconfiguration (DESIGN.md §16): every `reconfigure_every` driver
+  /// ops (acked or failed, summed across clients) hot-swap every endpoint —
+  /// replicas first, then clients — to the next config in `reconfig_cycle`
+  /// (soak config names, wrapping around; empty = cycle back to `config`
+  /// itself). 0 disables reconfiguration. A failed or rolled-back swap is
+  /// recorded as an invariant violation.
+  int reconfigure_every = 0;
+  std::vector<std::string> reconfig_cycle;
+  /// Start serving with base-only (plain) stacks and hot-swap to the first
+  /// cycle entry under live fault-free traffic before the chaos plan starts
+  /// — the paper's plain → customized transition as one soak run.
+  bool start_plain = false;
 };
 
 struct SoakOutcome {

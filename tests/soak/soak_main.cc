@@ -6,6 +6,11 @@
 //   chaos_soak --config=X --profile=Y --seed=7   # reproduce one run
 //   chaos_soak --virtual               # virtual-time modeled-load profiles
 //   chaos_soak --virtual --profile=zipf-flash-crowd --seed=3
+//   chaos_soak --config=X --reconfigure-every=10 --reconfig-cycle=A,B
+//                                      # hot-swap the live stacks every 10
+//                                      # ops, cycling through configs A,B
+//   chaos_soak --start-plain ...       # begin with plain stacks; the first
+//                                      # swap installs the composition
 //
 // Exit status 0 iff every run held all invariants. A failing run prints its
 // seed, plan text and applied-event trace; the printed repro command
@@ -48,6 +53,7 @@ int main(int argc, char** argv) {
   bool seed_set = false;
   bool virtual_mode = false;
   int seeds_per_cell = 1;
+  cqos::soak::SoakOptions sopts;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = arg_value(argv[i], "--config")) {
       config = v;
@@ -58,12 +64,26 @@ int main(int argc, char** argv) {
       seed_set = true;
     } else if (const char* v = arg_value(argv[i], "--seeds")) {
       seeds_per_cell = std::atoi(v);
+    } else if (const char* v = arg_value(argv[i], "--reconfigure-every")) {
+      sopts.reconfigure_every = std::atoi(v);
+    } else if (const char* v = arg_value(argv[i], "--reconfig-cycle")) {
+      std::string list = v;
+      for (std::size_t pos = 0; pos <= list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > pos) sopts.reconfig_cycle.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--start-plain") == 0) {
+      sopts.start_plain = true;
     } else if (std::strcmp(argv[i], "--virtual") == 0) {
       virtual_mode = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--virtual] [--config=NAME] "
-                   "[--profile=NAME] [--seed=N] [--seeds=N]\n");
+                   "[--profile=NAME] [--seed=N] [--seeds=N] "
+                   "[--reconfigure-every=N] [--reconfig-cycle=A,B,...] "
+                   "[--start-plain]\n");
       return 2;
     }
   }
@@ -103,7 +123,7 @@ int main(int argc, char** argv) {
     for (const std::string& p : profiles) {
       for (int s = 0; s < (seed_set ? 1 : seeds_per_cell); ++s) {
         std::uint64_t run_seed = seed_set ? seed : 1 + static_cast<std::uint64_t>(s);
-        cqos::soak::SoakOutcome out = cqos::soak::run_soak(c, p, run_seed);
+        cqos::soak::SoakOutcome out = cqos::soak::run_soak(c, p, run_seed, sopts);
         ++runs;
         if (out.ok()) {
           std::printf("%s\n", out.summary().c_str());

@@ -73,8 +73,8 @@ bool operator==(const WorkloadResult& a, const WorkloadResult& b) {
 struct ServerWorld {
   std::shared_ptr<BankAccountServant> secure_servant;
   std::shared_ptr<BankAccountServant> reliable_servant;
-  std::unique_ptr<QosServerEndpoint> secure;
-  std::unique_ptr<QosServerEndpoint> reliable;
+  std::unique_ptr<QosEndpoint::ServerHandle> secure;
+  std::unique_ptr<QosEndpoint::ServerHandle> reliable;
 };
 
 ServerWorld make_servers(plat::Platform& platform) {

@@ -16,7 +16,7 @@ shift $(( $# > 0 ? 1 : 0 ))
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(bench_table1 bench_table2 bench_table3 bench_degraded
-           bench_overload bench_scale bench_tcp)
+           bench_overload bench_scale bench_tcp bench_reconfig)
 fi
 OUT_DIR="${CQOS_BENCH_OUT_DIR:-$BUILD_DIR/bench-out}"
 mkdir -p "$OUT_DIR"
@@ -228,6 +228,43 @@ if "bench_tcp" in benches:
         fail(f"{path}: net.sent.msgs is zero")
     print(f"{path.name}: {len(rows)} rows OK, "
           f"{counters['net.recv.msgs']} frames received off real sockets")
+
+# BENCH_reconfig.json: live-reconfiguration cost. Three rows (an unloaded
+# swap, a swap under four hammer threads, and the caller-observed latency of
+# that traffic), and the counters must prove the quiescence protocol really
+# ran: swaps happened, concurrent arrivals parked against the gate and were
+# released, and nothing rolled back.
+if "bench_reconfig" in benches:
+    path = out_dir / "BENCH_reconfig.json"
+    if not path.exists():
+        fail(f"{path} missing")
+    doc = json.loads(path.read_text())
+    if doc.get("bench") != "reconfig":
+        fail(f"{path}: bench={doc.get('bench')!r}, want 'reconfig'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != 3:
+        fail(f"{path}: {len(rows or [])} rows, want 3")
+    keyed = {(row.get("platform"), row.get("label")) for row in rows}
+    for want_label in ("idle-swap", "loaded-swap", "call-during-swap"):
+        if ("sim", want_label) not in keyed:
+            fail(f"{path}: missing row {want_label}")
+    check_rows(path, rows)
+    for row in rows:
+        if row["mean_ms"] <= 0:
+            fail(f"{path}: row {row['label']}: mean_ms is zero")
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters.get("cqos.reconfig.swaps", 0) <= 0:
+        fail(f"{path}: cqos.reconfig.swaps is zero — no swap ever ran")
+    if counters.get("cqos.reconfig.released.total", 0) <= 0:
+        fail(f"{path}: cqos.reconfig.released.total is zero — no arrival "
+             "ever parked against the quiesce gate and released")
+    if counters.get("cqos.reconfig.rollback", 0) != 0:
+        fail(f"{path}: cqos.reconfig.rollback nonzero — a swap failed "
+             "and rolled back during the bench")
+    print(f"{path.name}: {len(rows)} rows OK, "
+          f"{counters['cqos.reconfig.swaps']} swaps, "
+          f"{counters['cqos.reconfig.released.total']} parked arrivals "
+          "released")
 
 print("bench_smoke: all BENCH JSON files valid")
 EOF

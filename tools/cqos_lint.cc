@@ -34,13 +34,23 @@
 //      directly; deployments go through net::make_transport(TransportConfig)
 //      so they stay transport-neutral. Sim-only drivers waive a line with
 //      `// cqos-lint: allow-transport-construction`.
+//   7. reconfig-seam  — src/ code outside the reconfiguration seam
+//      (cactus/composite.*, cqos/reconfig.cc, cqos/endpoint.cc,
+//      cqos/config.cc) must not mutate a composite's handler graph
+//      directly (.add_protocol / .add_micro_protocol / .extract_protocols /
+//      .install call sites): a stack assembled behind the QuiesceGate's
+//      back cannot be drained, swapped or rolled back, so mutation goes
+//      through QosEndpoint::Handle::reconfigure(). Deliberate bypasses
+//      (boot-time installs into a not-yet-serving composite) waive a line
+//      with `// cqos-lint: allow-reconfig-seam`.
 //
 // Usage: cqos_lint --root <repo_root> [--micro <dir>] [--cfg <file>]
-//                  [--seam <dir>]
+//                  [--seam <dir>] [--reconfig-seam <dir>]
 //   --micro / --cfg default to src/micro and examples/sample.cfg under
-//   the root; --seam replaces the default transport-seam scan roots. The
-//   overrides exist so the self-test fixtures under tools/lint_fixtures/
-//   can exercise each rule (registered WILL_FAIL).
+//   the root; --seam / --reconfig-seam replace the default scan roots of
+//   the transport-seam / reconfig-seam rules. The overrides exist so the
+//   self-test fixtures under tools/lint_fixtures/ can exercise each rule
+//   (registered WILL_FAIL).
 //
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
 
@@ -813,10 +823,100 @@ void check_transport_seam(const fs::path& root, const fs::path& seam_dir) {
   scan_tree(root / "examples", {});
 }
 
+// --- Rule 8: reconfig-seam ----------------------------------------------------
+// The live-reconfiguration invariant (DESIGN.md §16) only holds if every
+// mutation of a composite's micro-protocol stack flows through the seam
+// that owns the QuiesceGate: cactus/composite.* (the primitive),
+// cqos/config.cc (MicroProtocolRegistry::install), cqos/reconfig.cc (the
+// swap engine) and cqos/endpoint.cc (build + Handle::reconfigure). Any
+// other src/ call site of the mutation primitives assembles a stack the
+// gate cannot drain, swap or roll back. Tests and benches hand-assemble
+// composites deliberately and stay out of scope; in-scope boot-time
+// installs into a composite that is not serving yet waive a line with
+//   // cqos-lint: allow-reconfig-seam
+// on the same or preceding line.
+
+void check_reconfig_seam_file(const std::string& fname,
+                              const std::string& raw) {
+  std::set<int> waived;
+  {
+    std::istringstream ss(raw);
+    std::string line;
+    int ln = 1;
+    while (std::getline(ss, line)) {
+      if (line.find("cqos-lint: allow-reconfig-seam") != std::string::npos) {
+        waived.insert(ln);
+        waived.insert(ln + 1);
+      }
+      ++ln;
+    }
+  }
+
+  FlatText f = flatten(strip_comments(raw));
+  const std::string& t = f.text;
+  for (const char* method : {"add_protocol", "add_micro_protocol",
+                             "extract_protocols", "install"}) {
+    const std::size_t len = std::strlen(method);
+    for (std::size_t pos = t.find(method); pos != std::string::npos;
+         pos = t.find(method, pos + len)) {
+      // Whole-identifier match only ("install" must not fire on
+      // "reinstall" or "installed").
+      if (pos > 0 && is_identifier_char(t[pos - 1])) continue;
+      std::size_t after = pos + len;
+      if (after < t.size() && is_identifier_char(t[after])) continue;
+      // A call site: member access before, argument list after. Plain
+      // declarations/definitions and qualified definitions
+      // (CompositeProtocol::add_protocol) are type-level mentions.
+      std::size_t b = pos;
+      while (b > 0 && t[b - 1] == ' ') --b;
+      bool member_access =
+          (b >= 1 && t[b - 1] == '.') ||
+          (b >= 2 && t[b - 2] == '-' && t[b - 1] == '>');
+      std::size_t a = after;
+      while (a < t.size() && t[a] == ' ') ++a;
+      bool called = a < t.size() && t[a] == '(';
+      if (!member_access || !called) continue;
+      int ln = line_at(f, pos);
+      if (waived.count(ln) != 0) continue;
+      fail(fname + ":" + std::to_string(ln), "reconfig-seam",
+           std::string("direct composite mutation via ") + method +
+               "() outside the reconfiguration seam — go through "
+               "QosEndpoint::Handle::reconfigure() (or waive a deliberate "
+               "boot-time install with "
+               "'// cqos-lint: allow-reconfig-seam')");
+    }
+  }
+}
+
+void check_reconfig_seam(const fs::path& root, const fs::path& override_dir) {
+  static const std::set<std::string> kSeamFiles = {
+      "cactus/composite.h", "cactus/composite.cc", "cqos/reconfig.cc",
+      "cqos/endpoint.cc",   "cqos/config.cc",
+  };
+  auto scan_tree = [&](const fs::path& dir, bool skip_seam) {
+    if (!fs::exists(dir)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      const fs::path& p = entry.path();
+      auto ext = p.extension();
+      if (ext != ".cc" && ext != ".cpp" && ext != ".h") continue;
+      if (skip_seam &&
+          kSeamFiles.count(fs::relative(p, dir).generic_string()) != 0) {
+        continue;
+      }
+      check_reconfig_seam_file(p.string(), read_file(p));
+    }
+  };
+  if (!override_dir.empty()) {
+    scan_tree(override_dir, false);
+    return;
+  }
+  scan_tree(root / "src", true);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root, micro_dir, cfg_path, seam_dir;
+  fs::path root, micro_dir, cfg_path, seam_dir, reconfig_seam_dir;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto need = [&](const char* flag) -> fs::path {
@@ -830,15 +930,16 @@ int main(int argc, char** argv) {
     else if (a == "--micro") micro_dir = need("--micro");
     else if (a == "--cfg") cfg_path = need("--cfg");
     else if (a == "--seam") seam_dir = need("--seam");
+    else if (a == "--reconfig-seam") reconfig_seam_dir = need("--reconfig-seam");
     else {
       std::cerr << "usage: cqos_lint --root <repo_root> [--micro <dir>] "
-                   "[--cfg <file>] [--seam <dir>]\n";
+                   "[--cfg <file>] [--seam <dir>] [--reconfig-seam <dir>]\n";
       return 2;
     }
   }
   if (root.empty()) {
     std::cerr << "usage: cqos_lint --root <repo_root> [--micro <dir>] "
-                 "[--cfg <file>] [--seam <dir>]\n";
+                 "[--cfg <file>] [--seam <dir>] [--reconfig-seam <dir>]\n";
     return 2;
   }
   if (micro_dir.empty()) micro_dir = root / "src" / "micro";
@@ -876,6 +977,7 @@ int main(int argc, char** argv) {
   check_cfg(cfg_path, parse_registry(root / "src" / "micro" / "standard.cc"));
   check_registry_manifests(root / "src" / "micro" / "standard.cc");
   check_transport_seam(root, seam_dir);
+  check_reconfig_seam(root, reconfig_seam_dir);
 
   if (g_errors > 0) {
     std::cerr << "cqos_lint: " << g_errors << " violation(s)\n";

@@ -1,0 +1,23 @@
+// Self-test fixture: mutates a composite's handler graph outside the
+// reconfiguration seam. The reconfig-seam rule must flag all three call
+// forms (member call, pointer call, registry install) but NOT the
+// declaration, the qualified definition, or the waived line.
+#include <memory>
+
+namespace cqos::cactus {
+class MicroProtocol {};
+class CompositeProtocol {
+ public:
+  void add_protocol(std::unique_ptr<MicroProtocol> mp);  // declaration: ok
+  std::vector<std::unique_ptr<MicroProtocol>> extract_protocols();
+};
+}  // namespace cqos::cactus
+
+void sneaky_assembly(cqos::cactus::CompositeProtocol& proto,
+                     cqos::cactus::CompositeProtocol* pproto) {
+  proto.add_protocol(nullptr);              // violation: member call
+  pproto->extract_protocols();              // violation: pointer call
+  registry().install(0, {}, proto);         // violation: registry install
+  // cqos-lint: allow-reconfig-seam (fixture: the waiver must suppress this)
+  proto.add_protocol(nullptr);
+}
